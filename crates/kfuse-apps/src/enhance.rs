@@ -1,0 +1,116 @@
+//! Wireless-capsule-endoscopy image enhancement (Suman et al., ICONIP
+//! 2014): geometric-mean de-noising followed by gamma correction and a
+//! linear contrast stretch.
+//!
+//! A linear chain `local → point → point` with no external dependences —
+//! the case where even the basic fusion of [12] delivers its highest
+//! benefit (paper Section V-C), though pair-wise it can only fuse two of
+//! the three kernels while the optimized fusion aggregates the whole
+//! chain.
+
+use kfuse_dsl::{c, clamp, exp, ln, powf, v, PipelineBuilder};
+use kfuse_ir::{BorderMode, Expr, Pipeline};
+
+/// Gamma used by the correction stage.
+pub const DEFAULT_GAMMA: f32 = 0.8;
+
+/// Unrolled 3×3 geometric mean: `exp(mean(ln(window)))`.
+///
+/// A small bias keeps the logarithm defined on zero-valued pixels.
+fn geometric_mean_body() -> Expr {
+    let mut acc: Option<Expr> = None;
+    for dy in -1..=1 {
+        for dx in -1..=1 {
+            let t = ln(Expr::load_at(0, dx, dy) + c(1.0));
+            acc = Some(match acc {
+                None => t,
+                Some(a) => a + t,
+            });
+        }
+    }
+    exp(acc.expect("nine window terms") * c(1.0 / 9.0)) - c(1.0)
+}
+
+/// Builds the enhancement pipeline at the given size.
+pub fn enhance(width: usize, height: usize, gamma: f32) -> Pipeline {
+    let mut b = PipelineBuilder::new("Enhance", width, height);
+    let input = b.gray_input("in");
+    let gmean = b.kernel(
+        "gmean",
+        &[input],
+        vec![BorderMode::Clamp],
+        vec![geometric_mean_body()],
+        vec![],
+    );
+    let gcorr = b.point(
+        "gamma",
+        &[gmean],
+        vec![powf(v(0) * c(1.0 / 255.0), c(gamma)) * c(255.0)],
+    );
+    let stretch = b.point(
+        "stretch",
+        &[gcorr],
+        vec![clamp((v(0) - c(8.0)) * c(255.0 / 239.0), 0.0, 255.0)],
+    );
+    b.output(stretch);
+    b.build()
+}
+
+/// Paper-sized instance: 2,048 × 2,048 gray-scale.
+pub fn enhance_paper() -> Pipeline {
+    enhance(2048, 2048, DEFAULT_GAMMA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::{fuse_basic, fuse_optimized, FusionConfig};
+    use kfuse_ir::ComputePattern;
+    use kfuse_model::{BenefitModel, FusionScenario, GpuSpec};
+
+    fn cfg() -> FusionConfig {
+        FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+    }
+
+    #[test]
+    fn structure_is_a_local_point_point_chain() {
+        let p = enhance(64, 64, DEFAULT_GAMMA);
+        assert_eq!(p.kernels().len(), 3);
+        let patterns: Vec<_> = p.kernels().iter().map(|k| k.pattern()).collect();
+        assert_eq!(
+            patterns,
+            vec![ComputePattern::Local, ComputePattern::Point, ComputePattern::Point]
+        );
+        // The geometric mean uses SFU-heavy math (9 logs + 1 exp).
+        assert!(p.kernels()[0].op_counts().sfu >= 10);
+    }
+
+    /// Both edges are point-based scenarios (consumers read element-wise):
+    /// the best possible locality improvement, δ_reg (Eq. 5).
+    #[test]
+    fn both_edges_are_point_based() {
+        let p = enhance(64, 64, DEFAULT_GAMMA);
+        let result = fuse_optimized(&p, &cfg());
+        for e in &result.plan.edges {
+            assert_eq!(e.estimate.scenario, FusionScenario::PointBased);
+            assert_eq!(e.estimate.phi, 0.0);
+        }
+    }
+
+    /// Optimized fusion takes the whole chain into one kernel.
+    #[test]
+    fn optimized_fuses_whole_chain() {
+        let p = enhance(64, 64, DEFAULT_GAMMA);
+        let result = fuse_optimized(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 1);
+        assert_eq!(result.pipeline.kernels()[0].name, "gmean+gamma+stretch");
+    }
+
+    /// Basic fusion is pair-wise: it fuses one pair and leaves a kernel.
+    #[test]
+    fn basic_fuses_one_pair() {
+        let p = enhance(64, 64, DEFAULT_GAMMA);
+        let result = fuse_basic(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 2);
+    }
+}

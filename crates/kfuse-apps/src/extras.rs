@@ -1,0 +1,92 @@
+//! Additional pipelines beyond the paper's six benchmarks, used by tests
+//! and examples to exercise planner shapes the evaluation suite does not:
+//! two local kernels whose *outputs* are shared (difference of Gaussians)
+//! and a residual (skip-connection) sharpening chain.
+
+use kfuse_dsl::{abs, c, clamp, v, Mask, PipelineBuilder};
+use kfuse_ir::{BorderMode, Pipeline};
+
+/// Difference of Gaussians: two blurs of the same input subtracted —
+/// a band-pass edge detector. Both blurs are sources sharing the input
+/// (Figure 2b with *two* local sources), merged by a point kernel.
+pub fn difference_of_gaussians(width: usize, height: usize) -> Pipeline {
+    let mut b = PipelineBuilder::new("DoG", width, height);
+    let input = b.gray_input("in");
+    let narrow = b.convolve("narrow", input, &Mask::gaussian3(), BorderMode::Mirror);
+    let wide = b.convolve("wide", input, &Mask::gaussian5(), BorderMode::Mirror);
+    let dog = b.point("dog", &[narrow, wide], vec![abs(v(0) - v(1))]);
+    b.output(dog);
+    b.build()
+}
+
+/// Laplacian sharpening with a residual connection: the input skips past
+/// the Laplacian and is recombined point-wise, then tone-clamped.
+pub fn laplacian_sharpen(width: usize, height: usize, strength: f32) -> Pipeline {
+    let mut b = PipelineBuilder::new("LapSharpen", width, height);
+    let input = b.gray_input("in");
+    let lap = b.convolve("laplacian", input, &Mask::laplacian(), BorderMode::Clamp);
+    let sharp = b.point("sharpen", &[input, lap], vec![v(0) - c(strength) * v(1)]);
+    let toned = b.point("tone", &[sharp], vec![clamp(v(0), 0.0, 255.0)]);
+    b.output(toned);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::{fuse_basic, fuse_optimized, FusionConfig};
+    use kfuse_model::{BenefitModel, GpuSpec};
+    use kfuse_sim::{execute, synthetic_image};
+
+    fn cfg() -> FusionConfig {
+        FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+    }
+
+    fn bit_exact_under_fusion(p: &Pipeline) {
+        let inputs: Vec<_> = p
+            .inputs()
+            .iter()
+            .map(|&id| (id, synthetic_image(p.image(id).clone(), 23)))
+            .collect();
+        let reference = execute(p, &inputs).unwrap();
+        for result in [fuse_optimized(p, &cfg()), fuse_basic(p, &cfg())] {
+            let exec = execute(&result.pipeline, &inputs).unwrap();
+            for &out in p.outputs() {
+                assert!(reference.expect_image(out).bit_equal(exec.expect_image(out)));
+            }
+        }
+    }
+
+    /// The whole DoG graph fuses: both blurs are sources (their shared
+    /// input is legal), and the point merge consumes them element-wise.
+    #[test]
+    fn dog_fuses_completely() {
+        let p = difference_of_gaussians(64, 64);
+        let result = fuse_optimized(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 1);
+        assert_eq!(result.pipeline.kernels()[0].name, "narrow+wide+dog");
+        bit_exact_under_fusion(&p);
+    }
+
+    /// Basic fusion rejects DoG entirely: the merge kernel has two inputs.
+    #[test]
+    fn dog_defeats_basic_fusion() {
+        let p = difference_of_gaussians(64, 64);
+        let result = fuse_basic(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 3);
+    }
+
+    /// The residual chain fuses completely under the optimized pass; the
+    /// skip connection (sharpen reads the source) defeats basic fusion.
+    #[test]
+    fn residual_chain_fuses() {
+        let p = laplacian_sharpen(64, 64, 0.5);
+        let opt = fuse_optimized(&p, &cfg());
+        assert_eq!(opt.pipeline.kernels().len(), 1);
+        let basic = fuse_basic(&p, &cfg());
+        // (sharpen, tone) is a clean point pair; (laplacian, sharpen) has
+        // the skip input and is rejected.
+        assert_eq!(basic.pipeline.kernels().len(), 2);
+        bit_exact_under_fusion(&p);
+    }
+}

@@ -1,0 +1,214 @@
+//! Harris corner detector (Harris & Stephens, AVC 1988).
+//!
+//! The paper's running example (Figure 3): nine kernels, ten edges.
+//! `dx`/`dy` are 3×3 local derivative operators, `sx`/`sxy`/`sy` square the
+//! gradients point-wise, `gx`/`gxy`/`gy` approximate a Gaussian smoothing
+//! of the structure tensor, and `hc` measures the corner response
+//! `det(M) − k·trace(M)²`.
+//!
+//! The optimized fusion must end with exactly the Figure 3f partition:
+//! `{dx} {dy} {sx,gx} {sxy,gxy} {sy,gy} {hc}`.
+
+use kfuse_dsl::{c, sqrt, v, Mask, PipelineBuilder};
+use kfuse_ir::{BorderMode, Pipeline};
+
+/// Standard Harris response coefficient.
+pub const DEFAULT_K: f32 = 0.04;
+
+/// Builds the Harris pipeline at the given size.
+///
+/// Kernel insertion order matches the paper's walkthrough (`dx` first — it
+/// is the start vertex of every Stoer–Wagner phase).
+pub fn harris(width: usize, height: usize, k: f32) -> Pipeline {
+    let mut b = PipelineBuilder::new("Harris", width, height);
+    let input = b.gray_input("in");
+    let dx = b.convolve("dx", input, &Mask::sobel_x(), BorderMode::Clamp);
+    let dy = b.convolve("dy", input, &Mask::sobel_y(), BorderMode::Clamp);
+    let sx = b.point("sx", &[dx], vec![v(0) * v(0)]);
+    let sxy = b.point("sxy", &[dx, dy], vec![v(0) * v(1)]);
+    let sy = b.point("sy", &[dy], vec![v(0) * v(0)]);
+    let gx = b.convolve("gx", sx, &Mask::gaussian3(), BorderMode::Clamp);
+    let gxy = b.convolve("gxy", sxy, &Mask::gaussian3(), BorderMode::Clamp);
+    let gy = b.convolve("gy", sy, &Mask::gaussian3(), BorderMode::Clamp);
+    let trace = v(0) + v(1);
+    let hc = b.point(
+        "hc",
+        &[gx, gy, gxy],
+        vec![(v(0) * v(1) - v(2) * v(2)) - c(k) * trace.clone() * trace],
+    );
+    b.output(hc);
+    b.build()
+}
+
+/// Paper-sized instance: 2,048 × 2,048 gray-scale.
+pub fn harris_paper() -> Pipeline {
+    harris(2048, 2048, DEFAULT_K)
+}
+
+/// ShiTomasi good-features-to-track (Shi & Tomasi, CVPR 1994): the same
+/// nine-kernel structure, but the response is the smaller eigenvalue of
+/// the structure tensor.
+pub fn shitomasi(width: usize, height: usize) -> Pipeline {
+    let mut b = PipelineBuilder::new("ShiTomasi", width, height);
+    let input = b.gray_input("in");
+    let dx = b.convolve("dx", input, &Mask::sobel_x(), BorderMode::Clamp);
+    let dy = b.convolve("dy", input, &Mask::sobel_y(), BorderMode::Clamp);
+    let sx = b.point("sx", &[dx], vec![v(0) * v(0)]);
+    let sxy = b.point("sxy", &[dx, dy], vec![v(0) * v(1)]);
+    let sy = b.point("sy", &[dy], vec![v(0) * v(0)]);
+    let gx = b.convolve("gx", sx, &Mask::gaussian3(), BorderMode::Clamp);
+    let gxy = b.convolve("gxy", sxy, &Mask::gaussian3(), BorderMode::Clamp);
+    let gy = b.convolve("gy", sy, &Mask::gaussian3(), BorderMode::Clamp);
+    // λ_min = (a + c)/2 − √(((a − c)/2)² + b²)
+    let response = (v(0) + v(1)) * c(0.5)
+        - sqrt(
+            ((v(0) - v(1)) * c(0.5)) * ((v(0) - v(1)) * c(0.5)) + v(2) * v(2),
+        );
+    let st = b.point("st", &[gx, gy, gxy], vec![response]);
+    b.output(st);
+    b.build()
+}
+
+/// Paper-sized ShiTomasi instance.
+pub fn shitomasi_paper() -> Pipeline {
+    shitomasi(2048, 2048)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::{fuse_basic, fuse_optimized, FusionConfig};
+    use kfuse_graph::NodeId;
+    use kfuse_ir::ComputePattern;
+    use kfuse_model::{BenefitModel, GpuSpec};
+
+    fn cfg() -> FusionConfig {
+        FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+    }
+
+    #[test]
+    fn structure_matches_figure3() {
+        let p = harris(64, 64, DEFAULT_K);
+        assert_eq!(p.kernels().len(), 9);
+        let dag = p.kernel_dag();
+        assert_eq!(dag.edge_count(), 10);
+        let patterns: Vec<ComputePattern> =
+            p.kernels().iter().map(|k| k.pattern()).collect();
+        use ComputePattern::{Local, Point};
+        assert_eq!(
+            patterns,
+            vec![Local, Local, Point, Point, Point, Local, Local, Local, Point]
+        );
+    }
+
+    /// The paper's final partition (Figure 3f):
+    /// {dx} {dy} {sx,gx} {sxy,gxy} {sy,gy} {hc}.
+    #[test]
+    fn optimized_partition_matches_figure3f() {
+        let p = harris(64, 64, DEFAULT_K);
+        let result = fuse_optimized(&p, &cfg());
+        let blocks: Vec<Vec<usize>> = result
+            .plan
+            .partition
+            .canonicalized()
+            .blocks()
+            .iter()
+            .map(|b| b.members().iter().map(|n| n.0).collect())
+            .collect();
+        // Kernel ids: dx=0 dy=1 sx=2 sxy=3 sy=4 gx=5 gxy=6 gy=7 hc=8.
+        assert_eq!(
+            blocks,
+            vec![
+                vec![0],
+                vec![1],
+                vec![2, 5],
+                vec![3, 6],
+                vec![4, 7],
+                vec![8],
+            ]
+        );
+        assert_eq!(result.pipeline.kernels().len(), 6);
+    }
+
+    /// Basic fusion finds the same three point-to-local pairs pairwise.
+    #[test]
+    fn basic_fuses_three_pairs() {
+        let p = harris(64, 64, DEFAULT_K);
+        let result = fuse_basic(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 6);
+        let fused: Vec<&str> = result
+            .pipeline
+            .kernels()
+            .iter()
+            .filter(|k| k.stages.len() > 1)
+            .map(|k| k.name.as_str())
+            .collect();
+        assert_eq!(fused, vec!["sx+gx", "sxy+gxy", "sy+gy"]);
+    }
+
+    /// The first min-cut has weight 2ε, as in the Figure 3 walkthrough.
+    #[test]
+    fn first_cut_weight_is_two_epsilon() {
+        let p = harris(64, 64, DEFAULT_K);
+        let config = cfg();
+        let result = fuse_optimized(&p, &config);
+        let first_cut = result
+            .plan
+            .trace
+            .events
+            .iter()
+            .find_map(|e| match e {
+                kfuse_core::TraceEvent::Cut { weight, .. } => Some(*weight),
+                _ => None,
+            })
+            .expect("the whole graph is illegal and must be cut");
+        assert!(
+            (first_cut - 2.0 * config.model.epsilon).abs() < 1e-9,
+            "first cut weight {first_cut}"
+        );
+    }
+
+    /// The three legal edges are exactly (sx,gx), (sxy,gxy), (sy,gy), as in
+    /// the paper, and the whole-graph block is rejected for resources.
+    #[test]
+    fn legal_edges_match_paper() {
+        let p = harris(64, 64, DEFAULT_K);
+        let result = fuse_optimized(&p, &cfg());
+        let legal: Vec<(usize, usize)> = result
+            .plan
+            .edges
+            .iter()
+            .filter(|e| e.legal)
+            .map(|e| (e.src.0, e.dst.0))
+            .collect();
+        assert_eq!(legal, vec![(2, 5), (3, 6), (4, 7)]);
+        // The first examination (whole graph) fails on resources.
+        let first_verdict = result
+            .plan
+            .trace
+            .events
+            .iter()
+            .find_map(|e| match e {
+                kfuse_core::TraceEvent::Examine { verdict: Some(v), .. } => Some(v.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(
+            first_verdict.contains("shared memory"),
+            "expected a resource verdict, got: {first_verdict}"
+        );
+    }
+
+    #[test]
+    fn shitomasi_shares_harris_shape() {
+        let p = shitomasi(64, 64);
+        assert_eq!(p.kernels().len(), 9);
+        let result = fuse_optimized(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 6);
+        let _ = result
+            .plan
+            .partition
+            .block_of(NodeId(8))
+            .expect("st kernel is covered");
+    }
+}

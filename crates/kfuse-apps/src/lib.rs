@@ -1,0 +1,108 @@
+//! The six evaluation applications of the kernel-fusion paper (Section
+//! V-B), expressed in the `kfuse-dsl` front end:
+//!
+//! | App | Kernels | Shape / scenario exercised |
+//! |---|---|---|
+//! | Harris | 9 | Figure 3 walkthrough; point-to-local pairs |
+//! | Sobel | 4 | local-to-local + shared input (basic fusion fails) |
+//! | Unsharp | 4 | Figure 2b shared input; whole-graph fusion (headline 2.52×) |
+//! | ShiTomasi | 9 | Harris shape with min-eigenvalue response |
+//! | Enhance | 3 | local → point → point chain (basic fusion's best case) |
+//! | Night | 3 | compute-bound; the model must refuse the atrous pair |
+//!
+//! [`paper_apps`] returns all six at the paper's workload sizes (2,048²
+//! gray-scale; Night at 1,920 × 1,200 RGB) in the presentation order of
+//! Table I.
+
+pub mod enhance;
+pub mod extras;
+pub mod harris;
+pub mod night;
+pub mod sobel;
+pub mod unsharp;
+
+pub use enhance::{enhance, enhance_paper};
+pub use extras::{difference_of_gaussians, laplacian_sharpen};
+pub use harris::{harris, harris_paper, shitomasi, shitomasi_paper};
+pub use night::{night, night_paper};
+pub use sobel::{sobel, sobel_paper};
+pub use unsharp::{unsharp, unsharp_paper};
+
+use kfuse_ir::Pipeline;
+
+/// A named application constructor.
+#[derive(Clone, Copy)]
+pub struct App {
+    /// Display name as used in the paper's tables.
+    pub name: &'static str,
+    /// Builds the paper-sized pipeline.
+    pub build_paper: fn() -> Pipeline,
+    /// Builds a scaled instance at `w × h`.
+    pub build_sized: fn(usize, usize) -> Pipeline,
+}
+
+impl std::fmt::Debug for App {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("App").field("name", &self.name).finish()
+    }
+}
+
+/// All six applications in the order of Table I.
+pub fn paper_apps() -> Vec<App> {
+    vec![
+        App {
+            name: "Harris",
+            build_paper: harris_paper,
+            build_sized: |w, h| harris(w, h, harris::DEFAULT_K),
+        },
+        App { name: "Sobel", build_paper: sobel_paper, build_sized: sobel },
+        App {
+            name: "Unsharp",
+            build_paper: unsharp_paper,
+            build_sized: |w, h| unsharp(w, h, unsharp::DEFAULT_LAMBDA),
+        },
+        App {
+            name: "ShiTomasi",
+            build_paper: shitomasi_paper,
+            build_sized: shitomasi,
+        },
+        App {
+            name: "Enhance",
+            build_paper: enhance_paper,
+            build_sized: |w, h| enhance(w, h, enhance::DEFAULT_GAMMA),
+        },
+        App { name: "Night", build_paper: night_paper, build_sized: night },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1_order() {
+        let names: Vec<&str> = paper_apps().iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            vec!["Harris", "Sobel", "Unsharp", "ShiTomasi", "Enhance", "Night"]
+        );
+    }
+
+    #[test]
+    fn all_paper_apps_validate() {
+        for app in paper_apps() {
+            let p = (app.build_paper)();
+            assert!(p.validate().is_ok(), "{} must validate", app.name);
+            assert_eq!(p.outputs().len(), 1, "{} has one output", app.name);
+        }
+    }
+
+    #[test]
+    fn sized_builders_scale() {
+        for app in paper_apps() {
+            let p = (app.build_sized)(32, 32);
+            let out = p.outputs()[0];
+            assert_eq!(p.image(out).width, 32, "{}", app.name);
+        }
+    }
+}

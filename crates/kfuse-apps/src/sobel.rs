@@ -1,0 +1,118 @@
+//! Sobel edge filter (Duda & Hart, 1973).
+//!
+//! A Gaussian pre-smoothing followed by the two Sobel derivative operators
+//! and a point-wise gradient-magnitude kernel. This is the benchmark the
+//! basic fusion of [12] fails on: the derivative kernels consume the blur
+//! through a window (local-to-local) and share an input, both of which the
+//! basic algorithm rejects (paper Section V-C). The optimized fusion
+//! aggregates the whole graph into one kernel.
+
+use kfuse_dsl::{sqrt, v, Mask, PipelineBuilder};
+use kfuse_ir::{BorderMode, Pipeline};
+
+/// Builds the Sobel pipeline at the given size.
+pub fn sobel(width: usize, height: usize) -> Pipeline {
+    let mut b = PipelineBuilder::new("Sobel", width, height);
+    let input = b.gray_input("in");
+    let blur = b.convolve("blur", input, &Mask::gaussian3(), BorderMode::Clamp);
+    let dx = b.convolve("dx", blur, &Mask::sobel_x(), BorderMode::Clamp);
+    let dy = b.convolve("dy", blur, &Mask::sobel_y(), BorderMode::Clamp);
+    let mag = b.point("mag", &[dx, dy], vec![sqrt(v(0) * v(0) + v(1) * v(1))]);
+    b.output(mag);
+    b.build()
+}
+
+/// Paper-sized instance: 2,048 × 2,048 gray-scale.
+pub fn sobel_paper() -> Pipeline {
+    sobel(2048, 2048)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_core::{fuse_basic, fuse_optimized, FusionConfig};
+    use kfuse_model::{BenefitModel, FusionScenario, GpuSpec};
+
+    fn cfg() -> FusionConfig {
+        FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+    }
+
+    #[test]
+    fn structure() {
+        let p = sobel(64, 64);
+        assert_eq!(p.kernels().len(), 4);
+        assert_eq!(p.kernel_dag().edge_count(), 4);
+    }
+
+    /// The optimized fusion aggregates all four kernels into one.
+    #[test]
+    fn optimized_fuses_whole_graph() {
+        let p = sobel(64, 64);
+        let result = fuse_optimized(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 1);
+        assert_eq!(result.pipeline.kernels()[0].name, "blur+dx+dy+mag");
+    }
+
+    /// Basic fusion rejects everything: blur→dx/dy are local-to-local, and
+    /// mag has two inputs.
+    #[test]
+    fn basic_fuses_nothing() {
+        let p = sobel(64, 64);
+        let result = fuse_basic(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 4);
+    }
+
+    /// Pairwise, blur→dx is illegal (blur's output fans out to dy as
+    /// well), so the edge carries ε — yet the whole-graph block heals the
+    /// fan-out, which is precisely the enlarged scope the paper claims
+    /// over pairwise fusion.
+    #[test]
+    fn fanout_edge_is_pairwise_illegal_but_healed_by_the_block() {
+        let p = sobel(64, 64);
+        let config = cfg();
+        let result = fuse_optimized(&p, &config);
+        let e = result
+            .plan
+            .edges
+            .iter()
+            .find(|e| e.src.0 == 0 && e.dst.0 == 1)
+            .unwrap();
+        assert!(!e.legal);
+        assert_eq!(e.estimate.scenario, FusionScenario::Illegal);
+        assert_eq!(e.estimate.weight, config.model.epsilon);
+        // Still, the four kernels end up in one block.
+        assert_eq!(result.plan.partition.len(), 1);
+    }
+
+    /// Ignoring the fan-out, the blur→dx relationship is local-to-local
+    /// and profitable under the tile-amortized recompute model, but
+    /// unprofitable under Eq. 10 verbatim — the documented deviation
+    /// (DESIGN.md §3.3).
+    #[test]
+    fn local_to_local_profitability_depends_on_recompute_model() {
+        let p = sobel(64, 64);
+        let blur_img = p.kernel(kfuse_ir::KernelId(1)).inputs[0];
+        let config = cfg();
+        let est = config.model.edge_weight(
+            &p,
+            kfuse_ir::KernelId(0),
+            kfuse_ir::KernelId(1),
+            blur_img,
+            true,
+        );
+        assert_eq!(est.scenario, FusionScenario::LocalToLocal);
+        assert!(est.is_profitable(), "tile-amortized: {est:?}");
+        assert!(est.phi > 0.0, "recompute cost must be charged");
+
+        let mut eq10 = cfg();
+        eq10.model.l2l_recompute = kfuse_model::L2LRecompute::Eq10Window;
+        let est10 = eq10.model.edge_weight(
+            &p,
+            kfuse_ir::KernelId(0),
+            kfuse_ir::KernelId(1),
+            blur_img,
+            true,
+        );
+        assert!(!est10.is_profitable(), "Eq. 10 verbatim: {est10:?}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Criterion benches for the compile-time algorithms, backing the
+//! complexity discussion of paper Section III-C:
+//!
+//! * Stoer–Wagner minimum cut, `O(|V|³)` in our dense implementation —
+//!   negligible at fusion-graph sizes.
+//! * Algorithm 1 end-to-end planning on the six applications and on long
+//!   synthetic chains (the worst case cuts one vertex per iteration).
+//! * Launch-cost analysis of fused pipelines.
+//! * Functional-executor throughput (the evaluation substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kfuse_apps::paper_apps;
+use kfuse_core::{fuse_optimized, FusionConfig};
+use kfuse_dsl::{c, v, Mask, PipelineBuilder};
+use kfuse_graph::MinCutGraph;
+use kfuse_ir::{BorderMode, Pipeline};
+use kfuse_model::{BenefitModel, BlockShape, GpuSpec};
+use kfuse_sim::{analyze_pipeline, execute, synthetic_image};
+use std::hint::black_box;
+
+fn cfg() -> FusionConfig {
+    FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+}
+
+/// Deterministic pseudo-random dense graph.
+fn random_graph(n: usize, seed: u64) -> MinCutGraph {
+    let mut g = MinCutGraph::new(n);
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if next() < 0.4 {
+                g.add_edge(u, v, 1.0 + next() * 100.0);
+            }
+        }
+    }
+    g
+}
+
+fn bench_stoer_wagner(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("stoer_wagner");
+    for n in [8usize, 16, 32, 64] {
+        let g = random_graph(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(g.stoer_wagner(0)))
+        });
+    }
+    group.finish();
+}
+
+/// A chain of alternating point/local kernels of length `n`.
+fn chain_pipeline(n: usize) -> Pipeline {
+    let mut b = PipelineBuilder::new("chain", 256, 256);
+    let mut prev = b.gray_input("in");
+    for i in 0..n {
+        prev = if i % 3 == 0 {
+            b.convolve(format!("g{i}"), prev, &Mask::gaussian3(), BorderMode::Clamp)
+        } else {
+            b.point(format!("p{i}"), &[prev], vec![v(0) * c(1.5) + c(1.0)])
+        };
+    }
+    b.output(prev);
+    b.build()
+}
+
+fn bench_planner(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("plan_optimized");
+    for app in paper_apps() {
+        let p = (app.build_sized)(256, 256);
+        group.bench_with_input(BenchmarkId::new("app", app.name), &p, |b, p| {
+            b.iter(|| black_box(fuse_optimized(p, &cfg())))
+        });
+    }
+    for n in [8usize, 16, 32] {
+        let p = chain_pipeline(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &p, |b, p| {
+            b.iter(|| black_box(fuse_optimized(p, &cfg())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_analysis(criterion: &mut Criterion) {
+    let harris = paper_apps()[0];
+    let p = (harris.build_sized)(2048, 2048);
+    let fused = fuse_optimized(&p, &cfg()).pipeline;
+    criterion.bench_function("analyze_pipeline/harris_fused", |b| {
+        b.iter(|| black_box(analyze_pipeline(&fused, BlockShape::DEFAULT)))
+    });
+}
+
+fn bench_executor(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("executor");
+    group.sample_size(20);
+    for app in paper_apps().into_iter().take(3) {
+        let p = (app.build_sized)(128, 128);
+        let img = synthetic_image(p.image(p.inputs()[0]).clone(), 1);
+        let input = p.inputs()[0];
+        group.bench_with_input(BenchmarkId::new("baseline", app.name), &p, |b, p| {
+            b.iter(|| black_box(execute(p, &[(input, img.clone())]).unwrap()))
+        });
+        let fused = fuse_optimized(&p, &cfg()).pipeline;
+        group.bench_with_input(BenchmarkId::new("fused", app.name), &fused, |b, p| {
+            b.iter(|| black_box(execute(p, &[(input, img.clone())]).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stoer_wagner,
+    bench_planner,
+    bench_cost_analysis,
+    bench_executor
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation: sensitivity of the partition to the `ε` clamp (Eq. 12).
+//!
+//! `ε` keeps all edge weights positive so the Stoer–Wagner cut is well
+//! defined; the resulting partitions should be invariant over many orders
+//! of magnitude. Run with
+//! `cargo run --release -p kfuse-bench --bin ablation_epsilon`.
+
+use kfuse_apps::paper_apps;
+use kfuse_bench::eval_config;
+use kfuse_core::plan_optimized;
+use kfuse_model::GpuSpec;
+
+fn main() {
+    let gpu = GpuSpec::gtx680();
+    println!("ABLATION: epsilon sensitivity (GTX 680)");
+    println!("value = number of partition blocks (stable partitions expected)\n");
+    print!("{:>10}", "epsilon");
+    for app in paper_apps() {
+        print!("{:>11}", app.name);
+    }
+    println!();
+    let mut reference: Vec<Vec<Vec<usize>>> = Vec::new();
+    for (row, eps) in [1e-9, 1e-6, 1e-3, 1.0, 100.0].into_iter().enumerate() {
+        print!("{eps:>10.0e}");
+        for (col, app) in paper_apps().into_iter().enumerate() {
+            let p = (app.build_paper)();
+            let mut cfg = eval_config(&gpu);
+            cfg.model.epsilon = eps;
+            let plan = plan_optimized(&p, &cfg);
+            let blocks: Vec<Vec<usize>> = plan
+                .partition
+                .canonicalized()
+                .blocks()
+                .iter()
+                .map(|b| b.members().iter().map(|n| n.0).collect())
+                .collect();
+            print!("{:>11}", blocks.len());
+            if row == 0 {
+                reference.push(blocks);
+            } else {
+                assert_eq!(reference[col], blocks, "{}: partition changed at eps={eps}", app.name);
+            }
+        }
+        println!();
+    }
+    println!("\nall partitions identical across epsilon values: OK");
+}

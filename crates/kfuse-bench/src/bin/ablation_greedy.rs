@@ -1,0 +1,45 @@
+//! Ablation: min-cut partitioning (Algorithm 1) vs. greedy
+//! heaviest-edge-first grouping (PolyMage/Halide style) vs. the pairwise
+//! basic fusion of [12], on the six applications.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin ablation_greedy`.
+
+use kfuse_apps::paper_apps;
+use kfuse_bench::eval_config;
+use kfuse_core::{fuse_basic, fuse_greedy, fuse_optimized};
+use kfuse_model::GpuSpec;
+use kfuse_sim::TimingModel;
+
+fn main() {
+    let gpu = GpuSpec::gtx680();
+    println!("ABLATION: partitioning strategy comparison (GTX 680)");
+    println!("value = kernels / objective beta (Gcycles) / speedup over baseline\n");
+    println!(
+        "{:10} {:>24} {:>24} {:>24}",
+        "app", "min-cut (Alg. 1)", "greedy grouping", "pairwise basic [12]"
+    );
+    for app in paper_apps() {
+        let p = (app.build_paper)();
+        let cfg = eval_config(&gpu);
+        let model = TimingModel::new(gpu.clone());
+        let base = model.time_pipeline(&p).total_ms;
+        let mut row = format!("{:10}", app.name);
+        for result in [
+            fuse_optimized(&p, &cfg),
+            fuse_greedy(&p, &cfg),
+            fuse_basic(&p, &cfg),
+        ] {
+            let t = model.time_pipeline(&result.pipeline).total_ms;
+            row.push_str(&format!(
+                "{:>24}",
+                format!(
+                    "{}k/{:.2}/{:.2}x",
+                    result.pipeline.kernels().len(),
+                    result.plan.total_benefit / 1e9,
+                    base / t
+                )
+            ));
+        }
+        println!("{row}");
+    }
+}

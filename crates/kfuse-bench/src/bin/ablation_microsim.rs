@@ -1,0 +1,43 @@
+//! Ablation: analytic roofline model vs. warp-level micro-simulation.
+//!
+//! The Table I/II harness uses the closed-form analytic model; this bench
+//! re-times every (app, schedule) cell with the cycle-level warp simulator
+//! of `kfuse-sim::micro` and compares the *speedups* both models predict.
+//! Agreement on the ratios (even where absolute times differ) is evidence
+//! that the reported shapes are not artifacts of the analytic
+//! simplifications. Run with
+//! `cargo run --release -p kfuse-bench --bin ablation_microsim`.
+
+use kfuse_apps::paper_apps;
+use kfuse_bench::eval_config;
+use kfuse_dsl::{compile, Schedule};
+use kfuse_model::GpuSpec;
+use kfuse_sim::{MicroSim, TimingModel};
+
+fn main() {
+    let gpu = GpuSpec::gtx680();
+    println!("ABLATION: analytic model vs. warp-level micro-simulation (GTX 680)");
+    println!("value = optimized-over-baseline speedup\n");
+    println!(
+        "{:10} {:>16} {:>16} {:>22}",
+        "app", "analytic", "micro-sim", "baseline ms (a / m)"
+    );
+    for app in paper_apps() {
+        let p = (app.build_paper)();
+        let cfg = eval_config(&gpu);
+        let fused = compile(&p, Schedule::Optimized, &cfg);
+        let analytic = TimingModel::new(gpu.clone());
+        let micro = MicroSim::new(gpu.clone());
+        let a_base = analytic.time_pipeline(&p).total_ms;
+        let a_opt = analytic.time_pipeline(&fused).total_ms;
+        let m_base = micro.time_pipeline(&p);
+        let m_opt = micro.time_pipeline(&fused);
+        println!(
+            "{:10} {:>15.2}x {:>15.2}x {:>22}",
+            app.name,
+            a_base / a_opt,
+            m_base / m_opt,
+            format!("{a_base:.2} / {m_base:.2}")
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation: the local-to-local recompute model — Eq. 10 verbatim (full
+//! fused-window multiplier `g`) vs. the tile-amortized shared-memory
+//! codegen cost (DESIGN.md §3.3).
+//!
+//! Under Eq. 10 verbatim a pairwise-legal local-to-local edge is estimated
+//! unprofitable for any realistic producer; the tile-amortized default
+//! reproduces the paper's decisions. Sobel's local-to-local edges are
+//! fan-outs (pairwise-illegal), so the gate never applies to them — the
+//! synthetic box→Gaussian chain is where the two models diverge. Run with
+//! `cargo run --release -p kfuse-bench --bin ablation_recompute`.
+
+use kfuse_apps::paper_apps;
+use kfuse_bench::eval_config;
+use kfuse_core::fuse_optimized;
+use kfuse_dsl::{Mask, PipelineBuilder};
+use kfuse_ir::{BorderMode, Pipeline};
+use kfuse_model::{GpuSpec, L2LRecompute};
+use kfuse_sim::TimingModel;
+
+/// A pairwise-legal local-to-local chain: box → Gaussian.
+fn box_gauss_chain() -> Pipeline {
+    let mut b = PipelineBuilder::new("BoxGauss", 2048, 2048);
+    let input = b.gray_input("in");
+    let mid = b.convolve("box3", input, &Mask::box3(), BorderMode::Clamp);
+    let out = b.convolve("gauss3", mid, &Mask::gaussian3(), BorderMode::Clamp);
+    b.output(out);
+    b.build()
+}
+
+fn main() {
+    let gpu = GpuSpec::gtx680();
+    println!("ABLATION: local-to-local recompute model (GTX 680)");
+    println!("value = kernels after optimized fusion / speedup over baseline");
+    println!("(the six apps gate local-to-local via fan-out legality, so only");
+    println!("the synthetic pairwise-legal chain separates the two models)\n");
+    println!("{:10} {:>22} {:>22}", "app", "tile-amortized", "Eq. 10 verbatim");
+    let mut all: Vec<(String, Pipeline)> = paper_apps()
+        .into_iter()
+        .map(|app| (app.name.to_string(), (app.build_paper)()))
+        .collect();
+    all.push(("BoxGauss".into(), box_gauss_chain()));
+    for (name, p) in all {
+        let model = TimingModel::new(gpu.clone());
+        let base = model.time_pipeline(&p).total_ms;
+        let mut row = format!("{name:10}");
+        for mode in [L2LRecompute::TileAmortized, L2LRecompute::Eq10Window] {
+            let mut cfg = eval_config(&gpu);
+            cfg.model.l2l_recompute = mode;
+            let fused = fuse_optimized(&p, &cfg);
+            let t = model.time_pipeline(&fused.pipeline).total_ms;
+            row.push_str(&format!(
+                "{:>22}",
+                format!("{}k/{:.2}x", fused.pipeline.kernels().len(), base / t)
+            ));
+        }
+        println!("{row}");
+    }
+}

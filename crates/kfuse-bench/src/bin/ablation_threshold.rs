@@ -1,0 +1,42 @@
+//! Ablation: sweep of the Eq. (2) shared-memory threshold `c_Mshared`.
+//!
+//! The threshold trades locality against occupancy: a tight threshold
+//! precludes local-to-local fusion (Sobel collapses back to the baseline),
+//! a loose one admits ever larger blocks until the whole Harris graph
+//! would fuse. Run with
+//! `cargo run --release -p kfuse-bench --bin ablation_threshold`.
+
+use kfuse_apps::paper_apps;
+use kfuse_bench::eval_config;
+use kfuse_core::fuse_optimized;
+use kfuse_model::GpuSpec;
+use kfuse_sim::TimingModel;
+
+fn main() {
+    let gpu = GpuSpec::gtx680();
+    let thresholds = [1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 16.0];
+    println!("ABLATION: Eq. (2) threshold sweep (GTX 680, optimized fusion)");
+    println!("value = kernels after fusion / speedup over baseline\n");
+    print!("{:>10}", "c_Mshared");
+    for app in paper_apps() {
+        print!("{:>14}", app.name);
+    }
+    println!();
+    for t in thresholds {
+        print!("{t:>10}");
+        for app in paper_apps() {
+            let p = (app.build_paper)();
+            let mut cfg = eval_config(&gpu);
+            cfg.shared_threshold = t;
+            let fused = fuse_optimized(&p, &cfg);
+            let model = TimingModel::new(gpu.clone());
+            let base = model.time_pipeline(&p).total_ms;
+            let opt = model.time_pipeline(&fused.pipeline).total_ms;
+            print!(
+                "{:>14}",
+                format!("{}k/{:.2}x", fused.pipeline.kernels().len(), base / opt)
+            );
+        }
+        println!();
+    }
+}

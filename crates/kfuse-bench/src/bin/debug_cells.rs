@@ -1,0 +1,35 @@
+//! Developer diagnostic: per-kernel timing breakdown for every app ×
+//! schedule on one GPU. Not part of the paper reproduction.
+use kfuse_apps::paper_apps;
+use kfuse_bench::eval_config;
+use kfuse_dsl::{compile, Schedule};
+use kfuse_model::GpuSpec;
+use kfuse_sim::{analyze_pipeline, TimingModel};
+
+fn main() {
+    let gpu = std::env::args().nth(1).unwrap_or_else(|| "680".into());
+    let gpu = GpuSpec::evaluation_gpus()
+        .into_iter()
+        .find(|g| g.name.contains(&gpu))
+        .unwrap();
+    for app in paper_apps() {
+        println!("== {} on {} ==", app.name, gpu.name);
+        for schedule in Schedule::ALL {
+            let p = (app.build_paper)();
+            let cfg = eval_config(&gpu);
+            let compiled = compile(&p, schedule, &cfg);
+            let model = TimingModel::new(gpu.clone());
+            let t = model.time_pipeline(&compiled);
+            println!("  {:18} total {:8.3} ms", schedule.label(), t.total_ms);
+            let costs = analyze_pipeline(&compiled, model.block);
+            for (kt, c) in t.kernels.iter().zip(&costs) {
+                println!(
+                    "    {:22} t={:7.3} comp={:7.3} mem={:7.3} occ={:4.2} alu={:7.1} sfu={:5.1} sh={:7.1} ld={:5.2} st={:3.1} smem={}B",
+                    kt.name, kt.time_ms, kt.compute_ms, kt.memory_ms, kt.occupancy,
+                    c.per_thread.alu, c.per_thread.sfu, c.per_thread.shared_access,
+                    c.per_thread.dram_ld, c.per_thread.dram_st, c.shared_bytes_per_block
+                );
+            }
+        }
+    }
+}

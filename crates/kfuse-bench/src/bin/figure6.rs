@@ -1,0 +1,39 @@
+//! Reproduces **Figure 6**: execution times in milliseconds for six
+//! applications × three GPUs × three versions, as box-plot statistics
+//! (min / 25th percentile / median / 75th percentile / max) over 500
+//! simulated measurement runs.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin figure6`.
+
+use kfuse_bench::{evaluate_all, find, short_gpu_name, RUNS};
+use kfuse_dsl::Schedule;
+use kfuse_model::GpuSpec;
+
+fn main() {
+    eprintln!("evaluating 6 apps x 3 GPUs x 3 schedules ({RUNS} runs each)...");
+    let cells = evaluate_all(RUNS);
+    println!("FIGURE 6: EXECUTION TIMES IN MS ({RUNS} runs; box-plot statistics)");
+    for gpu in GpuSpec::evaluation_gpus() {
+        println!("\n=== {} ===", short_gpu_name(&gpu.name));
+        println!(
+            "{:10} {:18} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "app", "version", "kernels", "min", "p25", "median", "p75", "max"
+        );
+        for app in kfuse_bench::app_names() {
+            for schedule in Schedule::ALL {
+                let c = find(&cells, app, &gpu.name, schedule);
+                println!(
+                    "{:10} {:18} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                    app,
+                    schedule.label(),
+                    c.kernel_count,
+                    c.stats.min,
+                    c.stats.p25,
+                    c.stats.median,
+                    c.stats.p75,
+                    c.stats.max
+                );
+            }
+        }
+    }
+}

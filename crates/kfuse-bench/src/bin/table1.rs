@@ -1,0 +1,41 @@
+//! Reproduces **Table I**: speedup comparison for the three version pairs
+//! (optimized/baseline, basic/baseline, optimized/basic) on every GPU.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin table1`.
+
+use kfuse_bench::{app_names, evaluate_all, short_gpu_name, speedup_table, RUNS};
+use kfuse_dsl::Schedule;
+
+fn print_subtable(title: &str, rows: &[(String, Vec<f64>)]) {
+    println!("\n{title}");
+    print!("{:10}", "");
+    for app in app_names() {
+        print!("{app:>10}");
+    }
+    println!();
+    for (gpu, row) in rows {
+        print!("{:10}", short_gpu_name(gpu));
+        for v in row {
+            print!("{v:>10.3}");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    eprintln!("evaluating 6 apps x 3 GPUs x 3 schedules ({RUNS} runs each)...");
+    let cells = evaluate_all(RUNS);
+    println!("TABLE I: SPEEDUP COMPARISON (median of {RUNS} simulated runs)");
+    print_subtable(
+        "Optimized Fusion over Baseline",
+        &speedup_table(&cells, Schedule::Baseline, Schedule::Optimized),
+    );
+    print_subtable(
+        "Basic Fusion over Baseline",
+        &speedup_table(&cells, Schedule::Baseline, Schedule::Basic),
+    );
+    print_subtable(
+        "Optimized Fusion over Basic Fusion",
+        &speedup_table(&cells, Schedule::Basic, Schedule::Optimized),
+    );
+}

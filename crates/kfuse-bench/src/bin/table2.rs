@@ -1,0 +1,28 @@
+//! Reproduces **Table II**: geometric mean of speedups across all GPUs.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin table2`.
+
+use kfuse_bench::{app_names, evaluate_all, geomean_rows, RUNS};
+use kfuse_dsl::Schedule;
+
+fn main() {
+    eprintln!("evaluating 6 apps x 3 GPUs x 3 schedules ({RUNS} runs each)...");
+    let cells = evaluate_all(RUNS);
+    println!("TABLE II: GEOMETRIC MEAN OF SPEEDUPS ACROSS ALL GPUS");
+    print!("{:16}", "");
+    for app in app_names() {
+        print!("{app:>10}");
+    }
+    println!();
+    for (label, slow, fast) in [
+        ("Optm over Base", Schedule::Baseline, Schedule::Optimized),
+        ("Basic over Base", Schedule::Baseline, Schedule::Basic),
+        ("Optm over Basic", Schedule::Basic, Schedule::Optimized),
+    ] {
+        print!("{label:16}");
+        for v in geomean_rows(&cells, slow, fast) {
+            print!("{v:>10.3}");
+        }
+        println!();
+    }
+}

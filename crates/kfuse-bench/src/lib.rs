@@ -1,0 +1,24 @@
+//! Reproduction harness for the evaluation of the kernel-fusion paper.
+//!
+//! One binary per table/figure (see `src/bin/`):
+//!
+//! * `figure3` — the Algorithm 1 walkthrough on Harris (weights, cuts,
+//!   final partition).
+//! * `figure4` — local-to-local border fusion on the paper's worked 5×5
+//!   example (992 interior / naive-fused border / index-exchange border).
+//! * `figure6` — execution-time statistics for 6 apps × 3 GPUs × 3
+//!   versions over 500 simulated runs.
+//! * `table1` — the three speedup comparisons per GPU.
+//! * `table2` — geometric-mean speedups across GPUs.
+//! * `ablation_*` — ε sensitivity, Eq. 2 threshold sweep, greedy-vs-mincut,
+//!   and recompute-model toggles.
+//!
+//! The [`eval`] module holds the shared matrix runner; Criterion benches
+//! for the compile-time algorithms live in `benches/`.
+
+pub mod eval;
+
+pub use eval::{
+    app_names, evaluate_all, evaluate_cell, eval_config, find, geomean_rows, short_gpu_name,
+    speedup, speedup_table, Cell, RUNS,
+};

@@ -1,0 +1,140 @@
+//! Expression emission: kernel-body [`Expr`] trees to CUDA C.
+//!
+//! Loads are abstracted behind a [`LoadEmitter`] so the same walker serves
+//! stage device functions (bordered global reads with index exchange),
+//! shared-tile reads, and staged-input reads.
+
+use kfuse_ir::{BinOp, Expr, UnOp};
+
+/// Resolves a `Load` leaf to a C expression string.
+pub trait LoadEmitter {
+    /// C expression reading `slot` at offset `(dx, dy)`, channel `ch`.
+    fn load(&self, slot: usize, dx: i32, dy: i32, ch: usize) -> String;
+    /// C expression for parameter `i`.
+    fn param(&self, i: usize) -> String;
+}
+
+/// Formats an `f32` as a C float literal.
+pub fn float_lit(v: f32) -> String {
+    if v == f32::INFINITY {
+        "INFINITY".into()
+    } else if v == f32::NEG_INFINITY {
+        "-INFINITY".into()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}f")
+    } else {
+        // Shortest round-trip representation keeps the generated source
+        // readable while preserving the exact value.
+        format!("{v}f")
+    }
+}
+
+/// Emits `e` as a CUDA C expression.
+pub fn emit_expr(e: &Expr, loads: &dyn LoadEmitter) -> String {
+    match e {
+        Expr::Const(v) => float_lit(*v),
+        Expr::Param(i) => loads.param(*i),
+        Expr::Load { slot, dx, dy, ch } => loads.load(*slot, *dx, *dy, *ch),
+        Expr::Bin(op, a, b) => {
+            let (ea, eb) = (emit_expr(a, loads), emit_expr(b, loads));
+            match op {
+                BinOp::Add => format!("({ea} + {eb})"),
+                BinOp::Sub => format!("({ea} - {eb})"),
+                BinOp::Mul => format!("({ea} * {eb})"),
+                BinOp::Div => format!("({ea} / {eb})"),
+                BinOp::Min => format!("fminf({ea}, {eb})"),
+                BinOp::Max => format!("fmaxf({ea}, {eb})"),
+                BinOp::Pow => format!("powf({ea}, {eb})"),
+                BinOp::Lt => format!("(({ea} < {eb}) ? 1.0f : 0.0f)"),
+                BinOp::Gt => format!("(({ea} > {eb}) ? 1.0f : 0.0f)"),
+            }
+        }
+        Expr::Un(op, a) => {
+            let ea = emit_expr(a, loads);
+            match op {
+                UnOp::Neg => format!("(-{ea})"),
+                UnOp::Abs => format!("fabsf({ea})"),
+                UnOp::Sqrt => format!("sqrtf({ea})"),
+                UnOp::Exp => format!("expf({ea})"),
+                UnOp::Log => format!("logf({ea})"),
+                UnOp::Sin => format!("sinf({ea})"),
+                UnOp::Cos => format!("cosf({ea})"),
+                UnOp::Rsqrt => format!("rsqrtf({ea})"),
+                UnOp::Floor => format!("floorf({ea})"),
+            }
+        }
+        Expr::Select(c, t, f) => format!(
+            "(({}) > 0.0f ? ({}) : ({}))",
+            emit_expr(c, loads),
+            emit_expr(t, loads),
+            emit_expr(f, loads)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Simple;
+    impl LoadEmitter for Simple {
+        fn load(&self, slot: usize, dx: i32, dy: i32, ch: usize) -> String {
+            format!("in{slot}[{dx},{dy},{ch}]")
+        }
+        fn param(&self, i: usize) -> String {
+            format!("p{i}")
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_intrinsics() {
+        let e = Expr::load(0) * Expr::Const(2.0) + Expr::Un(UnOp::Sqrt, Box::new(Expr::Param(1)));
+        assert_eq!(
+            emit_expr(&e, &Simple),
+            "((in0[0,0,0] * 2.0f) + sqrtf(p1))"
+        );
+    }
+
+    #[test]
+    fn comparisons_become_ternaries() {
+        let e = Expr::Bin(BinOp::Lt, Box::new(Expr::load(0)), Box::new(Expr::Const(0.5)));
+        assert_eq!(emit_expr(&e, &Simple), "((in0[0,0,0] < 0.5f) ? 1.0f : 0.0f)");
+    }
+
+    #[test]
+    fn select_emits_guarded_ternary() {
+        let e = Expr::Select(
+            Box::new(Expr::load(0)),
+            Box::new(Expr::Const(1.0)),
+            Box::new(Expr::Const(0.0)),
+        );
+        assert_eq!(
+            emit_expr(&e, &Simple),
+            "((in0[0,0,0]) > 0.0f ? (1.0f) : (0.0f))"
+        );
+    }
+
+    #[test]
+    fn float_literals() {
+        assert_eq!(float_lit(2.0), "2.0f");
+        assert_eq!(float_lit(-1.0), "-1.0f");
+        assert_eq!(float_lit(0.0625), "0.0625f");
+        assert_eq!(float_lit(f32::INFINITY), "INFINITY");
+    }
+
+    #[test]
+    fn min_max_pow_use_cuda_intrinsics() {
+        let e = Expr::Bin(
+            BinOp::Min,
+            Box::new(Expr::Bin(
+                BinOp::Pow,
+                Box::new(Expr::load(0)),
+                Box::new(Expr::Const(2.2)),
+            )),
+            Box::new(Expr::Const(255.0)),
+        );
+        let s = emit_expr(&e, &Simple);
+        assert!(s.starts_with("fminf(powf("));
+        assert!(s.contains("255.0f"));
+    }
+}

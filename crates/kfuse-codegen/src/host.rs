@@ -1,0 +1,215 @@
+//! Host-side code emission: launchers, a pipeline runner, and a timing
+//! `main()` mirroring the paper's artifact protocol (random input images,
+//! 500 timed runs per configuration, per-kernel event timing).
+
+use kfuse_ir::{ImageId, Pipeline};
+use kfuse_model::BlockShape;
+use std::fmt::Write as _;
+
+use crate::cuda::c_ident;
+
+/// Emits a `launch_<kernel>` wrapper for every kernel.
+pub fn emit_launchers(p: &Pipeline) -> String {
+    let mut out = String::new();
+    for k in p.kernels() {
+        let kname = c_ident(&k.name);
+        let params: String = (0..k.inputs.len())
+            .map(|i| format!("const float* in{i}, "))
+            .collect();
+        let args: String = (0..k.inputs.len()).map(|i| format!("in{i}, ")).collect();
+        let _ = writeln!(
+            out,
+            "void launch_{kname}({params}float* out, int w, int h, cudaStream_t stream) {{\n    \
+             dim3 block(KF_BX, KF_BY);\n    \
+             dim3 grid((w + KF_BX - 1) / KF_BX, (h + KF_BY - 1) / KF_BY);\n    \
+             kf_{kname}<<<grid, block, 0, stream>>>({args}out, w, h);\n}}\n"
+        );
+    }
+    out
+}
+
+fn buf_name(p: &Pipeline, img: ImageId) -> String {
+    format!("d_{}", c_ident(&p.image(img).name))
+}
+
+/// Emits a `run_pipeline` function that allocates every live image and
+/// launches the kernels in execution order, plus a timing `main()`.
+pub fn emit_runner(p: &Pipeline, runs: usize) -> String {
+    let mut out = String::new();
+    let dag = p.kernel_dag();
+    let order = dag.topo_order().expect("validated pipelines are acyclic");
+
+    // Live images: inputs plus every kernel output.
+    let mut live: Vec<ImageId> = p.inputs().to_vec();
+    for k in p.kernels() {
+        if !live.contains(&k.output) {
+            live.push(k.output);
+        }
+    }
+
+    out.push_str("// Pipeline runner: buffers sized w*h*channels floats.\n");
+    out.push_str("void run_pipeline(int w, int h, cudaStream_t stream");
+    for &img in p.inputs() {
+        let _ = write!(out, ", const float* h_{}", c_ident(&p.image(img).name));
+    }
+    out.push_str(") {\n");
+    for &img in &live {
+        let d = p.image(img);
+        let _ = writeln!(
+            out,
+            "    float* {}; cudaMalloc(&{}, (size_t)w * h * {} * sizeof(float));",
+            buf_name(p, img),
+            buf_name(p, img),
+            d.channels
+        );
+    }
+    for &img in p.inputs() {
+        let _ = writeln!(
+            out,
+            "    cudaMemcpy({}, h_{}, (size_t)w * h * {} * sizeof(float), cudaMemcpyHostToDevice);",
+            buf_name(p, img),
+            c_ident(&p.image(img).name),
+            p.image(img).channels
+        );
+    }
+    for n in &order {
+        let k = p.kernel(kfuse_ir::KernelId(n.0));
+        let kname = c_ident(&k.name);
+        let ins: String = k
+            .inputs
+            .iter()
+            .map(|&img| format!("{}, ", buf_name(p, img)))
+            .collect();
+        let _ = writeln!(out, "    launch_{kname}({ins}{}, w, h, stream);", buf_name(p, k.output));
+    }
+    out.push_str("    cudaStreamSynchronize(stream);\n");
+    for &img in &live {
+        let _ = writeln!(out, "    cudaFree({});", buf_name(p, img));
+    }
+    out.push_str("}\n\n");
+
+    // Timing main, mirroring the artifact: random input, timed runs.
+    let (w, h) = p
+        .outputs()
+        .first()
+        .map(|&o| (p.image(o).width, p.image(o).height))
+        .unwrap_or((2048, 2048));
+    let _ = writeln!(
+        out,
+        "int main() {{\n    const int w = {w}, h = {h};\n    cudaStream_t stream;\n    cudaStreamCreate(&stream);"
+    );
+    for &img in p.inputs() {
+        let d = p.image(img);
+        let name = c_ident(&d.name);
+        let _ = writeln!(
+            out,
+            "    float* h_{name} = (float*)malloc((size_t)w * h * {c} * sizeof(float));\n    \
+             for (size_t i = 0; i < (size_t)w * h * {c}; ++i) h_{name}[i] = (float)(rand() % 256);",
+            c = d.channels
+        );
+    }
+    let input_args: String = p
+        .inputs()
+        .iter()
+        .map(|&img| format!(", h_{}", c_ident(&p.image(img).name)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "    // Warm-up (\"the first call to a GPU device takes longer\").\n    \
+         run_pipeline(w, h, stream{input_args});\n    \
+         cudaEvent_t t0, t1;\n    cudaEventCreate(&t0);\n    cudaEventCreate(&t1);\n    \
+         for (int run = 0; run < {runs}; ++run) {{\n        \
+         cudaEventRecord(t0, stream);\n        \
+         run_pipeline(w, h, stream{input_args});\n        \
+         cudaEventRecord(t1, stream);\n        \
+         cudaEventSynchronize(t1);\n        \
+         float ms = 0.0f;\n        \
+         cudaEventElapsedTime(&ms, t0, t1);\n        \
+         printf(\"%f\\n\", ms);\n    }}\n    return 0;\n}}"
+    );
+    out
+}
+
+/// Emits the whole translation unit for a pipeline: prelude, stage device
+/// functions, kernels, launchers, runner, and timing `main`.
+pub fn emit_module(p: &Pipeline, block: BlockShape, runs: usize) -> String {
+    let mut out = crate::cuda::prelude(block);
+    out.push_str("#include <stdio.h>\n#include <stdlib.h>\n\n");
+    for k in p.kernels() {
+        out.push_str(&crate::cuda::emit_kernel(p, k, block));
+        out.push('\n');
+    }
+    out.push_str(&emit_launchers(p));
+    out.push_str(&emit_runner(p, runs));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel};
+
+    fn chain() -> Pipeline {
+        let mut p = Pipeline::new("chain");
+        let input = p.add_input(ImageDesc::new("in", 32, 32, 1));
+        let mid = p.add_image(ImageDesc::new("mid", 32, 32, 1));
+        let out = p.add_image(ImageDesc::new("out", 32, 32, 1));
+        p.add_kernel(Kernel::simple(
+            "a",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) + Expr::Const(1.0)],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "b",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::Const(2.0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        p
+    }
+
+    #[test]
+    fn launchers_cover_all_kernels() {
+        let p = chain();
+        let src = emit_launchers(&p);
+        assert!(src.contains("void launch_a("));
+        assert!(src.contains("void launch_b("));
+        assert!(src.contains("kf_a<<<grid, block, 0, stream>>>"));
+    }
+
+    #[test]
+    fn runner_launches_in_topological_order() {
+        let p = chain();
+        let src = emit_runner(&p, 500);
+        let ia = src.find("launch_a(").expect("launch_a present");
+        let ib = src.find("launch_b(").expect("launch_b present");
+        assert!(ia < ib, "producer must launch before consumer");
+        assert!(src.contains("for (int run = 0; run < 500; ++run)"));
+        assert!(src.contains("cudaEventElapsedTime"));
+    }
+
+    #[test]
+    fn module_is_brace_balanced() {
+        let p = chain();
+        let src = emit_module(&p, kfuse_model::BlockShape::DEFAULT, 500);
+        assert_eq!(src.matches('{').count(), src.matches('}').count());
+        assert_eq!(src.matches('(').count(), src.matches(')').count());
+        assert!(src.starts_with("// ==== generated by kfuse"));
+        assert!(src.contains("int main()"));
+    }
+
+    #[test]
+    fn buffers_allocated_and_freed() {
+        let p = chain();
+        let src = emit_runner(&p, 10);
+        assert_eq!(src.matches("cudaMalloc").count(), 3); // in, mid, out
+        assert_eq!(src.matches("cudaFree").count(), 3);
+        assert!(src.contains("cudaMemcpyHostToDevice"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The basic kernel-fusion baseline of previous work.
+//!
+//! Qiao et al., "Automatic Kernel Fusion for Image Processing DSLs"
+//! (SCOPES 2018, reference [12] of the paper) — reimplemented from its
+//! description in the CGO 2019 paper:
+//!
+//! * only **pair-wise** fusion opportunities are considered (greedy on the
+//!   heaviest edge, each kernel fused at most once),
+//! * only point-to-point, local-to-point and point-to-local scenarios are
+//!   supported — **local-to-local is rejected** (which is why the basic
+//!   version fails on Sobel, Section V-C),
+//! * **shared inputs are rejected**: the consumer must read nothing but the
+//!   communicated intermediate (the Figure 2b scenario that this paper
+//!   legalizes; why the basic version fails on Unsharp),
+//! * the locality/recompute **tradeoff is not explored**: a legal pair is
+//!   fused regardless of the producer's arithmetic cost,
+//! * code generation does not stage external inputs of recomputed
+//!   producers into shared memory (the border-handling machinery of
+//!   Section IV is what enables that in the optimized version), so
+//!   synthesized pairs carry `input_staging = false`.
+
+use crate::legality::check_block;
+use crate::planner::{compute_edge_weights, EdgeInfo, FusionConfig, FusionPlan, FusionResult, Trace, TraceEvent};
+use kfuse_graph::{Block, NodeId, Partition};
+use kfuse_ir::{Kernel, KernelId, Pipeline};
+use kfuse_model::FusionScenario;
+
+/// Whether the basic algorithm accepts the edge `ks → kd`.
+///
+/// Requires pairwise dependence legality *and* the baseline's extra
+/// restrictions (no local-to-local, no shared/extra inputs on the
+/// consumer).
+pub fn basic_edge_is_fusible(p: &Pipeline, e: &EdgeInfo) -> bool {
+    if !e.legal {
+        return false;
+    }
+    // Local-to-local is not supported by the basic algorithm.
+    if e.estimate.scenario == FusionScenario::LocalToLocal {
+        return false;
+    }
+    // The consumer must read only the communicated image: any additional
+    // input (shared or otherwise) is treated as an external dependence.
+    let kd = p.kernel(e.dst);
+    if kd.inputs.iter().any(|&img| img != e.image) {
+        return false;
+    }
+    // Pairwise dependence check (external output etc.).
+    check_block(p, &[e.src, e.dst]).is_ok()
+}
+
+/// Plans basic (pair-wise greedy) fusion.
+///
+/// Edges are visited by descending locality improvement `δ` (the baseline
+/// has no recompute model); both endpoints must still be unfused. The
+/// resulting partition contains only pairs and singletons.
+pub fn plan_basic(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
+    let edges = compute_edge_weights(p, cfg);
+    let mut trace = Trace::default();
+
+    let mut candidates: Vec<&EdgeInfo> =
+        edges.iter().filter(|e| basic_edge_is_fusible(p, e)).collect();
+    // Greedy on the heaviest edge; ties keep graph order (stable sort).
+    candidates.sort_by(|a, b| {
+        b.estimate
+            .delta
+            .partial_cmp(&a.estimate.delta)
+            .expect("deltas are finite")
+    });
+
+    let mut used: Vec<KernelId> = Vec::new();
+    let mut pairs: Vec<(KernelId, KernelId)> = Vec::new();
+    for e in candidates {
+        if used.contains(&e.src) || used.contains(&e.dst) {
+            continue;
+        }
+        used.push(e.src);
+        used.push(e.dst);
+        pairs.push((e.src, e.dst));
+        trace.events.push(TraceEvent::Ready {
+            members: vec![p.kernel(e.src).name.clone(), p.kernel(e.dst).name.clone()],
+        });
+    }
+
+    let mut blocks: Vec<Block> = pairs
+        .iter()
+        .map(|&(a, b)| Block::new(vec![NodeId(a.0), NodeId(b.0)]))
+        .collect();
+    for k in p.kernel_ids() {
+        if !used.contains(&k) {
+            blocks.push(Block::singleton(NodeId(k.0)));
+        }
+    }
+    let partition = Partition::from_blocks(blocks);
+    let total_benefit = crate::planner::objective(&partition, &edges);
+    FusionPlan { partition, edges, trace, total_benefit }
+}
+
+/// One-call basic fusion: plan pair-wise, then apply with the baseline's
+/// code-generation style (`input_staging = false` on fused pairs).
+pub fn fuse_basic(p: &Pipeline, cfg: &FusionConfig) -> FusionResult {
+    let plan = plan_basic(p, cfg);
+    let pipeline = crate::planner::apply_partition(p, &plan.partition, false);
+    FusionResult { pipeline, plan }
+}
+
+/// Kernels of a fused pipeline that came from basic pair fusion
+/// (diagnostic helper: fused kernels have more than one stage).
+pub fn fused_kernel_names(p: &Pipeline) -> Vec<String> {
+    p.kernels()
+        .iter()
+        .filter(|k: &&Kernel| k.stages.len() > 1)
+        .map(|k| k.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc};
+    use kfuse_model::{BenefitModel, GpuSpec};
+
+    fn cfg() -> FusionConfig {
+        FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+    }
+
+    fn desc(name: &str) -> ImageDesc {
+        ImageDesc::new(name, 32, 32, 1)
+    }
+
+    fn gauss3() -> Expr {
+        let mask: Vec<&[f32]> = vec![&[1.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 1.0]];
+        Expr::convolve(0, 0, &mask)
+    }
+
+    /// Chain of three point kernels: basic fuses exactly one pair.
+    #[test]
+    fn pairwise_only_on_chain() {
+        let mut p = Pipeline::new("chain");
+        let input = p.add_input(desc("in"));
+        let m1 = p.add_image(desc("m1"));
+        let m2 = p.add_image(desc("m2"));
+        let out = p.add_image(desc("out"));
+        for (i, (src, dst)) in [(input, m1), (m1, m2), (m2, out)].iter().enumerate() {
+            p.add_kernel(Kernel::simple(
+                format!("k{i}"),
+                vec![*src],
+                *dst,
+                vec![BorderMode::Clamp],
+                vec![Expr::load(0) + Expr::Const(1.0)],
+                vec![],
+            ));
+        }
+        p.mark_output(out);
+        p.validate().unwrap();
+
+        let result = fuse_basic(&p, &cfg());
+        // One pair + one singleton.
+        assert_eq!(result.pipeline.kernels().len(), 2);
+        assert_eq!(result.plan.partition.len(), 2);
+        let fused = fused_kernel_names(&result.pipeline);
+        assert_eq!(fused.len(), 1);
+        assert!(!result
+            .pipeline
+            .kernels()
+            .iter()
+            .find(|k| k.stages.len() > 1)
+            .unwrap()
+            .input_staging);
+    }
+
+    /// Local-to-local is rejected by the basic algorithm (Sobel's failure).
+    #[test]
+    fn local_to_local_rejected() {
+        let mut p = Pipeline::new("l2l");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        p.add_kernel(Kernel::simple(
+            "blur",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "conv",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+
+        let result = fuse_basic(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 2, "no fusion must happen");
+    }
+
+    /// Shared input is rejected by the basic algorithm (Unsharp's failure).
+    #[test]
+    fn shared_input_rejected() {
+        let mut p = Pipeline::new("unsharp-ish");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        p.add_kernel(Kernel::simple(
+            "blur",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "combine",
+            vec![input, mid],
+            out,
+            vec![BorderMode::Clamp, BorderMode::Clamp],
+            vec![Expr::load(0) - Expr::load(1)],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+
+        let result = fuse_basic(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 2, "shared input must block basic fusion");
+    }
+
+    /// Point-to-local is accepted and fused even when unprofitable —
+    /// the baseline has no recompute model.
+    #[test]
+    fn point_to_local_accepted() {
+        let mut p = Pipeline::new("p2l");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        p.add_kernel(Kernel::simple(
+            "sq",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::load(0)],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "gauss",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        p.mark_output(out);
+        let result = fuse_basic(&p, &cfg());
+        assert_eq!(result.pipeline.kernels().len(), 1);
+    }
+}

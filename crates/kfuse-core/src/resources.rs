@@ -1,0 +1,248 @@
+//! Shared-memory usage estimation and the resource constraint of Eq. (2).
+//!
+//! Kernel fusion relocates intermediate images into on-chip memory, which is
+//! shared among the parallel computing units: over-using it reduces the
+//! number of concurrently resident thread blocks and costs parallelism
+//! (paper Section II-B1). Eq. (2) bounds the growth:
+//!
+//! ```text
+//! f_Mshared(v_P) / max{f_Mshared(v_i)} ≤ c_Mshared
+//! ```
+//!
+//! `f_Mshared` for a (possibly fused) kernel counts, for the default block
+//! shape, the shared-memory tiles the Hipacc-style code generator would
+//! allocate: one tile per *shared-memory stage* (local-to-local
+//! intermediates, sized by their absolute consumption extent) plus one tile
+//! per *staged external input* (window-accessed inputs, sized by their
+//! absolute access extent) when the kernel stages inputs.
+
+use crate::legality::Illegal;
+use crate::synthesis::{absolute_extents, input_access_extents};
+use kfuse_model::BlockShape;
+use kfuse_ir::{Kernel, MemSpace, Pipeline};
+
+/// Bytes of shared memory per sample.
+const SAMPLE_BYTES: usize = std::mem::size_of::<f32>();
+
+/// Estimated shared-memory bytes `f_Mshared(k)` the generated code for `k`
+/// allocates per thread block.
+pub fn shared_usage_bytes(p: &Pipeline, k: &Kernel, block: BlockShape) -> usize {
+    let abs = absolute_extents(k);
+    let mut bytes = 0usize;
+
+    // Tiles for shared-memory stages (local-to-local intermediates).
+    for (i, s) in k.stages.iter().enumerate() {
+        if s.space == MemSpace::Shared {
+            let (rx, ry) = abs[i];
+            bytes += block.tile_samples(rx as usize, ry as usize) * SAMPLE_BYTES * s.channels();
+        }
+    }
+
+    // Tiles for staged external inputs.
+    if k.input_staging {
+        for (i, &(rx, ry)) in input_access_extents(k).iter().enumerate() {
+            if (rx, ry) != (0, 0) {
+                let channels = p.image(k.inputs[i]).channels;
+                bytes += block.tile_samples(rx as usize, ry as usize) * SAMPLE_BYTES * channels;
+            }
+        }
+    }
+    bytes
+}
+
+/// Applies Eq. (2) to a fused candidate.
+///
+/// `members` are the original kernels of the block; the constraint only
+/// applies when at least one member uses shared memory (otherwise the
+/// denominator of Eq. (2) is empty and fusion is unconstrained). Returns
+/// the growth ratio on success.
+pub fn resource_check(
+    p: &Pipeline,
+    fused: &Kernel,
+    members: &[&Kernel],
+    block: BlockShape,
+    threshold: f64,
+) -> Result<f64, Illegal> {
+    let max_member = members
+        .iter()
+        .map(|k| shared_usage_bytes(p, k, block))
+        .max()
+        .unwrap_or(0);
+    if max_member == 0 {
+        return Ok(0.0);
+    }
+    let fused_bytes = shared_usage_bytes(p, fused, block);
+    let ratio = fused_bytes as f64 / max_member as f64;
+    if ratio <= threshold {
+        Ok(ratio)
+    } else {
+        Err(Illegal::ResourceOveruse { ratio, threshold })
+    }
+}
+
+/// Whether the fused kernel fits the device's per-block shared memory at
+/// all — a hard cap independent of Eq. (2).
+pub fn fits_device(p: &Pipeline, k: &Kernel, block: BlockShape, shared_per_block: usize) -> bool {
+    shared_usage_bytes(p, k, block) <= shared_per_block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::check_block;
+    use crate::synthesis::synthesize;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc};
+
+    fn desc(name: &str) -> ImageDesc {
+        ImageDesc::new(name, 64, 64, 1)
+    }
+
+    fn gauss3() -> Expr {
+        let mask: Vec<&[f32]> = vec![&[1.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 1.0]];
+        Expr::convolve(0, 0, &mask)
+    }
+
+    #[test]
+    fn point_kernel_uses_no_shared_memory() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in"));
+        let out = p.add_image(desc("out"));
+        let k = Kernel::simple(
+            "sq",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::load(0)],
+            vec![],
+        );
+        p.mark_output(out);
+        assert_eq!(shared_usage_bytes(&p, &k, BlockShape::DEFAULT), 0);
+    }
+
+    #[test]
+    fn local_kernel_stages_one_tile() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in"));
+        let out = p.add_image(desc("out"));
+        let k = Kernel::simple(
+            "gauss",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        );
+        p.mark_output(out);
+        // (32+2)·(4+2) samples · 4 bytes.
+        assert_eq!(shared_usage_bytes(&p, &k, BlockShape::DEFAULT), 34 * 6 * 4);
+    }
+
+    #[test]
+    fn unstaged_kernel_reports_zero_input_tiles() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in"));
+        let out = p.add_image(desc("out"));
+        let mut k = Kernel::simple(
+            "gauss",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        );
+        k.input_staging = false;
+        p.mark_output(out);
+        assert_eq!(shared_usage_bytes(&p, &k, BlockShape::DEFAULT), 0);
+    }
+
+    #[test]
+    fn local_to_local_fusion_grows_usage() {
+        let mut p = Pipeline::new("l2l");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        let b = p.add_kernel(Kernel::simple(
+            "blur",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        let c = p.add_kernel(Kernel::simple(
+            "conv",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+        let info = check_block(&p, &[b, c]).unwrap();
+        let fused = synthesize(&p, &info, true);
+        // One intermediate tile at ±1 plus the input tile at ±2.
+        let expect = (34 * 6 + 36 * 8) * 4;
+        assert_eq!(shared_usage_bytes(&p, &fused, BlockShape::DEFAULT), expect);
+
+        let members = [p.kernel(b), p.kernel(c)];
+        let ratio = resource_check(&p, &fused, &members, BlockShape::DEFAULT, 3.0).unwrap();
+        assert!((ratio - expect as f64 / (34.0 * 6.0 * 4.0)).abs() < 1e-9);
+        // Tight threshold rejects it.
+        assert!(matches!(
+            resource_check(&p, &fused, &members, BlockShape::DEFAULT, 2.0),
+            Err(Illegal::ResourceOveruse { .. })
+        ));
+    }
+
+    #[test]
+    fn all_point_blocks_are_unconstrained() {
+        let mut p = Pipeline::new("pp");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        let a = p.add_kernel(Kernel::simple(
+            "a",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) + Expr::Const(1.0)],
+            vec![],
+        ));
+        let b = p.add_kernel(Kernel::simple(
+            "b",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::Const(2.0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        let info = check_block(&p, &[a, b]).unwrap();
+        let fused = synthesize(&p, &info, true);
+        let members = [p.kernel(a), p.kernel(b)];
+        // Denominator empty → unconstrained, ratio 0, any threshold passes.
+        assert_eq!(
+            resource_check(&p, &fused, &members, BlockShape::DEFAULT, 0.1).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn device_cap() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in"));
+        let out = p.add_image(desc("out"));
+        let k = Kernel::simple(
+            "gauss",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        );
+        p.mark_output(out);
+        assert!(fits_device(&p, &k, BlockShape::DEFAULT, 48 * 1024));
+        assert!(!fits_device(&p, &k, BlockShape::DEFAULT, 64));
+    }
+}

@@ -1,0 +1,417 @@
+//! Fused-kernel synthesis: turning a legal partition block into one kernel.
+//!
+//! Fusion concatenates the member kernels' stages in topological order
+//! (paper Listing 1) and rewires loads of eliminated intermediate images to
+//! stage references. The memory space of each inlined stage follows the
+//! paper's scenarios (Section II-C3):
+//!
+//! * consumed only element-wise (absolute extent 0) → **registers**
+//!   (point-based and local-to-point fusion, `δ_reg`),
+//! * point-bodied but consumed through a window → **registers with
+//!   recomputation** (point-to-local fusion: the producer is re-evaluated
+//!   per window element),
+//! * local-bodied and consumed through a window → **shared memory**
+//!   (local-to-local fusion: the intermediate tile is staged, masks grow
+//!   per Eq. 9).
+//!
+//! Border correctness for the halo region is preserved structurally: a
+//! load from an inlined stage keeps the consumer's border mode, and the
+//! executor applies the index-exchange method of Section IV-B when
+//! evaluating it.
+
+use crate::legality::BlockInfo;
+use kfuse_ir::{ImageId, Kernel, MemSpace, Pipeline, Stage, StageRef};
+
+/// Computes, for each stage of `k`, the maximum absolute offset from the
+/// thread position at which that stage's value is needed.
+///
+/// The root stage has extent `(0, 0)`; a stage consumed at offsets `±r` by
+/// a consumer with absolute extent `a` has absolute extent `a + r`. This is
+/// the quantity that drives halo growth ("the halo region grows
+/// quadratically with the number of local kernels being fused",
+/// Section IV-B) and shared-memory tile sizes.
+pub fn absolute_extents(k: &Kernel) -> Vec<(i32, i32)> {
+    let n = k.stages.len();
+    let mut abs = vec![(0i32, 0i32); n];
+    // Consumers always have a higher stage index, so one descending pass
+    // sees every consumer before its producer.
+    for j in (0..n).rev() {
+        let (ax, ay) = abs[j];
+        let stage = &k.stages[j];
+        for (slot, r) in stage.refs.iter().enumerate() {
+            if let StageRef::Stage(i) = r {
+                if let Some((rx, ry)) = stage.extent_of_slot(slot) {
+                    abs[*i].0 = abs[*i].0.max(ax + rx);
+                    abs[*i].1 = abs[*i].1.max(ay + ry);
+                }
+            }
+        }
+    }
+    abs
+}
+
+/// Maximum absolute access extent per kernel input, indexed like
+/// `k.inputs`.
+///
+/// An input with extent `(0, 0)` is only ever read at the thread position;
+/// anything larger is a window access after accounting for inlining depth,
+/// and is what Hipacc stages into a shared-memory tile when
+/// `k.input_staging` is set.
+pub fn input_access_extents(k: &Kernel) -> Vec<(i32, i32)> {
+    let abs = absolute_extents(k);
+    let mut ext = vec![(0i32, 0i32); k.inputs.len()];
+    for (si, stage) in k.stages.iter().enumerate() {
+        for (slot, r) in stage.refs.iter().enumerate() {
+            if let StageRef::Input(i) = r {
+                if let Some((rx, ry)) = stage.extent_of_slot(slot) {
+                    ext[*i].0 = ext[*i].0.max(abs[si].0 + rx);
+                    ext[*i].1 = ext[*i].1.max(abs[si].1 + ry);
+                }
+            }
+        }
+    }
+    ext
+}
+
+/// Synthesizes the fused kernel for a dependence-legal block.
+///
+/// `info` comes from [`crate::legality::check_block`]. `stage_inputs`
+/// selects the code-generation style: `true` for the optimized fusion of
+/// this paper (window-accessed external inputs are staged into shared
+/// memory), `false` for the basic fusion of previous work [12].
+///
+/// The result writes the destination kernel's output image and reads
+/// exactly the block's external inputs; all intermediate images are
+/// eliminated (paper Listing 1b).
+pub fn synthesize(p: &Pipeline, info: &BlockInfo, stage_inputs: bool) -> Kernel {
+    let fused_inputs: Vec<ImageId> = info.external_inputs.clone();
+    let input_index = |img: ImageId| -> usize {
+        fused_inputs
+            .iter()
+            .position(|&i| i == img)
+            .expect("external input recorded by legality analysis")
+    };
+
+    let mut stages: Vec<Stage> = Vec::new();
+    // Root-stage index of each member kernel within the fused stage list.
+    let mut member_root: Vec<(kfuse_ir::KernelId, usize)> = Vec::new();
+    let root_of = |member_root: &[(kfuse_ir::KernelId, usize)], img: ImageId, p: &Pipeline| {
+        p.producer_of(img).and_then(|prod| {
+            member_root
+                .iter()
+                .find(|(k, _)| *k == prod)
+                .map(|(_, idx)| *idx)
+        })
+    };
+
+    for &member in &info.topo {
+        let k = p.kernel(member);
+        let base = stages.len();
+        for (si, s) in k.stages.iter().enumerate() {
+            let refs = s
+                .refs
+                .iter()
+                .map(|r| match *r {
+                    StageRef::Stage(j) => StageRef::Stage(base + j),
+                    StageRef::Input(i) => {
+                        let img = k.inputs[i];
+                        match root_of(&member_root, img, p) {
+                            Some(stage_idx) => StageRef::Stage(stage_idx),
+                            None => StageRef::Input(input_index(img)),
+                        }
+                    }
+                })
+                .collect();
+            let mut stage = Stage {
+                name: s.name.clone(),
+                refs,
+                borders: s.borders.clone(),
+                body: s.body.clone(),
+                params: s.params.clone(),
+                space: s.space,
+            };
+            // Non-root spaces are reassigned below; mark provisionally.
+            if si != k.root {
+                // Keep inner spaces of already-fused members.
+            } else {
+                stage.space = MemSpace::Register; // provisional
+            }
+            stages.push(stage);
+        }
+        member_root.push((member, base + k.root));
+    }
+
+    let root = member_root
+        .iter()
+        .find(|(k, _)| *k == info.destination)
+        .map(|(_, idx)| *idx)
+        .expect("destination is a block member");
+
+    let mut fused = Kernel {
+        name: info
+            .topo
+            .iter()
+            .map(|&k| p.kernel(k).name.clone())
+            .collect::<Vec<_>>()
+            .join("+"),
+        inputs: fused_inputs,
+        output: p.kernel(info.destination).output,
+        stages,
+        root,
+        input_staging: stage_inputs,
+    };
+
+    // Assign memory spaces from the absolute extents.
+    let abs = absolute_extents(&fused);
+    for (i, s) in fused.stages.iter_mut().enumerate() {
+        if i == root {
+            s.space = MemSpace::Global;
+            continue;
+        }
+        let local_bodied = {
+            // Own loads with non-zero offsets (of anything).
+            let mut local = false;
+            for slot in 0..s.refs.len() {
+                if let Some((rx, ry)) = s.extent_of_slot(slot) {
+                    local |= rx > 0 || ry > 0;
+                }
+            }
+            local
+        };
+        let consumed_with_window = abs[i] != (0, 0);
+        s.space = if local_bodied && consumed_with_window {
+            MemSpace::Shared
+        } else {
+            MemSpace::Register
+        };
+    }
+
+    debug_assert!(fused.check().is_ok(), "synthesized kernel is malformed");
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::check_block;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, KernelId};
+
+    fn desc(name: &str) -> ImageDesc {
+        ImageDesc::new(name, 8, 8, 1)
+    }
+
+    fn gauss3() -> Expr {
+        let mask: Vec<&[f32]> = vec![&[1.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 1.0]];
+        Expr::convolve(0, 0, &mask)
+    }
+
+    /// in → sq (point) → gauss (local) → out: point-to-local fusion keeps
+    /// the producer in registers (recomputed per window element).
+    fn point_to_local() -> (Pipeline, Vec<KernelId>) {
+        let mut p = Pipeline::new("p2l");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        let sq = p.add_kernel(Kernel::simple(
+            "sq",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::load(0)],
+            vec![],
+        ));
+        let g = p.add_kernel(Kernel::simple(
+            "gauss",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+        (p, vec![sq, g])
+    }
+
+    /// in → blur (local) → conv (local) → out: local-to-local fusion puts
+    /// the producer in shared memory.
+    fn local_to_local() -> (Pipeline, Vec<KernelId>) {
+        let mut p = Pipeline::new("l2l");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        let b = p.add_kernel(Kernel::simple(
+            "blur",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        let c = p.add_kernel(Kernel::simple(
+            "conv",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+        (p, vec![b, c])
+    }
+
+    #[test]
+    fn point_to_local_synthesis() {
+        let (p, block) = point_to_local();
+        let info = check_block(&p, &block).unwrap();
+        let fused = synthesize(&p, &info, true);
+        assert!(fused.check().is_ok());
+        assert_eq!(fused.name, "sq+gauss");
+        assert_eq!(fused.stages.len(), 2);
+        // Producer sq: point-bodied, consumed through a 3×3 window →
+        // registers with recompute.
+        assert_eq!(fused.stages[0].space, MemSpace::Register);
+        assert_eq!(fused.stages[fused.root].space, MemSpace::Global);
+        // Intermediate image eliminated: single external input.
+        assert_eq!(fused.inputs.len(), 1);
+        // Absolute extents: sq needed at ±1, input at ±1 (sq reads at 0).
+        let abs = absolute_extents(&fused);
+        assert_eq!(abs, vec![(1, 1), (0, 0)]);
+        assert_eq!(input_access_extents(&fused), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn local_to_local_synthesis() {
+        let (p, block) = local_to_local();
+        let info = check_block(&p, &block).unwrap();
+        let fused = synthesize(&p, &info, true);
+        // Producer blur: local-bodied, consumed through a window → shared.
+        assert_eq!(fused.stages[0].space, MemSpace::Shared);
+        // Mask growth (Eq. 9): input accessed at ±2 → 5×5 fused window.
+        assert_eq!(input_access_extents(&fused), vec![(2, 2)]);
+        let abs = absolute_extents(&fused);
+        assert_eq!(abs[0], (1, 1));
+    }
+
+    #[test]
+    fn local_to_point_stays_register() {
+        // in → gauss (local) → sq (point): consumed at (0,0) → register.
+        let mut p = Pipeline::new("l2p");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        let g = p.add_kernel(Kernel::simple(
+            "gauss",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        let sq = p.add_kernel(Kernel::simple(
+            "sq",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::load(0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+        let info = check_block(&p, &[g, sq]).unwrap();
+        let fused = synthesize(&p, &info, true);
+        assert_eq!(fused.stages[0].space, MemSpace::Register);
+        assert_eq!(input_access_extents(&fused), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn shared_input_becomes_single_slot() {
+        // Unsharp shape: blur(in) local; combine(in, blur) point.
+        let mut p = Pipeline::new("unsharp-ish");
+        let input = p.add_input(desc("in"));
+        let mid = p.add_image(desc("mid"));
+        let out = p.add_image(desc("out"));
+        let b = p.add_kernel(Kernel::simple(
+            "blur",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![gauss3()],
+            vec![],
+        ));
+        let c = p.add_kernel(Kernel::simple(
+            "combine",
+            vec![input, mid],
+            out,
+            vec![BorderMode::Clamp, BorderMode::Clamp],
+            vec![Expr::load(0) - Expr::load(1)],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+        let info = check_block(&p, &[b, c]).unwrap();
+        let fused = synthesize(&p, &info, true);
+        assert_eq!(fused.inputs, vec![input]);
+        // blur is consumed only at (0,0) → register, even though local.
+        assert_eq!(fused.stages[0].space, MemSpace::Register);
+        // The root reads both the external input and the inlined stage.
+        let root = &fused.stages[fused.root];
+        assert!(root.refs.contains(&StageRef::Input(0)));
+        assert!(root.refs.contains(&StageRef::Stage(0)));
+    }
+
+    #[test]
+    fn deep_chain_accumulates_extents() {
+        // Three chained 3×3 locals: absolute input extent (3,3) — halo
+        // grows with fusion depth (Section IV-B).
+        let mut p = Pipeline::new("chain3");
+        let input = p.add_input(desc("in"));
+        let m1 = p.add_image(desc("m1"));
+        let m2 = p.add_image(desc("m2"));
+        let out = p.add_image(desc("out"));
+        let ids = [
+            p.add_kernel(Kernel::simple(
+                "c1",
+                vec![input],
+                m1,
+                vec![BorderMode::Clamp],
+                vec![gauss3()],
+                vec![],
+            )),
+            p.add_kernel(Kernel::simple(
+                "c2",
+                vec![m1],
+                m2,
+                vec![BorderMode::Clamp],
+                vec![gauss3()],
+                vec![],
+            )),
+            p.add_kernel(Kernel::simple(
+                "c3",
+                vec![m2],
+                out,
+                vec![BorderMode::Clamp],
+                vec![gauss3()],
+                vec![],
+            )),
+        ];
+        p.mark_output(out);
+        p.validate().unwrap();
+        let info = check_block(&p, &ids).unwrap();
+        let fused = synthesize(&p, &info, true);
+        let abs = absolute_extents(&fused);
+        assert_eq!(abs, vec![(2, 2), (1, 1), (0, 0)]);
+        assert_eq!(input_access_extents(&fused), vec![(3, 3)]);
+        assert_eq!(fused.stages[0].space, MemSpace::Shared);
+        assert_eq!(fused.stages[1].space, MemSpace::Shared);
+    }
+
+    #[test]
+    fn basic_codegen_flag_propagates() {
+        let (p, block) = point_to_local();
+        let info = check_block(&p, &block).unwrap();
+        let fused = synthesize(&p, &info, false);
+        assert!(!fused.input_staging);
+    }
+}

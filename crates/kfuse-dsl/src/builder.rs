@@ -1,0 +1,281 @@
+//! The embedded pipeline-construction DSL.
+//!
+//! [`PipelineBuilder`] plays the role of Hipacc's C++ front end: users
+//! declare constant-size images and chain point and local operators; the
+//! builder materializes the intermediate images, wires the kernel DAG and
+//! validates it. Expression helpers ([`v`], [`at`], [`vc`], [`sqrt`], …)
+//! give kernel bodies a compact, math-like notation.
+//!
+//! # Examples
+//!
+//! ```
+//! use kfuse_dsl::{at, sqrt, v, Mask, PipelineBuilder};
+//! use kfuse_ir::BorderMode;
+//!
+//! let mut b = PipelineBuilder::new("sobel-mini", 128, 128);
+//! let input = b.gray_input("in");
+//! let dx = b.convolve("dx", input, &Mask::sobel_x(), BorderMode::Clamp);
+//! let dy = b.convolve("dy", input, &Mask::sobel_y(), BorderMode::Clamp);
+//! let mag = b.point("mag", &[dx, dy], vec![sqrt(v(0) * v(0) + v(1) * v(1))]);
+//! b.output(mag);
+//! let pipeline = b.build();
+//! assert_eq!(pipeline.kernels().len(), 3);
+//! # let _ = at(0, 1, 1);
+//! ```
+
+use crate::masks::Mask;
+use kfuse_ir::{BinOp, BorderMode, Expr, ImageDesc, ImageId, Kernel, KernelId, Pipeline, UnOp};
+
+/// Load channel 0 of input slot `slot` at the current position.
+pub fn v(slot: usize) -> Expr {
+    Expr::load(slot)
+}
+
+/// Load channel `ch` of input slot `slot` at the current position.
+pub fn vc(slot: usize, ch: usize) -> Expr {
+    Expr::Load { slot, dx: 0, dy: 0, ch }
+}
+
+/// Load channel 0 of input slot `slot` at offset `(dx, dy)`.
+pub fn at(slot: usize, dx: i32, dy: i32) -> Expr {
+    Expr::load_at(slot, dx, dy)
+}
+
+/// A literal constant.
+pub fn c(value: f32) -> Expr {
+    Expr::Const(value)
+}
+
+/// A scalar parameter reference.
+pub fn param(index: usize) -> Expr {
+    Expr::Param(index)
+}
+
+/// Square root (SFU).
+pub fn sqrt(e: Expr) -> Expr {
+    Expr::Un(UnOp::Sqrt, Box::new(e))
+}
+
+/// Natural exponential (SFU).
+pub fn exp(e: Expr) -> Expr {
+    Expr::Un(UnOp::Exp, Box::new(e))
+}
+
+/// Natural logarithm (SFU).
+pub fn ln(e: Expr) -> Expr {
+    Expr::Un(UnOp::Log, Box::new(e))
+}
+
+/// Absolute value.
+pub fn abs(e: Expr) -> Expr {
+    Expr::Un(UnOp::Abs, Box::new(e))
+}
+
+/// `base^exponent` (SFU).
+pub fn powf(base: Expr, exponent: Expr) -> Expr {
+    Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exponent))
+}
+
+/// Minimum of two expressions.
+pub fn min(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Min, Box::new(a), Box::new(b))
+}
+
+/// Maximum of two expressions.
+pub fn max(a: Expr, b: Expr) -> Expr {
+    Expr::Bin(BinOp::Max, Box::new(a), Box::new(b))
+}
+
+/// Clamp `e` into `[lo, hi]`.
+pub fn clamp(e: Expr, lo: f32, hi: f32) -> Expr {
+    min(max(e, c(lo)), c(hi))
+}
+
+/// `if cond > 0 { then } else { otherwise }`.
+pub fn select(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+    Expr::Select(Box::new(cond), Box::new(then), Box::new(otherwise))
+}
+
+/// Builder for constant-size image pipelines.
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    pipeline: Pipeline,
+    width: usize,
+    height: usize,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline whose images are all `width × height`.
+    pub fn new(name: impl Into<String>, width: usize, height: usize) -> Self {
+        Self { pipeline: Pipeline::new(name), width, height }
+    }
+
+    /// Declares a gray-scale (1-channel) pipeline input.
+    pub fn gray_input(&mut self, name: impl Into<String>) -> ImageId {
+        let name = name.into();
+        self.pipeline
+            .add_input(ImageDesc::new(name, self.width, self.height, 1))
+    }
+
+    /// Declares an RGB (3-channel) pipeline input.
+    pub fn rgb_input(&mut self, name: impl Into<String>) -> ImageId {
+        let name = name.into();
+        self.pipeline
+            .add_input(ImageDesc::new(name, self.width, self.height, 3))
+    }
+
+    fn intermediate(&mut self, name: &str, channels: usize) -> ImageId {
+        self.pipeline
+            .add_image(ImageDesc::new(name, self.width, self.height, channels))
+    }
+
+    /// Adds a kernel with explicit borders and parameters; `body` holds one
+    /// expression per output channel. Returns the produced image.
+    pub fn kernel(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[ImageId],
+        borders: Vec<BorderMode>,
+        body: Vec<Expr>,
+        params: Vec<f32>,
+    ) -> ImageId {
+        let name = name.into();
+        let out = self.intermediate(&name, body.len());
+        self.pipeline.add_kernel(Kernel::simple(
+            name,
+            inputs.to_vec(),
+            out,
+            borders,
+            body,
+            params,
+        ));
+        out
+    }
+
+    /// Adds a point or local operator with clamp borders on every input.
+    pub fn point(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[ImageId],
+        body: Vec<Expr>,
+    ) -> ImageId {
+        let borders = vec![BorderMode::Clamp; inputs.len()];
+        self.kernel(name, inputs, borders, body, vec![])
+    }
+
+    /// Adds a single-channel convolution (a classic local operator).
+    pub fn convolve(
+        &mut self,
+        name: impl Into<String>,
+        input: ImageId,
+        mask: &Mask,
+        border: BorderMode,
+    ) -> ImageId {
+        self.kernel(name, &[input], vec![border], vec![mask.to_expr(0, 0)], vec![])
+    }
+
+    /// Adds a per-channel RGB convolution.
+    pub fn convolve_rgb(
+        &mut self,
+        name: impl Into<String>,
+        input: ImageId,
+        mask: &Mask,
+        border: BorderMode,
+    ) -> ImageId {
+        let body = (0..3).map(|ch| mask.to_expr(0, ch)).collect();
+        self.kernel(name, &[input], vec![border], body, vec![])
+    }
+
+    /// Marks an image as a pipeline output.
+    pub fn output(&mut self, id: ImageId) {
+        self.pipeline.mark_output(id);
+    }
+
+    /// The id of the most recently added kernel.
+    pub fn last_kernel(&self) -> Option<KernelId> {
+        self.pipeline.kernels().len().checked_sub(1).map(KernelId)
+    }
+
+    /// Finishes and validates the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline fails validation — builder misuse is a
+    /// programming error.
+    pub fn build(self) -> Pipeline {
+        if let Err(e) = self.pipeline.validate() {
+            panic!("pipeline {} is invalid: {e}", self.pipeline.name);
+        }
+        self.pipeline
+    }
+
+    /// Finishes without panicking, surfacing validation errors.
+    pub fn try_build(self) -> Result<Pipeline, kfuse_ir::PipelineError> {
+        self.pipeline.validate()?;
+        Ok(self.pipeline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::ComputePattern;
+
+    #[test]
+    fn builds_a_two_kernel_pipeline() {
+        let mut b = PipelineBuilder::new("t", 16, 16);
+        let input = b.gray_input("in");
+        let blurred = b.convolve("blur", input, &Mask::gaussian3(), BorderMode::Clamp);
+        let doubled = b.point("dbl", &[blurred], vec![v(0) * c(2.0)]);
+        b.output(doubled);
+        let p = b.build();
+        assert_eq!(p.kernels().len(), 2);
+        assert_eq!(p.kernels()[0].pattern(), ComputePattern::Local);
+        assert_eq!(p.kernels()[1].pattern(), ComputePattern::Point);
+        assert_eq!(p.outputs().len(), 1);
+    }
+
+    #[test]
+    fn rgb_convolution_has_three_channels() {
+        let mut b = PipelineBuilder::new("t", 8, 8);
+        let input = b.rgb_input("in");
+        let out = b.convolve_rgb("blur", input, &Mask::gaussian3(), BorderMode::Mirror);
+        b.output(out);
+        let p = b.build();
+        assert_eq!(p.image(out).channels, 3);
+        assert_eq!(p.kernels()[0].root_stage().channels(), 3);
+    }
+
+    #[test]
+    fn helper_expressions() {
+        assert_eq!(clamp(c(2.0), 0.0, 1.0).op_counts().alu, 2);
+        assert_eq!(powf(v(0), c(2.2)).op_counts().sfu, 1);
+        assert_eq!(select(v(0), c(1.0), c(0.0)).op_counts().alu, 1);
+        assert_eq!(at(0, -1, 2), Expr::Load { slot: 0, dx: -1, dy: 2, ch: 0 });
+        assert_eq!(vc(1, 2), Expr::Load { slot: 1, dx: 0, dy: 0, ch: 2 });
+        assert_eq!(param(3), Expr::Param(3));
+        assert_eq!(abs(c(-1.0)).op_counts().alu, 1);
+        assert_eq!((exp(v(0)) + ln(v(0))).op_counts().sfu, 2);
+        assert_eq!(min(v(0), v(1)).op_counts().alu, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn invalid_pipeline_panics_on_build() {
+        let mut b = PipelineBuilder::new("t", 8, 8);
+        let input = b.gray_input("in");
+        // Channel 5 of a gray image does not exist.
+        let bad = b.point("bad", &[input], vec![vc(0, 5)]);
+        b.output(bad);
+        let _ = b.build();
+    }
+
+    #[test]
+    fn try_build_surfaces_errors() {
+        let mut b = PipelineBuilder::new("t", 8, 8);
+        let input = b.gray_input("in");
+        let bad = b.point("bad", &[input], vec![vc(0, 5)]);
+        b.output(bad);
+        assert!(b.try_build().is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! A Hipacc-like embedded DSL for image-processing pipelines.
+//!
+//! Hipacc (Membarth et al., TPDS 2016) embeds an image-processing DSL in
+//! C++ and compiles it to CUDA/OpenCL; the kernel-fusion paper implements
+//! its optimization as a pass inside that compiler. This crate is the Rust
+//! analogue of the front end:
+//!
+//! * [`PipelineBuilder`] — declare constant-size images, chain point and
+//!   local operators, and obtain a validated [`kfuse_ir::Pipeline`].
+//! * [`Mask`] — convolution masks with a library of standard filters
+//!   (Gaussian, Sobel, box, Laplacian, à-trous).
+//! * expression helpers ([`v`], [`at`], [`sqrt`], …) for kernel bodies.
+//! * [`Schedule`] / [`compile`] — the three evaluation versions of the
+//!   paper: baseline, basic fusion [12], optimized min-cut fusion.
+
+pub mod builder;
+pub mod masks;
+pub mod schedule;
+
+pub use builder::{
+    abs, at, c, clamp, exp, ln, max, min, param, powf, select, sqrt, v, vc, PipelineBuilder,
+};
+pub use masks::Mask;
+pub use schedule::{compile, compile_with_plan, default_config, Schedule};

@@ -1,0 +1,239 @@
+//! Convolution masks and a library of standard filters.
+//!
+//! Hipacc expresses local operators through `Mask` objects; the DSL layer
+//! unrolls them into expression trees (one load per non-zero coefficient),
+//! from which the fusion pass derives stencil extents.
+
+use kfuse_ir::Expr;
+
+/// A dense, odd-sided 2D convolution mask.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mask {
+    rows: Vec<Vec<f32>>,
+}
+
+impl Mask {
+    /// Creates a mask from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are empty, ragged, or have even side lengths.
+    pub fn new(rows: Vec<Vec<f32>>) -> Self {
+        assert!(!rows.is_empty() && !rows[0].is_empty(), "mask must be non-empty");
+        let w = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == w), "ragged mask");
+        assert!(rows.len() % 2 == 1 && w % 2 == 1, "mask sides must be odd");
+        Self { rows }
+    }
+
+    /// The mask rows.
+    pub fn rows(&self) -> &[Vec<f32>] {
+        &self.rows
+    }
+
+    /// Mask width.
+    pub fn width(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Mask height.
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Stencil radius `(rx, ry)`.
+    pub fn radius(&self) -> (usize, usize) {
+        (self.width() / 2, self.height() / 2)
+    }
+
+    /// Window size `sz` (paper Section II-C3), e.g. 9 for 3×3.
+    pub fn window(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Sum of all coefficients.
+    pub fn coefficient_sum(&self) -> f32 {
+        self.rows.iter().flatten().sum()
+    }
+
+    /// A copy scaled so the coefficients sum to 1 (no-op if the sum is 0).
+    pub fn normalized(&self) -> Mask {
+        let s = self.coefficient_sum();
+        if s == 0.0 {
+            return self.clone();
+        }
+        Mask {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| r.iter().map(|&c| c / s).collect())
+                .collect(),
+        }
+    }
+
+    /// Unrolls the convolution of `slot`, channel `ch`, into an expression.
+    ///
+    /// The common factor of the coefficients is hoisted out of the window
+    /// sum — the lowering a code generator applies to dyadic masks like the
+    /// binomial Gaussian, where `1/16·[1 2 1; 2 4 2; 1 2 1]` becomes five
+    /// multiplies, eight adds, and a single scale instead of nine
+    /// multiplies.
+    pub fn to_expr(&self, slot: usize, ch: usize) -> Expr {
+        let smallest = self
+            .rows
+            .iter()
+            .flatten()
+            .filter(|&&v| v != 0.0)
+            .map(|v| v.abs())
+            .fold(f32::INFINITY, f32::min);
+        // Hoist only when every coefficient is a small integer multiple of
+        // the smallest one (the dyadic-mask case).
+        let hoistable = smallest.is_finite()
+            && smallest != 1.0
+            && self.rows.iter().flatten().all(|&v| {
+                let q = v / smallest;
+                (q - q.round()).abs() < 1e-6 && q.abs() <= 64.0
+            });
+        let rows: Vec<Vec<f32>> = if hoistable {
+            self.rows
+                .iter()
+                .map(|r| r.iter().map(|&v| (v / smallest).round()).collect())
+                .collect()
+        } else {
+            self.rows.clone()
+        };
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let conv = Expr::convolve(slot, ch, &refs);
+        if hoistable {
+            conv * Expr::Const(smallest)
+        } else {
+            conv
+        }
+    }
+
+    /// The binomial 3×3 Gaussian `1/16 · [1 2 1; 2 4 2; 1 2 1]`
+    /// (the paper's Figure 4 example, un-normalized variant available via
+    /// [`Mask::gaussian3_raw`]).
+    pub fn gaussian3() -> Mask {
+        Mask::gaussian3_raw().normalized()
+    }
+
+    /// The integer binomial kernel `[1 2 1; 2 4 2; 1 2 1]` exactly as shown
+    /// in the paper's Figure 4.
+    pub fn gaussian3_raw() -> Mask {
+        Mask::new(vec![
+            vec![1.0, 2.0, 1.0],
+            vec![2.0, 4.0, 2.0],
+            vec![1.0, 2.0, 1.0],
+        ])
+    }
+
+    /// The binomial 5×5 Gaussian, normalized.
+    pub fn gaussian5() -> Mask {
+        Mask::new(vec![
+            vec![1.0, 4.0, 6.0, 4.0, 1.0],
+            vec![4.0, 16.0, 24.0, 16.0, 4.0],
+            vec![6.0, 24.0, 36.0, 24.0, 6.0],
+            vec![4.0, 16.0, 24.0, 16.0, 4.0],
+            vec![1.0, 4.0, 6.0, 4.0, 1.0],
+        ])
+        .normalized()
+    }
+
+    /// 3×3 box (mean) filter, normalized.
+    pub fn box3() -> Mask {
+        Mask::new(vec![vec![1.0 / 9.0; 3]; 3])
+    }
+
+    /// Sobel horizontal-derivative kernel.
+    pub fn sobel_x() -> Mask {
+        Mask::new(vec![
+            vec![-1.0, 0.0, 1.0],
+            vec![-2.0, 0.0, 2.0],
+            vec![-1.0, 0.0, 1.0],
+        ])
+    }
+
+    /// Sobel vertical-derivative kernel.
+    pub fn sobel_y() -> Mask {
+        Mask::new(vec![
+            vec![-1.0, -2.0, -1.0],
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 2.0, 1.0],
+        ])
+    }
+
+    /// 3×3 Laplacian (4-neighbourhood).
+    pub fn laplacian() -> Mask {
+        Mask::new(vec![
+            vec![0.0, 1.0, 0.0],
+            vec![1.0, -4.0, 1.0],
+            vec![0.0, 1.0, 0.0],
+        ])
+    }
+
+    /// The à-trous (with holes) 5×5 B3-spline kernel used by the Night
+    /// filter's second wavelet level: the 3×3 binomial with zero-inserted
+    /// rows/columns (Shensa, IEEE TSP 1992).
+    pub fn atrous5() -> Mask {
+        Mask::new(vec![
+            vec![1.0, 0.0, 2.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![2.0, 0.0, 4.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 2.0, 0.0, 1.0],
+        ])
+        .normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian3_properties() {
+        let m = Mask::gaussian3();
+        assert_eq!(m.radius(), (1, 1));
+        assert_eq!(m.window(), 9);
+        assert!((m.coefficient_sum() - 1.0).abs() < 1e-6);
+        assert_eq!(Mask::gaussian3_raw().coefficient_sum(), 16.0);
+    }
+
+    #[test]
+    fn sobel_has_zero_sum_and_six_loads() {
+        let m = Mask::sobel_x();
+        assert_eq!(m.coefficient_sum(), 0.0);
+        let e = m.to_expr(0, 0);
+        assert_eq!(e.op_counts().loads, 6);
+        assert_eq!(e.extent_of_slot(0), Some((1, 1)));
+    }
+
+    #[test]
+    fn atrous5_skips_holes() {
+        let m = Mask::atrous5();
+        let e = m.to_expr(0, 0);
+        // 9 non-zero coefficients despite the 5×5 extent.
+        assert_eq!(e.op_counts().loads, 9);
+        assert_eq!(e.extent_of_slot(0), Some((2, 2)));
+        assert!((m.coefficient_sum() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_zero_sum_is_identity() {
+        let m = Mask::laplacian();
+        assert_eq!(m.normalized(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_mask_rejected() {
+        let _ = Mask::new(vec![vec![1.0, 1.0]]);
+    }
+
+    #[test]
+    fn gaussian5_radius() {
+        assert_eq!(Mask::gaussian5().radius(), (2, 2));
+        assert!((Mask::gaussian5().coefficient_sum() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,31 @@
+//! Graph substrate for the `kfuse` kernel-fusion library.
+//!
+//! This crate provides the two graph abstractions the fusion algorithm of
+//! Qiao et al. (CGO 2019) is built on:
+//!
+//! * [`DiGraph`] — a small directed multigraph used to represent image
+//!   processing pipelines as DAGs of kernels (vertices) connected by data
+//!   dependences (edges). It offers the queries the legality analysis needs:
+//!   topological order, predecessor/successor sets, reachability, induced
+//!   subgraphs and weakly connected components.
+//! * [`mincut`] — an undirected, edge-weighted graph together with the
+//!   deterministic **Stoer–Wagner** global minimum-cut algorithm (Stoer &
+//!   Wagner, J. ACM 44(4), 1997), which the paper uses to bisect illegal
+//!   partition blocks (Algorithm 1). A brute-force oracle is included for
+//!   property testing.
+//! * [`partition`] — bookkeeping for partition blocks: disjointness and
+//!   cover checks corresponding to the constraints of the paper's problem
+//!   statement (Section II-A).
+//!
+//! The graphs here are deliberately index-based and dense-friendly: fusion
+//! graphs are tiny (tens of kernels), and determinism matters more than
+//! asymptotics — the paper specifies that ties between equal-weight cuts are
+//! broken by taking the first one encountered.
+
+pub mod digraph;
+pub mod mincut;
+pub mod partition;
+
+pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use mincut::{Cut, MinCutGraph};
+pub use partition::{Block, Partition};

@@ -1,0 +1,235 @@
+//! Partition blocks and partitions of a vertex set.
+//!
+//! The fusion problem (paper Section II-A) asks for a partition
+//! `S = {P₁, …, Pₖ}` of the kernel DAG such that every block is legal,
+//! blocks are pairwise disjoint, and their union covers the graph. This
+//! module provides the value types and the structural checks; legality is
+//! domain knowledge and lives in `kfuse-core`.
+
+use crate::digraph::NodeId;
+
+/// A partition block: a set of vertices intended to be fused into one
+/// kernel.
+///
+/// Blocks keep their members sorted and duplicate-free, which gives them
+/// value semantics (two blocks with the same members compare equal).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Block {
+    members: Vec<NodeId>,
+}
+
+impl Block {
+    /// Creates a block from arbitrary members; duplicates are removed.
+    pub fn new(mut members: Vec<NodeId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        Self { members }
+    }
+
+    /// Creates a single-vertex block.
+    pub fn singleton(n: NodeId) -> Self {
+        Self { members: vec![n] }
+    }
+
+    /// The sorted members of the block.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of vertices in the block.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the block has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `n` is a member of this block.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.members.binary_search(&n).is_ok()
+    }
+
+    /// Splits the block into the members listed in `side` and the rest.
+    ///
+    /// Members of `side` that do not belong to the block are ignored.
+    pub fn split(&self, side: &[NodeId]) -> (Block, Block) {
+        let (a, b): (Vec<_>, Vec<_>) =
+            self.members.iter().partition(|n| side.contains(n));
+        (Block::new(a), Block::new(b))
+    }
+}
+
+impl FromIterator<NodeId> for Block {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        Block::new(iter.into_iter().collect())
+    }
+}
+
+/// A set of blocks forming (or being checked to form) a partition.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Partition {
+    blocks: Vec<Block>,
+}
+
+impl Partition {
+    /// Creates an empty partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a partition from the given blocks.
+    pub fn from_blocks(blocks: Vec<Block>) -> Self {
+        Self { blocks }
+    }
+
+    /// Adds a block.
+    pub fn push(&mut self, block: Block) {
+        self.blocks.push(block);
+    }
+
+    /// The blocks, in insertion order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the partition contains no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block containing `n`, if any.
+    pub fn block_of(&self, n: NodeId) -> Option<&Block> {
+        self.blocks.iter().find(|b| b.contains(n))
+    }
+
+    /// Whether no vertex appears in more than one block (paper: `Vi ∩ Vj = ∅`).
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen: Vec<NodeId> = Vec::new();
+        for b in &self.blocks {
+            for &n in b.members() {
+                if seen.contains(&n) {
+                    return false;
+                }
+                seen.push(n);
+            }
+        }
+        true
+    }
+
+    /// Whether the union of all blocks equals `universe`
+    /// (paper: `V₁ ∪ … ∪ Vₖ = V`).
+    pub fn covers(&self, universe: &[NodeId]) -> bool {
+        let mut all: Vec<NodeId> =
+            self.blocks.iter().flat_map(|b| b.members().iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        let mut uni = universe.to_vec();
+        uni.sort_unstable();
+        uni.dedup();
+        all == uni
+    }
+
+    /// Whether this is a valid partition of `universe`: disjoint, covering,
+    /// and free of empty blocks.
+    pub fn is_valid_partition_of(&self, universe: &[NodeId]) -> bool {
+        self.blocks.iter().all(|b| !b.is_empty())
+            && self.is_disjoint()
+            && self.covers(universe)
+    }
+
+    /// Blocks sorted by their smallest member — a canonical order for
+    /// comparisons and stable output.
+    pub fn canonicalized(&self) -> Partition {
+        let mut blocks = self.blocks.clone();
+        blocks.sort();
+        Partition { blocks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn block_sorts_and_dedups() {
+        let b = Block::new(vec![n(3), n(1), n(3), n(2)]);
+        assert_eq!(b.members(), &[n(1), n(2), n(3)]);
+        assert_eq!(b.len(), 3);
+        assert!(b.contains(n(2)));
+        assert!(!b.contains(n(0)));
+    }
+
+    #[test]
+    fn block_equality_is_structural() {
+        assert_eq!(Block::new(vec![n(2), n(1)]), Block::new(vec![n(1), n(2)]));
+        assert_eq!(Block::singleton(n(5)), Block::new(vec![n(5), n(5)]));
+    }
+
+    #[test]
+    fn block_split() {
+        let b = Block::new(vec![n(0), n(1), n(2), n(3)]);
+        let (a, rest) = b.split(&[n(1), n(3), n(9)]);
+        assert_eq!(a.members(), &[n(1), n(3)]);
+        assert_eq!(rest.members(), &[n(0), n(2)]);
+    }
+
+    #[test]
+    fn partition_disjoint_and_cover() {
+        let p = Partition::from_blocks(vec![
+            Block::new(vec![n(0), n(1)]),
+            Block::singleton(n(2)),
+        ]);
+        assert!(p.is_disjoint());
+        assert!(p.covers(&[n(0), n(1), n(2)]));
+        assert!(p.is_valid_partition_of(&[n(0), n(1), n(2)]));
+        assert!(!p.covers(&[n(0), n(1), n(2), n(3)]));
+    }
+
+    #[test]
+    fn overlapping_blocks_detected() {
+        let p = Partition::from_blocks(vec![
+            Block::new(vec![n(0), n(1)]),
+            Block::new(vec![n(1), n(2)]),
+        ]);
+        assert!(!p.is_disjoint());
+        assert!(!p.is_valid_partition_of(&[n(0), n(1), n(2)]));
+    }
+
+    #[test]
+    fn empty_block_invalidates_partition() {
+        let p = Partition::from_blocks(vec![Block::new(vec![]), Block::singleton(n(0))]);
+        assert!(!p.is_valid_partition_of(&[n(0)]));
+    }
+
+    #[test]
+    fn block_of_lookup() {
+        let p = Partition::from_blocks(vec![
+            Block::new(vec![n(0), n(1)]),
+            Block::singleton(n(2)),
+        ]);
+        assert_eq!(p.block_of(n(1)).unwrap().members(), &[n(0), n(1)]);
+        assert!(p.block_of(n(7)).is_none());
+    }
+
+    #[test]
+    fn canonical_order_is_by_smallest_member() {
+        let p = Partition::from_blocks(vec![
+            Block::singleton(n(2)),
+            Block::new(vec![n(0), n(1)]),
+        ]);
+        let c = p.canonicalized();
+        assert_eq!(c.blocks()[0].members(), &[n(0), n(1)]);
+        assert_eq!(c.blocks()[1].members(), &[n(2)]);
+    }
+}

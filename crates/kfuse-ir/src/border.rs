@@ -1,0 +1,193 @@
+//! Border handling for stencil accesses.
+//!
+//! A local operator reads a window of pixels around the output position; at
+//! the image border some of those positions fall outside the image. The
+//! paper stresses (Section IV-A) that correct border handling is a crucial —
+//! and often neglected — ingredient of fusion: the halo region grows
+//! quadratically with the number of fused local kernels, and naive body
+//! fusion produces wrong values there (Figure 4b vs. 4c).
+//!
+//! [`BorderMode::resolve`] is the *index-exchange* primitive of Section
+//! IV-B: it maps an arbitrary coordinate to either an in-bounds coordinate
+//! (clamp/mirror/repeat) or a constant value.
+
+/// Out-of-bounds policy for image accesses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BorderMode {
+    /// Clamp to the nearest edge pixel (the paper's running example).
+    Clamp,
+    /// Mirror at the edge with the edge pixel included
+    /// (`… 2 1 0 | 0 1 2 …`).
+    Mirror,
+    /// Wrap around periodically (`… w-2 w-1 | 0 1 …`).
+    Repeat,
+    /// Produce a constant value for every out-of-bounds access.
+    Constant(f32),
+}
+
+/// Result of resolving a possibly out-of-bounds coordinate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Resolved {
+    /// The access maps to the in-bounds pixel `(x, y)`.
+    At(usize, usize),
+    /// The access produces this constant value.
+    Value(f32),
+}
+
+impl BorderMode {
+    /// Resolves one axis coordinate `i` against extent `n`.
+    ///
+    /// Returns `None` for [`BorderMode::Constant`] when `i` is out of
+    /// bounds, otherwise the exchanged in-bounds index.
+    fn resolve_axis(self, i: i64, n: usize) -> Option<usize> {
+        let n_i = n as i64;
+        if (0..n_i).contains(&i) {
+            return Some(i as usize);
+        }
+        match self {
+            BorderMode::Clamp => Some(i.clamp(0, n_i - 1) as usize),
+            BorderMode::Mirror => {
+                // Reflect with period 2n: … 2 1 0 | 0 1 2 … n-1 | n-1 …
+                let p = 2 * n_i;
+                let mut m = i.rem_euclid(p);
+                if m >= n_i {
+                    m = p - 1 - m;
+                }
+                Some(m as usize)
+            }
+            BorderMode::Repeat => Some(i.rem_euclid(n_i) as usize),
+            BorderMode::Constant(_) => None,
+        }
+    }
+
+    /// Resolves coordinate `(x, y)` against an image of size `w × h`:
+    /// the index-exchange function of paper Section IV-B.
+    ///
+    /// In-bounds coordinates are returned unchanged; out-of-bounds
+    /// coordinates are exchanged for an in-bounds pixel (clamp, mirror,
+    /// repeat) or for a constant value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kfuse_ir::border::{BorderMode, Resolved};
+    ///
+    /// assert_eq!(BorderMode::Clamp.resolve(-2, 1, 4, 4), Resolved::At(0, 1));
+    /// assert_eq!(BorderMode::Mirror.resolve(-1, 0, 4, 4), Resolved::At(0, 0));
+    /// assert_eq!(BorderMode::Repeat.resolve(4, 0, 4, 4), Resolved::At(0, 0));
+    /// assert_eq!(
+    ///     BorderMode::Constant(0.0).resolve(-1, 0, 4, 4),
+    ///     Resolved::Value(0.0)
+    /// );
+    /// ```
+    pub fn resolve(self, x: i64, y: i64, w: usize, h: usize) -> Resolved {
+        match (self.resolve_axis(x, w), self.resolve_axis(y, h)) {
+            (Some(x), Some(y)) => Resolved::At(x, y),
+            _ => match self {
+                BorderMode::Constant(v) => Resolved::Value(v),
+                // Unreachable: only `Constant` yields `None` per axis.
+                _ => unreachable!("non-constant modes always resolve"),
+            },
+        }
+    }
+
+    /// Whether an access at `(x, y)` would be in bounds without exchange.
+    pub fn in_bounds(x: i64, y: i64, w: usize, h: usize) -> bool {
+        (0..w as i64).contains(&x) && (0..h as i64).contains(&y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn in_bounds_passthrough() {
+        for mode in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Repeat,
+            BorderMode::Constant(9.0),
+        ] {
+            assert_eq!(mode.resolve(2, 3, 5, 5), Resolved::At(2, 3));
+        }
+    }
+
+    #[test]
+    fn clamp_extremes() {
+        let m = BorderMode::Clamp;
+        assert_eq!(m.resolve(-10, -10, 4, 3), Resolved::At(0, 0));
+        assert_eq!(m.resolve(100, 100, 4, 3), Resolved::At(3, 2));
+        assert_eq!(m.resolve(-1, 1, 4, 3), Resolved::At(0, 1));
+    }
+
+    #[test]
+    fn mirror_sequence() {
+        // For w = 4: indices -3..=7 map to 2 1 0 | 0 1 2 3 | 3 2 1
+        let m = BorderMode::Mirror;
+        let got: Vec<usize> = (-3..=7)
+            .map(|x| match m.resolve(x, 0, 4, 1) {
+                Resolved::At(x, _) => x,
+                Resolved::Value(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![2, 1, 0, 0, 1, 2, 3, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn repeat_wraps_both_directions() {
+        let m = BorderMode::Repeat;
+        assert_eq!(m.resolve(-1, 0, 4, 1), Resolved::At(3, 0));
+        assert_eq!(m.resolve(4, 0, 4, 1), Resolved::At(0, 0));
+        assert_eq!(m.resolve(9, 0, 4, 1), Resolved::At(1, 0));
+    }
+
+    #[test]
+    fn constant_only_when_out_of_bounds() {
+        let m = BorderMode::Constant(7.0);
+        assert_eq!(m.resolve(0, 0, 2, 2), Resolved::At(0, 0));
+        assert_eq!(m.resolve(2, 0, 2, 2), Resolved::Value(7.0));
+        assert_eq!(m.resolve(0, -1, 2, 2), Resolved::Value(7.0));
+    }
+
+    #[test]
+    fn width_one_image() {
+        // Degenerate extents exercise the reflection period.
+        assert_eq!(BorderMode::Mirror.resolve(5, 0, 1, 1), Resolved::At(0, 0));
+        assert_eq!(BorderMode::Repeat.resolve(-7, 0, 1, 1), Resolved::At(0, 0));
+        assert_eq!(BorderMode::Clamp.resolve(-7, 3, 1, 1), Resolved::At(0, 0));
+    }
+
+    proptest! {
+        /// Every non-constant mode resolves to an in-bounds pixel, and
+        /// resolution is idempotent.
+        #[test]
+        fn resolution_lands_in_bounds(
+            x in -64i64..64, y in -64i64..64,
+            w in 1usize..16, h in 1usize..16,
+            mode_ix in 0usize..3,
+        ) {
+            let mode = [BorderMode::Clamp, BorderMode::Mirror, BorderMode::Repeat][mode_ix];
+            match mode.resolve(x, y, w, h) {
+                Resolved::At(rx, ry) => {
+                    prop_assert!(rx < w && ry < h);
+                    prop_assert_eq!(
+                        mode.resolve(rx as i64, ry as i64, w, h),
+                        Resolved::At(rx, ry)
+                    );
+                }
+                Resolved::Value(_) => prop_assert!(false, "non-constant mode yielded a value"),
+            }
+        }
+
+        /// Mirror and repeat agree with clamp on in-bounds coordinates.
+        #[test]
+        fn modes_agree_in_bounds(x in 0i64..16, y in 0i64..16) {
+            let (w, h) = (16, 16);
+            for mode in [BorderMode::Clamp, BorderMode::Mirror, BorderMode::Repeat] {
+                prop_assert_eq!(mode.resolve(x, y, w, h), Resolved::At(x as usize, y as usize));
+            }
+        }
+    }
+}

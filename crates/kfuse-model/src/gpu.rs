@@ -1,0 +1,249 @@
+//! GPU architecture parameters.
+//!
+//! The paper's hardware model (Section II-C2) abstracts a GPU as a
+//! three-level memory hierarchy — registers (1 cycle), shared memory (a few
+//! cycles), global memory (400–800 cycles latency) — plus ALU and SFU
+//! arithmetic costs. This module carries those parameters together with the
+//! machine-level facts the timing simulator needs (core counts, clocks,
+//! bandwidth, occupancy limits), with presets for the three evaluation GPUs
+//! of Section V-A.
+
+/// Architecture description used by both the benefit model and the timing
+/// simulator.
+///
+/// All cycle costs are expressed in core clock cycles, as in the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"GeForce GTX 680"`.
+    pub name: String,
+    /// Total CUDA cores.
+    pub cuda_cores: u32,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Base core clock in MHz.
+    pub base_clock_mhz: f64,
+    /// Memory clock in MHz (as reported by the vendor; see
+    /// [`GpuSpec::dram_bandwidth_gbps`] for the derived bandwidth).
+    pub mem_clock_mhz: f64,
+    /// Effective DRAM bandwidth in GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// Shared memory available per thread block, in bytes (48 KiB on all
+    /// three evaluation GPUs).
+    pub shared_mem_per_block: usize,
+    /// Registers available per thread block (65,536 on all three GPUs).
+    pub registers_per_block: u32,
+    /// Shared memory per SM, in bytes (bounds resident blocks).
+    pub shared_mem_per_sm: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Expected global-memory access latency `t_g` in cycles
+    /// (paper: 400–800; conservative default 400).
+    pub t_global: f64,
+    /// Expected shared-memory access cost `t_s` in cycles (a few cycles).
+    pub t_shared: f64,
+    /// Register access cost in cycles (single cycle).
+    pub t_register: f64,
+    /// Average ALU operation cost `c_ALU` in cycles (paper example: 4).
+    pub c_alu: f64,
+    /// Average SFU operation cost `c_SFU` in cycles.
+    pub c_sfu: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuSpec {
+    /// Core clock in Hz.
+    pub fn core_clock_hz(&self) -> f64 {
+        self.base_clock_mhz * 1e6
+    }
+
+    /// DRAM bandwidth in bytes per second.
+    pub fn dram_bandwidth_bytes_per_s(&self) -> f64 {
+        self.dram_bandwidth_gbps * 1e9
+    }
+
+    /// Launch overhead converted to core cycles.
+    pub fn launch_overhead_cycles(&self) -> f64 {
+        self.launch_overhead_us * 1e-6 * self.core_clock_hz()
+    }
+
+    /// The locality-improvement ratio `t_g / t_s` of Eq. (3).
+    pub fn global_to_shared_ratio(&self) -> f64 {
+        self.t_global / self.t_shared
+    }
+
+    /// Nvidia GeForce GTX 745: 384 CUDA cores, 1,033 MHz base clock,
+    /// 900 MHz memory clock (paper Section V-A). Maxwell GM107, 3 SMs,
+    /// 128-bit interface. The effective bandwidth is modelled as
+    /// quad-pumped (≈ 57.6 GB/s): with the DDR3 OEM figure (28.8 GB/s)
+    /// the GTX 745 would be by far the most memory-starved of the three
+    /// GPUs and would show the *largest* fusion gains, contradicting the
+    /// paper's Table I where it consistently shows the smallest.
+    pub fn gtx745() -> Self {
+        Self {
+            name: "GeForce GTX 745".into(),
+            cuda_cores: 384,
+            sm_count: 3,
+            base_clock_mhz: 1033.0,
+            mem_clock_mhz: 900.0,
+            dram_bandwidth_gbps: 57.6,
+            shared_mem_per_block: 48 * 1024,
+            registers_per_block: 65_536,
+            shared_mem_per_sm: 64 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            ..Self::common()
+        }
+    }
+
+    /// Nvidia GeForce GTX 680: 1,536 CUDA cores, 1,058 MHz base clock,
+    /// 3,004 MHz memory clock (paper Section V-A). Kepler GK104, 8 SMX,
+    /// 256-bit GDDR5 interface (≈ 192.3 GB/s).
+    pub fn gtx680() -> Self {
+        Self {
+            name: "GeForce GTX 680".into(),
+            cuda_cores: 1536,
+            sm_count: 8,
+            base_clock_mhz: 1058.0,
+            mem_clock_mhz: 3004.0,
+            dram_bandwidth_gbps: 192.3,
+            shared_mem_per_block: 48 * 1024,
+            registers_per_block: 65_536,
+            shared_mem_per_sm: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            ..Self::common()
+        }
+    }
+
+    /// Nvidia Tesla K20c: 2,496 CUDA cores, 706 MHz base clock, 2,600 MHz
+    /// memory clock (paper Section V-A). Kepler GK110, 13 SMX, 320-bit
+    /// GDDR5 interface (≈ 208 GB/s).
+    pub fn k20c() -> Self {
+        Self {
+            name: "Tesla K20c".into(),
+            cuda_cores: 2496,
+            sm_count: 13,
+            base_clock_mhz: 706.0,
+            mem_clock_mhz: 2600.0,
+            dram_bandwidth_gbps: 208.0,
+            shared_mem_per_block: 48 * 1024,
+            registers_per_block: 65_536,
+            shared_mem_per_sm: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            ..Self::common()
+        }
+    }
+
+    /// The three GPUs of the paper's evaluation, in presentation order.
+    pub fn evaluation_gpus() -> Vec<GpuSpec> {
+        vec![Self::gtx745(), Self::gtx680(), Self::k20c()]
+    }
+
+    /// Shared cycle-cost defaults (paper Section II-C2: conservative
+    /// `t_g = 400`, shared memory "a few cycles", registers one cycle).
+    fn common() -> Self {
+        Self {
+            name: String::new(),
+            cuda_cores: 0,
+            sm_count: 1,
+            base_clock_mhz: 1000.0,
+            mem_clock_mhz: 1000.0,
+            dram_bandwidth_gbps: 100.0,
+            shared_mem_per_block: 48 * 1024,
+            registers_per_block: 65_536,
+            shared_mem_per_sm: 48 * 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            t_global: 400.0,
+            t_shared: 4.0,
+            t_register: 1.0,
+            c_alu: 4.0,
+            c_sfu: 16.0,
+            launch_overhead_us: 5.0,
+        }
+    }
+}
+
+/// Thread-block geometry used by the generated code.
+///
+/// Hipacc's CUDA backend launches 2D blocks; the tile staged into shared
+/// memory for a stencil of radius `(rx, ry)` is
+/// `(bx + 2·rx) × (by + 2·ry)` samples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Threads per block in x.
+    pub bx: usize,
+    /// Threads per block in y.
+    pub by: usize,
+}
+
+impl BlockShape {
+    /// The default 32×4 configuration used throughout the evaluation.
+    pub const DEFAULT: BlockShape = BlockShape { bx: 32, by: 4 };
+
+    /// Threads per block.
+    pub fn threads(&self) -> usize {
+        self.bx * self.by
+    }
+
+    /// Samples in the shared-memory tile for a stencil of radius
+    /// `(rx, ry)`.
+    pub fn tile_samples(&self, rx: usize, ry: usize) -> usize {
+        (self.bx + 2 * rx) * (self.by + 2 * ry)
+    }
+
+    /// Tile overhead factor: tile samples per thread.
+    pub fn tile_factor(&self, rx: usize, ry: usize) -> f64 {
+        self.tile_samples(rx, ry) as f64 / self.threads() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_headline_numbers() {
+        let g745 = GpuSpec::gtx745();
+        assert_eq!(g745.cuda_cores, 384);
+        assert_eq!(g745.base_clock_mhz, 1033.0);
+        assert_eq!(g745.mem_clock_mhz, 900.0);
+
+        let g680 = GpuSpec::gtx680();
+        assert_eq!(g680.cuda_cores, 1536);
+        assert_eq!(g680.base_clock_mhz, 1058.0);
+        assert_eq!(g680.mem_clock_mhz, 3004.0);
+
+        let k20 = GpuSpec::k20c();
+        assert_eq!(k20.cuda_cores, 2496);
+        assert_eq!(k20.base_clock_mhz, 706.0);
+        assert_eq!(k20.mem_clock_mhz, 2600.0);
+
+        for g in GpuSpec::evaluation_gpus() {
+            assert_eq!(g.shared_mem_per_block, 48 * 1024);
+            assert_eq!(g.registers_per_block, 65_536);
+        }
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let g = GpuSpec::gtx680();
+        assert!((g.core_clock_hz() - 1.058e9).abs() < 1.0);
+        assert!((g.dram_bandwidth_bytes_per_s() - 192.3e9).abs() < 1e6);
+        assert!(g.launch_overhead_cycles() > 1000.0);
+        assert_eq!(g.global_to_shared_ratio(), 100.0);
+    }
+
+    #[test]
+    fn block_shape_tiles() {
+        let b = BlockShape::DEFAULT;
+        assert_eq!(b.threads(), 128);
+        assert_eq!(b.tile_samples(0, 0), 128);
+        assert_eq!(b.tile_samples(1, 1), 34 * 6);
+        assert!((b.tile_factor(1, 1) - 204.0 / 128.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,370 @@
+//! Functional execution of pipelines (reference semantics).
+//!
+//! The executor evaluates kernels in topological order, pixel by pixel.
+//! It is the oracle for fusion correctness: a fused pipeline must produce
+//! **bit-identical** outputs to the unfused one, because fusion performs the
+//! same arithmetic in the same order — including in the halo region, where
+//! the index-exchange method of paper Section IV-B governs out-of-bounds
+//! accesses to eliminated intermediate images.
+//!
+//! Loads resolve as follows (evaluation position `(x, y)` is always in
+//! bounds):
+//!
+//! * `Load` of an **input image** at `(x+dx, y+dy)` applies the slot's
+//!   border mode against the image bounds — ordinary border handling.
+//! * `Load` of an **inlined stage** applies the slot's border mode against
+//!   the iteration space and then evaluates the producer stage's body at the
+//!   exchanged position — exactly the paper's index exchange (Figure 5):
+//!   out-of-border pixels of the intermediate are recomputed at their
+//!   exchanged coordinates rather than read from a padded buffer.
+
+use kfuse_ir::border::Resolved;
+use kfuse_ir::{Expr, Image, ImageId, Kernel, Pipeline, StageRef};
+
+/// Errors from [`execute`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// A pipeline input was not provided.
+    MissingInput {
+        /// Name of the missing image.
+        image: String,
+    },
+    /// A provided input does not match its descriptor.
+    ShapeMismatch {
+        /// Name of the offending image.
+        image: String,
+    },
+    /// The pipeline failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingInput { image } => write!(f, "missing input image {image}"),
+            ExecError::ShapeMismatch { image } => write!(f, "shape mismatch for image {image}"),
+            ExecError::Invalid(e) => write!(f, "invalid pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// All images materialized by a pipeline run, indexed by [`ImageId`].
+///
+/// Images eliminated by fusion are simply never produced (`None`).
+#[derive(Clone, Debug)]
+pub struct Execution {
+    images: Vec<Option<Image>>,
+}
+
+impl Execution {
+    /// The image with id `id`, if it was provided or produced.
+    pub fn image(&self, id: ImageId) -> Option<&Image> {
+        self.images.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// The image with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image was never materialized.
+    pub fn expect_image(&self, id: ImageId) -> &Image {
+        self.image(id).expect("image was not materialized")
+    }
+}
+
+struct Evaluator<'a> {
+    kernel: &'a Kernel,
+    inputs: Vec<&'a Image>,
+    /// Iteration-space bounds (output image width/height).
+    iw: usize,
+    ih: usize,
+}
+
+impl Evaluator<'_> {
+    fn eval(&self, stage: usize, ch: usize, x: usize, y: usize) -> f32 {
+        let s = &self.kernel.stages[stage];
+        self.eval_expr(stage, &s.body[ch], x, y)
+    }
+
+    fn eval_expr(&self, stage: usize, e: &Expr, x: usize, y: usize) -> f32 {
+        let s = &self.kernel.stages[stage];
+        match e {
+            Expr::Const(v) => *v,
+            Expr::Param(i) => s.params[*i],
+            Expr::Load { slot, dx, dy, ch } => {
+                let tx = x as i64 + i64::from(*dx);
+                let ty = y as i64 + i64::from(*dy);
+                match s.refs[*slot] {
+                    StageRef::Input(i) => {
+                        let img = self.inputs[i];
+                        match s.borders[*slot].resolve(tx, ty, img.width(), img.height()) {
+                            Resolved::At(rx, ry) => img.get(rx, ry, *ch),
+                            Resolved::Value(v) => v,
+                        }
+                    }
+                    StageRef::Stage(j) => {
+                        // Index exchange against the iteration space, then
+                        // recompute the producer at the exchanged position.
+                        match s.borders[*slot].resolve(tx, ty, self.iw, self.ih) {
+                            Resolved::At(rx, ry) => self.eval(j, *ch, rx, ry),
+                            Resolved::Value(v) => v,
+                        }
+                    }
+                }
+            }
+            Expr::Bin(op, a, b) => op.apply(
+                self.eval_expr(stage, a, x, y),
+                self.eval_expr(stage, b, x, y),
+            ),
+            Expr::Un(op, a) => op.apply(self.eval_expr(stage, a, x, y)),
+            Expr::Select(c, t, f) => {
+                if self.eval_expr(stage, c, x, y) > 0.0 {
+                    self.eval_expr(stage, t, x, y)
+                } else {
+                    self.eval_expr(stage, f, x, y)
+                }
+            }
+        }
+    }
+}
+
+/// Executes one kernel against already-materialized images.
+pub fn execute_kernel(p: &Pipeline, k: &Kernel, images: &[Option<Image>]) -> Image {
+    let out_desc = p.image(k.output).clone();
+    let inputs: Vec<&Image> = k
+        .inputs
+        .iter()
+        .map(|&i| {
+            images[i.0]
+                .as_ref()
+                .expect("topological execution materializes inputs first")
+        })
+        .collect();
+    let ev = Evaluator {
+        kernel: k,
+        inputs,
+        iw: out_desc.width,
+        ih: out_desc.height,
+    };
+    let mut out = Image::zeros(out_desc);
+    let (w, h, c) = (out.width(), out.height(), out.channels());
+    for y in 0..h {
+        for x in 0..w {
+            for ch in 0..c {
+                let v = ev.eval(k.root, ch, x, y);
+                out.set(x, y, ch, v);
+            }
+        }
+    }
+    out
+}
+
+/// Executes a pipeline with the given inputs.
+///
+/// Returns every materialized image; fused pipelines materialize fewer
+/// intermediates. Inputs may be given in any order.
+pub fn execute(p: &Pipeline, inputs: &[(ImageId, Image)]) -> Result<Execution, ExecError> {
+    p.validate().map_err(|e| ExecError::Invalid(e.to_string()))?;
+    let mut images: Vec<Option<Image>> = vec![None; p.images().len()];
+    for (id, img) in inputs {
+        let desc = p.image(*id);
+        if img.width() != desc.width || img.height() != desc.height || img.channels() != desc.channels
+        {
+            return Err(ExecError::ShapeMismatch { image: desc.name.clone() });
+        }
+        images[id.0] = Some(img.clone());
+    }
+    for &id in p.inputs() {
+        if images[id.0].is_none() {
+            return Err(ExecError::MissingInput { image: p.image(id).name.clone() });
+        }
+    }
+    let dag = p.kernel_dag();
+    for n in dag.topo_order().expect("validated pipelines are acyclic") {
+        let k = p.kernel(kfuse_ir::KernelId(n.0));
+        let out = execute_kernel(p, k, &images);
+        images[k.output.0] = Some(out);
+    }
+    Ok(Execution { images })
+}
+
+/// Fills an image with a deterministic pseudo-random pattern in `[0, 255]`.
+///
+/// Useful for correctness tests and the artifact-style "random image"
+/// workloads of the paper's evaluation.
+pub fn synthetic_image(desc: kfuse_ir::ImageDesc, seed: u64) -> Image {
+    let mut img = Image::zeros(desc);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for v in img.data_mut() {
+        // SplitMix64.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        *v = (z % 256) as f32;
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel};
+
+    fn desc(name: &str, w: usize, h: usize) -> ImageDesc {
+        ImageDesc::new(name, w, h, 1)
+    }
+
+    #[test]
+    fn point_kernel_executes() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 3, 2));
+        let out = p.add_image(desc("out", 3, 2));
+        p.add_kernel(Kernel::simple(
+            "dbl",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::Const(2.0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        let src = Image::from_rows("in", &[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let exec = execute(&p, &[(input, src)]).unwrap();
+        let got = exec.expect_image(out);
+        assert_eq!(got.get(2, 1, 0), 12.0);
+        assert_eq!(got.get(0, 0, 0), 2.0);
+    }
+
+    #[test]
+    fn local_kernel_clamps_border() {
+        // 3×1 horizontal sum with clamp on a 3-wide image.
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 3, 1));
+        let out = p.add_image(desc("out", 3, 1));
+        let body = Expr::load_at(0, -1, 0) + Expr::load(0) + Expr::load_at(0, 1, 0);
+        p.add_kernel(Kernel::simple(
+            "sum3",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![body],
+            vec![],
+        ));
+        p.mark_output(out);
+        let src = Image::from_rows("in", &[&[1.0, 2.0, 3.0]]);
+        let exec = execute(&p, &[(input, src)]).unwrap();
+        let got = exec.expect_image(out);
+        assert_eq!(got.get(0, 0, 0), 1.0 + 1.0 + 2.0); // left clamps to 1
+        assert_eq!(got.get(1, 0, 0), 6.0);
+        assert_eq!(got.get(2, 0, 0), 2.0 + 3.0 + 3.0); // right clamps to 3
+    }
+
+    #[test]
+    fn constant_border_returns_value() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 2, 1));
+        let out = p.add_image(desc("out", 2, 1));
+        let body = Expr::load_at(0, -1, 0) + Expr::load_at(0, 1, 0);
+        p.add_kernel(Kernel::simple(
+            "s",
+            vec![input],
+            out,
+            vec![BorderMode::Constant(100.0)],
+            vec![body],
+            vec![],
+        ));
+        p.mark_output(out);
+        let src = Image::from_rows("in", &[&[1.0, 2.0]]);
+        let exec = execute(&p, &[(input, src)]).unwrap();
+        let got = exec.expect_image(out);
+        assert_eq!(got.get(0, 0, 0), 100.0 + 2.0);
+        assert_eq!(got.get(1, 0, 0), 1.0 + 100.0);
+    }
+
+    #[test]
+    fn missing_input_detected() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 2, 2));
+        let out = p.add_image(desc("out", 2, 2));
+        p.add_kernel(Kernel::simple(
+            "id",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        assert!(matches!(
+            execute(&p, &[]),
+            Err(ExecError::MissingInput { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 2, 2));
+        let out = p.add_image(desc("out", 2, 2));
+        p.add_kernel(Kernel::simple(
+            "id",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        let wrong = Image::from_rows("in", &[&[1.0, 2.0, 3.0]]);
+        assert!(matches!(
+            execute(&p, &[(input, wrong)]),
+            Err(ExecError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rgb_channels_evaluate_independently() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(ImageDesc::new("in", 1, 1, 3));
+        let out = p.add_image(ImageDesc::new("out", 1, 1, 3));
+        // Swap channels: out.r = in.b, out.g = in.g, out.b = in.r.
+        let body = vec![
+            Expr::Load { slot: 0, dx: 0, dy: 0, ch: 2 },
+            Expr::Load { slot: 0, dx: 0, dy: 0, ch: 1 },
+            Expr::Load { slot: 0, dx: 0, dy: 0, ch: 0 },
+        ];
+        p.add_kernel(Kernel::simple(
+            "swap",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            body,
+            vec![],
+        ));
+        p.mark_output(out);
+        let mut src = Image::zeros(ImageDesc::new("in", 1, 1, 3));
+        src.set(0, 0, 0, 1.0);
+        src.set(0, 0, 1, 2.0);
+        src.set(0, 0, 2, 3.0);
+        let exec = execute(&p, &[(input, src)]).unwrap();
+        let got = exec.expect_image(out);
+        assert_eq!(
+            [got.get(0, 0, 0), got.get(0, 0, 1), got.get(0, 0, 2)],
+            [3.0, 2.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn synthetic_image_is_deterministic() {
+        let a = synthetic_image(desc("a", 8, 8), 42);
+        let b = synthetic_image(desc("b", 8, 8), 42);
+        let c = synthetic_image(desc("c", 8, 8), 43);
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+        assert!(a.data().iter().all(|&v| (0.0..256.0).contains(&v)));
+    }
+}

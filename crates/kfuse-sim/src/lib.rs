@@ -1,0 +1,30 @@
+//! Execution substrate for the `kfuse` kernel-fusion library.
+//!
+//! The paper evaluates fused CUDA code on three physical Nvidia GPUs; this
+//! crate replaces that testbed with two complementary engines:
+//!
+//! * [`exec`] — a **functional executor** that runs kernel IR over images
+//!   with full border handling, including the index-exchange semantics of
+//!   paper Section IV-B for inlined stages. It is the correctness oracle:
+//!   fused pipelines must match unfused ones bit-exactly.
+//! * [`cost`] + [`timing`] — a **static launch cost analysis** and an
+//!   analytic, roofline-style **GPU timing model** parameterized by
+//!   [`kfuse_model::GpuSpec`]. Fusion's effect is precisely a change in
+//!   where intermediate traffic goes (global → shared/register), extra
+//!   recompute, and fewer launches; the model charges exactly those
+//!   quantities, preserving the *shape* of the paper's speedups.
+//!
+//! [`timing::noisy_runs`] adds the measurement-noise protocol used to
+//! reproduce the box-plot statistics of Figure 6, and [`micro`] provides a
+//! warp-level micro-simulator as a cycle-accurate cross-check of the
+//! analytic model (`ablation_microsim`).
+
+pub mod cost;
+pub mod micro;
+pub mod exec;
+pub mod timing;
+
+pub use cost::{analyze_kernel, analyze_pipeline, total_dram_bytes, LaunchCost, ThreadCost};
+pub use micro::{build_trace, MicroSim, MicroTiming, WarpOp};
+pub use exec::{execute, execute_kernel, synthetic_image, ExecError, Execution};
+pub use timing::{noisy_runs, KernelTiming, PipelineTiming, RunStats, TimingModel};

@@ -1,0 +1,425 @@
+//! A warp-level GPU micro-simulator — the cycle-accurate cross-check for
+//! the analytic timing model.
+//!
+//! The analytic model of [`crate::timing`] is a closed-form roofline; this
+//! module simulates what it abstracts: warps of one streaming
+//! multiprocessor issuing an instruction trace in order, stalling on
+//! outstanding memory, and competing for DRAM bandwidth. It exists to
+//! answer the question every launch-level model begs — *does latency
+//! hiding actually work out at this occupancy?* — and is compared against
+//! the analytic model by the `ablation_microsim` bench.
+//!
+//! Model summary (one SM, scaled to the device):
+//!
+//! * a kernel launch is `blocks_total` thread blocks; `resident` of them
+//!   fit on an SM at once (shared-memory/occupancy limits), and the SM
+//!   processes its share in waves;
+//! * each warp executes the same in-order instruction trace derived from
+//!   the per-thread launch cost: DRAM loads, near loads (shared/L1), ALU
+//!   and SFU ops, and a final store;
+//! * the SM issues up to [`MicroSim::issue_width`] instructions per cycle,
+//!   round-robin over ready warps;
+//! * a DRAM access occupies a scoreboard slot until `dram_latency` cycles
+//!   have elapsed *and* the bandwidth regulator has drained its bytes;
+//!   a warp with [`MicroSim::max_outstanding`] outstanding accesses (or
+//!   one needing its loaded value, which we approximate as the trace
+//!   reaching the next compute instruction group) stalls.
+
+use crate::cost::{analyze_kernel, LaunchCost};
+use kfuse_ir::Pipeline;
+use kfuse_model::{BlockShape, GpuSpec};
+
+/// One abstract warp instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarpOp {
+    /// DRAM load (latency + bandwidth).
+    LoadGlobal,
+    /// Shared-memory or cache-served load (short fixed latency).
+    LoadNear,
+    /// One ALU instruction.
+    Alu,
+    /// One SFU instruction.
+    Sfu,
+    /// Store to DRAM (fire-and-forget, bandwidth-regulated).
+    Store,
+    /// Block-wide barrier (`__syncthreads` after tile fills).
+    Sync,
+}
+
+/// Builds the per-warp instruction trace for one kernel launch.
+///
+/// The trace interleaves the memory and compute phases the generated code
+/// has: tile-fill DRAM loads first (followed by a barrier when tiles
+/// exist), then alternating near-loads and arithmetic, then the store.
+pub fn build_trace(cost: &LaunchCost) -> Vec<WarpOp> {
+    let mut trace = Vec::new();
+    let n_global = cost.per_thread.dram_ld.round().max(0.0) as usize;
+    let n_near = cost.per_thread.shared_access.round().max(0.0) as usize;
+    let n_alu = cost.per_thread.alu.round().max(0.0) as usize;
+    let n_sfu = cost.per_thread.sfu.round().max(0.0) as usize;
+    let n_store = cost.per_thread.dram_st.round().max(1.0) as usize;
+
+    trace.extend(std::iter::repeat_n(WarpOp::LoadGlobal, n_global));
+    if cost.shared_bytes_per_block > 0 {
+        trace.push(WarpOp::Sync);
+    }
+    // Interleave near loads with compute, roughly as unrolled stencil code
+    // does: a load feeds a handful of arithmetic instructions.
+    let total_compute = n_alu + n_sfu;
+    let chunk = (total_compute / n_near.max(1)).max(1);
+    let mut alu_left = n_alu;
+    let mut sfu_left = n_sfu;
+    for _ in 0..n_near {
+        trace.push(WarpOp::LoadNear);
+        for _ in 0..chunk {
+            if alu_left > 0 {
+                trace.push(WarpOp::Alu);
+                alu_left -= 1;
+            } else if sfu_left > 0 {
+                trace.push(WarpOp::Sfu);
+                sfu_left -= 1;
+            }
+        }
+    }
+    trace.extend(std::iter::repeat_n(WarpOp::Alu, alu_left));
+    trace.extend(std::iter::repeat_n(WarpOp::Sfu, sfu_left));
+    trace.extend(std::iter::repeat_n(WarpOp::Store, n_store));
+    trace
+}
+
+/// Result of simulating one kernel launch.
+#[derive(Clone, Debug)]
+pub struct MicroTiming {
+    /// Kernel name.
+    pub name: String,
+    /// Simulated cycles for one SM wave.
+    pub cycles_per_wave: u64,
+    /// Number of waves the device needs for all blocks.
+    pub waves: u64,
+    /// Modelled execution time in milliseconds.
+    pub time_ms: f64,
+    /// Resident blocks per SM during the launch.
+    pub resident_blocks: u32,
+}
+
+/// The micro-simulator configuration.
+#[derive(Clone, Debug)]
+pub struct MicroSim {
+    /// Device parameters.
+    pub gpu: GpuSpec,
+    /// Thread-block geometry.
+    pub block: BlockShape,
+    /// Instructions the SM can issue per cycle across all warps.
+    pub issue_width: u32,
+    /// DRAM access latency in cycles (the paper's `t_g`).
+    pub dram_latency: u64,
+    /// Near (shared/L1) load latency in cycles.
+    pub near_latency: u64,
+    /// Maximum outstanding DRAM accesses per warp before it stalls.
+    pub max_outstanding: usize,
+    /// SFU issue cost in cycles (occupies the issue port longer).
+    pub sfu_issue: u64,
+}
+
+impl MicroSim {
+    /// A simulator for `gpu` with default microarchitectural parameters.
+    pub fn new(gpu: GpuSpec) -> Self {
+        let dram_latency = gpu.t_global as u64;
+        Self {
+            gpu,
+            block: BlockShape::DEFAULT,
+            issue_width: 4,
+            dram_latency,
+            near_latency: 24,
+            max_outstanding: 6,
+            sfu_issue: 8,
+        }
+    }
+
+    /// Resident blocks per SM under shared-memory and thread limits.
+    fn resident_blocks(&self, shared_bytes: usize) -> u32 {
+        let tpb = self.block.threads() as u32;
+        let by_threads = self.gpu.max_threads_per_sm / tpb;
+        let by_blocks = self.gpu.max_blocks_per_sm;
+        let by_shared = self
+            .gpu
+            .shared_mem_per_sm
+            .checked_div(shared_bytes)
+            .map_or(u32::MAX, |b| b as u32);
+        by_threads.min(by_blocks).min(by_shared).max(1)
+    }
+
+    /// DRAM bytes one SM may drain per core cycle.
+    fn bytes_per_cycle_per_sm(&self) -> f64 {
+        self.gpu.dram_bandwidth_bytes_per_s()
+            / f64::from(self.gpu.sm_count)
+            / self.gpu.core_clock_hz()
+    }
+
+    /// Simulates one launch.
+    pub fn time_launch(&self, cost: &LaunchCost) -> MicroTiming {
+        let trace = build_trace(cost);
+        let resident = self.resident_blocks(cost.shared_bytes_per_block);
+        let warps_per_block = (self.block.threads() as u32).div_ceil(32);
+        let n_warps = (resident * warps_per_block) as usize;
+
+        // Per-warp state.
+        #[derive(Clone)]
+        struct Warp {
+            pc: usize,
+            /// Cycle at which the warp may issue again.
+            ready_at: u64,
+            /// Completion cycles of outstanding DRAM accesses.
+            outstanding: Vec<u64>,
+            done: bool,
+        }
+        let mut warps = vec![
+            Warp { pc: 0, ready_at: 0, outstanding: Vec::new(), done: false };
+            n_warps
+        ];
+
+        // Bandwidth regulator: DRAM bytes drained per cycle; an access's
+        // data is available max(latency, queue drain time) after issue.
+        let bpc = self.bytes_per_cycle_per_sm();
+        let bytes_per_access = 32.0 * 4.0; // one warp-wide 128-byte transaction
+        let mut queue_free_at = 0.0f64;
+
+        let mut cycle: u64 = 0;
+        let mut finished = 0usize;
+        let max_cycles = 200_000_000u64;
+        while finished < n_warps && cycle < max_cycles {
+            let mut issued = 0u32;
+            let mut progress = false;
+            for w in warps.iter_mut() {
+                if issued >= self.issue_width {
+                    break;
+                }
+                if w.done || w.ready_at > cycle {
+                    continue;
+                }
+                w.outstanding.retain(|&c| c > cycle);
+                match trace.get(w.pc) {
+                    None => {
+                        w.done = true;
+                        finished += 1;
+                        progress = true;
+                    }
+                    Some(WarpOp::LoadGlobal) => {
+                        if w.outstanding.len() >= self.max_outstanding {
+                            // Stall until the oldest access returns.
+                            w.ready_at = *w.outstanding.iter().min().expect("non-empty");
+                            continue;
+                        }
+                        let drain =
+                            queue_free_at.max(cycle as f64) + bytes_per_access / bpc;
+                        queue_free_at = drain;
+                        let complete = (cycle + self.dram_latency).max(drain.ceil() as u64);
+                        w.outstanding.push(complete);
+                        w.pc += 1;
+                        issued += 1;
+                        progress = true;
+                    }
+                    Some(WarpOp::LoadNear) => {
+                        // Values must have arrived before dependent compute:
+                        // entering the compute phase waits for outstanding
+                        // DRAM data.
+                        if let Some(&last) = w.outstanding.iter().max() {
+                            w.ready_at = last;
+                            w.outstanding.clear();
+                            continue;
+                        }
+                        w.ready_at = cycle + self.near_latency / 8; // pipelined
+                        w.pc += 1;
+                        issued += 1;
+                        progress = true;
+                    }
+                    Some(WarpOp::Alu) => {
+                        w.pc += 1;
+                        issued += 1;
+                        progress = true;
+                    }
+                    Some(WarpOp::Sfu) => {
+                        w.ready_at = cycle + self.sfu_issue;
+                        w.pc += 1;
+                        issued += 1;
+                        progress = true;
+                    }
+                    Some(WarpOp::Store) => {
+                        let drain = queue_free_at.max(cycle as f64) + bytes_per_access / bpc;
+                        queue_free_at = drain;
+                        w.pc += 1;
+                        issued += 1;
+                        progress = true;
+                    }
+                    Some(WarpOp::Sync) => {
+                        // Barrier: wait for all outstanding tile-fill loads.
+                        if let Some(&last) = w.outstanding.iter().max() {
+                            w.ready_at = last;
+                            w.outstanding.clear();
+                            continue;
+                        }
+                        w.pc += 1;
+                        issued += 1;
+                        progress = true;
+                    }
+                }
+            }
+            if !progress {
+                // Jump to the next interesting cycle instead of ticking.
+                let next = warps
+                    .iter()
+                    .filter(|w| !w.done)
+                    .map(|w| {
+                        w.ready_at
+                            .max(w.outstanding.iter().copied().min().unwrap_or(w.ready_at))
+                    })
+                    .filter(|&c| c > cycle)
+                    .min();
+                cycle = next.unwrap_or(cycle + 1);
+            } else {
+                cycle += 1;
+            }
+        }
+        // Also drain the store queue.
+        let end = (cycle as f64).max(queue_free_at).ceil() as u64;
+
+        let blocks_total = (cost.threads as u64).div_ceil(self.block.threads() as u64);
+        let waves = blocks_total
+            .div_ceil(u64::from(resident) * u64::from(self.gpu.sm_count))
+            .max(1);
+        let total_cycles = end * waves;
+        let time_ms = total_cycles as f64 / self.gpu.core_clock_hz() * 1e3
+            + self.gpu.launch_overhead_us * 1e-3;
+        MicroTiming {
+            name: cost.name.clone(),
+            cycles_per_wave: end,
+            waves,
+            time_ms,
+            resident_blocks: resident,
+        }
+    }
+
+    /// Simulates a full pipeline (sequential kernel launches).
+    pub fn time_pipeline(&self, p: &Pipeline) -> f64 {
+        let dag = p.kernel_dag();
+        dag.topo_order()
+            .expect("validated pipelines are acyclic")
+            .into_iter()
+            .map(|n| {
+                let k = p.kernel(kfuse_ir::KernelId(n.0));
+                let cost = analyze_kernel(p, k, self.block);
+                self.time_launch(&cost).time_ms
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel};
+
+    fn point_pipeline(alu_ops: usize) -> Pipeline {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(ImageDesc::new("in", 512, 512, 1));
+        let out = p.add_image(ImageDesc::new("out", 512, 512, 1));
+        let mut body = Expr::load(0);
+        for _ in 0..alu_ops {
+            body = body + Expr::Const(1.0);
+        }
+        p.add_kernel(Kernel::simple(
+            "k",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![body],
+            vec![],
+        ));
+        p.mark_output(out);
+        p
+    }
+
+    #[test]
+    fn trace_reflects_costs() {
+        let p = point_pipeline(4);
+        let cost = analyze_kernel(&p, &p.kernels()[0], BlockShape::DEFAULT);
+        let trace = build_trace(&cost);
+        assert_eq!(
+            trace.iter().filter(|&&op| op == WarpOp::LoadGlobal).count(),
+            1
+        );
+        assert_eq!(trace.iter().filter(|&&op| op == WarpOp::Alu).count(), 4);
+        assert_eq!(trace.iter().filter(|&&op| op == WarpOp::Store).count(), 1);
+        assert!(!trace.contains(&WarpOp::Sync), "point kernels have no barrier");
+    }
+
+    #[test]
+    fn more_compute_takes_longer() {
+        let sim = MicroSim::new(GpuSpec::gtx680());
+        let cheap = sim.time_pipeline(&point_pipeline(2));
+        let heavy = sim.time_pipeline(&point_pipeline(400));
+        assert!(
+            heavy > cheap * 1.5,
+            "400 ALU ops ({heavy} ms) should dominate 2 ({cheap} ms)"
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_tracks_analytic_model() {
+        // A pure-copy kernel is bandwidth bound; micro and analytic models
+        // should agree within a factor of two.
+        let p = point_pipeline(1);
+        let sim = MicroSim::new(GpuSpec::gtx680());
+        let micro = sim.time_pipeline(&p);
+        let analytic = crate::TimingModel::new(GpuSpec::gtx680())
+            .time_pipeline(&p)
+            .total_ms;
+        let ratio = micro / analytic;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "micro {micro} ms vs analytic {analytic} ms (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn low_occupancy_hurts() {
+        // Same trace, shrinking shared memory per SM → fewer resident
+        // blocks → longer waves.
+        let p = point_pipeline(32);
+        let cost = {
+            let mut c = analyze_kernel(&p, &p.kernels()[0], BlockShape::DEFAULT);
+            c.shared_bytes_per_block = 24 * 1024; // 2 resident blocks
+            c
+        };
+        let sim = MicroSim::new(GpuSpec::gtx680());
+        let crowded = sim.time_launch(&cost);
+        let mut roomy = cost.clone();
+        roomy.shared_bytes_per_block = 0;
+        let free = sim.time_launch(&roomy);
+        assert!(crowded.resident_blocks < free.resident_blocks);
+        assert!(
+            crowded.time_ms > free.time_ms,
+            "crowded {} vs free {}",
+            crowded.time_ms,
+            free.time_ms
+        );
+    }
+
+    #[test]
+    fn waves_cover_all_blocks() {
+        let p = point_pipeline(1);
+        let cost = analyze_kernel(&p, &p.kernels()[0], BlockShape::DEFAULT);
+        let sim = MicroSim::new(GpuSpec::gtx680());
+        let t = sim.time_launch(&cost);
+        // 512² / 128 threads = 2048 blocks; 16 resident × 8 SMs = 128.
+        assert_eq!(t.waves, 16);
+    }
+
+    #[test]
+    fn simulation_terminates_on_compute_heavy_kernels() {
+        let p = point_pipeline(2000);
+        let sim = MicroSim::new(GpuSpec::gtx680());
+        let ms = sim.time_pipeline(&p);
+        assert!(ms.is_finite() && ms > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Border handling showcase: the index-exchange method of paper Section IV
+//! keeps local-to-local fusion bit-exact under every border mode — clamp,
+//! mirror, repeat, and constant — even when the whole image is halo.
+//!
+//! Run with `cargo run --release -p kfuse-examples --bin border_modes`.
+
+use kfuse_core::{fuse_optimized, FusionConfig};
+use kfuse_dsl::{Mask, PipelineBuilder};
+use kfuse_ir::{BorderMode, Image, Pipeline};
+use kfuse_model::{BenefitModel, GpuSpec};
+use kfuse_sim::{execute, synthetic_image};
+
+fn two_convolutions(border: BorderMode) -> Pipeline {
+    let mut b = PipelineBuilder::new("border-demo", 7, 7);
+    let input = b.gray_input("in");
+    let mid = b.convolve("box3", input, &Mask::box3(), border);
+    let out = b.convolve("blur5", mid, &Mask::gaussian5(), border);
+    b.output(out);
+    b.build()
+}
+
+fn run(p: &Pipeline, img: &Image) -> Image {
+    let exec = execute(p, &[(p.inputs()[0], img.clone())]).unwrap();
+    exec.expect_image(p.outputs()[0]).clone()
+}
+
+fn main() {
+    let cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
+    println!("local-to-local fusion (3x3 box then 5x5 Gaussian) on a 7x7 image —");
+    println!("every pixel is within the fused 7x7 stencil's halo, the hardest case.\n");
+
+    for (name, border) in [
+        ("Clamp", BorderMode::Clamp),
+        ("Mirror", BorderMode::Mirror),
+        ("Repeat", BorderMode::Repeat),
+        ("Constant(0)", BorderMode::Constant(0.0)),
+        ("Constant(255)", BorderMode::Constant(255.0)),
+    ] {
+        let p = two_convolutions(border);
+        let img = synthetic_image(p.image(p.inputs()[0]).clone(), 11);
+        let reference = run(&p, &img);
+
+        let result = fuse_optimized(&p, &cfg);
+        assert_eq!(
+            result.pipeline.kernels().len(),
+            1,
+            "the two convolutions must fuse"
+        );
+        let fused = run(&result.pipeline, &img);
+
+        let identical = reference.bit_equal(&fused);
+        println!(
+            "  {name:14} fused == unfused: {identical}   (corner value {:.3})",
+            fused.get(0, 0, 0)
+        );
+        assert!(identical, "{name}: fusion broke border handling");
+    }
+
+    println!("\nwhy it matters: without index exchange the intermediate halo");
+    println!("pixels would be computed from border-extended *input* values");
+    println!("instead of border-extended *intermediate* values (paper Fig. 4b).");
+    println!("The halo grows with every fused local kernel, so a correct");
+    println!("exchange is what makes deep local-to-local fusion possible.");
+}

@@ -1,0 +1,1 @@
+//! Examples for the kfuse workspace live as standalone binaries next to this file.

@@ -1,0 +1,158 @@
+//! Pins the paper's Figure 4 worked example: two chained 3×3 binomial
+//! convolutions (integer mask `[1 2 1; 2 4 2; 1 2 1]`, clamp borders) over
+//! the 5×5 matrix
+//!
+//! ```text
+//! 1 3 7 7 6
+//! 3 7 9 6 8
+//! 5 4 3 2 1
+//! 4 1 2 1 2
+//! 5 2 2 4 2
+//! ```
+//!
+//! * **Figure 4a** (interior body fusion): the centre output pixel is 992,
+//!   via the interior intermediate window `[82 98 93; 66 61 51; 43 34 32]`.
+//! * **Figure 4b** (incorrect border fusion): computing the top-left output
+//!   by convolving the clamp-padded *input* without re-clamping the
+//!   intermediate yields the window `[16 24 56; 24 34 68; 48 57 82]`.
+//!   Note: convolving that window with the mask gives **684**; the paper
+//!   prints 648, which is an arithmetic slip in the figure (transposed
+//!   digits) — the window values themselves are reproduced exactly.
+//! * **Figure 4c** (correct border fusion via index exchange): the
+//!   top-left output is **763**, via the exchanged intermediate window
+//!   `[34 34 68; 34 34 68; 57 57 82]`, and matches the unfused
+//!   clamp+conv+clamp+conv reference bit-exactly.
+
+use kfuse_core::{check_block, synthesize};
+use kfuse_dsl::{Mask, PipelineBuilder};
+use kfuse_ir::{BorderMode, Expr, Image, KernelId, Pipeline};
+use kfuse_sim::{execute, execute_kernel};
+
+const INPUT: [[f32; 5]; 5] = [
+    [1.0, 3.0, 7.0, 7.0, 6.0],
+    [3.0, 7.0, 9.0, 6.0, 8.0],
+    [5.0, 4.0, 3.0, 2.0, 1.0],
+    [4.0, 1.0, 2.0, 1.0, 2.0],
+    [5.0, 2.0, 2.0, 4.0, 2.0],
+];
+
+fn input_image() -> Image {
+    let rows: Vec<&[f32]> = INPUT.iter().map(|r| &r[..]).collect();
+    Image::from_rows("in", &rows)
+}
+
+/// conv → conv pipeline with the paper's raw integer mask and clamp
+/// borders.
+fn figure4_pipeline() -> Pipeline {
+    let mut b = PipelineBuilder::new("figure4", 5, 5);
+    let input = b.gray_input("in");
+    let mid = b.convolve("conv1", input, &Mask::gaussian3_raw(), BorderMode::Clamp);
+    let out = b.convolve("conv2", mid, &Mask::gaussian3_raw(), BorderMode::Clamp);
+    b.output(out);
+    b.build()
+}
+
+#[test]
+fn interior_intermediate_matches_figure4a() {
+    let p = figure4_pipeline();
+    let exec = execute(&p, &[(p.inputs()[0], input_image())]).unwrap();
+    let mid = exec.expect_image(kfuse_ir::ImageId(1));
+    let expected = [[82.0, 98.0, 93.0], [66.0, 61.0, 51.0], [43.0, 34.0, 32.0]];
+    for (j, row) in expected.iter().enumerate() {
+        for (i, &v) in row.iter().enumerate() {
+            assert_eq!(mid.get(i + 1, j + 1, 0), v, "intermediate ({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn interior_output_is_992() {
+    let p = figure4_pipeline();
+    let exec = execute(&p, &[(p.inputs()[0], input_image())]).unwrap();
+    let out = exec.expect_image(p.outputs()[0]);
+    assert_eq!(out.get(2, 2, 0), 992.0);
+}
+
+#[test]
+fn correct_border_output_is_763() {
+    let p = figure4_pipeline();
+    let exec = execute(&p, &[(p.inputs()[0], input_image())]).unwrap();
+    let out = exec.expect_image(p.outputs()[0]);
+    assert_eq!(out.get(0, 0, 0), 763.0, "unfused clamp+conv+clamp+conv");
+}
+
+#[test]
+fn exchanged_intermediate_window_matches_figure4c() {
+    // The window the second convolution reads at output (0,0): the
+    // intermediate at (-1..1)², with out-of-bounds coordinates exchanged by
+    // clamp against the 5×5 iteration space.
+    let p = figure4_pipeline();
+    let exec = execute(&p, &[(p.inputs()[0], input_image())]).unwrap();
+    let mid = exec.expect_image(kfuse_ir::ImageId(1));
+    let expected = [[34.0, 34.0, 68.0], [34.0, 34.0, 68.0], [57.0, 57.0, 82.0]];
+    for dy in -1i32..=1 {
+        for dx in -1i32..=1 {
+            let cx = dx.clamp(0, 4) as usize;
+            let cy = dy.clamp(0, 4) as usize;
+            assert_eq!(
+                mid.get(cx, cy, 0),
+                expected[(dy + 1) as usize][(dx + 1) as usize]
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_kernel_reproduces_the_unfused_border() {
+    let p = figure4_pipeline();
+    let block = [KernelId(0), KernelId(1)];
+    let info = check_block(&p, &block).unwrap();
+    let fused_kernel = synthesize(&p, &info, true);
+    let fused = p.with_kernels(vec![fused_kernel]);
+    let reference = execute(&p, &[(p.inputs()[0], input_image())]).unwrap();
+    let fused_exec = execute(&fused, &[(p.inputs()[0], input_image())]).unwrap();
+    let r = reference.expect_image(p.outputs()[0]);
+    let f = fused_exec.expect_image(p.outputs()[0]);
+    assert!(r.bit_equal(f));
+    assert_eq!(f.get(0, 0, 0), 763.0);
+    assert_eq!(f.get(2, 2, 0), 992.0);
+}
+
+/// The naive (Figure 4b) fusion: textual inlining of the producer into the
+/// consumer without index exchange — all border handling collapses onto
+/// the input image. Reproduces the paper's incorrect window and quantifies
+/// the error.
+#[test]
+fn naive_inlining_is_wrong_at_the_border() {
+    let p = figure4_pipeline();
+    let producer = p.kernel(KernelId(0)).root_stage().body[0].clone();
+    let consumer = p.kernel(KernelId(1)).root_stage().body[0].clone();
+    // Substitute each consumer load at (dx,dy) with the producer body
+    // shifted by (dx,dy) — no exchange, clamp applies to the input only.
+    let naive_body = consumer.map_loads(&|_, dx, dy, _| {
+        producer.map_loads(&|slot, pdx, pdy, ch| Expr::Load {
+            slot,
+            dx: pdx + dx,
+            dy: pdy + dy,
+            ch,
+        })
+    });
+    let naive = kfuse_ir::Kernel::simple(
+        "naive",
+        vec![p.inputs()[0]],
+        p.outputs()[0],
+        vec![BorderMode::Clamp],
+        vec![naive_body],
+        vec![],
+    );
+    let naive_p = p.with_kernels(vec![naive]);
+    let exec = execute(&naive_p, &[(p.inputs()[0], input_image())]).unwrap();
+    let out = exec.expect_image(p.outputs()[0]);
+    // Interior is still right...
+    assert_eq!(out.get(2, 2, 0), 992.0);
+    // ...but the border is wrong: 684 instead of 763. (The paper's figure
+    // prints 648 for this value — an arithmetic slip; its window values
+    // [16 24 56; 24 34 68; 48 57 82] convolve to 684.)
+    assert_eq!(out.get(0, 0, 0), 684.0);
+    let _ = execute_kernel; // silence unused import when cfg-gated
+}
