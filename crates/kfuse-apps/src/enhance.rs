@@ -79,7 +79,11 @@ mod tests {
         let patterns: Vec<_> = p.kernels().iter().map(|k| k.pattern()).collect();
         assert_eq!(
             patterns,
-            vec![ComputePattern::Local, ComputePattern::Point, ComputePattern::Point]
+            vec![
+                ComputePattern::Local,
+                ComputePattern::Point,
+                ComputePattern::Point
+            ]
         );
         // The geometric mean uses SFU-heavy math (9 logs + 1 exp).
         assert!(p.kernels()[0].op_counts().sfu >= 10);

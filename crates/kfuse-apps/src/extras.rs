@@ -52,7 +52,9 @@ mod tests {
         for result in [fuse_optimized(p, &cfg()), fuse_basic(p, &cfg())] {
             let exec = execute(&result.pipeline, &inputs).unwrap();
             for &out in p.outputs() {
-                assert!(reference.expect_image(out).bit_equal(exec.expect_image(out)));
+                assert!(reference
+                    .expect_image(out)
+                    .bit_equal(exec.expect_image(out)));
             }
         }
     }

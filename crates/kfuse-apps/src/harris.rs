@@ -61,9 +61,7 @@ pub fn shitomasi(width: usize, height: usize) -> Pipeline {
     let gy = b.convolve("gy", sy, &Mask::gaussian3(), BorderMode::Clamp);
     // λ_min = (a + c)/2 − √(((a − c)/2)² + b²)
     let response = (v(0) + v(1)) * c(0.5)
-        - sqrt(
-            ((v(0) - v(1)) * c(0.5)) * ((v(0) - v(1)) * c(0.5)) + v(2) * v(2),
-        );
+        - sqrt(((v(0) - v(1)) * c(0.5)) * ((v(0) - v(1)) * c(0.5)) + v(2) * v(2));
     let st = b.point("st", &[gx, gy, gxy], vec![response]);
     b.output(st);
     b.build()
@@ -92,8 +90,7 @@ mod tests {
         assert_eq!(p.kernels().len(), 9);
         let dag = p.kernel_dag();
         assert_eq!(dag.edge_count(), 10);
-        let patterns: Vec<ComputePattern> =
-            p.kernels().iter().map(|k| k.pattern()).collect();
+        let patterns: Vec<ComputePattern> = p.kernels().iter().map(|k| k.pattern()).collect();
         use ComputePattern::{Local, Point};
         assert_eq!(
             patterns,
@@ -189,7 +186,9 @@ mod tests {
             .events
             .iter()
             .find_map(|e| match e {
-                kfuse_core::TraceEvent::Examine { verdict: Some(v), .. } => Some(v.clone()),
+                kfuse_core::TraceEvent::Examine {
+                    verdict: Some(v), ..
+                } => Some(v.clone()),
                 _ => None,
             })
             .unwrap();

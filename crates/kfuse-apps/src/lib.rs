@@ -55,7 +55,11 @@ pub fn paper_apps() -> Vec<App> {
             build_paper: harris_paper,
             build_sized: |w, h| harris(w, h, harris::DEFAULT_K),
         },
-        App { name: "Sobel", build_paper: sobel_paper, build_sized: sobel },
+        App {
+            name: "Sobel",
+            build_paper: sobel_paper,
+            build_sized: sobel,
+        },
         App {
             name: "Unsharp",
             build_paper: unsharp_paper,
@@ -71,7 +75,11 @@ pub fn paper_apps() -> Vec<App> {
             build_paper: enhance_paper,
             build_sized: |w, h| enhance(w, h, enhance::DEFAULT_GAMMA),
         },
-        App { name: "Night", build_paper: night_paper, build_sized: night },
+        App {
+            name: "Night",
+            build_paper: night_paper,
+            build_sized: night,
+        },
     ]
 }
 
@@ -84,7 +92,14 @@ mod tests {
         let names: Vec<&str> = paper_apps().iter().map(|a| a.name).collect();
         assert_eq!(
             names,
-            vec!["Harris", "Sobel", "Unsharp", "ShiTomasi", "Enhance", "Night"]
+            vec![
+                "Harris",
+                "Sobel",
+                "Unsharp",
+                "ShiTomasi",
+                "Enhance",
+                "Night"
+            ]
         );
     }
 

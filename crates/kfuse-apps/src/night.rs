@@ -51,8 +51,7 @@ fn atrous_body(mask: &Mask) -> Vec<Expr> {
                         ch,
                     };
                     let diff = tap.clone() - center.clone();
-                    let w = c(coef)
-                        * kfuse_dsl::exp(-(diff.clone() * diff) * c(inv_2sigma_sq));
+                    let w = c(coef) * kfuse_dsl::exp(-(diff.clone() * diff) * c(inv_2sigma_sq));
                     let wn = w.clone() * tap;
                     num = Some(match num.take() {
                         None => wn,
@@ -141,7 +140,11 @@ mod tests {
         // in the same compute-bound regime.
         let a0 = p.kernels()[0].op_counts();
         assert!(a0.alu >= 60, "atrous0 has {} ALU ops", a0.alu);
-        assert!(a0.sfu >= 27, "atrous0 has {} SFU ops (bilateral exps)", a0.sfu);
+        assert!(
+            a0.sfu >= 27,
+            "atrous0 has {} SFU ops (bilateral exps)",
+            a0.sfu
+        );
         let scoto = p.kernels()[2].op_counts();
         assert!(scoto.alu >= 40, "scoto has {} ALU ops", scoto.alu);
         assert_eq!(scoto.sfu, 3, "one pow per channel");
@@ -160,7 +163,11 @@ mod tests {
             .find(|e| e.src.0 == 0 && e.dst.0 == 1)
             .unwrap();
         assert_eq!(e01.estimate.scenario, FusionScenario::LocalToLocal);
-        assert!(e01.estimate.raw < 0.0, "φ must outweigh δ: {:?}", e01.estimate);
+        assert!(
+            e01.estimate.raw < 0.0,
+            "φ must outweigh δ: {:?}",
+            e01.estimate
+        );
         assert!(!e01.estimate.is_profitable());
     }
 

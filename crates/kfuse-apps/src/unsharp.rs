@@ -99,12 +99,7 @@ mod tests {
     fn fusion_eliminates_intermediates() {
         let p = unsharp(64, 64, DEFAULT_LAMBDA);
         let result = fuse_optimized(&p, &cfg());
-        let produced: Vec<_> = result
-            .pipeline
-            .kernels()
-            .iter()
-            .map(|k| k.output)
-            .collect();
+        let produced: Vec<_> = result.pipeline.kernels().iter().map(|k| k.output).collect();
         assert_eq!(produced.len(), 1);
         assert!(result.pipeline.is_pipeline_output(produced[0]));
     }

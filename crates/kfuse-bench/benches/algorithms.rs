@@ -1,4 +1,4 @@
-//! Criterion benches for the compile-time algorithms, backing the
+//! Std-only benches for the compile-time algorithms, backing the
 //! complexity discussion of paper Section III-C:
 //!
 //! * Stoer–Wagner minimum cut, `O(|V|³)` in our dense implementation —
@@ -7,8 +7,11 @@
 //!   synthetic chains (the worst case cuts one vertex per iteration).
 //! * Launch-cost analysis of fused pipelines.
 //! * Functional-executor throughput (the evaluation substrate).
+//!
+//! Uses a `harness = false` bench target with `std::time::Instant` so the
+//! workspace builds and benches with no external registry access. Run with
+//! `cargo bench -p kfuse-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kfuse_apps::paper_apps;
 use kfuse_core::{fuse_optimized, FusionConfig};
 use kfuse_dsl::{c, v, Mask, PipelineBuilder};
@@ -17,9 +20,23 @@ use kfuse_ir::{BorderMode, Pipeline};
 use kfuse_model::{BenefitModel, BlockShape, GpuSpec};
 use kfuse_sim::{analyze_pipeline, execute, synthetic_image};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn cfg() -> FusionConfig {
     FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+}
+
+/// Times `f` over `iters` iterations and prints mean per-iteration time.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    // One warm-up iteration outside the timed region.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per = total / iters as u32;
+    println!("{name:<44} {per:>12.2?}/iter over {iters} iters");
 }
 
 /// Deterministic pseudo-random dense graph.
@@ -42,15 +59,13 @@ fn random_graph(n: usize, seed: u64) -> MinCutGraph {
     g
 }
 
-fn bench_stoer_wagner(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("stoer_wagner");
+fn bench_stoer_wagner() {
     for n in [8usize, 16, 32, 64] {
         let g = random_graph(n, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| black_box(g.stoer_wagner(0)))
+        bench(&format!("stoer_wagner/{n}"), 20, || {
+            black_box(g.stoer_wagner(0));
         });
     }
-    group.finish();
 }
 
 /// A chain of alternating point/local kernels of length `n`.
@@ -68,55 +83,48 @@ fn chain_pipeline(n: usize) -> Pipeline {
     b.build()
 }
 
-fn bench_planner(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("plan_optimized");
+fn bench_planner() {
     for app in paper_apps() {
         let p = (app.build_sized)(256, 256);
-        group.bench_with_input(BenchmarkId::new("app", app.name), &p, |b, p| {
-            b.iter(|| black_box(fuse_optimized(p, &cfg())))
+        bench(&format!("plan_optimized/app/{}", app.name), 10, || {
+            black_box(fuse_optimized(&p, &cfg()));
         });
     }
     for n in [8usize, 16, 32] {
         let p = chain_pipeline(n);
-        group.bench_with_input(BenchmarkId::new("chain", n), &p, |b, p| {
-            b.iter(|| black_box(fuse_optimized(p, &cfg())))
+        bench(&format!("plan_optimized/chain/{n}"), 10, || {
+            black_box(fuse_optimized(&p, &cfg()));
         });
     }
-    group.finish();
 }
 
-fn bench_cost_analysis(criterion: &mut Criterion) {
+fn bench_cost_analysis() {
     let harris = paper_apps()[0];
     let p = (harris.build_sized)(2048, 2048);
     let fused = fuse_optimized(&p, &cfg()).pipeline;
-    criterion.bench_function("analyze_pipeline/harris_fused", |b| {
-        b.iter(|| black_box(analyze_pipeline(&fused, BlockShape::DEFAULT)))
+    bench("analyze_pipeline/harris_fused", 20, || {
+        black_box(analyze_pipeline(&fused, BlockShape::DEFAULT));
     });
 }
 
-fn bench_executor(criterion: &mut Criterion) {
-    let mut group = criterion.benchmark_group("executor");
-    group.sample_size(20);
+fn bench_executor() {
     for app in paper_apps().into_iter().take(3) {
         let p = (app.build_sized)(128, 128);
         let img = synthetic_image(p.image(p.inputs()[0]).clone(), 1);
         let input = p.inputs()[0];
-        group.bench_with_input(BenchmarkId::new("baseline", app.name), &p, |b, p| {
-            b.iter(|| black_box(execute(p, &[(input, img.clone())]).unwrap()))
+        bench(&format!("executor/baseline/{}", app.name), 5, || {
+            black_box(execute(&p, &[(input, img.clone())]).unwrap());
         });
         let fused = fuse_optimized(&p, &cfg()).pipeline;
-        group.bench_with_input(BenchmarkId::new("fused", app.name), &fused, |b, p| {
-            b.iter(|| black_box(execute(p, &[(input, img.clone())]).unwrap()))
+        bench(&format!("executor/fused/{}", app.name), 5, || {
+            black_box(execute(&fused, &[(input, img.clone())]).unwrap());
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_stoer_wagner,
-    bench_planner,
-    bench_cost_analysis,
-    bench_executor
-);
-criterion_main!(benches);
+fn main() {
+    bench_stoer_wagner();
+    bench_planner();
+    bench_cost_analysis();
+    bench_executor();
+}

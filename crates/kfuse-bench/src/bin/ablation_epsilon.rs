@@ -38,7 +38,11 @@ fn main() {
             if row == 0 {
                 reference.push(blocks);
             } else {
-                assert_eq!(reference[col], blocks, "{}: partition changed at eps={eps}", app.name);
+                assert_eq!(
+                    reference[col], blocks,
+                    "{}: partition changed at eps={eps}",
+                    app.name
+                );
             }
         }
         println!();

@@ -33,7 +33,10 @@ fn main() {
     println!("value = kernels after optimized fusion / speedup over baseline");
     println!("(the six apps gate local-to-local via fan-out legality, so only");
     println!("the synthetic pairwise-legal chain separates the two models)\n");
-    println!("{:10} {:>22} {:>22}", "app", "tile-amortized", "Eq. 10 verbatim");
+    println!(
+        "{:10} {:>22} {:>22}",
+        "app", "tile-amortized", "Eq. 10 verbatim"
+    );
     let mut all: Vec<(String, Pipeline)> = paper_apps()
         .into_iter()
         .map(|app| (app.name.to_string(), (app.build_paper)()))

@@ -1,0 +1,141 @@
+//! Throughput benchmark of the functional executors: the compiled tiled
+//! engine (`kfuse_sim::execute_fast`) versus the reference tree-walking
+//! interpreter (`kfuse_sim::execute_reference`), per application, unfused
+//! and under optimized fusion, at the paper's workload sizes (Section V-B:
+//! 2,048² gray-scale, Night at 1,920 × 1,200 RGB).
+//!
+//! Prints a Mpix/s table and writes machine-readable results to
+//! `BENCH_exec.json` at the repository root.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin bench_exec`.
+//! Set `KFUSE_BENCH_SCALE=<div>` to divide the workload edge lengths
+//! (e.g. `KFUSE_BENCH_SCALE=8` for a quick smoke run).
+
+use kfuse_apps::paper_apps;
+use kfuse_core::FusionConfig;
+use kfuse_dsl::{compile, Schedule};
+use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_model::{BenefitModel, GpuSpec};
+use kfuse_sim::{execute_fast_with, execute_reference, synthetic_image, FastConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Workload size per app: the paper's evaluation sizes, scaled down by
+/// `KFUSE_BENCH_SCALE` if set.
+fn workload(name: &str, scale: usize) -> (usize, usize) {
+    let (w, h) = if name == "Night" {
+        (1920, 1200)
+    } else {
+        (2048, 2048)
+    };
+    ((w / scale).max(8), (h / scale).max(8))
+}
+
+fn inputs_for(p: &Pipeline, seed: u64) -> Vec<(ImageId, Image)> {
+    p.inputs()
+        .iter()
+        .map(|&id| (id, synthetic_image(p.image(id).clone(), seed)))
+        .collect()
+}
+
+/// Best-of-`iters` wall time of `f`, in seconds, after one warm-up call.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Measurement {
+    schedule: &'static str,
+    fast_mpix_s: f64,
+    interp_mpix_s: f64,
+    speedup: f64,
+}
+
+fn measure(p: &Pipeline, w: usize, h: usize, schedule: &'static str) -> Measurement {
+    let inputs = inputs_for(p, 42);
+    let cfg = FastConfig::default();
+    let mpix = (w * h) as f64 / 1e6;
+    let fast_s = time_best(3, || {
+        std::hint::black_box(execute_fast_with(p, &inputs, &cfg).expect("fast executes"));
+    });
+    // The interpreter is orders of magnitude slower; a single timed run
+    // (its work is deterministic and cache-resident after the fast runs)
+    // keeps the whole benchmark tractable.
+    let start = Instant::now();
+    std::hint::black_box(execute_reference(p, &inputs).expect("reference executes"));
+    let interp_s = start.elapsed().as_secs_f64();
+    Measurement {
+        schedule,
+        fast_mpix_s: mpix / fast_s,
+        interp_mpix_s: mpix / interp_s,
+        speedup: interp_s / fast_s,
+    }
+}
+
+fn main() {
+    let scale: usize = std::env::var("KFUSE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let fusion_cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
+    let threads = FastConfig::default().resolved_threads();
+
+    println!(
+        "{:<10} {:>6} {:<10} {:>12} {:>14} {:>9}",
+        "app", "size", "schedule", "fast Mpix/s", "interp Mpix/s", "speedup"
+    );
+    let mut json_apps = String::new();
+    for app in paper_apps() {
+        let (w, h) = workload(app.name, scale);
+        let baseline = (app.build_sized)(w, h);
+        let fused = compile(&baseline, Schedule::Optimized, &fusion_cfg);
+        let mut json_schedules = String::new();
+        for m in [
+            measure(&baseline, w, h, "baseline"),
+            measure(&fused, w, h, "optimized"),
+        ] {
+            println!(
+                "{:<10} {:>6} {:<10} {:>12.2} {:>14.3} {:>8.1}x",
+                app.name,
+                format!("{w}x{h}"),
+                m.schedule,
+                m.fast_mpix_s,
+                m.interp_mpix_s,
+                m.speedup
+            );
+            if !json_schedules.is_empty() {
+                json_schedules.push(',');
+            }
+            write!(
+                json_schedules,
+                "\n      \"{}\": {{\"fast_mpix_s\": {:.3}, \"interp_mpix_s\": {:.3}, \"speedup\": {:.2}}}",
+                m.schedule, m.fast_mpix_s, m.interp_mpix_s, m.speedup
+            )
+            .unwrap();
+        }
+        if !json_apps.is_empty() {
+            json_apps.push(',');
+        }
+        write!(
+            json_apps,
+            "\n    {{\"name\": \"{}\", \"width\": {w}, \"height\": {h}, \"schedules\": {{{}\n    }}}}",
+            app.name, json_schedules
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"executor throughput (fast tiled engine vs reference interpreter)\",\n  \"scale_divisor\": {scale},\n  \"threads\": {threads},\n  \"tile\": [{}, {}],\n  \"apps\": [{json_apps}\n  ]\n}}\n",
+        FastConfig::default().tile_w,
+        FastConfig::default().tile_h,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    std::fs::write(path, json).expect("write BENCH_exec.json");
+    println!("\nwrote {path}");
+}

@@ -24,7 +24,13 @@ fn main() {
     println!("FIGURE 3: kernel fusion algorithm on the Harris corner detector");
     println!("\nStep 1 — edge weight assignment (IS = #images, t_g = 400, c_ALU = 4):");
     for e in &plan.trace.events {
-        if let TraceEvent::EdgeWeight { src, dst, scenario, weight } = e {
+        if let TraceEvent::EdgeWeight {
+            src,
+            dst,
+            scenario,
+            weight,
+        } = e
+        {
             println!("  ({src:>3}, {dst:>3})  {scenario:?}: w = {weight}");
         }
     }
@@ -36,13 +42,16 @@ fn main() {
     println!("\nStep 2 — recursive min-cut partitioning:");
     for e in &plan.trace.events {
         match e {
-            TraceEvent::Examine { members, verdict } => {
-                match verdict {
-                    None => println!("  examine {{{}}} -> legal", members.join(", ")),
-                    Some(v) => println!("  examine {{{}}} -> illegal: {v}", members.join(", ")),
-                }
-            }
-            TraceEvent::Cut { weight, side_a, side_b, .. } => {
+            TraceEvent::Examine { members, verdict } => match verdict {
+                None => println!("  examine {{{}}} -> legal", members.join(", ")),
+                Some(v) => println!("  examine {{{}}} -> illegal: {v}", members.join(", ")),
+            },
+            TraceEvent::Cut {
+                weight,
+                side_a,
+                side_b,
+                ..
+            } => {
                 println!(
                     "    min-cut w = {weight}: {{{}}} | {{{}}}",
                     side_a.join(", "),

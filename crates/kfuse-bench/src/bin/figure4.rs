@@ -47,14 +47,23 @@ fn main() {
     let p = b.build();
 
     println!("FIGURE 4: local-to-local fusion with border handling");
-    print_image("\nInput (5x5), mask = [1 2 1; 2 4 2; 1 2 1], clamp borders:", &input_img);
+    print_image(
+        "\nInput (5x5), mask = [1 2 1; 2 4 2; 1 2 1], clamp borders:",
+        &input_img,
+    );
 
     let reference = execute(&p, &[(input, input_img.clone())]).unwrap();
     let mid_img = reference.expect_image(mid);
     let out_img = reference.expect_image(out);
     print_image("\nIntermediate image (clamp conv):", mid_img);
-    print_image("\nUnfused reference output (clamp+conv+clamp+conv):", out_img);
-    println!("\n(a) interior value at (2,2): {}   [paper: 992]", out_img.get(2, 2, 0));
+    print_image(
+        "\nUnfused reference output (clamp+conv+clamp+conv):",
+        out_img,
+    );
+    println!(
+        "\n(a) interior value at (2,2): {}   [paper: 992]",
+        out_img.get(2, 2, 0)
+    );
 
     // (b) naive fusion: textual inlining without index exchange.
     let producer = p.kernel(KernelId(0)).root_stage().body[0].clone();
@@ -77,7 +86,10 @@ fn main() {
     );
     let naive_exec = execute(&p.with_kernels(vec![naive]), &[(input, input_img.clone())]).unwrap();
     let naive_img = naive_exec.expect_image(out);
-    print_image("\n(b) naive fused output (no index exchange) — WRONG border:", naive_img);
+    print_image(
+        "\n(b) naive fused output (no index exchange) — WRONG border:",
+        naive_img,
+    );
     println!(
         "    top-left: {}   [expected from the paper's window values: 684;\n     \
          the figure prints 648, an arithmetic slip]",
@@ -89,7 +101,10 @@ fn main() {
     let fused = p.with_kernels(vec![synthesize(&p, &info, true)]);
     let fused_exec = execute(&fused, &[(input, input_img)]).unwrap();
     let fused_img = fused_exec.expect_image(out);
-    print_image("\n(c) fused output with index exchange — CORRECT:", fused_img);
+    print_image(
+        "\n(c) fused output with index exchange — CORRECT:",
+        fused_img,
+    );
     println!("    top-left: {}   [paper: 763]", fused_img.get(0, 0, 0));
     println!(
         "    bit-identical to unfused reference: {}",

@@ -177,7 +177,13 @@ mod tests {
         let cells = small_matrix();
         for gpu in GpuSpec::evaluation_gpus() {
             for app in ["Harris", "Unsharp", "Enhance", "ShiTomasi"] {
-                let s = speedup(&cells, app, &gpu.name, Schedule::Baseline, Schedule::Optimized);
+                let s = speedup(
+                    &cells,
+                    app,
+                    &gpu.name,
+                    Schedule::Baseline,
+                    Schedule::Optimized,
+                );
                 assert!(s >= 0.99, "{app} on {}: speedup {s}", gpu.name);
             }
         }
@@ -190,7 +196,10 @@ mod tests {
             for app in ["Sobel", "Unsharp"] {
                 let c = find(&cells, app, &gpu.name, Schedule::Basic);
                 let b = find(&cells, app, &gpu.name, Schedule::Baseline);
-                assert_eq!(c.kernel_count, b.kernel_count, "{app} must not fuse basically");
+                assert_eq!(
+                    c.kernel_count, b.kernel_count,
+                    "{app} must not fuse basically"
+                );
             }
         }
     }
@@ -198,9 +207,19 @@ mod tests {
     #[test]
     fn speedup_uses_medians() {
         let cells = small_matrix();
-        let s = speedup(&cells, "Harris", "GeForce GTX 680", Schedule::Baseline, Schedule::Optimized);
-        let manual = find(&cells, "Harris", "GeForce GTX 680", Schedule::Baseline).stats.median
-            / find(&cells, "Harris", "GeForce GTX 680", Schedule::Optimized).stats.median;
+        let s = speedup(
+            &cells,
+            "Harris",
+            "GeForce GTX 680",
+            Schedule::Baseline,
+            Schedule::Optimized,
+        );
+        let manual = find(&cells, "Harris", "GeForce GTX 680", Schedule::Baseline)
+            .stats
+            .median
+            / find(&cells, "Harris", "GeForce GTX 680", Schedule::Optimized)
+                .stats
+                .median;
         assert_eq!(s, manual);
     }
 
@@ -211,7 +230,15 @@ mod tests {
         for (i, app) in app_names().iter().enumerate() {
             let per_gpu: Vec<f64> = GpuSpec::evaluation_gpus()
                 .iter()
-                .map(|g| speedup(&cells, app, &g.name, Schedule::Baseline, Schedule::Optimized))
+                .map(|g| {
+                    speedup(
+                        &cells,
+                        app,
+                        &g.name,
+                        Schedule::Baseline,
+                        Schedule::Optimized,
+                    )
+                })
                 .collect();
             let lo = per_gpu.iter().copied().fold(f64::INFINITY, f64::min);
             let hi = per_gpu.iter().copied().fold(0.0, f64::max);

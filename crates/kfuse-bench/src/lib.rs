@@ -19,6 +19,6 @@
 pub mod eval;
 
 pub use eval::{
-    app_names, evaluate_all, evaluate_cell, eval_config, find, geomean_rows, short_gpu_name,
+    app_names, eval_config, evaluate_all, evaluate_cell, find, geomean_rows, short_gpu_name,
     speedup, speedup_table, Cell, RUNS,
 };

@@ -89,16 +89,20 @@ mod tests {
     #[test]
     fn arithmetic_and_intrinsics() {
         let e = Expr::load(0) * Expr::Const(2.0) + Expr::Un(UnOp::Sqrt, Box::new(Expr::Param(1)));
-        assert_eq!(
-            emit_expr(&e, &Simple),
-            "((in0[0,0,0] * 2.0f) + sqrtf(p1))"
-        );
+        assert_eq!(emit_expr(&e, &Simple), "((in0[0,0,0] * 2.0f) + sqrtf(p1))");
     }
 
     #[test]
     fn comparisons_become_ternaries() {
-        let e = Expr::Bin(BinOp::Lt, Box::new(Expr::load(0)), Box::new(Expr::Const(0.5)));
-        assert_eq!(emit_expr(&e, &Simple), "((in0[0,0,0] < 0.5f) ? 1.0f : 0.0f)");
+        let e = Expr::Bin(
+            BinOp::Lt,
+            Box::new(Expr::load(0)),
+            Box::new(Expr::Const(0.5)),
+        );
+        assert_eq!(
+            emit_expr(&e, &Simple),
+            "((in0[0,0,0] < 0.5f) ? 1.0f : 0.0f)"
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ pub fn emit_runner(p: &Pipeline, runs: usize) -> String {
             .iter()
             .map(|&img| format!("{}, ", buf_name(p, img)))
             .collect();
-        let _ = writeln!(out, "    launch_{kname}({ins}{}, w, h, stream);", buf_name(p, k.output));
+        let _ = writeln!(
+            out,
+            "    launch_{kname}({ins}{}, w, h, stream);",
+            buf_name(p, k.output)
+        );
     }
     out.push_str("    cudaStreamSynchronize(stream);\n");
     for &img in &live {

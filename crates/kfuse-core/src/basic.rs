@@ -20,7 +20,9 @@
 //!   synthesized pairs carry `input_staging = false`.
 
 use crate::legality::check_block;
-use crate::planner::{compute_edge_weights, EdgeInfo, FusionConfig, FusionPlan, FusionResult, Trace, TraceEvent};
+use crate::planner::{
+    compute_edge_weights, EdgeInfo, FusionConfig, FusionPlan, FusionResult, Trace, TraceEvent,
+};
 use kfuse_graph::{Block, NodeId, Partition};
 use kfuse_ir::{Kernel, KernelId, Pipeline};
 use kfuse_model::FusionScenario;
@@ -57,8 +59,10 @@ pub fn plan_basic(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
     let edges = compute_edge_weights(p, cfg);
     let mut trace = Trace::default();
 
-    let mut candidates: Vec<&EdgeInfo> =
-        edges.iter().filter(|e| basic_edge_is_fusible(p, e)).collect();
+    let mut candidates: Vec<&EdgeInfo> = edges
+        .iter()
+        .filter(|e| basic_edge_is_fusible(p, e))
+        .collect();
     // Greedy on the heaviest edge; ties keep graph order (stable sort).
     candidates.sort_by(|a, b| {
         b.estimate
@@ -92,7 +96,12 @@ pub fn plan_basic(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
     }
     let partition = Partition::from_blocks(blocks);
     let total_benefit = crate::planner::objective(&partition, &edges);
-    FusionPlan { partition, edges, trace, total_benefit }
+    FusionPlan {
+        partition,
+        edges,
+        trace,
+        total_benefit,
+    }
 }
 
 /// One-call basic fusion: plan pair-wise, then apply with the baseline's
@@ -159,13 +168,15 @@ mod tests {
         assert_eq!(result.plan.partition.len(), 2);
         let fused = fused_kernel_names(&result.pipeline);
         assert_eq!(fused.len(), 1);
-        assert!(!result
-            .pipeline
-            .kernels()
-            .iter()
-            .find(|k| k.stages.len() > 1)
-            .unwrap()
-            .input_staging);
+        assert!(
+            !result
+                .pipeline
+                .kernels()
+                .iter()
+                .find(|k| k.stages.len() > 1)
+                .unwrap()
+                .input_staging
+        );
     }
 
     /// Local-to-local is rejected by the basic algorithm (Sobel's failure).
@@ -225,7 +236,11 @@ mod tests {
         p.validate().unwrap();
 
         let result = fuse_basic(&p, &cfg());
-        assert_eq!(result.pipeline.kernels().len(), 2, "shared input must block basic fusion");
+        assert_eq!(
+            result.pipeline.kernels().len(),
+            2,
+            "shared input must block basic fusion"
+        );
     }
 
     /// Point-to-local is accepted and fused even when unprofitable —

@@ -18,7 +18,9 @@
 //! to merges bottom-up and cannot "see" that cutting a cheap edge frees a
 //! large legal block.
 
-use crate::planner::{compute_edge_weights, objective, FusionConfig, FusionPlan, Trace, TraceEvent};
+use crate::planner::{
+    compute_edge_weights, objective, FusionConfig, FusionPlan, Trace, TraceEvent,
+};
 use kfuse_graph::{Block, NodeId, Partition};
 use kfuse_ir::{KernelId, Pipeline};
 
@@ -26,8 +28,7 @@ use kfuse_ir::{KernelId, Pipeline};
 pub fn plan_greedy(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
     let edges = compute_edge_weights(p, cfg);
     let mut trace = Trace::default();
-    let mut blocks: Vec<Vec<KernelId>> =
-        p.kernel_ids().map(|k| vec![k]).collect();
+    let mut blocks: Vec<Vec<KernelId>> = p.kernel_ids().map(|k| vec![k]).collect();
 
     // Candidate edges by descending weight; ties keep graph order.
     let mut order: Vec<usize> = (0..edges.len()).collect();
@@ -83,7 +84,12 @@ pub fn plan_greedy(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
             .collect(),
     );
     let total_benefit = objective(&partition, &edges);
-    FusionPlan { partition, edges, trace, total_benefit }
+    FusionPlan {
+        partition,
+        edges,
+        trace,
+        total_benefit,
+    }
 }
 
 /// One-call greedy fusion (optimized codegen, like Algorithm 1's output).

@@ -80,7 +80,10 @@ impl std::fmt::Display for Illegal {
                 write!(f, "incompatible headers: {} vs {}", kernels.0, kernels.1)
             }
             Illegal::ResourceOveruse { ratio, threshold } => {
-                write!(f, "shared memory grows {ratio:.2}x > threshold {threshold:.2}")
+                write!(
+                    f,
+                    "shared memory grows {ratio:.2}x > threshold {threshold:.2}"
+                )
             }
             Illegal::UnprofitableEdge { src, dst } => {
                 write!(f, "unprofitable edge {src} -> {dst} inside block")
@@ -116,8 +119,8 @@ pub fn check_block(p: &Pipeline, block: &[KernelId]) -> Result<BlockInfo, Illega
     let mut escaping: Vec<KernelId> = Vec::new();
     for &k in block {
         let out = p.kernel(k).output;
-        let external = p.is_pipeline_output(out)
-            || p.consumers_of(out).iter().any(|&c| !in_block(c));
+        let external =
+            p.is_pipeline_output(out) || p.consumers_of(out).iter().any(|&c| !in_block(c));
         let internal = p.consumers_of(out).iter().any(|&c| in_block(c));
         if external {
             if internal && block.len() > 1 {
@@ -178,11 +181,7 @@ pub fn check_block(p: &Pipeline, block: &[KernelId]) -> Result<BlockInfo, Illega
             }
         }
     }
-    external_inputs.retain(|&img| {
-        block
-            .iter()
-            .any(|&k| p.kernel(k).inputs.contains(&img))
-    });
+    external_inputs.retain(|&img| block.iter().any(|&k| p.kernel(k).inputs.contains(&img)));
 
     // Header compatibility: one iteration-space size across the block.
     let d0 = p.image(p.kernel(block[0]).output);
@@ -205,7 +204,12 @@ pub fn check_block(p: &Pipeline, block: &[KernelId]) -> Result<BlockInfo, Illega
         .filter(|k| in_block(*k))
         .collect();
 
-    Ok(BlockInfo { topo, destination, sources, external_inputs })
+    Ok(BlockInfo {
+        topo,
+        destination,
+        sources,
+        external_inputs,
+    })
 }
 
 /// Pairwise edge legality: whether fusing just `{ks, kd}` is dependence- and
@@ -351,7 +355,10 @@ mod tests {
         // → two destinations. Use direct header check instead.
         let err = check_block(&p, &[a, b]).unwrap_err();
         // Two escaping outputs are detected first for this toy shape.
-        assert!(matches!(err, Illegal::ExternalOutput { .. } | Illegal::HeaderMismatch { .. }));
+        assert!(matches!(
+            err,
+            Illegal::ExternalOutput { .. } | Illegal::HeaderMismatch { .. }
+        ));
     }
 
     /// Single-kernel blocks are always legal.

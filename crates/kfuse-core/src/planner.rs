@@ -126,7 +126,11 @@ pub struct FusionPlan {
 impl FusionPlan {
     /// Blocks with more than one member (the actual transformations).
     pub fn fused_blocks(&self) -> Vec<&Block> {
-        self.partition.blocks().iter().filter(|b| b.len() > 1).collect()
+        self.partition
+            .blocks()
+            .iter()
+            .filter(|b| b.len() > 1)
+            .collect()
     }
 }
 
@@ -144,7 +148,13 @@ pub fn compute_edge_weights(p: &Pipeline, cfg: &FusionConfig) -> Vec<EdgeInfo> {
         let dst = KernelId(e.dst.0);
         let legal = pair_is_legal(p, src, dst, cfg);
         let estimate = cfg.model.edge_weight(p, src, dst, e.weight, legal);
-        out.push(EdgeInfo { src, dst, image: e.weight, legal, estimate });
+        out.push(EdgeInfo {
+            src,
+            dst,
+            image: e.weight,
+            legal,
+            estimate,
+        });
     }
     out
 }
@@ -192,10 +202,7 @@ pub fn block_legality(
         // (e.g. a fan-out edge) can be healed by the larger block, which is
         // exactly how Sobel and Unsharp fuse as whole graphs.
         for e in edges {
-            if block.contains(&e.src)
-                && block.contains(&e.dst)
-                && e.legal
-                && e.estimate.raw <= 0.0
+            if block.contains(&e.src) && block.contains(&e.dst) && e.legal && e.estimate.raw <= 0.0
             {
                 return Err(Illegal::UnprofitableEdge {
                     src: p.kernel(e.src).name.clone(),
@@ -229,7 +236,9 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
     while let Some(mut block) = working.pop_front() {
         block.sort_unstable();
         if block.len() == 1 {
-            trace.events.push(TraceEvent::Ready { members: names(p, &block) });
+            trace.events.push(TraceEvent::Ready {
+                members: names(p, &block),
+            });
             ready.push(block);
             continue;
         }
@@ -254,7 +263,9 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
                     members: names(p, &block),
                     verdict: None,
                 });
-                trace.events.push(TraceEvent::Ready { members: names(p, &block) });
+                trace.events.push(TraceEvent::Ready {
+                    members: names(p, &block),
+                });
                 ready.push(block);
             }
             Err(reason) => {
@@ -299,11 +310,17 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
             .map(|b| Block::new(b.iter().map(|k| NodeId(k.0)).collect()))
             .collect(),
     );
-    debug_assert!(partition
-        .is_valid_partition_of(&all.iter().map(|k| NodeId(k.0)).collect::<Vec<_>>()));
+    debug_assert!(
+        partition.is_valid_partition_of(&all.iter().map(|k| NodeId(k.0)).collect::<Vec<_>>())
+    );
 
     let total_benefit = objective(&partition, &edges);
-    FusionPlan { partition, edges, trace, total_benefit }
+    FusionPlan {
+        partition,
+        edges,
+        trace,
+        total_benefit,
+    }
 }
 
 /// The objective β of Eq. (1): total weight of edges inside blocks.

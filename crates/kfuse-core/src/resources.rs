@@ -18,8 +18,8 @@
 
 use crate::legality::Illegal;
 use crate::synthesis::{absolute_extents, input_access_extents};
-use kfuse_model::BlockShape;
 use kfuse_ir::{Kernel, MemSpace, Pipeline};
+use kfuse_model::BlockShape;
 
 /// Bytes of shared memory per sample.
 const SAMPLE_BYTES: usize = std::mem::size_of::<f32>();

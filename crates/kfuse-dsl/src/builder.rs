@@ -33,7 +33,12 @@ pub fn v(slot: usize) -> Expr {
 
 /// Load channel `ch` of input slot `slot` at the current position.
 pub fn vc(slot: usize, ch: usize) -> Expr {
-    Expr::Load { slot, dx: 0, dy: 0, ch }
+    Expr::Load {
+        slot,
+        dx: 0,
+        dy: 0,
+        ch,
+    }
 }
 
 /// Load channel 0 of input slot `slot` at offset `(dx, dy)`.
@@ -107,7 +112,11 @@ pub struct PipelineBuilder {
 impl PipelineBuilder {
     /// Starts a pipeline whose images are all `width × height`.
     pub fn new(name: impl Into<String>, width: usize, height: usize) -> Self {
-        Self { pipeline: Pipeline::new(name), width, height }
+        Self {
+            pipeline: Pipeline::new(name),
+            width,
+            height,
+        }
     }
 
     /// Declares a gray-scale (1-channel) pipeline input.
@@ -171,7 +180,13 @@ impl PipelineBuilder {
         mask: &Mask,
         border: BorderMode,
     ) -> ImageId {
-        self.kernel(name, &[input], vec![border], vec![mask.to_expr(0, 0)], vec![])
+        self.kernel(
+            name,
+            &[input],
+            vec![border],
+            vec![mask.to_expr(0, 0)],
+            vec![],
+        )
     }
 
     /// Adds a per-channel RGB convolution.
@@ -251,8 +266,24 @@ mod tests {
         assert_eq!(clamp(c(2.0), 0.0, 1.0).op_counts().alu, 2);
         assert_eq!(powf(v(0), c(2.2)).op_counts().sfu, 1);
         assert_eq!(select(v(0), c(1.0), c(0.0)).op_counts().alu, 1);
-        assert_eq!(at(0, -1, 2), Expr::Load { slot: 0, dx: -1, dy: 2, ch: 0 });
-        assert_eq!(vc(1, 2), Expr::Load { slot: 1, dx: 0, dy: 0, ch: 2 });
+        assert_eq!(
+            at(0, -1, 2),
+            Expr::Load {
+                slot: 0,
+                dx: -1,
+                dy: 2,
+                ch: 0
+            }
+        );
+        assert_eq!(
+            vc(1, 2),
+            Expr::Load {
+                slot: 1,
+                dx: 0,
+                dy: 0,
+                ch: 2
+            }
+        );
         assert_eq!(param(3), Expr::Param(3));
         assert_eq!(abs(c(-1.0)).op_counts().alu, 1);
         assert_eq!((exp(v(0)) + ln(v(0))).op_counts().sfu, 2);

@@ -19,7 +19,10 @@ impl Mask {
     ///
     /// Panics if the rows are empty, ragged, or have even side lengths.
     pub fn new(rows: Vec<Vec<f32>>) -> Self {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "mask must be non-empty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "mask must be non-empty"
+        );
         let w = rows[0].len();
         assert!(rows.iter().all(|r| r.len() == w), "ragged mask");
         assert!(rows.len() % 2 == 1 && w % 2 == 1, "mask sides must be odd");

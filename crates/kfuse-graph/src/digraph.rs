@@ -69,7 +69,10 @@ pub struct DiGraph<N, E> {
 impl<N, E> DiGraph<N, E> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), edges: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -192,8 +195,7 @@ impl<N, E> DiGraph<N, E> {
         for e in &self.edges {
             indeg[e.dst.0] += 1;
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(NodeId(i));

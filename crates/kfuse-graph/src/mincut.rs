@@ -57,7 +57,10 @@ pub struct MinCutGraph {
 impl MinCutGraph {
     /// Creates a graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, adj: vec![0.0; n * n] }
+        Self {
+            n,
+            adj: vec![0.0; n * n],
+        }
     }
 
     /// Number of vertices.
@@ -80,7 +83,10 @@ impl MinCutGraph {
     /// finite.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
         assert!(u < self.n && v < self.n, "endpoint out of range");
-        assert!(w.is_finite() && w >= 0.0, "edge weight must be finite and non-negative");
+        assert!(
+            w.is_finite() && w >= 0.0,
+            "edge weight must be finite and non-negative"
+        );
         if u == v {
             return;
         }
@@ -199,7 +205,10 @@ impl MinCutGraph {
             if is_better {
                 let mut side = groups[t].clone();
                 side.sort_unstable();
-                best = Some(Cut { weight: cut_of_phase, side });
+                best = Some(Cut {
+                    weight: cut_of_phase,
+                    side,
+                });
             }
 
             // Merge t into s.
@@ -228,12 +237,14 @@ impl MinCutGraph {
     /// Panics if the graph has more than 24 vertices (the enumeration would
     /// be unreasonably large) or fewer than 2.
     pub fn brute_force_min_cut(&self) -> Cut {
-        assert!((2..=24).contains(&self.n), "brute force needs 2..=24 vertices");
+        assert!(
+            (2..=24).contains(&self.n),
+            "brute force needs 2..=24 vertices"
+        );
         let mut best: Option<Cut> = None;
         // Vertex 0 stays on the complement side, halving the enumeration.
         for mask in 1u64..(1 << (self.n - 1)) {
-            let side: Vec<usize> =
-                (1..self.n).filter(|&v| mask >> (v - 1) & 1 == 1).collect();
+            let side: Vec<usize> = (1..self.n).filter(|&v| mask >> (v - 1) & 1 == 1).collect();
             let w = self.cut_weight(&side);
             if best.as_ref().is_none_or(|b| w < b.weight) {
                 best = Some(Cut { weight: w, side });
@@ -246,7 +257,6 @@ impl MinCutGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn too_small_graphs_have_no_cut() {
@@ -343,57 +353,83 @@ mod tests {
         assert_eq!(cut.side, vec![1]);
     }
 
-    /// Strategy: random graphs of 2..=7 vertices with weights in 0..=10.
-    fn random_graph() -> impl Strategy<Value = MinCutGraph> {
-        (2usize..=7).prop_flat_map(|n| {
-            let m = n * (n - 1) / 2;
-            proptest::collection::vec(0u32..=10, m).prop_map(move |ws| {
-                let mut g = MinCutGraph::new(n);
-                let mut k = 0;
-                for u in 0..n {
-                    for v in (u + 1)..n {
-                        g.add_edge(u, v, f64::from(ws[k]));
-                        k += 1;
-                    }
-                }
-                g
-            })
-        })
+    /// Deterministic random graph of `n` vertices with integer weights in
+    /// `0..=10` (SplitMix64-driven; replaces the former proptest strategy).
+    fn random_graph(n: usize, seed: u64) -> MinCutGraph {
+        let mut state = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(n as u64);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut g = MinCutGraph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                g.add_edge(u, v, (next() % 11) as f64);
+            }
+        }
+        g
     }
 
-    proptest! {
-        /// Stoer–Wagner returns a cut of globally minimum weight.
-        #[test]
-        fn stoer_wagner_is_optimal(g in random_graph()) {
-            let sw = g.stoer_wagner(0).unwrap();
-            let bf = g.brute_force_min_cut();
-            prop_assert!((sw.weight - bf.weight).abs() < 1e-9,
-                "stoer-wagner {} vs brute force {}", sw.weight, bf.weight);
-            // And the reported side realises the reported weight.
-            prop_assert!((g.cut_weight(&sw.side) - sw.weight).abs() < 1e-9);
+    /// Stoer–Wagner returns a cut of globally minimum weight on a sweep of
+    /// deterministic random graphs.
+    #[test]
+    fn stoer_wagner_is_optimal() {
+        for n in 2..=7 {
+            for seed in 0..24 {
+                let g = random_graph(n, seed);
+                let sw = g.stoer_wagner(0).unwrap();
+                let bf = g.brute_force_min_cut();
+                assert!(
+                    (sw.weight - bf.weight).abs() < 1e-9,
+                    "n={n} seed={seed}: stoer-wagner {} vs brute force {}",
+                    sw.weight,
+                    bf.weight
+                );
+                // And the reported side realises the reported weight.
+                assert!((g.cut_weight(&sw.side) - sw.weight).abs() < 1e-9);
+            }
         }
+    }
 
-        /// The reported side is a proper, sorted, duplicate-free subset.
-        #[test]
-        fn cut_side_is_proper_subset(g in random_graph(), start in 0usize..7) {
-            let start = start % g.vertex_count();
-            let cut = g.stoer_wagner(start).unwrap();
-            prop_assert!(!cut.side.is_empty());
-            prop_assert!(cut.side.len() < g.vertex_count());
-            let mut sorted = cut.side.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            prop_assert_eq!(&sorted, &cut.side);
-            prop_assert!(cut.side.iter().all(|&v| v < g.vertex_count()));
+    /// The reported side is a proper, sorted, duplicate-free subset.
+    #[test]
+    fn cut_side_is_proper_subset() {
+        for n in 2..=7 {
+            for seed in 0..12 {
+                let g = random_graph(n, seed);
+                for start in 0..g.vertex_count() {
+                    let cut = g.stoer_wagner(start).unwrap();
+                    assert!(!cut.side.is_empty());
+                    assert!(cut.side.len() < g.vertex_count());
+                    let mut sorted = cut.side.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(&sorted, &cut.side);
+                    assert!(cut.side.iter().all(|&v| v < g.vertex_count()));
+                }
+            }
         }
+    }
 
-        /// Optimality holds regardless of the chosen start vertex.
-        #[test]
-        fn start_vertex_does_not_affect_weight(g in random_graph()) {
-            let bf = g.brute_force_min_cut().weight;
-            for start in 0..g.vertex_count() {
-                let sw = g.stoer_wagner(start).unwrap();
-                prop_assert!((sw.weight - bf).abs() < 1e-9);
+    /// Optimality holds regardless of the chosen start vertex.
+    #[test]
+    fn start_vertex_does_not_affect_weight() {
+        for n in 2..=6 {
+            for seed in 100..112 {
+                let g = random_graph(n, seed);
+                let bf = g.brute_force_min_cut().weight;
+                for start in 0..g.vertex_count() {
+                    let sw = g.stoer_wagner(start).unwrap();
+                    assert!(
+                        (sw.weight - bf).abs() < 1e-9,
+                        "n={n} seed={seed} start={start}"
+                    );
+                }
             }
         }
     }

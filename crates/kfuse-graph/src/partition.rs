@@ -55,8 +55,7 @@ impl Block {
     ///
     /// Members of `side` that do not belong to the block are ignored.
     pub fn split(&self, side: &[NodeId]) -> (Block, Block) {
-        let (a, b): (Vec<_>, Vec<_>) =
-            self.members.iter().partition(|n| side.contains(n));
+        let (a, b): (Vec<_>, Vec<_>) = self.members.iter().partition(|n| side.contains(n));
         (Block::new(a), Block::new(b))
     }
 }
@@ -126,8 +125,11 @@ impl Partition {
     /// Whether the union of all blocks equals `universe`
     /// (paper: `V₁ ∪ … ∪ Vₖ = V`).
     pub fn covers(&self, universe: &[NodeId]) -> bool {
-        let mut all: Vec<NodeId> =
-            self.blocks.iter().flat_map(|b| b.members().iter().copied()).collect();
+        let mut all: Vec<NodeId> = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.members().iter().copied())
+            .collect();
         all.sort_unstable();
         all.dedup();
         let mut uni = universe.to_vec();
@@ -139,9 +141,7 @@ impl Partition {
     /// Whether this is a valid partition of `universe`: disjoint, covering,
     /// and free of empty blocks.
     pub fn is_valid_partition_of(&self, universe: &[NodeId]) -> bool {
-        self.blocks.iter().all(|b| !b.is_empty())
-            && self.is_disjoint()
-            && self.covers(universe)
+        self.blocks.iter().all(|b| !b.is_empty()) && self.is_disjoint() && self.covers(universe)
     }
 
     /// Blocks sorted by their smallest member — a canonical order for
@@ -186,10 +186,7 @@ mod tests {
 
     #[test]
     fn partition_disjoint_and_cover() {
-        let p = Partition::from_blocks(vec![
-            Block::new(vec![n(0), n(1)]),
-            Block::singleton(n(2)),
-        ]);
+        let p = Partition::from_blocks(vec![Block::new(vec![n(0), n(1)]), Block::singleton(n(2))]);
         assert!(p.is_disjoint());
         assert!(p.covers(&[n(0), n(1), n(2)]));
         assert!(p.is_valid_partition_of(&[n(0), n(1), n(2)]));
@@ -214,20 +211,14 @@ mod tests {
 
     #[test]
     fn block_of_lookup() {
-        let p = Partition::from_blocks(vec![
-            Block::new(vec![n(0), n(1)]),
-            Block::singleton(n(2)),
-        ]);
+        let p = Partition::from_blocks(vec![Block::new(vec![n(0), n(1)]), Block::singleton(n(2))]);
         assert_eq!(p.block_of(n(1)).unwrap().members(), &[n(0), n(1)]);
         assert!(p.block_of(n(7)).is_none());
     }
 
     #[test]
     fn canonical_order_is_by_smallest_member() {
-        let p = Partition::from_blocks(vec![
-            Block::singleton(n(2)),
-            Block::new(vec![n(0), n(1)]),
-        ]);
+        let p = Partition::from_blocks(vec![Block::singleton(n(2)), Block::new(vec![n(0), n(1)])]);
         let c = p.canonicalized();
         assert_eq!(c.blocks()[0].members(), &[n(0), n(1)]);
         assert_eq!(c.blocks()[1].members(), &[n(2)]);

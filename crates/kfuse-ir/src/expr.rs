@@ -163,19 +163,33 @@ impl OpCounts {
 impl Expr {
     /// Convenience constructor for a single-channel load at offset `(0, 0)`.
     pub fn load(slot: usize) -> Expr {
-        Expr::Load { slot, dx: 0, dy: 0, ch: 0 }
+        Expr::Load {
+            slot,
+            dx: 0,
+            dy: 0,
+            ch: 0,
+        }
     }
 
     /// Convenience constructor for a single-channel load at `(dx, dy)`.
     pub fn load_at(slot: usize, dx: i32, dy: i32) -> Expr {
-        Expr::Load { slot, dx, dy, ch: 0 }
+        Expr::Load {
+            slot,
+            dx,
+            dy,
+            ch: 0,
+        }
     }
 
     /// Counts ALU/SFU operations and loads in this expression.
     pub fn op_counts(&self) -> OpCounts {
         match self {
             Expr::Const(_) | Expr::Param(_) => OpCounts::default(),
-            Expr::Load { .. } => OpCounts { alu: 0, sfu: 0, loads: 1 },
+            Expr::Load { .. } => OpCounts {
+                alu: 0,
+                sfu: 0,
+                loads: 1,
+            },
             Expr::Bin(op, a, b) => {
                 let mut c = a.op_counts().merge(b.op_counts());
                 if op.is_sfu() {
@@ -380,7 +394,10 @@ impl Expr {
     ///
     /// Panics if the mask is empty or ragged.
     pub fn convolve(slot: usize, ch: usize, mask: &[&[f32]]) -> Expr {
-        assert!(!mask.is_empty() && !mask[0].is_empty(), "mask must be non-empty");
+        assert!(
+            !mask.is_empty() && !mask[0].is_empty(),
+            "mask must be non-empty"
+        );
         let mw = mask[0].len();
         assert!(mask.iter().all(|r| r.len() == mw), "ragged mask");
         assert!(mask.len() % 2 == 1 && mw % 2 == 1, "mask sides must be odd");
@@ -392,7 +409,12 @@ impl Expr {
                 if coef == 0.0 {
                     continue;
                 }
-                let load = Expr::Load { slot, dx: i as i32 - rx, dy: j as i32 - ry, ch };
+                let load = Expr::Load {
+                    slot,
+                    dx: i as i32 - rx,
+                    dy: j as i32 - ry,
+                    ch,
+                };
                 let term = if coef == 1.0 {
                     load
                 } else {
@@ -484,7 +506,11 @@ mod tests {
 
     #[test]
     fn pow_counts_as_sfu() {
-        let e = Expr::Bin(BinOp::Pow, Box::new(Expr::load(0)), Box::new(Expr::Const(2.2)));
+        let e = Expr::Bin(
+            BinOp::Pow,
+            Box::new(Expr::load(0)),
+            Box::new(Expr::Const(2.2)),
+        );
         assert_eq!(e.op_counts().sfu, 1);
         assert_eq!(e.op_counts().alu, 0);
     }
@@ -523,7 +549,12 @@ mod tests {
     #[test]
     fn map_loads_redirects() {
         let e = Expr::load_at(0, 1, -1) + Expr::Const(3.0);
-        let out = e.map_loads(&|slot, dx, dy, ch| Expr::Load { slot: slot + 5, dx, dy, ch });
+        let out = e.map_loads(&|slot, dx, dy, ch| Expr::Load {
+            slot: slot + 5,
+            dx,
+            dy,
+            ch,
+        });
         assert_eq!(out.loaded_slots(), vec![5]);
         assert_eq!(out.extent_of_slot(5), Some((1, 1)));
     }
@@ -565,7 +596,11 @@ mod tests {
         let f = e.fold_constants();
         assert_eq!(
             f,
-            Expr::Bin(BinOp::Mul, Box::new(Expr::Const(5.0)), Box::new(Expr::load(0)))
+            Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Const(5.0)),
+                Box::new(Expr::load(0))
+            )
         );
         assert!(f.size() < e.size());
     }

@@ -37,8 +37,16 @@ impl ImageDesc {
     ///
     /// Panics if any dimension is zero.
     pub fn new(name: impl Into<String>, width: usize, height: usize, channels: usize) -> Self {
-        assert!(width > 0 && height > 0 && channels > 0, "image dimensions must be non-zero");
-        Self { name: name.into(), width, height, channels }
+        assert!(
+            width > 0 && height > 0 && channels > 0,
+            "image dimensions must be non-zero"
+        );
+        Self {
+            name: name.into(),
+            width,
+            height,
+            channels,
+        }
     }
 
     /// Iteration-space size `IS(i)` of the image: `width · height`
@@ -78,7 +86,12 @@ impl Image {
     ///
     /// Panics if `data.len()` does not match the descriptor.
     pub fn from_data(desc: ImageDesc, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), desc.sample_count(), "data length mismatch for {}", desc.name);
+        assert_eq!(
+            data.len(),
+            desc.sample_count(),
+            "data length mismatch for {}",
+            desc.name
+        );
         Self { desc, data }
     }
 
@@ -89,7 +102,10 @@ impl Image {
     ///
     /// Panics if the rows are empty or ragged.
     pub fn from_rows(name: impl Into<String>, rows: &[&[f32]]) -> Self {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "rows must be non-empty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "rows must be non-empty"
+        );
         let width = rows[0].len();
         assert!(rows.iter().all(|r| r.len() == width), "ragged rows");
         let desc = ImageDesc::new(name, width, rows.len(), 1);
@@ -143,6 +159,31 @@ impl Image {
     pub fn set(&mut self, x: usize, y: usize, c: usize, v: f32) {
         debug_assert!(x < self.desc.width && y < self.desc.height && c < self.desc.channels);
         self.data[(y * self.desc.width + x) * self.desc.channels + c] = v;
+    }
+
+    /// Row `y` as a contiguous slice of `width · channels` samples.
+    ///
+    /// Lets executors hoist the `y * width * channels` base-offset
+    /// computation (and its bounds check) out of per-pixel inner loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[f32] {
+        let stride = self.desc.width * self.desc.channels;
+        &self.data[y * stride..(y + 1) * stride]
+    }
+
+    /// Mutable row `y` as a contiguous slice of `width · channels` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [f32] {
+        let stride = self.desc.width * self.desc.channels;
+        &mut self.data[y * stride..(y + 1) * stride]
     }
 
     /// Maximum absolute difference to another image of identical shape.
@@ -217,6 +258,24 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_rejected() {
         let _ = Image::from_rows("m", &[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn row_slices() {
+        let mut img = Image::zeros(ImageDesc::new("a", 3, 2, 2));
+        img.set(1, 1, 0, 5.0);
+        img.set(2, 1, 1, 6.0);
+        assert_eq!(img.row(0), &[0.0; 6]);
+        assert_eq!(img.row(1), &[0.0, 0.0, 5.0, 0.0, 0.0, 6.0]);
+        img.row_mut(0)[0] = 9.0;
+        assert_eq!(img.get(0, 0, 0), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_out_of_bounds_panics() {
+        let img = Image::zeros(ImageDesc::new("a", 2, 2, 1));
+        let _ = img.row(2);
     }
 
     #[test]

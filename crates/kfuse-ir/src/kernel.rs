@@ -197,7 +197,14 @@ impl Kernel {
             params,
             space: MemSpace::Global,
         };
-        Self { name, inputs, output, stages: vec![stage], root: 0, input_staging: true }
+        Self {
+            name,
+            inputs,
+            output,
+            stages: vec![stage],
+            root: 0,
+            input_staging: true,
+        }
     }
 
     /// The root (destination) stage.
@@ -266,7 +273,10 @@ impl Kernel {
     /// Returns a human-readable description of the first violation.
     pub fn check(&self) -> Result<(), String> {
         if self.root >= self.stages.len() {
-            return Err(format!("kernel {}: root stage {} out of range", self.name, self.root));
+            return Err(format!(
+                "kernel {}: root stage {} out of range",
+                self.name, self.root
+            ));
         }
         for (i, s) in self.stages.iter().enumerate() {
             if s.refs.len() != s.borders.len() {

@@ -208,10 +208,11 @@ impl Pipeline {
     pub fn validate(&self) -> Result<(), PipelineError> {
         // Images referenced by kernels must exist and channels must match.
         for k in &self.kernels {
-            if k.output.0 >= self.images.len()
-                || k.inputs.iter().any(|i| i.0 >= self.images.len())
+            if k.output.0 >= self.images.len() || k.inputs.iter().any(|i| i.0 >= self.images.len())
             {
-                return Err(PipelineError::UnknownImage { kernel: k.name.clone() });
+                return Err(PipelineError::UnknownImage {
+                    kernel: k.name.clone(),
+                });
             }
             k.check()
                 .map_err(|reason| PipelineError::MalformedKernel { reason })?;
@@ -262,7 +263,9 @@ impl Pipeline {
                 .iter()
                 .any(|&i| self.image(i).width != w || self.image(i).height != h)
             {
-                return Err(PipelineError::BadDimensions { kernel: k.name.clone() });
+                return Err(PipelineError::BadDimensions {
+                    kernel: k.name.clone(),
+                });
             }
         }
         // Unique producer per image.
@@ -391,7 +394,10 @@ mod tests {
             vec![Expr::load(0)],
             vec![],
         ));
-        assert!(matches!(p.validate(), Err(PipelineError::ProducedInput { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(PipelineError::ProducedInput { .. })
+        ));
     }
 
     #[test]
@@ -404,10 +410,18 @@ mod tests {
             vec![a],
             b,
             vec![BorderMode::Clamp],
-            vec![Expr::Load { slot: 0, dx: 0, dy: 0, ch: 2 }],
+            vec![Expr::Load {
+                slot: 0,
+                dx: 0,
+                dy: 0,
+                ch: 2,
+            }],
             vec![],
         ));
-        assert!(matches!(p.validate(), Err(PipelineError::BadChannel { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(PipelineError::BadChannel { .. })
+        ));
     }
 
     #[test]
@@ -423,7 +437,10 @@ mod tests {
             vec![Expr::load(0)],
             vec![],
         ));
-        assert!(matches!(p.validate(), Err(PipelineError::BadDimensions { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(PipelineError::BadDimensions { .. })
+        ));
     }
 
     #[test]

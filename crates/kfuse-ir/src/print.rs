@@ -80,11 +80,7 @@ pub fn expr_to_string(e: &Expr, slot_name: &dyn Fn(usize) -> String) -> String {
 /// spaces.
 pub fn kernel_to_string(p: &Pipeline, k: &Kernel) -> String {
     let mut out = String::new();
-    let inputs: Vec<String> = k
-        .inputs
-        .iter()
-        .map(|&i| p.image(i).name.clone())
-        .collect();
+    let inputs: Vec<String> = k.inputs.iter().map(|&i| p.image(i).name.clone()).collect();
     let _ = writeln!(
         out,
         "kernel {}({}) -> {}",
@@ -109,7 +105,11 @@ pub fn kernel_to_string(p: &Pipeline, k: &Kernel) -> String {
             let truncated = {
                 let full = expr_to_string(b, &slot_name);
                 if full.len() > 160 {
-                    format!("{}… ({} ops)", &full[..160], b.op_counts().alu + b.op_counts().sfu)
+                    format!(
+                        "{}… ({} ops)",
+                        &full[..160],
+                        b.op_counts().alu + b.op_counts().sfu
+                    )
                 } else {
                     full
                 }
@@ -145,7 +145,11 @@ mod tests {
 
     #[test]
     fn renders_minmax_as_calls() {
-        let e = Expr::Bin(BinOp::Max, Box::new(Expr::load(0)), Box::new(Expr::Const(0.0)));
+        let e = Expr::Bin(
+            BinOp::Max,
+            Box::new(Expr::load(0)),
+            Box::new(Expr::Const(0.0)),
+        );
         assert_eq!(expr_to_string(&e, &|_| "x".into()), "max(x, 0)");
     }
 

@@ -254,18 +254,18 @@ impl BenefitModel {
             FusionScenario::LocalToLocal => {
                 let phi = match self.l2l_recompute {
                     L2LRecompute::Eq10Window => {
-                        let g =
-                            eq9_fused_window(ks.window_size(), self.consumption_window(kd, ie));
+                        let g = eq9_fused_window(ks.window_size(), self.consumption_window(kd, ie));
                         phi_local_to_local(producer_cost, is_ks, g)
                     }
                     L2LRecompute::TileAmortized => {
                         let (rx, ry) = self.consumption_extent(kd, ie);
-                        producer_cost
-                            * is_ks
-                            * self.block.tile_factor(rx as usize, ry as usize)
+                        producer_cost * is_ks * self.block.tile_factor(rx as usize, ry as usize)
                     }
                 };
-                (delta_shared(is_e, self.gpu.t_global, self.gpu.t_shared), phi)
+                (
+                    delta_shared(is_e, self.gpu.t_global, self.gpu.t_shared),
+                    phi,
+                )
             }
         };
 
@@ -275,7 +275,13 @@ impl BenefitModel {
         } else {
             raw.max(self.epsilon)
         };
-        EdgeEstimate { scenario, delta, phi, raw, weight }
+        EdgeEstimate {
+            scenario,
+            delta,
+            phi,
+            raw,
+            weight,
+        }
     }
 }
 

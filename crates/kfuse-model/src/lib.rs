@@ -20,8 +20,7 @@ pub mod benefit;
 pub mod gpu;
 
 pub use benefit::{
-    L2LRecompute,
     cost_op, delta_register, delta_shared, eq9_fused_window, phi_local_to_local,
-    phi_point_to_local, BenefitModel, EdgeEstimate, FusionScenario, IsMode,
+    phi_point_to_local, BenefitModel, EdgeEstimate, FusionScenario, IsMode, L2LRecompute,
 };
 pub use gpu::{BlockShape, GpuSpec};

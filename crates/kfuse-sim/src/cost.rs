@@ -16,8 +16,8 @@
 //!   unstaged window reads pay per-warp unique DRAM samples instead (the
 //!   basic-fusion codegen of [12]).
 
-use kfuse_core::synthesis::{absolute_extents, input_access_extents};
 use kfuse_core::shared_usage_bytes;
+use kfuse_core::synthesis::{absolute_extents, input_access_extents};
 use kfuse_ir::{Kernel, MemSpace, Pipeline, StageRef};
 use kfuse_model::BlockShape;
 
@@ -83,8 +83,7 @@ pub fn stage_multiplicities(k: &Kernel, block: BlockShape) -> Vec<f64> {
                 if s.space == MemSpace::Shared {
                     // Producer evaluated over the consumer's tile.
                     let (rx, ry) = abs[*i];
-                    shared_consumer_mult[*i] +=
-                        block.tile_factor(rx as usize, ry as usize);
+                    shared_consumer_mult[*i] += block.tile_factor(rx as usize, ry as usize);
                 } else {
                     let base = positions[j].clone();
                     for &(dx, dy) in &offs {
@@ -221,7 +220,10 @@ pub fn analyze_pipeline(p: &Pipeline, block: BlockShape) -> Vec<LaunchCost> {
 /// Total DRAM traffic of a pipeline run in bytes — the quantity kernel
 /// fusion reduces by eliminating intermediate images.
 pub fn total_dram_bytes(p: &Pipeline, block: BlockShape) -> f64 {
-    analyze_pipeline(p, block).iter().map(|c| c.dram_bytes).sum()
+    analyze_pipeline(p, block)
+        .iter()
+        .map(|c| c.dram_bytes)
+        .sum()
 }
 
 #[cfg(test)]
@@ -431,7 +433,14 @@ mod tests {
         let input = p.add_input(ImageDesc::new("in", 64, 64, 3));
         let out = p.add_image(ImageDesc::new("out", 64, 64, 3));
         let body = (0..3)
-            .map(|c| Expr::Load { slot: 0, dx: 0, dy: 0, ch: c } * Expr::Const(2.0))
+            .map(|c| {
+                Expr::Load {
+                    slot: 0,
+                    dx: 0,
+                    dy: 0,
+                    ch: c,
+                } * Expr::Const(2.0)
+            })
             .collect();
         p.add_kernel(Kernel::simple(
             "scale",

@@ -74,7 +74,13 @@ impl Execution {
     }
 }
 
-struct Evaluator<'a> {
+/// Tree-walking stage evaluator — the reference semantics.
+///
+/// Also used by the tiled executor ([`crate::tile`]) as the fallback for
+/// the rare halo accesses whose exchanged index lands outside the
+/// materialized scratch plane (e.g. [`kfuse_ir::BorderMode::Repeat`]
+/// wrapping to the far side of the image).
+pub(crate) struct Evaluator<'a> {
     kernel: &'a Kernel,
     inputs: Vec<&'a Image>,
     /// Iteration-space bounds (output image width/height).
@@ -82,8 +88,17 @@ struct Evaluator<'a> {
     ih: usize,
 }
 
-impl Evaluator<'_> {
-    fn eval(&self, stage: usize, ch: usize, x: usize, y: usize) -> f32 {
+impl<'a> Evaluator<'a> {
+    pub(crate) fn new(kernel: &'a Kernel, inputs: Vec<&'a Image>, iw: usize, ih: usize) -> Self {
+        Self {
+            kernel,
+            inputs,
+            iw,
+            ih,
+        }
+    }
+
+    pub(crate) fn eval(&self, stage: usize, ch: usize, x: usize, y: usize) -> f32 {
         let s = &self.kernel.stages[stage];
         self.eval_expr(stage, &s.body[ch], x, y)
     }
@@ -142,12 +157,7 @@ pub fn execute_kernel(p: &Pipeline, k: &Kernel, images: &[Option<Image>]) -> Ima
                 .expect("topological execution materializes inputs first")
         })
         .collect();
-    let ev = Evaluator {
-        kernel: k,
-        inputs,
-        iw: out_desc.width,
-        ih: out_desc.height,
-    };
+    let ev = Evaluator::new(k, inputs, out_desc.width, out_desc.height);
     let mut out = Image::zeros(out_desc);
     let (w, h, c) = (out.width(), out.height(), out.channels());
     for y in 0..h {
@@ -161,33 +171,76 @@ pub fn execute_kernel(p: &Pipeline, k: &Kernel, images: &[Option<Image>]) -> Ima
     out
 }
 
-/// Executes a pipeline with the given inputs.
-///
-/// Returns every materialized image; fused pipelines materialize fewer
-/// intermediates. Inputs may be given in any order.
-pub fn execute(p: &Pipeline, inputs: &[(ImageId, Image)]) -> Result<Execution, ExecError> {
-    p.validate().map_err(|e| ExecError::Invalid(e.to_string()))?;
+/// Validates the pipeline and seeds the image table with the inputs.
+pub(crate) fn prepare_images(
+    p: &Pipeline,
+    inputs: &[(ImageId, Image)],
+) -> Result<Vec<Option<Image>>, ExecError> {
+    p.validate()
+        .map_err(|e| ExecError::Invalid(e.to_string()))?;
     let mut images: Vec<Option<Image>> = vec![None; p.images().len()];
     for (id, img) in inputs {
         let desc = p.image(*id);
-        if img.width() != desc.width || img.height() != desc.height || img.channels() != desc.channels
+        if img.width() != desc.width
+            || img.height() != desc.height
+            || img.channels() != desc.channels
         {
-            return Err(ExecError::ShapeMismatch { image: desc.name.clone() });
+            return Err(ExecError::ShapeMismatch {
+                image: desc.name.clone(),
+            });
         }
         images[id.0] = Some(img.clone());
     }
     for &id in p.inputs() {
         if images[id.0].is_none() {
-            return Err(ExecError::MissingInput { image: p.image(id).name.clone() });
+            return Err(ExecError::MissingInput {
+                image: p.image(id).name.clone(),
+            });
         }
     }
+    Ok(images)
+}
+
+/// Runs every kernel in topological order through `run_kernel`.
+pub(crate) fn execute_with(
+    p: &Pipeline,
+    inputs: &[(ImageId, Image)],
+    run_kernel: impl Fn(&Pipeline, &Kernel, &[Option<Image>]) -> Image,
+) -> Result<Execution, ExecError> {
+    let mut images = prepare_images(p, inputs)?;
     let dag = p.kernel_dag();
     for n in dag.topo_order().expect("validated pipelines are acyclic") {
         let k = p.kernel(kfuse_ir::KernelId(n.0));
-        let out = execute_kernel(p, k, &images);
+        let out = run_kernel(p, k, &images);
         images[k.output.0] = Some(out);
     }
     Ok(Execution { images })
+}
+
+/// Executes a pipeline with the given inputs.
+///
+/// Returns every materialized image; fused pipelines materialize fewer
+/// intermediates. Inputs may be given in any order.
+///
+/// Since the compiled tiled engine landed, this routes through the **fast
+/// executor** ([`crate::fast::execute_fast`]): instruction tapes, per-tile
+/// halo-plane materialization, and multi-threaded row bands. Its output is
+/// bit-identical to the reference interpreter, which remains available as
+/// [`execute_reference`] — the oracle the differential tests compare
+/// against.
+pub fn execute(p: &Pipeline, inputs: &[(ImageId, Image)]) -> Result<Execution, ExecError> {
+    crate::fast::execute_fast(p, inputs)
+}
+
+/// Executes a pipeline with the reference tree-walking interpreter.
+///
+/// Slow (it re-evaluates inlined producer stages per load) but maximally
+/// simple — the correctness oracle for the fast executor.
+pub fn execute_reference(
+    p: &Pipeline,
+    inputs: &[(ImageId, Image)],
+) -> Result<Execution, ExecError> {
+    execute_with(p, inputs, execute_kernel)
 }
 
 /// Fills an image with a deterministic pseudo-random pattern in `[0, 255]`.
@@ -333,9 +386,24 @@ mod tests {
         let out = p.add_image(ImageDesc::new("out", 1, 1, 3));
         // Swap channels: out.r = in.b, out.g = in.g, out.b = in.r.
         let body = vec![
-            Expr::Load { slot: 0, dx: 0, dy: 0, ch: 2 },
-            Expr::Load { slot: 0, dx: 0, dy: 0, ch: 1 },
-            Expr::Load { slot: 0, dx: 0, dy: 0, ch: 0 },
+            Expr::Load {
+                slot: 0,
+                dx: 0,
+                dy: 0,
+                ch: 2,
+            },
+            Expr::Load {
+                slot: 0,
+                dx: 0,
+                dy: 0,
+                ch: 1,
+            },
+            Expr::Load {
+                slot: 0,
+                dx: 0,
+                dy: 0,
+                ch: 0,
+            },
         ];
         p.add_kernel(Kernel::simple(
             "swap",

@@ -18,13 +18,28 @@
 //! reproduce the box-plot statistics of Figure 6, and [`micro`] provides a
 //! warp-level micro-simulator as a cycle-accurate cross-check of the
 //! analytic model (`ablation_microsim`).
+//!
+//! The functional executor itself has two implementations with
+//! bit-identical results:
+//!
+//! * [`exec::execute_reference`] — the tree-walking interpreter (the
+//!   oracle, kept maximally simple);
+//! * [`fast`] — the compiled engine behind [`execute`]: stages lowered to
+//!   CSE'd instruction [`tape`]s, executed [`tile`]-by-tile with halo-plane
+//!   materialization of inlined stages and multi-threaded row bands.
 
 pub mod cost;
-pub mod micro;
 pub mod exec;
+pub mod fast;
+pub mod micro;
+pub mod tape;
+pub mod tile;
 pub mod timing;
 
 pub use cost::{analyze_kernel, analyze_pipeline, total_dram_bytes, LaunchCost, ThreadCost};
+pub use exec::{execute, execute_kernel, execute_reference, synthetic_image, ExecError, Execution};
+pub use fast::{execute_fast, execute_fast_with, FastConfig};
 pub use micro::{build_trace, MicroSim, MicroTiming, WarpOp};
-pub use exec::{execute, execute_kernel, synthetic_image, ExecError, Execution};
+pub use tape::{compile_stage, Tape};
+pub use tile::{execute_kernel_tiled, CompiledKernel, TileConfig};
 pub use timing::{noisy_runs, KernelTiming, PipelineTiming, RunStats, TimingModel};

@@ -174,7 +174,12 @@ impl MicroSim {
             done: bool,
         }
         let mut warps = vec![
-            Warp { pc: 0, ready_at: 0, outstanding: Vec::new(), done: false };
+            Warp {
+                pc: 0,
+                ready_at: 0,
+                outstanding: Vec::new(),
+                done: false
+            };
             n_warps
         ];
 
@@ -210,8 +215,7 @@ impl MicroSim {
                             w.ready_at = *w.outstanding.iter().min().expect("non-empty");
                             continue;
                         }
-                        let drain =
-                            queue_free_at.max(cycle as f64) + bytes_per_access / bpc;
+                        let drain = queue_free_at.max(cycle as f64) + bytes_per_access / bpc;
                         queue_free_at = drain;
                         let complete = (cycle + self.dram_latency).max(drain.ceil() as u64);
                         w.outstanding.push(complete);
@@ -350,7 +354,10 @@ mod tests {
         );
         assert_eq!(trace.iter().filter(|&&op| op == WarpOp::Alu).count(), 4);
         assert_eq!(trace.iter().filter(|&&op| op == WarpOp::Store).count(), 1);
-        assert!(!trace.contains(&WarpOp::Sync), "point kernels have no barrier");
+        assert!(
+            !trace.contains(&WarpOp::Sync),
+            "point kernels have no barrier"
+        );
     }
 
     #[test]

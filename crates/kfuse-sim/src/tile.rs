@@ -1,0 +1,863 @@
+//! Tile-by-tile execution of compiled kernels with halo-plane
+//! materialization.
+//!
+//! The reference interpreter resolves a load of an inlined stage by
+//! re-evaluating the producer's expression tree at the exchanged position —
+//! for a chain of fused local operators that recomputation compounds
+//! per *load*, which is exactly the redundant-computation blowup the
+//! paper's `φ` term (Eq. 8) models, paid on every pixel instead of only in
+//! the halo.
+//!
+//! This engine is the CPU analogue of the paper's optimized fused kernels:
+//!
+//! * The iteration space is cut into tiles (the "blocks" of Section II-C3).
+//! * Each inlined stage is materialized **once per tile** into a small
+//!   halo-extended scratch plane — the analogue of staging a producer into
+//!   shared memory. Interior pixels are computed exactly once; pixels in
+//!   the halo re-run the producer at their own coordinates, reproducing
+//!   the recompute-in-the-overlap scheme of warp-overlapped tiling.
+//! * Halo accesses that leave the iteration space are resolved with the
+//!   consumer's border mode against the iteration space — the paper's
+//!   index exchange (Figures 4–5) — and then read from the plane at the
+//!   exchanged position. The rare exchange that lands outside the plane
+//!   (e.g. `Repeat` wrapping to the far side of the image) falls back to
+//!   the reference evaluator for that single value.
+//! * Tiles are processed in parallel across **row bands** with
+//!   `std::thread::scope`; each worker owns a reusable scratch-buffer pool,
+//!   so steady-state execution does not allocate per tile.
+//!
+//! Every arithmetic operation is performed on the same values as in the
+//! reference interpreter, so outputs are **bit-identical** — materializing
+//! a pure computation once and reusing the result cannot change any bit.
+
+use crate::exec::Evaluator;
+use crate::tape::{compile_stage, Instr, LoadTarget, Tape};
+use kfuse_ir::border::Resolved;
+use kfuse_ir::{BinOp, Image, Kernel, Pipeline, UnOp};
+
+/// Tuning knobs for the tiled executor.
+#[derive(Clone, Copy, Debug)]
+pub struct TileConfig {
+    /// Tile width in pixels.
+    pub tile_w: usize,
+    /// Tile height in pixels (also the row-band granularity).
+    pub tile_h: usize,
+    /// Worker threads; `None` uses [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        // 128×64 keeps a 5-stage gray-scale scratch set comfortably inside
+        // L2 while amortizing the halo overhead (halo area grows linearly
+        // with the perimeter, interior with the area).
+        Self {
+            tile_w: 128,
+            tile_h: 64,
+            threads: None,
+        }
+    }
+}
+
+impl TileConfig {
+    /// Resolved worker-thread count.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
+    }
+}
+
+/// A kernel compiled for tiled execution: one tape per stage plus the
+/// cumulative halo each materialized stage must cover.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    tapes: Vec<Tape>,
+    /// Cumulative halo `(hx, hy)` per stage: how far beyond the tile the
+    /// stage must be materialized so that every transitive consumer window
+    /// is served. Mirrors the quadratic halo growth of paper Figure 4.
+    halos: Vec<(i32, i32)>,
+    /// Stages that must be materialized (reachable from the root),
+    /// excluding the root itself, in dependence order.
+    plane_order: Vec<usize>,
+    root: usize,
+    max_regs: usize,
+}
+
+impl CompiledKernel {
+    /// Compiles every stage of `k` and derives halo requirements.
+    pub fn new(k: &Kernel) -> Self {
+        let tapes: Vec<Tape> = k.stages.iter().map(compile_stage).collect();
+        let n = k.stages.len();
+        let mut needed = vec![false; n];
+        needed[k.root] = true;
+        let mut halos = vec![(0i32, 0i32); n];
+        // Stage refs point backwards, so a descending scan sees every
+        // consumer of stage j before j itself: halos accumulate top-down.
+        for i in (0..n).rev() {
+            if !needed[i] {
+                continue;
+            }
+            for site in &tapes[i].loads {
+                if let LoadTarget::Stage(j) = site.target {
+                    needed[j] = true;
+                    halos[j].0 = halos[j].0.max(halos[i].0 + site.dx.abs());
+                    halos[j].1 = halos[j].1.max(halos[i].1 + site.dy.abs());
+                }
+            }
+        }
+        let plane_order: Vec<usize> = (0..n).filter(|&j| needed[j] && j != k.root).collect();
+        let max_regs = tapes.iter().map(Tape::reg_count).max().unwrap_or(0);
+        Self {
+            tapes,
+            halos,
+            plane_order,
+            root: k.root,
+            max_regs,
+        }
+    }
+
+    /// Cumulative halo of stage `j` (testing/introspection).
+    pub fn halo(&self, j: usize) -> (i32, i32) {
+        self.halos[j]
+    }
+
+    /// Stages that get a scratch plane, in dependence order.
+    pub fn plane_stages(&self) -> &[usize] {
+        &self.plane_order
+    }
+}
+
+/// In-image rectangle a stage plane covers for the current tile.
+#[derive(Clone, Copy, Debug, Default)]
+struct Rect {
+    x0: usize,
+    y0: usize,
+    w: usize,
+    h: usize,
+}
+
+impl Rect {
+    #[inline]
+    fn contains(&self, tx: i64, ty: i64) -> bool {
+        tx >= self.x0 as i64
+            && tx < (self.x0 + self.w) as i64
+            && ty >= self.y0 as i64
+            && ty < (self.y0 + self.h) as i64
+    }
+
+    /// Flat index of in-rect position `(tx, ty)`, channel `ch`.
+    #[inline]
+    fn index(&self, tx: usize, ty: usize, channels: usize, ch: usize) -> usize {
+        ((ty - self.y0) * self.w + (tx - self.x0)) * channels + ch
+    }
+}
+
+/// Shared read-only evaluation context for one kernel execution.
+struct Ctx<'a> {
+    inputs: &'a [&'a Image],
+    rects: &'a [Rect],
+    chans: &'a [usize],
+    iw: usize,
+    ih: usize,
+    fallback: &'a Evaluator<'a>,
+}
+
+/// Evaluates `tape` at `(x, y)` into `regs`.
+///
+/// With `SAFE = false` every load is statically known to be in bounds
+/// (guaranteed by [`fast_span`]) and goes straight to the backing slice;
+/// with `SAFE = true` loads resolve borders exactly like the interpreter.
+#[inline(always)]
+fn eval_pixel<const SAFE: bool>(
+    tape: &Tape,
+    regs: &mut [f32],
+    planes: &[Vec<f32>],
+    ctx: &Ctx<'_>,
+    x: usize,
+    y: usize,
+) {
+    for i in tape.const_len..tape.instrs.len() {
+        let v = match tape.instrs[i] {
+            Instr::Const(v) => v,
+            Instr::LoadInput {
+                input,
+                dx,
+                dy,
+                ch,
+                border,
+            } => {
+                let img = ctx.inputs[input as usize];
+                let nc = img.channels();
+                if !SAFE {
+                    let rx = (x as i64 + i64::from(dx)) as usize;
+                    let ry = (y as i64 + i64::from(dy)) as usize;
+                    img.row(ry)[rx * nc + ch as usize]
+                } else {
+                    let tx = x as i64 + i64::from(dx);
+                    let ty = y as i64 + i64::from(dy);
+                    match border.resolve(tx, ty, img.width(), img.height()) {
+                        Resolved::At(rx, ry) => img.row(ry)[rx * nc + ch as usize],
+                        Resolved::Value(v) => v,
+                    }
+                }
+            }
+            Instr::LoadStage {
+                stage,
+                dx,
+                dy,
+                ch,
+                border,
+            } => {
+                let j = stage as usize;
+                let r = ctx.rects[j];
+                let nc = ctx.chans[j];
+                let tx = x as i64 + i64::from(dx);
+                let ty = y as i64 + i64::from(dy);
+                if !SAFE || r.contains(tx, ty) {
+                    planes[j][r.index(tx as usize, ty as usize, nc, ch as usize)]
+                } else {
+                    // Index exchange against the iteration space (paper
+                    // Figure 5), then read the exchanged position from the
+                    // plane — or recompute it if the exchange left the
+                    // plane (e.g. Repeat wrapping across the image).
+                    match border.resolve(tx, ty, ctx.iw, ctx.ih) {
+                        Resolved::Value(v) => v,
+                        Resolved::At(rx, ry) => {
+                            if r.contains(rx as i64, ry as i64) {
+                                planes[j][r.index(rx, ry, nc, ch as usize)]
+                            } else {
+                                ctx.fallback.eval(j, ch as usize, rx, ry)
+                            }
+                        }
+                    }
+                }
+            }
+            Instr::Bin(op, a, b) => op.apply(regs[a as usize], regs[b as usize]),
+            Instr::Un(op, a) => op.apply(regs[a as usize]),
+            Instr::Select(c, t, f) => {
+                if regs[c as usize] > 0.0 {
+                    regs[t as usize]
+                } else {
+                    regs[f as usize]
+                }
+            }
+        };
+        regs[i] = v;
+    }
+}
+
+/// Row-major register matrix for instruction-at-a-time evaluation: row
+/// `i` holds the value of SSA register `i` for every pixel of the current
+/// row span. Dispatching once per instruction (instead of once per pixel
+/// per instruction) turns the inner loops into tight elementwise passes
+/// over contiguous `f32` slices that the compiler auto-vectorizes —
+/// without changing a single bit of the result, since each lane performs
+/// exactly the scalar operation.
+#[derive(Default)]
+struct RowRegs {
+    buf: Vec<f32>,
+    cap: usize,
+}
+
+impl RowRegs {
+    /// Sizes the matrix for `tape` over rows of up to `width` pixels and
+    /// pre-fills the hoisted constant rows.
+    fn prepare(&mut self, tape: &Tape, width: usize) {
+        let regs = tape.reg_count();
+        if self.cap < width || self.buf.len() < regs * self.cap {
+            self.cap = self.cap.max(width);
+            self.buf.resize(regs.max(1) * self.cap, 0.0);
+        }
+        for i in 0..tape.const_len {
+            if let Instr::Const(v) = tape.instrs[i] {
+                self.buf[i * self.cap..(i + 1) * self.cap].fill(v);
+            }
+        }
+    }
+}
+
+/// Elementwise binary operation over register rows; the operator match is
+/// hoisted out of the loop so each arm vectorizes.
+fn bin_rows(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
+    macro_rules! ew {
+        ($f:expr) => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = $f(x, y);
+            }
+        };
+    }
+    match op {
+        BinOp::Add => ew!(|x: f32, y: f32| x + y),
+        BinOp::Sub => ew!(|x: f32, y: f32| x - y),
+        BinOp::Mul => ew!(|x: f32, y: f32| x * y),
+        BinOp::Div => ew!(|x: f32, y: f32| x / y),
+        BinOp::Min => ew!(f32::min),
+        BinOp::Max => ew!(f32::max),
+        BinOp::Pow => ew!(f32::powf),
+        BinOp::Lt => ew!(|x, y| f32::from(x < y)),
+        BinOp::Gt => ew!(|x, y| f32::from(x > y)),
+    }
+}
+
+/// Elementwise unary operation over register rows.
+fn un_rows(op: UnOp, a: &[f32], out: &mut [f32]) {
+    macro_rules! ew {
+        ($f:expr) => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = $f(x);
+            }
+        };
+    }
+    match op {
+        UnOp::Neg => ew!(|x: f32| -x),
+        UnOp::Abs => ew!(f32::abs),
+        UnOp::Sqrt => ew!(f32::sqrt),
+        UnOp::Exp => ew!(f32::exp),
+        UnOp::Log => ew!(f32::ln),
+        UnOp::Sin => ew!(f32::sin),
+        UnOp::Cos => ew!(f32::cos),
+        UnOp::Rsqrt => ew!(|x: f32| x.sqrt().recip()),
+        UnOp::Floor => ew!(f32::floor),
+    }
+}
+
+/// Evaluates `tape` instruction-at-a-time for the statically-safe span
+/// `[x0, x0 + len)` at row `y`, leaving each register's row in `rr`.
+///
+/// Every load in the span is in bounds (guaranteed by [`fast_span`]), so
+/// input and plane reads are straight strided copies.
+fn eval_rows_vector(
+    tape: &Tape,
+    rr: &mut RowRegs,
+    planes: &[Vec<f32>],
+    ctx: &Ctx<'_>,
+    y: usize,
+    x0: usize,
+    len: usize,
+) {
+    let cap = rr.cap;
+    for i in tape.const_len..tape.instrs.len() {
+        let (prev, cur) = rr.buf.split_at_mut(i * cap);
+        let out = &mut cur[..len];
+        match tape.instrs[i] {
+            Instr::Const(v) => out.fill(v),
+            Instr::LoadInput {
+                input, dx, dy, ch, ..
+            } => {
+                let img = ctx.inputs[input as usize];
+                let nc = img.channels();
+                let row = img.row((y as i64 + i64::from(dy)) as usize);
+                let base = (x0 as i64 + i64::from(dx)) as usize * nc + ch as usize;
+                if nc == 1 {
+                    out.copy_from_slice(&row[base..base + len]);
+                } else {
+                    for (k, o) in out.iter_mut().enumerate() {
+                        *o = row[base + k * nc];
+                    }
+                }
+            }
+            Instr::LoadStage {
+                stage, dx, dy, ch, ..
+            } => {
+                let j = stage as usize;
+                let r = ctx.rects[j];
+                let nc = ctx.chans[j];
+                let ty = (y as i64 + i64::from(dy)) as usize;
+                let row = &planes[j][(ty - r.y0) * r.w * nc..][..r.w * nc];
+                let base = ((x0 as i64 + i64::from(dx)) as usize - r.x0) * nc + ch as usize;
+                if nc == 1 {
+                    out.copy_from_slice(&row[base..base + len]);
+                } else {
+                    for (k, o) in out.iter_mut().enumerate() {
+                        *o = row[base + k * nc];
+                    }
+                }
+            }
+            Instr::Bin(op, a, b) => {
+                let a = &prev[a as usize * cap..][..len];
+                let b = &prev[b as usize * cap..][..len];
+                bin_rows(op, a, b, out);
+            }
+            Instr::Un(op, a) => un_rows(op, &prev[a as usize * cap..][..len], out),
+            Instr::Select(c, t, f) => {
+                let c = &prev[c as usize * cap..][..len];
+                let t = &prev[t as usize * cap..][..len];
+                let f = &prev[f as usize * cap..][..len];
+                for k in 0..len {
+                    out[k] = if c[k] > 0.0 { t[k] } else { f[k] };
+                }
+            }
+        }
+    }
+}
+
+/// The sub-range of `[x_lo, x_hi)` at row `y` where every load of `tape`
+/// is statically in bounds, or `None` if the whole row needs the safe
+/// path (some `dy` leaves a backing rect for this row).
+fn fast_span(
+    tape: &Tape,
+    rects: &[Rect],
+    iw: usize,
+    ih: usize,
+    y: usize,
+    x_lo: usize,
+    x_hi: usize,
+) -> Option<(usize, usize)> {
+    let mut lo = x_lo as i64;
+    let mut hi = x_hi as i64;
+    let yi = y as i64;
+    for site in &tape.loads {
+        let (bx0, bx1, by0, by1) = match site.target {
+            // Pipeline validation guarantees input images share the
+            // kernel's iteration-space dimensions.
+            LoadTarget::Input(_) => (0, iw as i64, 0, ih as i64),
+            LoadTarget::Stage(j) => {
+                let r = rects[j];
+                (
+                    r.x0 as i64,
+                    (r.x0 + r.w) as i64,
+                    r.y0 as i64,
+                    (r.y0 + r.h) as i64,
+                )
+            }
+        };
+        let ty = yi + i64::from(site.dy);
+        if ty < by0 || ty >= by1 {
+            return None;
+        }
+        lo = lo.max(bx0 - i64::from(site.dx));
+        hi = hi.min(bx1 - i64::from(site.dx));
+    }
+    (lo < hi).then_some((lo as usize, hi as usize))
+}
+
+/// Evaluates one row segment `[x_lo, x_hi)` of `tape` at row `y`, writing
+/// all channels into `out_row` (which starts at pixel `x_lo`).
+///
+/// Border pixels (loads that need index exchange) run through the scalar
+/// safe path; the statically-safe interior runs instruction-at-a-time via
+/// [`eval_rows_vector`].
+#[allow(clippy::too_many_arguments)]
+fn eval_row(
+    tape: &Tape,
+    regs: &mut [f32],
+    rr: &mut RowRegs,
+    planes: &[Vec<f32>],
+    ctx: &Ctx<'_>,
+    y: usize,
+    x_lo: usize,
+    x_hi: usize,
+    out_row: &mut [f32],
+    nc: usize,
+) {
+    let (flo, fhi) =
+        fast_span(tape, ctx.rects, ctx.iw, ctx.ih, y, x_lo, x_hi).unwrap_or((x_lo, x_lo));
+    let store = |regs: &[f32], x: usize, out_row: &mut [f32]| {
+        let base = (x - x_lo) * nc;
+        for (c, &r) in tape.roots.iter().enumerate() {
+            out_row[base + c] = regs[r as usize];
+        }
+    };
+    for x in x_lo..flo {
+        eval_pixel::<true>(tape, regs, planes, ctx, x, y);
+        store(regs, x, out_row);
+    }
+    if flo < fhi {
+        let len = fhi - flo;
+        eval_rows_vector(tape, rr, planes, ctx, y, flo, len);
+        if nc == 1 {
+            let root = tape.roots[0] as usize * rr.cap;
+            out_row[flo - x_lo..fhi - x_lo].copy_from_slice(&rr.buf[root..root + len]);
+        } else {
+            for (c, &r) in tape.roots.iter().enumerate() {
+                let src = &rr.buf[r as usize * rr.cap..][..len];
+                for (k, &v) in src.iter().enumerate() {
+                    out_row[(flo - x_lo + k) * nc + c] = v;
+                }
+            }
+        }
+    }
+    for x in fhi..x_hi {
+        eval_pixel::<true>(tape, regs, planes, ctx, x, y);
+        store(regs, x, out_row);
+    }
+}
+
+/// Per-kernel execution state shared by all worker threads.
+struct Run<'a> {
+    ck: &'a CompiledKernel,
+    inputs: &'a [&'a Image],
+    chans: &'a [usize],
+    fallback: &'a Evaluator<'a>,
+    iw: usize,
+    ih: usize,
+    out_nc: usize,
+    tile_w: usize,
+    tile_h: usize,
+}
+
+impl Run<'_> {
+    /// Executes the pixel rows `[y_start, y_end)` into `out_band` (the
+    /// corresponding rows of the output image).
+    fn run_rows(&self, y_start: usize, y_end: usize, out_band: &mut [f32]) {
+        let ck = self.ck;
+        let stride = self.iw * self.out_nc;
+        // Reusable per-worker scratch pool: one plane per stage plus one
+        // register file sized for the largest tape.
+        let mut planes: Vec<Vec<f32>> = vec![Vec::new(); ck.tapes.len()];
+        let mut rects: Vec<Rect> = vec![Rect::default(); ck.tapes.len()];
+        let mut regs: Vec<f32> = vec![0.0; ck.max_regs];
+        let mut rr = RowRegs::default();
+        let mut y0 = y_start;
+        while y0 < y_end {
+            let y1 = (y0 + self.tile_h).min(y_end);
+            let mut x0 = 0;
+            while x0 < self.iw {
+                let x1 = (x0 + self.tile_w).min(self.iw);
+                // Halo-extended plane rectangles, clipped to the image.
+                for &j in &ck.plane_order {
+                    let (hx, hy) = ck.halos[j];
+                    let rx0 = x0.saturating_sub(hx as usize);
+                    let ry0 = y0.saturating_sub(hy as usize);
+                    let rx1 = (x1 + hx as usize).min(self.iw);
+                    let ry1 = (y1 + hy as usize).min(self.ih);
+                    rects[j] = Rect {
+                        x0: rx0,
+                        y0: ry0,
+                        w: rx1 - rx0,
+                        h: ry1 - ry0,
+                    };
+                }
+                // Materialize each inlined stage once, dependencies first.
+                for &j in &ck.plane_order {
+                    let r = rects[j];
+                    let nc = self.chans[j];
+                    let len = r.w * r.h * nc;
+                    let (done, rest) = planes.split_at_mut(j);
+                    let plane = &mut rest[0];
+                    if plane.len() < len {
+                        plane.resize(len, 0.0);
+                    }
+                    let tape = &ck.tapes[j];
+                    tape.init_consts(&mut regs);
+                    rr.prepare(tape, r.w);
+                    let ctx = Ctx {
+                        inputs: self.inputs,
+                        rects: &rects,
+                        chans: self.chans,
+                        iw: self.iw,
+                        ih: self.ih,
+                        fallback: self.fallback,
+                    };
+                    for py in r.y0..r.y0 + r.h {
+                        let row = &mut plane[(py - r.y0) * r.w * nc..][..r.w * nc];
+                        eval_row(
+                            tape,
+                            &mut regs,
+                            &mut rr,
+                            done,
+                            &ctx,
+                            py,
+                            r.x0,
+                            r.x0 + r.w,
+                            row,
+                            nc,
+                        );
+                    }
+                }
+                // Root stage writes straight into the output rows.
+                let tape = &ck.tapes[ck.root];
+                tape.init_consts(&mut regs);
+                rr.prepare(tape, x1 - x0);
+                let ctx = Ctx {
+                    inputs: self.inputs,
+                    rects: &rects,
+                    chans: self.chans,
+                    iw: self.iw,
+                    ih: self.ih,
+                    fallback: self.fallback,
+                };
+                for y in y0..y1 {
+                    let row = &mut out_band[(y - y_start) * stride..][..stride];
+                    let seg = &mut row[x0 * self.out_nc..x1 * self.out_nc];
+                    eval_row(
+                        tape,
+                        &mut regs,
+                        &mut rr,
+                        &planes,
+                        &ctx,
+                        y,
+                        x0,
+                        x1,
+                        seg,
+                        self.out_nc,
+                    );
+                }
+                x0 = x1;
+            }
+            y0 = y1;
+        }
+    }
+}
+
+/// Executes one kernel against already-materialized images with the tiled
+/// engine. Drop-in replacement for [`crate::exec::execute_kernel`] with
+/// bit-identical output.
+pub fn execute_kernel_tiled(
+    p: &Pipeline,
+    k: &Kernel,
+    images: &[Option<Image>],
+    cfg: &TileConfig,
+) -> Image {
+    let out_desc = p.image(k.output).clone();
+    let inputs: Vec<&Image> = k
+        .inputs
+        .iter()
+        .map(|&i| {
+            images[i.0]
+                .as_ref()
+                .expect("topological execution materializes inputs first")
+        })
+        .collect();
+    let (iw, ih) = (out_desc.width, out_desc.height);
+    let ck = CompiledKernel::new(k);
+    let chans: Vec<usize> = k.stages.iter().map(kfuse_ir::Stage::channels).collect();
+    let fallback = Evaluator::new(k, inputs.clone(), iw, ih);
+    let mut out = Image::zeros(out_desc);
+    let out_nc = out.channels();
+    let tile_w = cfg.tile_w.max(1);
+    let tile_h = cfg.tile_h.max(1);
+    let run = Run {
+        ck: &ck,
+        inputs: &inputs,
+        chans: &chans,
+        fallback: &fallback,
+        iw,
+        ih,
+        out_nc,
+        tile_w,
+        tile_h,
+    };
+
+    let tile_rows = ih.div_ceil(tile_h);
+    let threads = cfg.resolved_threads().min(tile_rows);
+    if threads <= 1 {
+        run.run_rows(0, ih, out.data_mut());
+        return out;
+    }
+
+    // Split the output into contiguous row bands, one per worker, aligned
+    // to tile-row boundaries so workers never share a tile.
+    let stride = iw * out_nc;
+    let base = tile_rows / threads;
+    let extra = tile_rows % threads;
+    let mut bands: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(threads);
+    let mut rest = out.data_mut();
+    let mut ty = 0;
+    for t in 0..threads {
+        let rows = base + usize::from(t < extra);
+        if rows == 0 {
+            continue;
+        }
+        let ys = ty * tile_h;
+        let ye = ((ty + rows) * tile_h).min(ih);
+        let (mine, tail) = rest.split_at_mut((ye - ys) * stride);
+        bands.push((ys, ye, mine));
+        rest = tail;
+        ty += rows;
+    }
+    std::thread::scope(|s| {
+        for (ys, ye, band) in bands {
+            let run = &run;
+            s.spawn(move || run.run_rows(ys, ye, band));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_kernel, execute_reference, prepare_images, synthetic_image};
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, MemSpace, Stage, StageRef};
+
+    /// gauss3-over-square fused kernel: stage 0 squares the input, the
+    /// root convolves stage 0 with a 3×3 window.
+    fn fused_kernel(p: &mut Pipeline, mode: BorderMode, w: usize, h: usize) -> Kernel {
+        let input = p.add_input(ImageDesc::new("in", w, h, 1));
+        let out = p.add_image(ImageDesc::new("out", w, h, 1));
+        let producer = Stage {
+            name: "sq".into(),
+            refs: vec![StageRef::Input(0)],
+            borders: vec![mode],
+            body: vec![Expr::load(0) * Expr::load(0)],
+            params: vec![],
+            space: MemSpace::Shared,
+        };
+        let mask: Vec<&[f32]> = vec![&[1.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 1.0]];
+        let root = Stage {
+            name: "gauss".into(),
+            refs: vec![StageRef::Stage(0)],
+            borders: vec![mode],
+            body: vec![Expr::convolve(0, 0, &mask)],
+            params: vec![],
+            space: MemSpace::Global,
+        };
+        let k = Kernel {
+            name: "sq_gauss".into(),
+            inputs: vec![input],
+            output: out,
+            stages: vec![producer, root],
+            root: 1,
+            input_staging: true,
+        };
+        p.add_kernel(k.clone());
+        p.mark_output(out);
+        k
+    }
+
+    fn tiled_matches_reference(mode: BorderMode, w: usize, h: usize, cfg: &TileConfig) {
+        let mut p = Pipeline::new("t");
+        let k = fused_kernel(&mut p, mode, w, h);
+        let input_id = p.inputs()[0];
+        let img = synthetic_image(p.image(input_id).clone(), 7);
+        let images = prepare_images(&p, &[(input_id, img)]).unwrap();
+        let reference = execute_kernel(&p, &k, &images);
+        let tiled = execute_kernel_tiled(&p, &k, &images, cfg);
+        assert!(
+            tiled.bit_equal(&reference),
+            "mode {mode:?} size {w}x{h} cfg {cfg:?}: max diff {}",
+            tiled.max_abs_diff(&reference)
+        );
+    }
+
+    #[test]
+    fn all_border_modes_bit_identical() {
+        for mode in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Repeat,
+            BorderMode::Constant(4.25),
+        ] {
+            tiled_matches_reference(mode, 21, 13, &TileConfig::default());
+        }
+    }
+
+    #[test]
+    fn tiny_tiles_and_odd_sizes() {
+        let cfg = TileConfig {
+            tile_w: 3,
+            tile_h: 2,
+            threads: Some(1),
+        };
+        for (w, h) in [(1, 1), (2, 3), (7, 5), (16, 16), (17, 1)] {
+            tiled_matches_reference(BorderMode::Clamp, w, h, &cfg);
+            tiled_matches_reference(BorderMode::Repeat, w, h, &cfg);
+        }
+    }
+
+    #[test]
+    fn image_smaller_than_tile() {
+        let cfg = TileConfig {
+            tile_w: 512,
+            tile_h: 512,
+            threads: Some(1),
+        };
+        for mode in [BorderMode::Mirror, BorderMode::Constant(-1.5)] {
+            tiled_matches_reference(mode, 5, 3, &cfg);
+        }
+    }
+
+    #[test]
+    fn multi_threaded_bands_match() {
+        let cfg = TileConfig {
+            tile_w: 8,
+            tile_h: 4,
+            threads: Some(4),
+        };
+        for mode in [BorderMode::Clamp, BorderMode::Repeat] {
+            tiled_matches_reference(mode, 33, 29, &cfg);
+        }
+    }
+
+    #[test]
+    fn halo_accumulates_through_chain() {
+        // square → gauss3 → gauss3: the innermost stage needs a 2-pixel
+        // halo (1 per consuming convolution).
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(ImageDesc::new("in", 16, 16, 1));
+        let out = p.add_image(ImageDesc::new("out", 16, 16, 1));
+        let mask: Vec<&[f32]> = vec![&[1.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 1.0]];
+        let sq = Stage {
+            name: "sq".into(),
+            refs: vec![StageRef::Input(0)],
+            borders: vec![BorderMode::Clamp],
+            body: vec![Expr::load(0) * Expr::load(0)],
+            params: vec![],
+            space: MemSpace::Shared,
+        };
+        let g1 = Stage {
+            name: "g1".into(),
+            refs: vec![StageRef::Stage(0)],
+            borders: vec![BorderMode::Clamp],
+            body: vec![Expr::convolve(0, 0, &mask)],
+            params: vec![],
+            space: MemSpace::Shared,
+        };
+        let g2 = Stage {
+            name: "g2".into(),
+            refs: vec![StageRef::Stage(1)],
+            borders: vec![BorderMode::Clamp],
+            body: vec![Expr::convolve(0, 0, &mask)],
+            params: vec![],
+            space: MemSpace::Global,
+        };
+        let k = Kernel {
+            name: "chain".into(),
+            inputs: vec![input],
+            output: out,
+            stages: vec![sq, g1, g2],
+            root: 2,
+            input_staging: true,
+        };
+        p.add_kernel(k.clone());
+        p.mark_output(out);
+        let ck = CompiledKernel::new(&k);
+        assert_eq!(ck.halo(2), (0, 0));
+        assert_eq!(ck.halo(1), (1, 1));
+        assert_eq!(ck.halo(0), (2, 2));
+        assert_eq!(ck.plane_stages(), &[0, 1]);
+
+        let input_id = p.inputs()[0];
+        let img = synthetic_image(p.image(input_id).clone(), 3);
+        let reference = execute_reference(&p, &[(input_id, img.clone())]).unwrap();
+        let images = prepare_images(&p, &[(input_id, img)]).unwrap();
+        let cfg = TileConfig {
+            tile_w: 5,
+            tile_h: 5,
+            threads: Some(2),
+        };
+        let tiled = execute_kernel_tiled(&p, &k, &images, &cfg);
+        assert!(tiled.bit_equal(reference.expect_image(out)));
+    }
+
+    #[test]
+    fn halo_wider_than_image() {
+        // A 3×3 image under a fused 3×3∘3×3 chain: the halo (2) exceeds
+        // what the image can provide; planes clip to the full image.
+        let cfg = TileConfig {
+            tile_w: 64,
+            tile_h: 64,
+            threads: Some(1),
+        };
+        for mode in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Repeat,
+            BorderMode::Constant(2.0),
+        ] {
+            tiled_matches_reference(mode, 3, 3, &cfg);
+        }
+    }
+}

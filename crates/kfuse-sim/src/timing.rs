@@ -122,7 +122,13 @@ impl TimingModel {
         let derate = (occupancy / self.saturation_occupancy).min(1.0);
         let body_ms = compute_ms.max(memory_ms) / derate;
         let time_ms = body_ms + g.launch_overhead_us * 1e-3;
-        KernelTiming { name: cost.name.clone(), compute_ms, memory_ms, occupancy, time_ms }
+        KernelTiming {
+            name: cost.name.clone(),
+            compute_ms,
+            memory_ms,
+            occupancy,
+            time_ms,
+        }
     }
 
     /// Times every kernel of a pipeline and sums them; Hipacc executes the
@@ -258,8 +264,12 @@ mod tests {
     #[test]
     fn slower_memory_means_slower_kernel() {
         let p = simple_pipeline();
-        let fast = TimingModel::new(GpuSpec::gtx680()).time_pipeline(&p).total_ms;
-        let slow = TimingModel::new(GpuSpec::gtx745()).time_pipeline(&p).total_ms;
+        let fast = TimingModel::new(GpuSpec::gtx680())
+            .time_pipeline(&p)
+            .total_ms;
+        let slow = TimingModel::new(GpuSpec::gtx745())
+            .time_pipeline(&p)
+            .total_ms;
         assert!(slow > fast, "GTX 745 has ~7x less bandwidth");
     }
 

@@ -17,7 +17,11 @@ fn checkerboard(size: usize, cell: usize) -> Image {
     let mut img = Image::zeros(ImageDesc::new("in", size, size, 1));
     for y in 0..size {
         for x in 0..size {
-            let v = if (x / cell + y / cell) % 2 == 0 { 255.0 } else { 0.0 };
+            let v = if (x / cell + y / cell) % 2 == 0 {
+                255.0
+            } else {
+                0.0
+            };
             img.set(x, y, 0, v);
         }
     }

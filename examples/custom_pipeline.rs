@@ -22,7 +22,11 @@ fn main() {
     let mut b = PipelineBuilder::new("effects", 1024, 1024);
     let input = b.gray_input("photo");
     let embossed = b.convolve("emboss", input, &emboss, BorderMode::Mirror);
-    let lifted = b.point("lift", &[embossed], vec![clamp(v(0) + c(128.0), 0.0, 255.0)]);
+    let lifted = b.point(
+        "lift",
+        &[embossed],
+        vec![clamp(v(0) + c(128.0), 0.0, 255.0)],
+    );
     let sharpened = b.convolve("sharpen", lifted, &Mask::laplacian(), BorderMode::Mirror);
     let combined = b.point("combine", &[lifted, sharpened], vec![v(0) - c(0.5) * v(1)]);
     let thresholded = b.point(
@@ -41,7 +45,12 @@ fn main() {
     println!("planner decisions for the effects pipeline:\n");
     for e in &plan.trace.events {
         match e {
-            TraceEvent::EdgeWeight { src, dst, scenario, weight } => {
+            TraceEvent::EdgeWeight {
+                src,
+                dst,
+                scenario,
+                weight,
+            } => {
                 let tag = match scenario {
                     FusionScenario::Illegal => "illegal",
                     FusionScenario::PointBased => "point-based",
@@ -54,7 +63,12 @@ fn main() {
                 None => println!("  block {{{}}} is legal", members.join(", ")),
                 Some(why) => println!("  block {{{}}} illegal: {why}", members.join(", ")),
             },
-            TraceEvent::Cut { weight, side_a, side_b, .. } => println!(
+            TraceEvent::Cut {
+                weight,
+                side_a,
+                side_b,
+                ..
+            } => println!(
                 "  cut (w = {weight:.3e}): {{{}}} | {{{}}}",
                 side_a.join(", "),
                 side_b.join(", ")

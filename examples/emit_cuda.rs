@@ -21,7 +21,9 @@ fn main() {
         .into_iter()
         .find(|a| a.name.eq_ignore_ascii_case(&wanted))
         .unwrap_or_else(|| {
-            eprintln!("unknown app {wanted}; options: Harris Sobel Unsharp ShiTomasi Enhance Night");
+            eprintln!(
+                "unknown app {wanted}; options: Harris Sobel Unsharp ShiTomasi Enhance Night"
+            );
             std::process::exit(1);
         });
 

@@ -1,0 +1,202 @@
+//! Differential tests for the compiled tiled executor: for every paper
+//! application, every fusion schedule, and every border mode, the fast
+//! engine (`kfuse_sim::execute_fast`) must produce output **bit-identical**
+//! to the reference tree-walking interpreter
+//! (`kfuse_sim::execute_reference`).
+//!
+//! The fast engine materializes each inlined stage once per tile into a
+//! halo-extended scratch plane; the interpreter recomputes producers per
+//! load. Both perform the same f32 arithmetic on the same values, so any
+//! bit difference is a bug in the tape lowering, the halo math, or the
+//! index-exchange handling at tile borders.
+
+use kfuse_apps::paper_apps;
+use kfuse_core::FusionConfig;
+use kfuse_dsl::{c, compile, v, Mask, PipelineBuilder, Schedule};
+use kfuse_ir::{BorderMode, Image, Pipeline};
+use kfuse_model::{BenefitModel, GpuSpec};
+use kfuse_sim::{execute_fast_with, execute_reference, synthetic_image, FastConfig};
+
+fn cfg() -> FusionConfig {
+    FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+}
+
+fn inputs_for(p: &Pipeline, seed: u64) -> Vec<(kfuse_ir::ImageId, Image)> {
+    p.inputs()
+        .iter()
+        .map(|&id| (id, synthetic_image(p.image(id).clone(), seed)))
+        .collect()
+}
+
+/// Asserts bit-identity of the fast engine against the interpreter on
+/// every output of `p`.
+fn assert_fast_matches_reference(p: &Pipeline, fast_cfg: &FastConfig, label: &str) {
+    let inputs = inputs_for(p, 13);
+    let reference = execute_reference(p, &inputs).expect("reference executes");
+    let fast = execute_fast_with(p, &inputs, fast_cfg).expect("fast executes");
+    for &id in p.outputs() {
+        let r = reference.expect_image(id);
+        let f = fast.expect_image(id);
+        assert!(
+            r.bit_equal(f),
+            "{label}: output {} differs, max abs diff {}",
+            p.image(id).name,
+            r.max_abs_diff(f)
+        );
+    }
+}
+
+/// All six applications, unfused and under both fusion schedules, on a
+/// non-square odd-sized image, with tiles that do not divide the image.
+#[test]
+fn all_apps_all_schedules_bit_identical() {
+    let fast_cfg = FastConfig {
+        tile_w: 24,
+        tile_h: 11,
+        threads: Some(2),
+    };
+    for app in paper_apps() {
+        let p = (app.build_sized)(97, 61);
+        assert_fast_matches_reference(&p, &fast_cfg, &format!("{}/baseline", app.name));
+        for schedule in [Schedule::Basic, Schedule::Optimized] {
+            let fused = compile(&p, schedule, &cfg());
+            assert_fast_matches_reference(
+                &fused,
+                &fast_cfg,
+                &format!("{}/{:?}", app.name, schedule),
+            );
+        }
+    }
+}
+
+/// A fused local→local chain under every border mode, so halo pixels of
+/// the materialized planes exercise each index-exchange flavor.
+#[test]
+fn fused_chain_all_border_modes() {
+    for mode in [
+        BorderMode::Clamp,
+        BorderMode::Mirror,
+        BorderMode::Repeat,
+        BorderMode::Constant(-3.5),
+    ] {
+        let mut b = PipelineBuilder::new("chain", 37, 23);
+        let input = b.gray_input("in");
+        let g1 = b.convolve("g1", input, &Mask::gaussian3(), mode);
+        let sq = b.point("sq", &[g1], vec![v(0) * v(0) + c(0.5)]);
+        let g2 = b.convolve("g2", sq, &Mask::gaussian5(), mode);
+        b.output(g2);
+        let p = b.build();
+        let fused = compile(&p, Schedule::Optimized, &cfg());
+        let fast_cfg = FastConfig {
+            tile_w: 9,
+            tile_h: 7,
+            threads: Some(2),
+        };
+        assert_fast_matches_reference(&fused, &fast_cfg, &format!("chain/{mode:?}"));
+        assert_fast_matches_reference(&p, &fast_cfg, &format!("chain-unfused/{mode:?}"));
+    }
+}
+
+/// Image smaller than a tile in both dimensions.
+#[test]
+fn image_smaller_than_tile() {
+    let fast_cfg = FastConfig {
+        tile_w: 256,
+        tile_h: 256,
+        threads: Some(1),
+    };
+    for app in paper_apps() {
+        let p = (app.build_sized)(9, 7);
+        let fused = compile(&p, Schedule::Optimized, &cfg());
+        assert_fast_matches_reference(&fused, &fast_cfg, &format!("{}/small", app.name));
+    }
+}
+
+/// Fused 5×5∘5×5 stencils on a 5×5 image: the cumulative halo (4) exceeds
+/// what the clipped plane can cover, forcing heavy index exchange.
+#[test]
+fn halo_wider_than_image() {
+    for mode in [BorderMode::Clamp, BorderMode::Mirror, BorderMode::Repeat] {
+        let mut b = PipelineBuilder::new("wide", 5, 5);
+        let input = b.gray_input("in");
+        let g1 = b.convolve("g1", input, &Mask::gaussian5(), mode);
+        let g2 = b.convolve("g2", g1, &Mask::gaussian5(), mode);
+        b.output(g2);
+        let p = b.build();
+        let fused = compile(&p, Schedule::Optimized, &cfg());
+        let fast_cfg = FastConfig {
+            tile_w: 3,
+            tile_h: 3,
+            threads: Some(2),
+        };
+        assert_fast_matches_reference(&fused, &fast_cfg, &format!("wide-halo/{mode:?}"));
+    }
+}
+
+/// Night is RGB end-to-end: multi-channel planes and interleaved output.
+#[test]
+fn multi_channel_rgb_tiled() {
+    let p = kfuse_apps::night(31, 19);
+    let fused = compile(&p, Schedule::Optimized, &cfg());
+    for fast_cfg in [
+        FastConfig {
+            tile_w: 8,
+            tile_h: 8,
+            threads: Some(1),
+        },
+        FastConfig {
+            tile_w: 5,
+            tile_h: 3,
+            threads: Some(3),
+        },
+    ] {
+        assert_fast_matches_reference(&fused, &fast_cfg, "night-rgb");
+    }
+}
+
+/// `Constant` border values must surface in the halo of materialized
+/// planes exactly as the interpreter produces them.
+#[test]
+fn constant_border_in_halo() {
+    let mut b = PipelineBuilder::new("const", 16, 16);
+    let input = b.gray_input("in");
+    let g1 = b.convolve("g1", input, &Mask::gaussian3(), BorderMode::Constant(7.25));
+    let g2 = b.convolve("g2", g1, &Mask::gaussian3(), BorderMode::Constant(-2.0));
+    b.output(g2);
+    let p = b.build();
+    let fused = compile(&p, Schedule::Optimized, &cfg());
+    let fast_cfg = FastConfig {
+        tile_w: 4,
+        tile_h: 4,
+        threads: Some(2),
+    };
+    assert_fast_matches_reference(&fused, &fast_cfg, "constant-halo");
+}
+
+/// Degenerate shapes: single row, single column, single pixel.
+#[test]
+fn degenerate_shapes() {
+    let fast_cfg = FastConfig {
+        tile_w: 16,
+        tile_h: 16,
+        threads: Some(2),
+    };
+    for (w, h) in [(64, 1), (1, 64), (1, 1), (2, 2)] {
+        let p = kfuse_apps::sobel(w, h);
+        let fused = compile(&p, Schedule::Optimized, &cfg());
+        assert_fast_matches_reference(&fused, &fast_cfg, &format!("sobel/{w}x{h}"));
+    }
+}
+
+/// More worker threads than row bands must not break band splitting.
+#[test]
+fn oversubscribed_threads() {
+    let p = kfuse_apps::harris(33, 9, kfuse_apps::harris::DEFAULT_K);
+    let fused = compile(&p, Schedule::Optimized, &cfg());
+    let fast_cfg = FastConfig {
+        tile_w: 16,
+        tile_h: 4,
+        threads: Some(64),
+    };
+    assert_fast_matches_reference(&fused, &fast_cfg, "harris-oversubscribed");
+}

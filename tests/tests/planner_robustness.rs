@@ -23,12 +23,18 @@ fn assert_valid_and_exact(p: &Pipeline) {
         .map(|&id| (id, synthetic_image(p.image(id).clone(), 17)))
         .collect();
     let reference = execute(p, &inputs).unwrap();
-    for result in [fuse_optimized(p, &config), fuse_basic(p, &config), fuse_greedy(p, &config)] {
+    for result in [
+        fuse_optimized(p, &config),
+        fuse_basic(p, &config),
+        fuse_greedy(p, &config),
+    ] {
         assert!(result.plan.partition.is_valid_partition_of(&universe));
         assert!(result.pipeline.validate().is_ok());
         let exec = execute(&result.pipeline, &inputs).unwrap();
         for &out in p.outputs() {
-            assert!(reference.expect_image(out).bit_equal(exec.expect_image(out)));
+            assert!(reference
+                .expect_image(out)
+                .bit_equal(exec.expect_image(out)));
         }
     }
 }
