@@ -3,7 +3,7 @@
 //! linear contrast stretch.
 //!
 //! A linear chain `local → point → point` with no external dependences —
-//! the case where even the basic fusion of [12] delivers its highest
+//! the case where even the basic fusion of \[12\] delivers its highest
 //! benefit (paper Section V-C), though pair-wise it can only fuse two of
 //! the three kernels while the optimized fusion aggregates the whole
 //! chain.

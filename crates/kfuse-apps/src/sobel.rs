@@ -2,7 +2,7 @@
 //!
 //! A Gaussian pre-smoothing followed by the two Sobel derivative operators
 //! and a point-wise gradient-magnitude kernel. This is the benchmark the
-//! basic fusion of [12] fails on: the derivative kernels consume the blur
+//! basic fusion of \[12\] fails on: the derivative kernels consume the blur
 //! through a window (local-to-local) and share an input, both of which the
 //! basic algorithm rejects (paper Section V-C). The optimized fusion
 //! aggregates the whole graph into one kernel.

@@ -3,7 +3,7 @@
 //! Image sharpening: a Gaussian blur extracts the low-frequency component,
 //! three point kernels amplify the high-frequency residue and combine it
 //! with the original. **All four kernels read the source image** — the
-//! DAG is the Figure 2b shared-input shape. The basic fusion of [12]
+//! DAG is the Figure 2b shared-input shape. The basic fusion of \[12\]
 //! treats those reads as fusion-preventing external dependences and fuses
 //! nothing; the optimized fusion aggregates the whole pipeline into a
 //! single kernel, which is the paper's headline result (geo-mean speedup

@@ -1,6 +1,6 @@
 //! Ablation: min-cut partitioning (Algorithm 1) vs. greedy
 //! heaviest-edge-first grouping (PolyMage/Halide style) vs. the pairwise
-//! basic fusion of [12], on the six applications.
+//! basic fusion of \[12\], on the six applications.
 //!
 //! Run with `cargo run --release -p kfuse-bench --bin ablation_greedy`.
 

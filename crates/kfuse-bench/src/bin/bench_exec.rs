@@ -82,7 +82,8 @@ fn main() {
     let scale: usize = std::env::var("KFUSE_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+        .unwrap_or(1)
+        .max(1);
     let fusion_cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
     let threads = FastConfig::default().resolved_threads();
 

@@ -1,7 +1,7 @@
 //! The basic kernel-fusion baseline of previous work.
 //!
 //! Qiao et al., "Automatic Kernel Fusion for Image Processing DSLs"
-//! (SCOPES 2018, reference [12] of the paper) — reimplemented from its
+//! (SCOPES 2018, reference \[12\] of the paper) — reimplemented from its
 //! description in the CGO 2019 paper:
 //!
 //! * only **pair-wise** fusion opportunities are considered (greedy on the

@@ -13,7 +13,7 @@
 //! profitable edge, provided the merged block passes the full legality
 //! check; stop when no such merge exists.
 //!
-//! Unlike the basic fusion of [12] this greedy variant *can* grow blocks
+//! Unlike the basic fusion of \[12\] this greedy variant *can* grow blocks
 //! beyond pairs and accepts shared inputs; unlike Algorithm 1 it commits
 //! to merges bottom-up and cannot "see" that cutting a cheap edge frees a
 //! large legal block.

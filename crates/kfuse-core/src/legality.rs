@@ -8,7 +8,7 @@
 //!   legal.
 //! * **(b) shared input** — the inputs of the source kernels are also read
 //!   by other kernels in the block: legal (newly supported by this paper;
-//!   the basic fusion of [12] rejected it — this is what unlocks the
+//!   the basic fusion of \[12\] rejected it — this is what unlocks the
 //!   Unsharp filter).
 //! * **(c) external output** — an in-block kernel's output is consumed
 //!   outside the block: illegal.

@@ -14,7 +14,7 @@
 //!   (recursive Stoer–Wagner min-cut partitioning) with a replayable
 //!   trace, objective Eq. (1), and plan application.
 //! * [`basic`] — the pair-wise greedy baseline of previous work
-//!   (SCOPES 2018, reference [12]), used as the evaluation comparator.
+//!   (SCOPES 2018, reference \[12\]), used as the evaluation comparator.
 //! * [`greedy`] — a PolyMage/Halide-style heaviest-edge-first grouping
 //!   comparator for the ablation benches.
 //!

@@ -78,7 +78,7 @@ pub fn input_access_extents(k: &Kernel) -> Vec<(i32, i32)> {
 /// `info` comes from [`crate::legality::check_block`]. `stage_inputs`
 /// selects the code-generation style: `true` for the optimized fusion of
 /// this paper (window-accessed external inputs are staged into shared
-/// memory), `false` for the basic fusion of previous work [12].
+/// memory), `false` for the basic fusion of previous work \[12\].
 ///
 /// The result writes the destination kernel's output image and reads
 /// exactly the block's external inputs; all intermediate images are

@@ -11,7 +11,7 @@
 //!   (Gaussian, Sobel, box, Laplacian, à-trous).
 //! * expression helpers ([`v`], [`at`], [`sqrt`], …) for kernel bodies.
 //! * [`Schedule`] / [`compile`] — the three evaluation versions of the
-//!   paper: baseline, basic fusion [12], optimized min-cut fusion.
+//!   paper: baseline, basic fusion \[12\], optimized min-cut fusion.
 
 pub mod builder;
 pub mod masks;

@@ -1,7 +1,7 @@
 //! Scheduling entry points: the three evaluation versions of the paper.
 //!
 //! Section V-C compares a **baseline** (no fusion), the **basic** fusion of
-//! previous work [12], and the **optimized** min-cut fusion of this paper.
+//! previous work \[12\], and the **optimized** min-cut fusion of this paper.
 //! [`compile`] produces any of the three from one DSL pipeline.
 
 use kfuse_core::{fuse_basic, fuse_optimized, FusionConfig, FusionResult};
@@ -9,11 +9,11 @@ use kfuse_ir::Pipeline;
 use kfuse_model::{BenefitModel, GpuSpec};
 
 /// Which fusion pass to apply.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Schedule {
     /// No fusion: every DSL kernel becomes one GPU kernel.
     Baseline,
-    /// Pair-wise greedy fusion of previous work (SCOPES 2018 [12]).
+    /// Pair-wise greedy fusion of previous work (SCOPES 2018 \[12\]).
     Basic,
     /// Min-cut driven fusion of this paper (Algorithm 1).
     Optimized,

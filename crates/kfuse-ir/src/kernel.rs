@@ -162,7 +162,7 @@ pub struct Kernel {
     /// Code-generation attribute: whether external inputs accessed with a
     /// window are staged into a shared-memory tile (Hipacc's standard local
     /// codegen, and the optimized fusion of this paper). The basic fusion of
-    /// previous work [12] re-reads producer inputs from global memory
+    /// previous work \[12\] re-reads producer inputs from global memory
     /// instead; its synthesized kernels set this to `false`.
     pub input_staging: bool,
 }

@@ -20,6 +20,9 @@
 //!   unfused and fused kernels.
 //! * [`Pipeline`] — a validated DAG of kernels over images ([`pipeline`]),
 //!   with the producer/consumer queries the legality analysis needs.
+//! * [`Pipeline::fingerprint`] — a stable structural identity, independent
+//!   of names and insertion order, used by plan caches to recognize repeat
+//!   submissions of the same computation ([`fingerprint`]).
 //!
 //! The crate is purely structural: evaluation lives in `kfuse-sim`, cost and
 //! benefit models in `kfuse-model`, and the fusion transformation itself in
@@ -27,6 +30,7 @@
 
 pub mod border;
 pub mod expr;
+pub mod fingerprint;
 pub mod image;
 pub mod kernel;
 pub mod pipeline;

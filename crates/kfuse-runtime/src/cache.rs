@@ -1,0 +1,190 @@
+//! LRU cache of compiled execution plans.
+//!
+//! The key is `(structural fingerprint, schedule, executor config)`: any of
+//! the three changing means the cached tapes are not the right artifact.
+//! The structural fingerprint ([`kfuse_ir::Pipeline::fingerprint`]) is
+//! deliberately independent of names and insertion order, so two tenants
+//! submitting the same computation share one plan — but that also means a
+//! key match alone does not prove the caller's `ImageId` bindings line up
+//! with the cached pipeline's image table. Each entry therefore carries the
+//! order-*sensitive* [`kfuse_ir::Pipeline::binding_fingerprint`] of the
+//! pipeline it was compiled from; a lookup only reuses the plan when that
+//! layout hash matches too. A structural match with a different id layout
+//! just recompiles — never returns results bound to the wrong images.
+
+use kfuse_dsl::Schedule;
+use kfuse_sim::{CompiledPlan, FastConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: what must be identical for a compiled plan to be the right
+/// artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structural pipeline identity ([`kfuse_ir::Pipeline::fingerprint`]).
+    pub fingerprint: u64,
+    /// Fusion schedule the plan was compiled under.
+    pub schedule: Schedule,
+    /// Executor configuration (tile shape, threads).
+    pub exec: FastConfig,
+}
+
+/// A cached plan plus the id-layout hash guarding its reuse.
+#[derive(Clone, Debug)]
+pub struct CachedPlan {
+    /// [`kfuse_ir::Pipeline::binding_fingerprint`] of the submitted
+    /// pipeline this plan was compiled from.
+    pub layout: u64,
+    /// The compiled plan, shared with any in-flight executions.
+    pub plan: Arc<CompiledPlan>,
+}
+
+/// A bounded least-recently-used map from [`PlanKey`] to [`CachedPlan`].
+///
+/// Recency is a monotone tick bumped on every hit/insert; eviction scans
+/// for the minimum. That is O(capacity), which is fine at plan-cache sizes
+/// (tens of entries, each worth milliseconds of planning).
+#[derive(Debug)]
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<PlanKey, (u64, CachedPlan)>,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans. Capacity 0
+    /// disables caching entirely (every `get` misses, `insert` is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks up `key`, marking the entry most-recently used on hit.
+    pub fn get(&mut self, key: &PlanKey) -> Option<CachedPlan> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(used, entry)| {
+            *used = tick;
+            entry.clone()
+        })
+    }
+
+    /// Inserts (or replaces) the plan for `key`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&mut self, key: PlanKey, entry: CachedPlan) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, entry));
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel, Pipeline};
+
+    fn key(fp: u64) -> PlanKey {
+        PlanKey {
+            fingerprint: fp,
+            schedule: Schedule::Optimized,
+            exec: FastConfig::default(),
+        }
+    }
+
+    fn entry() -> CachedPlan {
+        let mut p = Pipeline::new("p");
+        let input = p.add_input(ImageDesc::new("in", 2, 2, 1));
+        let out = p.add_image(ImageDesc::new("out", 2, 2, 1));
+        p.add_kernel(Kernel::simple(
+            "id",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        CachedPlan {
+            layout: p.binding_fingerprint(),
+            plan: Arc::new(CompiledPlan::compile(&p).unwrap()),
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), entry());
+        c.insert(key(2), entry());
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), entry());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), entry());
+        c.insert(key(2), entry());
+        c.insert(key(2), entry()); // replace, not a new entry
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert(key(1), entry());
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn schedule_and_config_distinguish_keys() {
+        let base = key(7);
+        let other_schedule = PlanKey {
+            schedule: Schedule::Baseline,
+            ..base
+        };
+        let other_exec = PlanKey {
+            exec: FastConfig {
+                tile_w: 32,
+                ..FastConfig::default()
+            },
+            ..base
+        };
+        let mut c = PlanCache::new(8);
+        c.insert(base, entry());
+        assert!(c.get(&other_schedule).is_none());
+        assert!(c.get(&other_exec).is_none());
+        assert!(c.get(&base).is_some());
+    }
+}

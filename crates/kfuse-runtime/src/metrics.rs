@@ -1,0 +1,303 @@
+//! Per-pipeline serving metrics: atomic counters, latency histograms,
+//! and a hand-serialized JSON snapshot.
+//!
+//! Counters are lock-free (`AtomicU64` with relaxed ordering — they are
+//! statistics, not synchronization), so the execution hot path never takes
+//! a lock to record an event. Latencies go into a log₂-bucketed histogram:
+//! 40 power-of-two buckets of microseconds cover sub-microsecond requests
+//! up to ~6 days with bounded memory and no allocation, at the cost of
+//! quantiles quantized to the bucket upper bound — the usual trade of
+//! HdrHistogram-style serving metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ latency buckets; bucket `i` covers `[2^i, 2^(i+1))` µs
+/// (bucket 0 covers `[0, 2)`).
+const BUCKETS: usize = 40;
+
+/// Lock-free latency histogram over power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation of `us` microseconds.
+    pub fn record(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    fn counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Upper bound (µs) reported for bucket `i`.
+fn bucket_upper_us(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// The quantile `q` (in `[0, 1]`) of a bucket-count array, reported as the
+/// upper bound of the bucket containing the target rank.
+fn quantile_us(counts: &[u64; BUCKETS], q: f64) -> u64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Rank of the target observation, 1-based, clamped into range.
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return bucket_upper_us(i);
+        }
+    }
+    bucket_upper_us(BUCKETS - 1)
+}
+
+/// Counters and latency histogram for one named pipeline (tenant).
+#[derive(Debug, Default)]
+pub struct PipelineMetrics {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl PipelineMetrics {
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request latency in microseconds.
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency.record(us);
+    }
+
+    fn snapshot(&self, name: &str) -> PipelineSnapshot {
+        let counts = self.latency.counts();
+        PipelineSnapshot {
+            name: name.to_string(),
+            requests: self.requests.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            p50_us: quantile_us(&counts, 0.50),
+            p95_us: quantile_us(&counts, 0.95),
+            p99_us: quantile_us(&counts, 0.99),
+        }
+    }
+}
+
+/// Registry of per-pipeline metrics, keyed by the caller-supplied
+/// pipeline (tenant) name.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<HashMap<String, Arc<PipelineMetrics>>>,
+}
+
+impl MetricsRegistry {
+    /// The metrics handle for `name`, created on first use. The returned
+    /// `Arc` lets the hot path update counters without re-locking the map.
+    pub fn handle(&self, name: &str) -> Arc<PipelineMetrics> {
+        let mut map = self.inner.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// A point-in-time snapshot of every pipeline, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().unwrap();
+        let mut pipelines: Vec<PipelineSnapshot> = map.iter().map(|(n, m)| m.snapshot(n)).collect();
+        drop(map);
+        pipelines.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { pipelines }
+    }
+}
+
+/// Frozen metrics for one pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    pub name: String,
+    pub requests: u64,
+    pub completed: u64,
+    pub errors: u64,
+    pub rejected: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Median latency (µs), quantized to the histogram bucket upper bound.
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+}
+
+/// Frozen metrics for every pipeline a runtime has served.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub pipelines: Vec<PipelineSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot for `name`, if that pipeline has been seen.
+    pub fn pipeline(&self, name: &str) -> Option<&PipelineSnapshot> {
+        self.pipelines.iter().find(|p| p.name == name)
+    }
+
+    /// Serializes the snapshot to JSON. Hand-rolled (the workspace has no
+    /// external dependencies); the only strings are pipeline names, which
+    /// are escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"pipelines\":[");
+        for (i, p) in self.pipelines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"requests\":{},\"completed\":{},\"errors\":{},\
+                 \"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+                escape_json(&p.name),
+                p.requests,
+                p.completed,
+                p.errors,
+                p.rejected,
+                p.cache_hits,
+                p.cache_misses,
+                p.p50_us,
+                p.p95_us,
+                p.p99_us,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bucketized() {
+        let h = LatencyHistogram::default();
+        // 90 fast requests (~8 µs), 10 slow (~1000 µs).
+        for _ in 0..90 {
+            h.record(8);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let counts = h.counts();
+        // 8 µs lands in bucket 3 → upper bound 15; 1000 µs in bucket 9 →
+        // upper bound 1023.
+        assert_eq!(quantile_us(&counts, 0.50), 15);
+        assert_eq!(quantile_us(&counts, 0.95), 1023);
+        assert_eq!(quantile_us(&counts, 0.99), 1023);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(quantile_us(&h.counts(), 0.99), 0);
+    }
+
+    #[test]
+    fn zero_latency_is_recorded() {
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert_eq!(quantile_us(&h.counts(), 0.50), 1);
+    }
+
+    #[test]
+    fn snapshot_sorted_and_json_escaped() {
+        let reg = MetricsRegistry::default();
+        reg.handle("zeta").record_request();
+        let weird = reg.handle("a\"b\\c");
+        weird.record_request();
+        weird.record_latency_us(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.pipelines.len(), 2);
+        assert_eq!(snap.pipelines[0].name, "a\"b\\c");
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"pipelines\":["));
+        assert!(json.contains("\"name\":\"a\\\"b\\\\c\""));
+        assert!(json.contains("\"requests\":1"));
+        assert!(json.contains("\"p50_us\":127"));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = PipelineMetrics::default();
+        m.record_request();
+        m.record_request();
+        m.record_cache_miss();
+        m.record_cache_hit();
+        m.record_completed();
+        m.record_completed();
+        let s = m.snapshot("p");
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.rejected, 0);
+    }
+}

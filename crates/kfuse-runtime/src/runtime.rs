@@ -1,0 +1,565 @@
+//! The serving runtime: worker pool, bounded admission queue, and
+//! plan-cached execution.
+//!
+//! A [`Runtime`] owns `workers` OS threads that drain a bounded FIFO of
+//! submitted jobs. Each job names a tenant pipeline, carries its input
+//! images and requested fusion [`Schedule`], and is answered through a
+//! one-shot result slot ([`JobHandle`]). Per job the worker:
+//!
+//! 1. fingerprints the submitted pipeline (structural + id-layout hashes),
+//! 2. consults the shared LRU [`PlanCache`] under
+//!    `(fingerprint, schedule, exec config)` — reusing a plan only when the
+//!    layout hash also matches (see [`crate::cache`]),
+//! 3. on miss: runs the fusion planner (`kfuse_dsl::compile`) and lowers
+//!    the fused pipeline to a [`CompiledPlan`], caching the result,
+//! 4. executes the plan against the job's inputs, reusing the worker's
+//!    persistent [`Scratch`] so the steady state does not allocate.
+//!
+//! Admission control is configurable: when the queue is full, [`Admission::Reject`]
+//! fails the submit with [`RuntimeError::QueueFull`] (shed load, keep
+//! latency bounded) while [`Admission::Block`] parks the submitter until a
+//! worker frees a slot (backpressure). [`Runtime::shutdown`] is graceful:
+//! it stops admission, lets the workers drain every queued job, and joins
+//! them — no accepted request is ever dropped.
+
+use crate::cache::{CachedPlan, PlanCache, PlanKey};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, PipelineMetrics};
+use kfuse_core::planner::FusionConfig;
+use kfuse_dsl::Schedule;
+use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_model::GpuSpec;
+use kfuse_sim::{CompiledPlan, ExecError, Execution, FastConfig, Scratch};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What `submit` does when the work queue is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Park the submitting thread until a slot frees up (backpressure).
+    Block,
+    /// Fail fast with [`RuntimeError::QueueFull`] (load shedding).
+    Reject,
+}
+
+/// Configuration of a [`Runtime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet executing) jobs.
+    pub queue_capacity: usize,
+    /// Behavior when the queue is full.
+    pub admission: Admission,
+    /// Maximum cached compiled plans; 0 disables plan caching.
+    pub plan_cache_capacity: usize,
+    /// Executor configuration used for every job (part of the cache key).
+    pub exec: FastConfig,
+    /// Fusion-planner configuration used on cache misses.
+    pub fusion: FusionConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            admission: Admission::Block,
+            plan_cache_capacity: 32,
+            // One executor thread per job: in a serving runtime the
+            // parallelism lives across requests, not inside one.
+            exec: FastConfig {
+                threads: Some(1),
+                ..FastConfig::default()
+            },
+            fusion: kfuse_dsl::default_config(GpuSpec::gtx680()),
+        }
+    }
+}
+
+/// Errors a submission or execution can produce.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The executor rejected the pipeline or its inputs.
+    Exec(ExecError),
+    /// The queue was full and admission control is [`Admission::Reject`].
+    QueueFull,
+    /// The runtime is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// The job panicked inside a worker (a bug, but contained: the worker
+    /// survives and the panic message is forwarded to the caller).
+    Panicked(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Exec(e) => write!(f, "execution failed: {e}"),
+            RuntimeError::QueueFull => write!(f, "work queue is full"),
+            RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            RuntimeError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ExecError> for RuntimeError {
+    fn from(e: ExecError) -> Self {
+        RuntimeError::Exec(e)
+    }
+}
+
+/// One-shot result slot a worker fills and a [`JobHandle`] waits on.
+#[derive(Default)]
+struct Slot {
+    state: Mutex<Option<Result<Execution, RuntimeError>>>,
+    done: Condvar,
+}
+
+/// Handle to a submitted job; [`JobHandle::wait`] blocks until a worker
+/// has produced the result.
+pub struct JobHandle {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job completes and returns its result.
+    pub fn wait(self) -> Result<Execution, RuntimeError> {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.slot.done.wait(state).unwrap();
+        }
+    }
+}
+
+/// A unit of queued work.
+struct Job {
+    pipeline: Pipeline,
+    inputs: Vec<(ImageId, Image)>,
+    schedule: Schedule,
+    metrics: Arc<PipelineMetrics>,
+    slot: Arc<Slot>,
+    submitted: Instant,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    accepting: bool,
+}
+
+/// State shared between the API side and the workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    job_available: Condvar,
+    space_available: Condvar,
+    cache: Mutex<PlanCache>,
+    metrics: MetricsRegistry,
+    cfg: RuntimeConfig,
+}
+
+/// A multi-tenant pipeline-serving runtime. See the [module docs](crate::runtime).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    /// Starts a runtime with `cfg.workers` worker threads.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        Self::start(cfg, true)
+    }
+
+    fn start(cfg: RuntimeConfig, spawn: bool) -> Self {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                accepting: true,
+            }),
+            job_available: Condvar::new(),
+            space_available: Condvar::new(),
+            cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+            metrics: MetricsRegistry::default(),
+            cfg,
+        });
+        let handles = if spawn {
+            (0..workers)
+                .map(|i| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("kfuse-worker-{i}"))
+                        .spawn(move || worker_loop(&shared))
+                        .expect("spawning runtime worker")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// A runtime whose queue is never drained — deterministic admission
+    /// tests fill it without racing the workers.
+    #[cfg(test)]
+    fn without_workers(cfg: RuntimeConfig) -> Self {
+        Self::start(cfg, false)
+    }
+
+    /// Submits a job for `name` (the tenant/metrics key) and returns a
+    /// handle to wait on. `pipeline` is the *unfused* pipeline; the
+    /// requested `schedule` decides how much fusion the planner applies.
+    pub fn submit(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+    ) -> Result<JobHandle, RuntimeError> {
+        let metrics = self.shared.metrics.handle(name);
+        metrics.record_request();
+        let slot = Arc::new(Slot::default());
+        let job = Job {
+            pipeline: pipeline.clone(),
+            inputs,
+            schedule,
+            metrics: Arc::clone(&metrics),
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+        };
+        let mut queue = self.shared.queue.lock().unwrap();
+        loop {
+            if !queue.accepting {
+                metrics.record_rejected();
+                return Err(RuntimeError::ShuttingDown);
+            }
+            if queue.jobs.len() < self.shared.cfg.queue_capacity {
+                queue.jobs.push_back(job);
+                self.shared.job_available.notify_one();
+                return Ok(JobHandle { slot });
+            }
+            match self.shared.cfg.admission {
+                Admission::Reject => {
+                    metrics.record_rejected();
+                    return Err(RuntimeError::QueueFull);
+                }
+                Admission::Block => {
+                    queue = self.shared.space_available.wait(queue).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Convenience: submit and wait.
+    pub fn execute(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+    ) -> Result<Execution, RuntimeError> {
+        self.submit(name, pipeline, inputs, schedule)?.wait()
+    }
+
+    /// A point-in-time snapshot of every tenant's metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Number of compiled plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.shared.cache.lock().unwrap().len()
+    }
+
+    /// Graceful shutdown: stops admission, drains every queued job, and
+    /// joins the workers. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.accepting = false;
+            // Wake idle workers (to observe the flag and exit) and any
+            // submitters parked on backpressure (to reject).
+            self.shared.job_available.notify_all();
+            self.shared.space_available.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // One scratch pool per worker, reused for every job: after a few
+    // requests the buffers reach their high-water mark and execution stops
+    // allocating.
+    let mut scratch = Scratch::default();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    shared.space_available.notify_one();
+                    break Some(job);
+                }
+                if !queue.accepting {
+                    break None;
+                }
+                queue = shared.job_available.wait(queue).unwrap();
+            }
+        };
+        let Some(job) = job else { return };
+        // Contain panics: a malformed job must fail its own caller, not
+        // take the worker (and every queued job behind it) down with it.
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job, &mut scratch)))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(RuntimeError::Panicked(msg))
+            });
+        match &result {
+            Ok(_) => job.metrics.record_completed(),
+            Err(_) => job.metrics.record_error(),
+        }
+        let us = u64::try_from(job.submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+        job.metrics.record_latency_us(us);
+        let mut state = job.slot.state.lock().unwrap();
+        *state = Some(result);
+        job.slot.done.notify_all();
+    }
+}
+
+/// Plan (with cache) and execute one job.
+fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Execution, RuntimeError> {
+    let key = PlanKey {
+        fingerprint: job.pipeline.fingerprint(),
+        schedule: job.schedule,
+        exec: shared.cfg.exec,
+    };
+    let layout = job.pipeline.binding_fingerprint();
+    let cached = shared
+        .cache
+        .lock()
+        .unwrap()
+        .get(&key)
+        .filter(|entry| entry.layout == layout)
+        .map(|entry| entry.plan);
+    let plan = match cached {
+        Some(plan) => {
+            job.metrics.record_cache_hit();
+            plan
+        }
+        None => {
+            job.metrics.record_cache_miss();
+            // Validate before handing the pipeline to the fusion planner;
+            // planning assumes a well-formed DAG.
+            job.pipeline
+                .validate()
+                .map_err(|e| ExecError::Invalid(e.to_string()))?;
+            let fused = kfuse_dsl::compile(&job.pipeline, job.schedule, &shared.cfg.fusion);
+            let plan = Arc::new(CompiledPlan::compile(&fused)?);
+            shared.cache.lock().unwrap().insert(
+                key,
+                CachedPlan {
+                    layout,
+                    plan: Arc::clone(&plan),
+                },
+            );
+            plan
+        }
+    };
+    plan.execute_with_scratch(&job.inputs, &shared.cfg.exec, scratch)
+        .map_err(RuntimeError::Exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel};
+    use kfuse_sim::synthetic_image;
+
+    fn blur_pipeline(w: usize, h: usize) -> (Pipeline, ImageId, ImageId) {
+        let mut p = Pipeline::new("blur");
+        let input = p.add_input(ImageDesc::new("in", w, h, 1));
+        let out = p.add_image(ImageDesc::new("out", w, h, 1));
+        let mask: Vec<&[f32]> = vec![&[1.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 1.0]];
+        p.add_kernel(Kernel::simple(
+            "blur",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::convolve(0, 0, &mask)],
+            vec![],
+        ));
+        p.mark_output(out);
+        (p, input, out)
+    }
+
+    fn small_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            workers: 2,
+            queue_capacity: 8,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn executes_and_matches_reference() {
+        let (p, input, out) = blur_pipeline(17, 11);
+        let img = synthetic_image(p.image(input).clone(), 3);
+        let reference = kfuse_sim::execute_reference(&p, &[(input, img.clone())]).unwrap();
+        let rt = Runtime::new(small_cfg());
+        let exec = rt
+            .execute("blur", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        assert!(exec
+            .expect_image(out)
+            .bit_equal(reference.expect_image(out)));
+    }
+
+    #[test]
+    fn second_submission_hits_plan_cache() {
+        let (p, input, _) = blur_pipeline(9, 9);
+        let rt = Runtime::new(small_cfg());
+        for seed in [1, 2] {
+            let img = synthetic_image(p.image(input).clone(), seed);
+            rt.execute("t", &p, vec![(input, img)], Schedule::Optimized)
+                .unwrap();
+        }
+        let snap = rt.metrics();
+        let m = snap.pipeline("t").unwrap();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(rt.cached_plans(), 1);
+    }
+
+    #[test]
+    fn bad_inputs_return_error_not_poison() {
+        let (p, input, _) = blur_pipeline(9, 9);
+        let rt = Runtime::new(small_cfg());
+        // Missing input: the job errors but the worker survives.
+        let err = rt
+            .execute("t", &p, vec![], Schedule::Optimized)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Exec(ExecError::MissingInput { .. })
+        ));
+        // Wrong shape: ditto.
+        let wrong = synthetic_image(ImageDesc::new("in", 3, 3, 1), 1);
+        let err = rt
+            .execute("t", &p, vec![(input, wrong)], Schedule::Optimized)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::Exec(ExecError::ShapeMismatch { .. })
+        ));
+        // And the runtime still serves good requests afterwards.
+        let img = synthetic_image(p.image(input).clone(), 1);
+        rt.execute("t", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        let snap = rt.metrics();
+        let m = snap.pipeline("t").unwrap();
+        assert_eq!(m.errors, 2);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn reject_admission_when_queue_full() {
+        let cfg = RuntimeConfig {
+            queue_capacity: 2,
+            admission: Admission::Reject,
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::without_workers(cfg);
+        let (p, input, _) = blur_pipeline(5, 5);
+        let img = synthetic_image(p.image(input).clone(), 1);
+        for _ in 0..2 {
+            rt.submit("t", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+        }
+        let err = rt
+            .submit("t", &p, vec![(input, img)], Schedule::Baseline)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::QueueFull));
+        let snap = rt.metrics();
+        let m = snap.pipeline("t").unwrap();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let (p, input, out) = blur_pipeline(13, 13);
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            ..small_cfg()
+        });
+        let img = synthetic_image(p.image(input).clone(), 2);
+        let reference = kfuse_sim::execute_reference(&p, &[(input, img.clone())]).unwrap();
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|_| {
+                rt.submit("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                    .unwrap()
+            })
+            .collect();
+        rt.shutdown();
+        for h in handles {
+            let exec = h.wait().unwrap();
+            assert!(exec
+                .expect_image(out)
+                .bit_equal(reference.expect_image(out)));
+        }
+        // Submissions after shutdown are refused.
+        let err = rt
+            .submit("t", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::ShuttingDown));
+    }
+
+    #[test]
+    fn tenants_are_metered_separately() {
+        let (p, input, _) = blur_pipeline(7, 7);
+        let rt = Runtime::new(small_cfg());
+        let img = synthetic_image(p.image(input).clone(), 1);
+        rt.execute("alpha", &p, vec![(input, img.clone())], Schedule::Optimized)
+            .unwrap();
+        rt.execute("beta", &p, vec![(input, img.clone())], Schedule::Optimized)
+            .unwrap();
+        rt.execute("beta", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        let snap = rt.metrics();
+        assert_eq!(snap.pipeline("alpha").unwrap().requests, 1);
+        assert_eq!(snap.pipeline("beta").unwrap().requests, 2);
+        // Both tenants submitted the identical structure: one shared plan.
+        assert_eq!(rt.cached_plans(), 1);
+        // JSON snapshot round-trips the names.
+        let json = snap.to_json();
+        assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"name\":\"beta\""));
+    }
+}

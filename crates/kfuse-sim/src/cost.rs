@@ -14,7 +14,7 @@
 //! * **Staged external inputs** (window-accessed, `input_staging`) are
 //!   filled once per block from DRAM and then read from shared memory;
 //!   unstaged window reads pay per-warp unique DRAM samples instead (the
-//!   basic-fusion codegen of [12]).
+//!   basic-fusion codegen of \[12\]).
 
 use kfuse_core::shared_usage_bytes;
 use kfuse_core::synthesis::{absolute_extents, input_access_extents};

@@ -36,6 +36,28 @@ pub enum ExecError {
     },
     /// The pipeline failed validation.
     Invalid(String),
+    /// A kernel references an [`ImageId`] outside the pipeline's image
+    /// table.
+    UnknownImage {
+        /// Name of the offending kernel.
+        kernel: String,
+    },
+    /// A kernel input image was not materialized before the kernel ran
+    /// (out-of-order execution, or a stale image table).
+    UnmaterializedInput {
+        /// Name of the offending kernel.
+        kernel: String,
+        /// Name of the missing image.
+        image: String,
+    },
+    /// A kernel loads a channel the referenced image does not have, or its
+    /// root stage produces a different channel count than its output image.
+    ChannelMismatch {
+        /// Name of the offending kernel.
+        kernel: String,
+        /// Name of the mismatched image (or inlined stage).
+        image: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -44,6 +66,18 @@ impl std::fmt::Display for ExecError {
             ExecError::MissingInput { image } => write!(f, "missing input image {image}"),
             ExecError::ShapeMismatch { image } => write!(f, "shape mismatch for image {image}"),
             ExecError::Invalid(e) => write!(f, "invalid pipeline: {e}"),
+            ExecError::UnknownImage { kernel } => {
+                write!(f, "kernel {kernel} references an unknown image")
+            }
+            ExecError::UnmaterializedInput { kernel, image } => {
+                write!(
+                    f,
+                    "kernel {kernel}: input image {image} is not materialized"
+                )
+            }
+            ExecError::ChannelMismatch { kernel, image } => {
+                write!(f, "kernel {kernel}: channel mismatch against {image}")
+            }
         }
     }
 }
@@ -59,6 +93,12 @@ pub struct Execution {
 }
 
 impl Execution {
+    /// Wraps an already-materialized image table (used by the compiled-plan
+    /// executor in [`crate::plan`]).
+    pub(crate) fn from_images(images: Vec<Option<Image>>) -> Self {
+        Self { images }
+    }
+
     /// The image with id `id`, if it was provided or produced.
     pub fn image(&self, id: ImageId) -> Option<&Image> {
         self.images.get(id.0).and_then(Option::as_ref)
@@ -145,18 +185,92 @@ impl<'a> Evaluator<'a> {
     }
 }
 
+/// Validates a kernel's image references against the pipeline and the
+/// materialized image table, returning the resolved input images.
+///
+/// This is the defensive boundary of both executors: out-of-range image
+/// ids, missing (not yet materialized) inputs, shape mismatches, and
+/// channel mismatches all become [`ExecError`]s here instead of panics
+/// inside the evaluation loops — a malformed kernel submitted to a serving
+/// runtime must fail the request, not poison a worker thread.
+pub(crate) fn resolve_kernel_inputs<'a>(
+    p: &Pipeline,
+    k: &Kernel,
+    images: &'a [Option<Image>],
+) -> Result<Vec<&'a Image>, ExecError> {
+    if k.output.0 >= p.images().len() || k.inputs.iter().any(|i| i.0 >= p.images().len()) {
+        return Err(ExecError::UnknownImage {
+            kernel: k.name.clone(),
+        });
+    }
+    k.check().map_err(ExecError::Invalid)?;
+    let out_desc = p.image(k.output);
+    if k.root_stage().channels() != out_desc.channels {
+        return Err(ExecError::ChannelMismatch {
+            kernel: k.name.clone(),
+            image: out_desc.name.clone(),
+        });
+    }
+    let mut inputs: Vec<&Image> = Vec::with_capacity(k.inputs.len());
+    for &i in &k.inputs {
+        let img = images.get(i.0).and_then(Option::as_ref).ok_or_else(|| {
+            ExecError::UnmaterializedInput {
+                kernel: k.name.clone(),
+                image: p.image(i).name.clone(),
+            }
+        })?;
+        if img.width() != out_desc.width || img.height() != out_desc.height {
+            return Err(ExecError::ShapeMismatch {
+                image: img.desc().name.clone(),
+            });
+        }
+        inputs.push(img);
+    }
+    // Every load must stay within the channels of what it reads — checked
+    // against the *materialized* images, not just the descriptors.
+    for s in &k.stages {
+        for b in &s.body {
+            let mut bad: Option<String> = None;
+            b.visit_loads(&mut |slot, _, _, ch| {
+                if bad.is_some() {
+                    return;
+                }
+                match s.refs.get(slot) {
+                    Some(kfuse_ir::StageRef::Input(i)) => {
+                        if ch >= inputs[*i].channels() {
+                            bad = Some(inputs[*i].desc().name.clone());
+                        }
+                    }
+                    Some(kfuse_ir::StageRef::Stage(j)) => {
+                        if ch >= k.stages[*j].channels() {
+                            bad = Some(k.stages[*j].name.clone());
+                        }
+                    }
+                    None => bad = Some("<missing ref>".into()),
+                }
+            });
+            if let Some(image) = bad {
+                return Err(ExecError::ChannelMismatch {
+                    kernel: k.name.clone(),
+                    image,
+                });
+            }
+        }
+    }
+    Ok(inputs)
+}
+
 /// Executes one kernel against already-materialized images.
-pub fn execute_kernel(p: &Pipeline, k: &Kernel, images: &[Option<Image>]) -> Image {
+///
+/// Malformed kernels (out-of-range image ids, unmaterialized inputs,
+/// channel mismatches) are reported as [`ExecError`]s.
+pub fn execute_kernel(
+    p: &Pipeline,
+    k: &Kernel,
+    images: &[Option<Image>],
+) -> Result<Image, ExecError> {
+    let inputs = resolve_kernel_inputs(p, k, images)?;
     let out_desc = p.image(k.output).clone();
-    let inputs: Vec<&Image> = k
-        .inputs
-        .iter()
-        .map(|&i| {
-            images[i.0]
-                .as_ref()
-                .expect("topological execution materializes inputs first")
-        })
-        .collect();
     let ev = Evaluator::new(k, inputs, out_desc.width, out_desc.height);
     let mut out = Image::zeros(out_desc);
     let (w, h, c) = (out.width(), out.height(), out.channels());
@@ -168,7 +282,7 @@ pub fn execute_kernel(p: &Pipeline, k: &Kernel, images: &[Option<Image>]) -> Ima
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Validates the pipeline and seeds the image table with the inputs.
@@ -178,8 +292,24 @@ pub(crate) fn prepare_images(
 ) -> Result<Vec<Option<Image>>, ExecError> {
     p.validate()
         .map_err(|e| ExecError::Invalid(e.to_string()))?;
+    bind_inputs(p, inputs)
+}
+
+/// Seeds the image table with the inputs, checking shapes and presence but
+/// *not* re-validating the pipeline (the compiled-plan path validates once
+/// at compile time).
+pub(crate) fn bind_inputs(
+    p: &Pipeline,
+    inputs: &[(ImageId, Image)],
+) -> Result<Vec<Option<Image>>, ExecError> {
     let mut images: Vec<Option<Image>> = vec![None; p.images().len()];
     for (id, img) in inputs {
+        if id.0 >= images.len() {
+            return Err(ExecError::Invalid(format!(
+                "input image id {} out of range",
+                id.0
+            )));
+        }
         let desc = p.image(*id);
         if img.width() != desc.width
             || img.height() != desc.height
@@ -205,13 +335,13 @@ pub(crate) fn prepare_images(
 pub(crate) fn execute_with(
     p: &Pipeline,
     inputs: &[(ImageId, Image)],
-    run_kernel: impl Fn(&Pipeline, &Kernel, &[Option<Image>]) -> Image,
+    run_kernel: impl Fn(&Pipeline, &Kernel, &[Option<Image>]) -> Result<Image, ExecError>,
 ) -> Result<Execution, ExecError> {
     let mut images = prepare_images(p, inputs)?;
     let dag = p.kernel_dag();
     for n in dag.topo_order().expect("validated pipelines are acyclic") {
         let k = p.kernel(kfuse_ir::KernelId(n.0));
-        let out = run_kernel(p, k, &images);
+        let out = run_kernel(p, k, &images)?;
         images[k.output.0] = Some(out);
     }
     Ok(Execution { images })
@@ -376,6 +506,98 @@ mod tests {
         assert!(matches!(
             execute(&p, &[(input, wrong)]),
             Err(ExecError::ShapeMismatch { .. })
+        ));
+    }
+
+    /// A kernel whose ids point outside the image table must error, not
+    /// index out of bounds. (`execute_kernel` is callable with a kernel
+    /// that was never added to the pipeline, so this is reachable even
+    /// though `Pipeline::validate` would also catch it.)
+    #[test]
+    fn out_of_range_image_id_detected() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 2, 2));
+        let out = p.add_image(desc("out", 2, 2));
+        let mut k = Kernel::simple(
+            "id",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0)],
+            vec![],
+        );
+        k.output = ImageId(99);
+        let images = vec![Some(synthetic_image(p.image(input).clone(), 1)), None];
+        assert!(matches!(
+            execute_kernel(&p, &k, &images),
+            Err(ExecError::UnknownImage { .. })
+        ));
+        k.output = out;
+        k.inputs = vec![ImageId(99)];
+        assert!(matches!(
+            execute_kernel(&p, &k, &images),
+            Err(ExecError::UnknownImage { .. })
+        ));
+    }
+
+    /// Running a kernel before its producer has materialized its input is
+    /// an error, not a panic.
+    #[test]
+    fn unmaterialized_input_detected() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 2, 2));
+        let mid = p.add_image(desc("mid", 2, 2));
+        let out = p.add_image(desc("out", 2, 2));
+        p.add_kernel(Kernel::simple(
+            "a",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0)],
+            vec![],
+        ));
+        let consumer = Kernel::simple(
+            "b",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0)],
+            vec![],
+        );
+        p.add_kernel(consumer.clone());
+        p.mark_output(out);
+        // `mid` was never produced.
+        let images = vec![Some(synthetic_image(p.image(input).clone(), 1)), None, None];
+        assert!(matches!(
+            execute_kernel(&p, &consumer, &images),
+            Err(ExecError::UnmaterializedInput { .. })
+        ));
+    }
+
+    /// A load of a channel the materialized image does not carry is an
+    /// error, not a silent out-of-bounds read.
+    #[test]
+    fn channel_mismatch_detected() {
+        let mut p = Pipeline::new("t");
+        let input = p.add_input(desc("in", 2, 2));
+        let out = p.add_image(desc("out", 2, 2));
+        let k = Kernel::simple(
+            "ch",
+            vec![input],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::Load {
+                slot: 0,
+                dx: 0,
+                dy: 0,
+                ch: 1, // input only has channel 0
+            }],
+            vec![],
+        );
+        let images = vec![Some(synthetic_image(p.image(input).clone(), 1)), None];
+        assert!(matches!(
+            execute_kernel(&p, &k, &images),
+            Err(ExecError::ChannelMismatch { .. })
         ));
     }
 

@@ -16,8 +16,8 @@
 //! enforce this across all six paper applications, every schedule, and
 //! every border mode.
 
-use crate::exec::{execute_with, ExecError, Execution};
-use crate::tile::execute_kernel_tiled;
+use crate::exec::{ExecError, Execution};
+use crate::plan::CompiledPlan;
 use kfuse_ir::{Image, ImageId, Pipeline};
 
 /// Configuration of the fast executor (re-exported tile configuration:
@@ -33,14 +33,16 @@ pub fn execute_fast(p: &Pipeline, inputs: &[(ImageId, Image)]) -> Result<Executi
 
 /// Executes a pipeline with the compiled tiled engine and an explicit
 /// configuration (tile shape, thread count).
+///
+/// Compiles a throwaway [`CompiledPlan`] and executes it once. Callers
+/// that run the same pipeline repeatedly should hold on to the plan (or go
+/// through `kfuse-runtime`, which caches plans by pipeline fingerprint).
 pub fn execute_fast_with(
     p: &Pipeline,
     inputs: &[(ImageId, Image)],
     cfg: &FastConfig,
 ) -> Result<Execution, ExecError> {
-    execute_with(p, inputs, |p, k, images| {
-        execute_kernel_tiled(p, k, images, cfg)
-    })
+    CompiledPlan::compile(p)?.execute(inputs, cfg)
 }
 
 #[cfg(test)]

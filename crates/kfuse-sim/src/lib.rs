@@ -27,11 +27,16 @@
 //! * [`fast`] — the compiled engine behind [`execute`]: stages lowered to
 //!   CSE'd instruction [`tape`]s, executed [`tile`]-by-tile with halo-plane
 //!   materialization of inlined stages and multi-threaded row bands.
+//!
+//! For repeated execution of the same pipeline, [`plan::CompiledPlan`]
+//! captures the validated/ordered/lowered form once; `kfuse-runtime` caches
+//! these plans across requests.
 
 pub mod cost;
 pub mod exec;
 pub mod fast;
 pub mod micro;
+pub mod plan;
 pub mod tape;
 pub mod tile;
 pub mod timing;
@@ -40,6 +45,9 @@ pub use cost::{analyze_kernel, analyze_pipeline, total_dram_bytes, LaunchCost, T
 pub use exec::{execute, execute_kernel, execute_reference, synthetic_image, ExecError, Execution};
 pub use fast::{execute_fast, execute_fast_with, FastConfig};
 pub use micro::{build_trace, MicroSim, MicroTiming, WarpOp};
+pub use plan::CompiledPlan;
 pub use tape::{compile_stage, Tape};
-pub use tile::{execute_kernel_tiled, CompiledKernel, TileConfig};
+pub use tile::{
+    execute_kernel_compiled, execute_kernel_tiled, CompiledKernel, Scratch, TileConfig,
+};
 pub use timing::{noisy_runs, KernelTiming, PipelineTiming, RunStats, TimingModel};

@@ -30,13 +30,16 @@
 //! reference interpreter, so outputs are **bit-identical** — materializing
 //! a pure computation once and reusing the result cannot change any bit.
 
-use crate::exec::Evaluator;
+use crate::exec::{resolve_kernel_inputs, Evaluator, ExecError};
 use crate::tape::{compile_stage, Instr, LoadTarget, Tape};
 use kfuse_ir::border::Resolved;
 use kfuse_ir::{BinOp, Image, Kernel, Pipeline, UnOp};
 
 /// Tuning knobs for the tiled executor.
-#[derive(Clone, Copy, Debug)]
+///
+/// `Eq`/`Hash` let the config participate in plan-cache keys: two requests
+/// with different tile shapes or thread counts compile to distinct plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TileConfig {
     /// Tile width in pixels.
     pub tile_w: usize,
@@ -484,6 +487,39 @@ fn eval_row(
     }
 }
 
+/// Reusable scratch buffers for tiled kernel execution: stage planes, the
+/// scalar register file, and the row-register matrix.
+///
+/// All buffers grow monotonically and are re-sized (never shrunk) per
+/// kernel, so a long-lived worker thread that executes many kernels — the
+/// `kfuse-runtime` serving workers — reaches a steady state with **zero
+/// per-request allocation** in the executor. Stale contents are harmless:
+/// planes and rects are (re)written for every tile before being read, and
+/// the register file is SSA — every instruction writes its register before
+/// any consumer reads it.
+#[derive(Default)]
+pub struct Scratch {
+    planes: Vec<Vec<f32>>,
+    rects: Vec<Rect>,
+    regs: Vec<f32>,
+    rr: RowRegs,
+}
+
+impl Scratch {
+    /// Sizes the buffers for `ck`.
+    fn ensure(&mut self, ck: &CompiledKernel) {
+        if self.planes.len() < ck.tapes.len() {
+            self.planes.resize_with(ck.tapes.len(), Vec::new);
+        }
+        if self.rects.len() < ck.tapes.len() {
+            self.rects.resize(ck.tapes.len(), Rect::default());
+        }
+        if self.regs.len() < ck.max_regs {
+            self.regs.resize(ck.max_regs, 0.0);
+        }
+    }
+}
+
 /// Per-kernel execution state shared by all worker threads.
 struct Run<'a> {
     ck: &'a CompiledKernel,
@@ -499,16 +535,19 @@ struct Run<'a> {
 
 impl Run<'_> {
     /// Executes the pixel rows `[y_start, y_end)` into `out_band` (the
-    /// corresponding rows of the output image).
-    fn run_rows(&self, y_start: usize, y_end: usize, out_band: &mut [f32]) {
+    /// corresponding rows of the output image), using `scratch` as the
+    /// per-worker buffer pool: one plane per stage plus one register file
+    /// sized for the largest tape.
+    fn run_rows(&self, scratch: &mut Scratch, y_start: usize, y_end: usize, out_band: &mut [f32]) {
         let ck = self.ck;
         let stride = self.iw * self.out_nc;
-        // Reusable per-worker scratch pool: one plane per stage plus one
-        // register file sized for the largest tape.
-        let mut planes: Vec<Vec<f32>> = vec![Vec::new(); ck.tapes.len()];
-        let mut rects: Vec<Rect> = vec![Rect::default(); ck.tapes.len()];
-        let mut regs: Vec<f32> = vec![0.0; ck.max_regs];
-        let mut rr = RowRegs::default();
+        scratch.ensure(ck);
+        let Scratch {
+            planes,
+            rects,
+            regs,
+            rr,
+        } = scratch;
         let mut y0 = y_start;
         while y0 < y_end {
             let y1 = (y0 + self.tile_h).min(y_end);
@@ -540,11 +579,11 @@ impl Run<'_> {
                         plane.resize(len, 0.0);
                     }
                     let tape = &ck.tapes[j];
-                    tape.init_consts(&mut regs);
+                    tape.init_consts(regs);
                     rr.prepare(tape, r.w);
                     let ctx = Ctx {
                         inputs: self.inputs,
-                        rects: &rects,
+                        rects,
                         chans: self.chans,
                         iw: self.iw,
                         ih: self.ih,
@@ -552,27 +591,16 @@ impl Run<'_> {
                     };
                     for py in r.y0..r.y0 + r.h {
                         let row = &mut plane[(py - r.y0) * r.w * nc..][..r.w * nc];
-                        eval_row(
-                            tape,
-                            &mut regs,
-                            &mut rr,
-                            done,
-                            &ctx,
-                            py,
-                            r.x0,
-                            r.x0 + r.w,
-                            row,
-                            nc,
-                        );
+                        eval_row(tape, regs, rr, done, &ctx, py, r.x0, r.x0 + r.w, row, nc);
                     }
                 }
                 // Root stage writes straight into the output rows.
                 let tape = &ck.tapes[ck.root];
-                tape.init_consts(&mut regs);
+                tape.init_consts(regs);
                 rr.prepare(tape, x1 - x0);
                 let ctx = Ctx {
                     inputs: self.inputs,
-                    rects: &rects,
+                    rects,
                     chans: self.chans,
                     iw: self.iw,
                     ih: self.ih,
@@ -581,18 +609,7 @@ impl Run<'_> {
                 for y in y0..y1 {
                     let row = &mut out_band[(y - y_start) * stride..][..stride];
                     let seg = &mut row[x0 * self.out_nc..x1 * self.out_nc];
-                    eval_row(
-                        tape,
-                        &mut regs,
-                        &mut rr,
-                        &planes,
-                        &ctx,
-                        y,
-                        x0,
-                        x1,
-                        seg,
-                        self.out_nc,
-                    );
+                    eval_row(tape, regs, rr, planes, &ctx, y, x0, x1, seg, self.out_nc);
                 }
                 x0 = x1;
             }
@@ -604,24 +621,34 @@ impl Run<'_> {
 /// Executes one kernel against already-materialized images with the tiled
 /// engine. Drop-in replacement for [`crate::exec::execute_kernel`] with
 /// bit-identical output.
+///
+/// Compiles the kernel's tapes on every call; repeat executions should
+/// compile a [`CompiledKernel`] once and use [`execute_kernel_compiled`].
 pub fn execute_kernel_tiled(
     p: &Pipeline,
     k: &Kernel,
     images: &[Option<Image>],
     cfg: &TileConfig,
-) -> Image {
-    let out_desc = p.image(k.output).clone();
-    let inputs: Vec<&Image> = k
-        .inputs
-        .iter()
-        .map(|&i| {
-            images[i.0]
-                .as_ref()
-                .expect("topological execution materializes inputs first")
-        })
-        .collect();
-    let (iw, ih) = (out_desc.width, out_desc.height);
+) -> Result<Image, ExecError> {
     let ck = CompiledKernel::new(k);
+    execute_kernel_compiled(p, k, &ck, images, cfg, &mut Scratch::default())
+}
+
+/// Executes an already-compiled kernel, reusing the caller's scratch
+/// buffers. This is the hot path of plan-reuse serving: tape lowering is
+/// done once (in [`CompiledKernel::new`]) and steady-state requests borrow
+/// the worker's [`Scratch`] instead of allocating.
+pub fn execute_kernel_compiled(
+    p: &Pipeline,
+    k: &Kernel,
+    ck: &CompiledKernel,
+    images: &[Option<Image>],
+    cfg: &TileConfig,
+    scratch: &mut Scratch,
+) -> Result<Image, ExecError> {
+    let inputs = resolve_kernel_inputs(p, k, images)?;
+    let out_desc = p.image(k.output).clone();
+    let (iw, ih) = (out_desc.width, out_desc.height);
     let chans: Vec<usize> = k.stages.iter().map(kfuse_ir::Stage::channels).collect();
     let fallback = Evaluator::new(k, inputs.clone(), iw, ih);
     let mut out = Image::zeros(out_desc);
@@ -629,7 +656,7 @@ pub fn execute_kernel_tiled(
     let tile_w = cfg.tile_w.max(1);
     let tile_h = cfg.tile_h.max(1);
     let run = Run {
-        ck: &ck,
+        ck,
         inputs: &inputs,
         chans: &chans,
         fallback: &fallback,
@@ -643,8 +670,8 @@ pub fn execute_kernel_tiled(
     let tile_rows = ih.div_ceil(tile_h);
     let threads = cfg.resolved_threads().min(tile_rows);
     if threads <= 1 {
-        run.run_rows(0, ih, out.data_mut());
-        return out;
+        run.run_rows(scratch, 0, ih, out.data_mut());
+        return Ok(out);
     }
 
     // Split the output into contiguous row bands, one per worker, aligned
@@ -670,10 +697,12 @@ pub fn execute_kernel_tiled(
     std::thread::scope(|s| {
         for (ys, ye, band) in bands {
             let run = &run;
-            s.spawn(move || run.run_rows(ys, ye, band));
+            // Band workers are short-lived; they bring their own scratch
+            // rather than contending for the caller's.
+            s.spawn(move || run.run_rows(&mut Scratch::default(), ys, ye, band));
         }
     });
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -723,8 +752,8 @@ mod tests {
         let input_id = p.inputs()[0];
         let img = synthetic_image(p.image(input_id).clone(), 7);
         let images = prepare_images(&p, &[(input_id, img)]).unwrap();
-        let reference = execute_kernel(&p, &k, &images);
-        let tiled = execute_kernel_tiled(&p, &k, &images, cfg);
+        let reference = execute_kernel(&p, &k, &images).unwrap();
+        let tiled = execute_kernel_tiled(&p, &k, &images, cfg).unwrap();
         assert!(
             tiled.bit_equal(&reference),
             "mode {mode:?} size {w}x{h} cfg {cfg:?}: max diff {}",
@@ -838,7 +867,7 @@ mod tests {
             tile_h: 5,
             threads: Some(2),
         };
-        let tiled = execute_kernel_tiled(&p, &k, &images, &cfg);
+        let tiled = execute_kernel_tiled(&p, &k, &images, &cfg).unwrap();
         assert!(tiled.bit_equal(reference.expect_image(out)));
     }
 
