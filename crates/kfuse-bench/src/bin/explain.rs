@@ -1,0 +1,59 @@
+//! Planner explainability report: why each edge was fused or cut.
+//!
+//! For the named application (or `all`), runs Algorithm 1 under the
+//! evaluation configuration (GTX 680) and prints the [`PlanTrace`] fusion
+//! report — the per-edge benefit table (δ, φ, g, γ, ε-clamp reason), the
+//! pairwise legality verdicts, and the min-cut recursion log — then writes
+//! the Graphviz DOT rendering of the final partition to
+//! `results/explain_<app>.dot`.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin explain -- harris`
+//! (app name is case-insensitive; default is `all`).
+
+use kfuse_bench::eval_config;
+use kfuse_core::{plan_optimized, PlanTrace};
+use kfuse_model::GpuSpec;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let apps = kfuse_apps::paper_apps();
+    let selected: Vec<_> = if arg.eq_ignore_ascii_case("all") {
+        apps.iter().collect()
+    } else {
+        let found: Vec<_> = apps
+            .iter()
+            .filter(|a| a.name.eq_ignore_ascii_case(&arg))
+            .collect();
+        if found.is_empty() {
+            let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+            eprintln!("unknown app '{arg}'; expected one of {names:?} or 'all'");
+            std::process::exit(2);
+        }
+        found
+    };
+
+    let cfg = eval_config(&GpuSpec::gtx680());
+    let mut first = true;
+    for app in selected {
+        if !first {
+            println!();
+        }
+        first = false;
+        let p = (app.build_paper)();
+        let plan = plan_optimized(&p, &cfg);
+        let trace = PlanTrace::from_plan(&p, &plan, &cfg);
+        print!("{}", trace.render_text());
+
+        let dir = std::path::Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let path = dir.join(format!("explain_{}.dot", app.name.to_lowercase()));
+        if let Err(e) = std::fs::write(&path, trace.to_dot()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("\npartition graph written to {}", path.display());
+    }
+}

@@ -42,7 +42,9 @@ fn main() {
     println!("\nStep 2 — recursive min-cut partitioning:");
     for e in &plan.trace.events {
         match e {
-            TraceEvent::Examine { members, verdict } => match verdict {
+            TraceEvent::Examine {
+                members, verdict, ..
+            } => match verdict {
                 None => println!("  examine {{{}}} -> legal", members.join(", ")),
                 Some(v) => println!("  examine {{{}}} -> illegal: {v}", members.join(", ")),
             },
@@ -58,7 +60,7 @@ fn main() {
                     side_b.join(", ")
                 );
             }
-            TraceEvent::Ready { members } => {
+            TraceEvent::Ready { members, .. } => {
                 println!("    ready: {{{}}}", members.join(", "));
             }
             _ => {}

@@ -1,0 +1,126 @@
+//! End-to-end observability check: run a traced serving load and validate
+//! every exporter's output with the std-only checkers in `kfuse-obs`.
+//!
+//! For each paper application (serving-sized frames) this drives a few
+//! requests through a [`Runtime`] with a recording tracer, then asserts:
+//!
+//! 1. the Chrome `trace_event` JSON round-trips
+//!    [`kfuse_obs::validate_chrome_trace`] and contains at least one
+//!    `kernel:` span per kernel per request plus the
+//!    `queue_wait`/`plan`/`execute` serving spans;
+//! 2. the traced results are bit-identical to the reference interpreter
+//!    (tracing must be observation, never perturbation);
+//! 3. [`kfuse_runtime::MetricsSnapshot::to_json`] parses with
+//!    [`kfuse_obs::parse_json`];
+//! 4. [`kfuse_runtime::MetricsSnapshot::to_prometheus`] passes
+//!    [`kfuse_obs::validate_prometheus`].
+//!
+//! The combined trace is written to `results/trace_serve.json` (openable
+//! in `chrome://tracing` / Perfetto). Exits non-zero on any failure, so CI
+//! can run it as a gate.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin trace_check`.
+
+use kfuse_apps::paper_apps;
+use kfuse_dsl::Schedule;
+use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_obs::{parse_json, validate_chrome_trace, validate_prometheus, Tracer};
+use kfuse_runtime::{Runtime, RuntimeConfig};
+use kfuse_sim::{execute_reference, synthetic_image};
+
+fn inputs_for(p: &Pipeline, seed: u64) -> Vec<(ImageId, Image)> {
+    p.inputs()
+        .iter()
+        .map(|&id| (id, synthetic_image(p.image(id).clone(), seed)))
+        .collect()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let requests = 3;
+    let tracer = Tracer::enabled();
+    let rt = Runtime::new(RuntimeConfig {
+        workers: 2,
+        tracer: tracer.clone(),
+        ..RuntimeConfig::default()
+    });
+
+    let mut total_requests = 0usize;
+    let mut min_kernel_spans = 0usize;
+    for app in paper_apps() {
+        let p = (app.build_sized)(64, 48);
+        let inputs = inputs_for(&p, 7);
+        let reference = execute_reference(&p, &inputs).expect("reference executes");
+        let out = p.outputs()[0];
+        for _ in 0..requests {
+            let exec = rt
+                .execute(app.name, &p, inputs.clone(), Schedule::Optimized)
+                .unwrap_or_else(|e| fail(&format!("{} request failed: {e}", app.name)));
+            if !exec
+                .expect_image(out)
+                .bit_equal(reference.expect_image(out))
+            {
+                fail(&format!(
+                    "{}: traced result differs from reference",
+                    app.name
+                ));
+            }
+        }
+        total_requests += requests;
+        // The fused pipeline has at least one kernel per request; the
+        // unfused kernel count is an upper bound, so only require ≥ 1.
+        min_kernel_spans += requests;
+    }
+
+    let json = tracer.to_chrome_json();
+    let stats =
+        validate_chrome_trace(&json).unwrap_or_else(|e| fail(&format!("chrome trace: {e}")));
+    let kernel_spans = stats.spans_with_prefix("kernel:");
+    if kernel_spans < min_kernel_spans {
+        fail(&format!(
+            "expected at least {min_kernel_spans} kernel spans (1 per kernel per request), got {kernel_spans}"
+        ));
+    }
+    for name in ["queue_wait", "plan", "execute"] {
+        let n = stats.span_names.iter().filter(|s| *s == name).count();
+        if n != total_requests {
+            fail(&format!(
+                "expected {total_requests} '{name}' spans, got {n}"
+            ));
+        }
+    }
+    if stats.counters == 0 {
+        fail("expected queue_depth/in_flight counter samples");
+    }
+
+    let snapshot = rt.metrics();
+    if let Err(e) = parse_json(&snapshot.to_json()) {
+        fail(&format!("metrics JSON does not parse: {e}"));
+    }
+    let samples = validate_prometheus(&snapshot.to_prometheus())
+        .unwrap_or_else(|e| fail(&format!("prometheus exposition: {e}")));
+    if snapshot.runtime.cache_size == 0 {
+        fail("plan cache should hold the served plans");
+    }
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join("trace_serve.json");
+    std::fs::write(&path, &json).expect("write trace JSON");
+
+    println!(
+        "trace_check OK: {} events ({} spans, {} kernel spans, {} counters) over {} requests; \
+         {} prometheus samples; trace written to {}",
+        stats.events,
+        stats.complete_spans,
+        kernel_spans,
+        stats.counters,
+        total_requests,
+        samples,
+        path.display()
+    );
+}

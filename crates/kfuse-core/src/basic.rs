@@ -82,6 +82,7 @@ pub fn plan_basic(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
         pairs.push((e.src, e.dst));
         trace.events.push(TraceEvent::Ready {
             members: vec![p.kernel(e.src).name.clone(), p.kernel(e.dst).name.clone()],
+            depth: 0,
         });
     }
 

@@ -1,0 +1,470 @@
+//! Planner explainability: a structured, renderable account of *why* the
+//! partition came out the way it did.
+//!
+//! [`PlanTrace`] flattens a [`FusionPlan`] into per-edge benefit breakdowns
+//! (δ of Eqs. 3–4, φ of Eqs. 7/10, the Eq. 9 grown window `g`, γ of Eq. 11,
+//! and the Eq. 12 ε-clamp reason), the pairwise legality verdicts, and the
+//! Algorithm 1 recursion log with depths. Two renderers consume it:
+//! [`PlanTrace::render_text`] produces the human-readable fusion report the
+//! `explain` bench bin prints, and [`PlanTrace::to_dot`] emits a Graphviz
+//! DOT graph of the final partition with fused, cut, and illegal edges
+//! distinguished.
+
+use crate::planner::{FusionConfig, FusionPlan, TraceEvent};
+use kfuse_graph::NodeId;
+use kfuse_ir::Pipeline;
+use kfuse_model::{ClampReason, FusionScenario};
+
+/// One dependence edge with every quantity that entered its weight.
+#[derive(Clone, Debug)]
+pub struct EdgeExplain {
+    /// Producer kernel name.
+    pub src: String,
+    /// Consumer kernel name.
+    pub dst: String,
+    /// Name of the communicated intermediate image.
+    pub image: String,
+    /// Classified fusion scenario (Section II-C3).
+    pub scenario: FusionScenario,
+    /// Locality improvement δ in cycles (Eqs. 3–4).
+    pub delta: f64,
+    /// Redundant-computation cost φ in cycles (Eqs. 7 and 10).
+    pub phi: f64,
+    /// Eq. 9 grown window for local-to-local edges.
+    pub g: Option<usize>,
+    /// Additional gains γ (Eq. 11).
+    pub gamma: f64,
+    /// `δ − φ + γ` before clamping.
+    pub raw: f64,
+    /// Final weight `w_e = max(δ − φ + γ, ε)` (Eq. 12).
+    pub weight: f64,
+    /// Whether/why the weight was pinned to ε.
+    pub clamp: ClampReason,
+    /// Pairwise legality rejection reason (`None` when legal).
+    pub verdict: Option<String>,
+    /// Whether the final partition put both endpoints in one block,
+    /// i.e. the intermediate is eliminated.
+    pub fused: bool,
+}
+
+/// A complete, renderable account of one planning run.
+#[derive(Clone, Debug)]
+pub struct PlanTrace {
+    /// Pipeline name.
+    pub pipeline: String,
+    /// Per-edge breakdowns in edge-enumeration order.
+    pub edges: Vec<EdgeExplain>,
+    /// The Algorithm 1 recursion log (examinations, splits, cuts, ready).
+    pub steps: Vec<TraceEvent>,
+    /// Final partition blocks as sorted member-name lists.
+    pub blocks: Vec<Vec<String>>,
+    /// Objective β of Eq. (1).
+    pub total_benefit: f64,
+    /// The ε of Eq. 12 the run used.
+    pub epsilon: f64,
+}
+
+/// Short tag for a scenario, as used in the report table.
+fn scenario_tag(s: FusionScenario) -> &'static str {
+    match s {
+        FusionScenario::Illegal => "illegal",
+        FusionScenario::PointBased => "point",
+        FusionScenario::PointToLocal => "point-to-local",
+        FusionScenario::LocalToLocal => "local-to-local",
+    }
+}
+
+/// Compact cycle-count formatting: exact for small magnitudes, scientific
+/// for large ones, so 2048×2048-pixel weights stay readable.
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-2 {
+        format!("{v:.3e}")
+    } else {
+        let s = format!("{v:.1}");
+        s.strip_suffix(".0").map(str::to_string).unwrap_or(s)
+    }
+}
+
+/// DOT string literal (escapes `\` and `"`).
+fn dot_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl PlanTrace {
+    /// Builds the explainable view of `plan` for pipeline `p` under the
+    /// configuration that produced it.
+    pub fn from_plan(p: &Pipeline, plan: &FusionPlan, cfg: &FusionConfig) -> Self {
+        let edges = plan
+            .edges
+            .iter()
+            .map(|e| {
+                let fused = plan
+                    .partition
+                    .block_of(NodeId(e.src.0))
+                    .is_some_and(|b| b.contains(NodeId(e.dst.0)));
+                EdgeExplain {
+                    src: p.kernel(e.src).name.clone(),
+                    dst: p.kernel(e.dst).name.clone(),
+                    image: p.image(e.image).name.clone(),
+                    scenario: e.estimate.scenario,
+                    delta: e.estimate.delta,
+                    phi: e.estimate.phi,
+                    g: e.estimate.g,
+                    gamma: e.estimate.gamma,
+                    raw: e.estimate.raw,
+                    weight: e.estimate.weight,
+                    clamp: e.estimate.clamp,
+                    verdict: e.verdict.clone(),
+                    fused,
+                }
+            })
+            .collect();
+        let blocks = plan
+            .partition
+            .canonicalized()
+            .blocks()
+            .iter()
+            .map(|b| {
+                let mut names: Vec<String> = b
+                    .members()
+                    .iter()
+                    .map(|n| p.kernel(kfuse_ir::KernelId(n.0)).name.clone())
+                    .collect();
+                names.sort();
+                names
+            })
+            .collect();
+        Self {
+            pipeline: p.name.clone(),
+            edges,
+            steps: plan.trace.events.clone(),
+            blocks,
+            total_benefit: plan.total_benefit,
+            epsilon: cfg.model.epsilon,
+        }
+    }
+
+    /// The human-readable fusion report: per-edge benefit table, legality
+    /// verdicts, the min-cut recursion log, and the final partition.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("fusion report for pipeline '{}'\n", self.pipeline));
+        out.push_str(&format!(
+            "  {} kernels in {} blocks, objective beta = {} (epsilon = {})\n\n",
+            self.blocks.iter().map(Vec::len).sum::<usize>(),
+            self.blocks.len(),
+            fmt_num(self.total_benefit),
+            self.epsilon,
+        ));
+
+        // Per-edge benefit table.
+        let mut rows: Vec<[String; 10]> = vec![[
+            "edge".into(),
+            "image".into(),
+            "scenario".into(),
+            "delta".into(),
+            "phi".into(),
+            "g".into(),
+            "gamma".into(),
+            "w_e".into(),
+            "clamp".into(),
+            "fused".into(),
+        ]];
+        for e in &self.edges {
+            rows.push([
+                format!("{} -> {}", e.src, e.dst),
+                e.image.clone(),
+                scenario_tag(e.scenario).into(),
+                fmt_num(e.delta),
+                fmt_num(e.phi),
+                e.g.map_or("-".into(), |g| g.to_string()),
+                fmt_num(e.gamma),
+                fmt_num(e.weight),
+                e.clamp.to_string(),
+                if e.fused { "yes".into() } else { "no".into() },
+            ]);
+        }
+        let widths: Vec<usize> = (0..10)
+            .map(|c| rows.iter().map(|r| r[c].chars().count()).max().unwrap_or(0))
+            .collect();
+        out.push_str("edge weights (Eqs. 3-12):\n");
+        for r in &rows {
+            out.push_str("  ");
+            for (c, cell) in r.iter().enumerate() {
+                out.push_str(cell);
+                for _ in cell.chars().count()..widths[c] + 2 {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        }
+
+        // Legality verdicts for rejected pairs.
+        let illegal: Vec<&EdgeExplain> =
+            self.edges.iter().filter(|e| e.verdict.is_some()).collect();
+        if !illegal.is_empty() {
+            out.push_str("\npairwise legality rejections:\n");
+            for e in illegal {
+                out.push_str(&format!(
+                    "  {} -> {}: {}\n",
+                    e.src,
+                    e.dst,
+                    e.verdict.as_deref().unwrap_or("-"),
+                ));
+            }
+        }
+
+        // The Algorithm 1 recursion log, indented by depth.
+        out.push_str("\nmin-cut recursion (Algorithm 1):\n");
+        for s in &self.steps {
+            match s {
+                TraceEvent::EdgeWeight { .. } => {}
+                TraceEvent::Examine {
+                    members,
+                    verdict,
+                    depth,
+                } => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    match verdict {
+                        None => {
+                            out.push_str(&format!("examine {{{}}} -> legal\n", members.join(", ")))
+                        }
+                        Some(v) => out.push_str(&format!(
+                            "examine {{{}}} -> illegal: {v}\n",
+                            members.join(", ")
+                        )),
+                    }
+                }
+                TraceEvent::ComponentSplit {
+                    members,
+                    parts,
+                    depth,
+                } => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&format!(
+                        "split {{{}}} into {parts} weak components\n",
+                        members.join(", ")
+                    ));
+                }
+                TraceEvent::Cut {
+                    members,
+                    weight,
+                    side_a,
+                    side_b,
+                    depth,
+                } => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&format!(
+                        "min-cut {{{}}} w = {}: {{{}}} | {{{}}}\n",
+                        members.join(", "),
+                        fmt_num(*weight),
+                        side_a.join(", "),
+                        side_b.join(", ")
+                    ));
+                }
+                TraceEvent::Ready { members, depth } => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&format!("ready {{{}}}\n", members.join(", ")));
+                }
+            }
+        }
+
+        out.push_str("\nfinal partition:\n");
+        for b in &self.blocks {
+            out.push_str(&format!("  {{{}}}\n", b.join(", ")));
+        }
+        out
+    }
+
+    /// Graphviz DOT rendering of the final partition: one cluster per
+    /// multi-kernel block; fused edges solid green, legal-but-cut edges
+    /// gray, illegal edges dashed red.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph fusion {\n");
+        out.push_str("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+        out.push_str(&format!(
+            "  label={};\n  labelloc=t;\n",
+            dot_quote(&format!(
+                "{} — beta = {}",
+                self.pipeline,
+                fmt_num(self.total_benefit)
+            ))
+        ));
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.len() > 1 {
+                out.push_str(&format!("  subgraph cluster_{i} {{\n"));
+                out.push_str("    style=filled;\n    color=\"#d8f0d8\";\n");
+                out.push_str(&format!(
+                    "    label={};\n",
+                    dot_quote(&format!("fused block {i}"))
+                ));
+                for n in b {
+                    out.push_str(&format!("    {};\n", dot_quote(n)));
+                }
+                out.push_str("  }\n");
+            } else {
+                out.push_str(&format!("  {};\n", dot_quote(&b[0])));
+            }
+        }
+        for e in &self.edges {
+            let label = format!("{} w={}", e.image, fmt_num(e.weight));
+            let style = if e.fused {
+                "color=\"#2e8b57\", penwidth=2"
+            } else if e.verdict.is_some() {
+                "color=\"#b22222\", style=dashed"
+            } else {
+                "color=\"#808080\""
+            };
+            out.push_str(&format!(
+                "  {} -> {} [label={}, {}];\n",
+                dot_quote(&e.src),
+                dot_quote(&e.dst),
+                dot_quote(&label),
+                style
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_optimized;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel};
+    use kfuse_model::{BenefitModel, GpuSpec};
+
+    fn two_point_pipeline() -> Pipeline {
+        let mut p = Pipeline::new("demo");
+        let input = p.add_input(ImageDesc::new("in", 32, 32, 1));
+        let mid = p.add_image(ImageDesc::new("mid", 32, 32, 1));
+        let out = p.add_image(ImageDesc::new("out", 32, 32, 1));
+        p.add_kernel(Kernel::simple(
+            "inc",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) + Expr::Const(1.0)],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "dbl",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::Const(2.0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+        p
+    }
+
+    #[test]
+    fn trace_matches_partition() {
+        let p = two_point_pipeline();
+        let cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
+        let plan = plan_optimized(&p, &cfg);
+        let t = PlanTrace::from_plan(&p, &plan, &cfg);
+        assert_eq!(t.pipeline, "demo");
+        assert_eq!(t.blocks.len(), plan.partition.len());
+        assert_eq!(t.edges.len(), plan.edges.len());
+        // Both point kernels fuse; the single edge is marked fused.
+        assert!(t.edges.iter().all(|e| e.fused));
+        assert_eq!(t.epsilon, cfg.model.epsilon);
+    }
+
+    #[test]
+    fn text_report_contains_table_and_log() {
+        let p = two_point_pipeline();
+        let cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
+        let plan = plan_optimized(&p, &cfg);
+        let t = PlanTrace::from_plan(&p, &plan, &cfg);
+        let text = t.render_text();
+        assert!(text.contains("edge weights (Eqs. 3-12):"));
+        assert!(text.contains("inc -> dbl"));
+        assert!(text.contains("min-cut recursion (Algorithm 1):"));
+        assert!(text.contains("final partition:"));
+        assert!(text.contains("{dbl, inc}"));
+        // Every header column is present.
+        for col in ["delta", "phi", "gamma", "w_e", "clamp", "fused"] {
+            assert!(text.contains(col), "missing column {col}");
+        }
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let p = two_point_pipeline();
+        let cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
+        let plan = plan_optimized(&p, &cfg);
+        let t = PlanTrace::from_plan(&p, &plan, &cfg);
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph fusion {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("\"inc\" -> \"dbl\""));
+        assert!(dot.contains("#2e8b57"), "fused edge must be green");
+    }
+
+    #[test]
+    fn illegal_edges_carry_verdicts() {
+        // Fan-out: a's intermediate escapes to two consumers.
+        let mut p = Pipeline::new("fan");
+        let input = p.add_input(ImageDesc::new("in", 32, 32, 1));
+        let mid = p.add_image(ImageDesc::new("mid", 32, 32, 1));
+        let o1 = p.add_image(ImageDesc::new("o1", 32, 32, 1));
+        let o2 = p.add_image(ImageDesc::new("o2", 32, 32, 1));
+        p.add_kernel(Kernel::simple(
+            "a",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) + Expr::Const(1.0)],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "b",
+            vec![mid],
+            o1,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::Const(2.0)],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "c",
+            vec![mid],
+            o2,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::Const(3.0)],
+            vec![],
+        ));
+        p.mark_output(o1);
+        p.mark_output(o2);
+        p.validate().unwrap();
+        let cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
+        let plan = plan_optimized(&p, &cfg);
+        let t = PlanTrace::from_plan(&p, &plan, &cfg);
+        assert!(t.edges.iter().all(|e| e.verdict.is_some() && !e.fused));
+        let text = t.render_text();
+        assert!(text.contains("pairwise legality rejections:"));
+        let dot = t.to_dot();
+        assert!(dot.contains("style=dashed"));
+    }
+}

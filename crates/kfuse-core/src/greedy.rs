@@ -63,6 +63,7 @@ pub fn plan_greedy(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
                         .iter()
                         .map(|&k| p.kernel(k).name.clone())
                         .collect(),
+                    depth: 0,
                 });
                 let (hi, lo) = (bi.max(bj), bi.min(bj));
                 blocks.remove(hi);

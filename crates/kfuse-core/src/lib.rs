@@ -13,6 +13,10 @@
 //! * [`planner`] — the benefit-weighted dependence graph, **Algorithm 1**
 //!   (recursive Stoer–Wagner min-cut partitioning) with a replayable
 //!   trace, objective Eq. (1), and plan application.
+//! * [`explain`] — planner explainability: [`PlanTrace`] flattens a plan
+//!   into per-edge benefit breakdowns (δ, φ, g, γ, ε-clamp reasons),
+//!   legality verdicts, and the recursion log, rendered as a text report
+//!   or a Graphviz DOT graph.
 //! * [`basic`] — the pair-wise greedy baseline of previous work
 //!   (SCOPES 2018, reference \[12\]), used as the evaluation comparator.
 //! * [`greedy`] — a PolyMage/Halide-style heaviest-edge-first grouping
@@ -47,6 +51,7 @@
 //! ```
 
 pub mod basic;
+pub mod explain;
 pub mod greedy;
 pub mod legality;
 pub mod planner;
@@ -54,12 +59,13 @@ pub mod resources;
 pub mod synthesis;
 
 pub use basic::{basic_edge_is_fusible, fuse_basic, plan_basic};
+pub use explain::{EdgeExplain, PlanTrace};
 pub use greedy::{fuse_greedy, plan_greedy};
 pub use legality::{check_block, edge_is_legal, BlockInfo, Illegal};
 pub use planner::{
     apply_partition, apply_plan, block_legality, compute_edge_weights, fuse_optimized, objective,
-    pair_is_legal, plan_optimized, EdgeInfo, FusionConfig, FusionPlan, FusionResult, Trace,
-    TraceEvent,
+    pair_is_legal, pair_verdict, plan_optimized, EdgeInfo, FusionConfig, FusionPlan, FusionResult,
+    Trace, TraceEvent,
 };
 pub use resources::{fits_device, resource_check, shared_usage_bytes};
 pub use synthesis::{absolute_extents, input_access_extents, synthesize};

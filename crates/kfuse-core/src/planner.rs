@@ -52,6 +52,8 @@ pub struct EdgeInfo {
     pub image: ImageId,
     /// Pairwise legality (dependence + header + resource).
     pub legal: bool,
+    /// Human-readable reason when `legal` is false (`None` when legal).
+    pub verdict: Option<String>,
     /// Benefit estimate under the configured model.
     pub estimate: EdgeEstimate,
 }
@@ -83,6 +85,8 @@ pub enum TraceEvent {
         members: Vec<String>,
         /// `None` if legal, otherwise the reason.
         verdict: Option<String>,
+        /// Recursion depth: number of cuts/splits above this block.
+        depth: usize,
     },
     /// A disconnected block was split into weak components (a zero-weight
     /// cut, strictly better than any Stoer–Wagner cut).
@@ -91,6 +95,8 @@ pub enum TraceEvent {
         members: Vec<String>,
         /// Number of components produced.
         parts: usize,
+        /// Recursion depth: number of cuts/splits above this block.
+        depth: usize,
     },
     /// An illegal block was bisected along a minimum cut.
     Cut {
@@ -102,11 +108,15 @@ pub enum TraceEvent {
         side_a: Vec<String>,
         /// The other side.
         side_b: Vec<String>,
+        /// Recursion depth: number of cuts/splits above this block.
+        depth: usize,
     },
     /// A block entered the ready set.
     Ready {
         /// Member kernel names.
         members: Vec<String>,
+        /// Recursion depth: number of cuts/splits above this block.
+        depth: usize,
     },
 }
 
@@ -146,13 +156,15 @@ pub fn compute_edge_weights(p: &Pipeline, cfg: &FusionConfig) -> Vec<EdgeInfo> {
     for (_, e) in dag.edges() {
         let src = KernelId(e.src.0);
         let dst = KernelId(e.dst.0);
-        let legal = pair_is_legal(p, src, dst, cfg);
+        let verdict = pair_verdict(p, src, dst, cfg);
+        let legal = verdict.is_none();
         let estimate = cfg.model.edge_weight(p, src, dst, e.weight, legal);
         out.push(EdgeInfo {
             src,
             dst,
             image: e.weight,
             legal,
+            verdict,
             estimate,
         });
     }
@@ -162,13 +174,31 @@ pub fn compute_edge_weights(p: &Pipeline, cfg: &FusionConfig) -> Vec<EdgeInfo> {
 /// Pairwise legality: dependence scenarios, headers, and Eq. (2) on the
 /// synthesized two-kernel candidate.
 pub fn pair_is_legal(p: &Pipeline, ks: KernelId, kd: KernelId, cfg: &FusionConfig) -> bool {
-    let Ok(info) = check_block(p, &[ks, kd]) else {
-        return false;
+    pair_verdict(p, ks, kd, cfg).is_none()
+}
+
+/// Pairwise legality with the reason: `None` means the pair `(ks, kd)` may
+/// fuse; `Some(reason)` carries the human-readable rejection (dependence
+/// scenario, header mismatch, Eq. (2) resource overuse, or device cap).
+pub fn pair_verdict(
+    p: &Pipeline,
+    ks: KernelId,
+    kd: KernelId,
+    cfg: &FusionConfig,
+) -> Option<String> {
+    let info = match check_block(p, &[ks, kd]) {
+        Ok(info) => info,
+        Err(reason) => return Some(reason.to_string()),
     };
     let fused = synthesize(p, &info, true);
     let members = [p.kernel(ks), p.kernel(kd)];
-    resource_check(p, &fused, &members, cfg.block, cfg.shared_threshold).is_ok()
-        && fits_device(p, &fused, cfg.block, cfg.model.gpu.shared_mem_per_block)
+    if let Err(reason) = resource_check(p, &fused, &members, cfg.block, cfg.shared_threshold) {
+        return Some(reason.to_string());
+    }
+    if !fits_device(p, &fused, cfg.block, cfg.model.gpu.shared_mem_per_block) {
+        return Some("fused kernel exceeds device shared memory".to_string());
+    }
+    None
 }
 
 /// Full block legality: dependence + header, Eq. (2) resources, device cap,
@@ -229,15 +259,16 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
 
     let dag = p.kernel_dag();
     let all: Vec<KernelId> = p.kernel_ids().collect();
-    let mut working: std::collections::VecDeque<Vec<KernelId>> = Default::default();
-    working.push_back(all.clone());
+    let mut working: std::collections::VecDeque<(Vec<KernelId>, usize)> = Default::default();
+    working.push_back((all.clone(), 0));
     let mut ready: Vec<Vec<KernelId>> = Vec::new();
 
-    while let Some(mut block) = working.pop_front() {
+    while let Some((mut block, depth)) = working.pop_front() {
         block.sort_unstable();
         if block.len() == 1 {
             trace.events.push(TraceEvent::Ready {
                 members: names(p, &block),
+                depth,
             });
             ready.push(block);
             continue;
@@ -250,9 +281,10 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
             trace.events.push(TraceEvent::ComponentSplit {
                 members: names(p, &block),
                 parts: comps.len(),
+                depth,
             });
             for c in comps {
-                working.push_back(c.into_iter().map(|n| KernelId(n.0)).collect());
+                working.push_back((c.into_iter().map(|n| KernelId(n.0)).collect(), depth + 1));
             }
             continue;
         }
@@ -262,9 +294,11 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
                 trace.events.push(TraceEvent::Examine {
                     members: names(p, &block),
                     verdict: None,
+                    depth,
                 });
                 trace.events.push(TraceEvent::Ready {
                     members: names(p, &block),
+                    depth,
                 });
                 ready.push(block);
             }
@@ -272,6 +306,7 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
                 trace.events.push(TraceEvent::Examine {
                     members: names(p, &block),
                     verdict: Some(reason.to_string()),
+                    depth,
                 });
                 // Bisect along the weighted minimum cut (Stoer–Wagner),
                 // starting each phase at the smallest member for
@@ -297,9 +332,10 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
                     weight: cut.weight,
                     side_a: names(p, &side),
                     side_b: names(p, &rest),
+                    depth,
                 });
-                working.push_back(side);
-                working.push_back(rest);
+                working.push_back((side, depth + 1));
+                working.push_back((rest, depth + 1));
             }
         }
     }

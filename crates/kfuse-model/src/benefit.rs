@@ -110,6 +110,30 @@ pub enum L2LRecompute {
     TileAmortized,
 }
 
+/// Why (or whether) an edge's weight was pinned to `ε` by Eq. 12.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClampReason {
+    /// `w_e = δ − φ + γ` survived un-clamped.
+    NotClamped,
+    /// The pairwise fusion is illegal; the weight is pinned to `ε`
+    /// regardless of δ/φ.
+    Illegal,
+    /// The fusion is legal but `δ − φ + γ < ε` — the recompute cost
+    /// swallows the locality gain (Section II-C4's "unprofitable"
+    /// scenario).
+    Unprofitable,
+}
+
+impl std::fmt::Display for ClampReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClampReason::NotClamped => write!(f, "-"),
+            ClampReason::Illegal => write!(f, "ε (illegal)"),
+            ClampReason::Unprofitable => write!(f, "ε (unprofitable)"),
+        }
+    }
+}
+
 /// Full per-edge estimate produced by [`BenefitModel::edge_weight`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct EdgeEstimate {
@@ -119,10 +143,20 @@ pub struct EdgeEstimate {
     pub delta: f64,
     /// Redundant-computation cost `φ` in cycles.
     pub phi: f64,
+    /// The Eq. 9 grown convolution window `g(sz_ks, sz_kd)` for
+    /// local-to-local edges (`None` for every other scenario). Reported
+    /// even under [`L2LRecompute::TileAmortized`], where `φ` charges the
+    /// tile factor instead — the window is what the paper's walkthrough
+    /// tabulates.
+    pub g: Option<usize>,
+    /// The additional-gains term `γ` that entered `raw` (Eq. 11).
+    pub gamma: f64,
     /// `δ − φ + γ` before clamping.
     pub raw: f64,
     /// Final edge weight `w_e = max(δ − φ + γ, ε)` (Eq. 12).
     pub weight: f64,
+    /// Whether/why Eq. 12 pinned the weight to `ε`.
+    pub clamp: ClampReason,
 }
 
 impl EdgeEstimate {
@@ -241,22 +275,21 @@ impl BenefitModel {
         let producer_cost = cost_op(self.gpu.c_alu, counts.alu, self.gpu.c_sfu, counts.sfu);
         let is_ks = self.is_ks(p, ks);
 
-        let (delta, phi) = match scenario {
-            FusionScenario::Illegal => (0.0, 0.0),
-            FusionScenario::PointBased => (delta_register(is_e, self.gpu.t_global), 0.0),
+        let (delta, phi, g) = match scenario {
+            FusionScenario::Illegal => (0.0, 0.0, None),
+            FusionScenario::PointBased => (delta_register(is_e, self.gpu.t_global), 0.0, None),
             FusionScenario::PointToLocal => {
                 let sz_kd = self.consumption_window(kd, ie);
                 (
                     delta_register(is_e, self.gpu.t_global),
                     phi_point_to_local(producer_cost, is_ks, sz_kd),
+                    None,
                 )
             }
             FusionScenario::LocalToLocal => {
+                let g = eq9_fused_window(ks.window_size(), self.consumption_window(kd, ie));
                 let phi = match self.l2l_recompute {
-                    L2LRecompute::Eq10Window => {
-                        let g = eq9_fused_window(ks.window_size(), self.consumption_window(kd, ie));
-                        phi_local_to_local(producer_cost, is_ks, g)
-                    }
+                    L2LRecompute::Eq10Window => phi_local_to_local(producer_cost, is_ks, g),
                     L2LRecompute::TileAmortized => {
                         let (rx, ry) = self.consumption_extent(kd, ie);
                         producer_cost * is_ks * self.block.tile_factor(rx as usize, ry as usize)
@@ -265,22 +298,28 @@ impl BenefitModel {
                 (
                     delta_shared(is_e, self.gpu.t_global, self.gpu.t_shared),
                     phi,
+                    Some(g),
                 )
             }
         };
 
         let raw = delta - phi + self.gamma;
-        let weight = if scenario == FusionScenario::Illegal {
-            self.epsilon
+        let (weight, clamp) = if scenario == FusionScenario::Illegal {
+            (self.epsilon, ClampReason::Illegal)
+        } else if raw < self.epsilon {
+            (self.epsilon, ClampReason::Unprofitable)
         } else {
-            raw.max(self.epsilon)
+            (raw, ClampReason::NotClamped)
         };
         EdgeEstimate {
             scenario,
             delta,
             phi,
+            g,
+            gamma: self.gamma,
             raw,
             weight,
+            clamp,
         }
     }
 }
@@ -359,6 +398,8 @@ mod tests {
         assert_eq!(est.phi, 4.0 * 256.0 * 9.0);
         assert!(est.is_profitable());
         assert_eq!(est.weight, est.raw);
+        assert_eq!(est.clamp, ClampReason::NotClamped);
+        assert_eq!(est.g, None);
     }
 
     #[test]
@@ -401,6 +442,7 @@ mod tests {
         assert_eq!(est.scenario, FusionScenario::Illegal);
         assert_eq!(est.weight, model.epsilon);
         assert!(!est.is_profitable());
+        assert_eq!(est.clamp, ClampReason::Illegal);
     }
 
     #[test]
@@ -443,6 +485,9 @@ mod tests {
         assert!(est.raw < 0.0, "φ must outweigh δ, got raw {}", est.raw);
         assert_eq!(est.weight, model.epsilon);
         assert!(!est.is_profitable());
+        assert_eq!(est.clamp, ClampReason::Unprofitable);
+        // 3×3 producer fused into a 5×5 consumer grows to 7×7 (Eq. 9).
+        assert_eq!(est.g, Some(49));
     }
 
     #[test]

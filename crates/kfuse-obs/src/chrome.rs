@@ -1,0 +1,128 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Renders recorded [`Event`]s in the (stable subset of the) Trace Event
+//! Format consumed by `chrome://tracing` and Perfetto: an object with a
+//! `traceEvents` array of `ph: "X"` (complete span), `ph: "i"` (instant),
+//! and `ph: "C"` (counter) records. Timestamps and durations are in
+//! microseconds, as the format requires. All strings go through the shared
+//! [`crate::json`] escaper.
+
+use crate::json::{fmt_json_f64, push_json_string};
+use crate::tracer::{ArgValue, Event, EventKind};
+
+/// The `pid` every event is tagged with (the format requires one; the
+/// workspace traces a single process).
+pub const TRACE_PID: u64 = 1;
+
+fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, k);
+        out.push(':');
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::F64(f) => out.push_str(&fmt_json_f64(*f)),
+            ArgValue::Str(s) => push_json_string(out, s),
+        }
+    }
+    out.push('}');
+}
+
+/// Renders `events` as a complete Chrome trace JSON document.
+pub fn to_chrome_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_string(&mut out, &e.name);
+        out.push_str(",\"cat\":");
+        push_json_string(&mut out, e.cat);
+        match &e.kind {
+            EventKind::Complete { dur_us } => {
+                out.push_str(&format!(",\"ph\":\"X\",\"dur\":{dur_us}"));
+            }
+            EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+            EventKind::Counter { .. } => out.push_str(",\"ph\":\"C\""),
+        }
+        out.push_str(&format!(
+            ",\"ts\":{},\"pid\":{},\"tid\":{}",
+            e.ts_us, TRACE_PID, e.tid
+        ));
+        out.push_str(",\"args\":");
+        match &e.kind {
+            // Counter events carry their value as the (single-series)
+            // args payload, which is how the viewer plots them.
+            EventKind::Counter { value } => {
+                out.push_str("{\"value\":");
+                out.push_str(&fmt_json_f64(*value));
+                out.push('}');
+            }
+            _ => push_args(&mut out, &e.args),
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, ts: u64, dur: u64, args: Vec<(&'static str, ArgValue)>) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: "test",
+            ts_us: ts,
+            tid: 7,
+            kind: EventKind::Complete { dur_us: dur },
+            args,
+        }
+    }
+
+    #[test]
+    fn renders_complete_event() {
+        let json = to_chrome_json(&[span("k", 5, 10, vec![("bytes", ArgValue::U64(64))])]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":10"));
+        assert!(json.contains("\"ts\":5"));
+        assert!(json.contains("\"tid\":7"));
+        assert!(json.contains("\"args\":{\"bytes\":64}"));
+    }
+
+    #[test]
+    fn renders_counter_value() {
+        let e = Event {
+            name: "queue_depth".to_string(),
+            cat: "serve",
+            ts_us: 1,
+            tid: 1,
+            kind: EventKind::Counter { value: 3.0 },
+            args: Vec::new(),
+        };
+        let json = to_chrome_json(&[e]);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":3.0}"));
+    }
+
+    #[test]
+    fn escapes_event_names() {
+        let json = to_chrome_json(&[span("a\"b", 0, 1, vec![])]);
+        assert!(json.contains("\"name\":\"a\\\"b\""));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_shape() {
+        assert_eq!(
+            to_chrome_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

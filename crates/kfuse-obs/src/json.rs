@@ -1,0 +1,93 @@
+//! Minimal JSON string utilities shared by every hand-rolled serializer in
+//! the workspace (the runtime metrics snapshot, the Chrome trace exporter).
+//!
+//! The workspace has no external dependencies, so each exporter writes its
+//! JSON by hand; this module is the single place where string escaping and
+//! float formatting live, so no serializer can drift out of RFC 8259
+//! conformance on its own.
+
+/// Escapes `s` for inclusion inside a JSON string literal (RFC 8259 §7):
+/// `"` and `\` are escaped, the two-character forms are used for the
+/// common control characters, and everything else below U+0020 becomes a
+/// `\uXXXX` escape.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    push_json_escaped(&mut out, s);
+    out
+}
+
+/// [`escape_json`] writing into an existing buffer (avoids the temporary
+/// when composing larger documents).
+pub fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `s` as a complete JSON string literal (with surrounding quotes).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    push_json_escaped(out, s);
+    out.push('"');
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity tokens, so
+/// non-finite values render as `null` — a lossy but parseable fallback
+/// appropriate for telemetry (a NaN metric is a bug to notice, not data to
+/// round-trip).
+pub fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` keeps enough digits to round-trip and always includes a
+        // decimal point or exponent, so the value re-parses as a float.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape_json("a\nb\tc\r"), "a\\nb\\tc\\r");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("\u{1f}"), "\\u001f");
+    }
+
+    #[test]
+    fn passes_unicode_through() {
+        assert_eq!(escape_json("π≈3"), "π≈3");
+    }
+
+    #[test]
+    fn string_writer_adds_quotes() {
+        let mut out = String::new();
+        push_json_string(&mut out, "x\"y");
+        assert_eq!(out, "\"x\\\"y\"");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_json_f64(1.5), "1.5");
+        assert_eq!(fmt_json_f64(2.0), "2.0");
+        assert_eq!(fmt_json_f64(f64::NAN), "null");
+        assert_eq!(fmt_json_f64(f64::INFINITY), "null");
+    }
+}

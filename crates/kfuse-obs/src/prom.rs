@@ -1,0 +1,290 @@
+//! Prometheus text-exposition helpers and validator.
+//!
+//! The runtime renders its [`MetricsSnapshot`](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! counterpart by hand; this module owns the format rules so the renderer
+//! and the CI validator agree on one definition: metric names match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match `[a-zA-Z_][a-zA-Z0-9_]*`,
+//! and label values escape `\`, `"` and newlines.
+
+/// Whether `name` is a valid Prometheus metric name.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a valid Prometheus label name.
+pub fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escapes a label value per the exposition format (`\` → `\\`,
+/// `"` → `\"`, newline → `\n`).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental writer for one exposition document. Enforces valid names
+/// at write time (debug assertions) and handles label escaping.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    buf: String,
+}
+
+impl PromWriter {
+    /// A fresh, empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` must be one of the exposition types
+    /// (`counter`/`gauge`/`histogram`/`summary`/`untyped`).
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(is_valid_metric_name(name), "bad metric name {name}");
+        debug_assert!(
+            matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ),
+            "bad metric type {kind}"
+        );
+        // HELP text escapes backslash and newline only (format rule).
+        let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+        self.buf.push_str(&format!("# HELP {name} {help}\n"));
+        self.buf.push_str(&format!("# TYPE {name} {kind}\n"));
+    }
+
+    /// Writes one sample line with the given labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        debug_assert!(is_valid_metric_name(name), "bad metric name {name}");
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                debug_assert!(is_valid_label_name(k), "bad label name {k}");
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                self.buf
+                    .push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+            }
+            self.buf.push('}');
+        }
+        // Prometheus renders non-finite values as +Inf/-Inf/NaN tokens.
+        let rendered = if value.is_nan() {
+            "NaN".to_string()
+        } else if value == f64::INFINITY {
+            "+Inf".to_string()
+        } else if value == f64::NEG_INFINITY {
+            "-Inf".to_string()
+        } else {
+            format!("{value}")
+        };
+        self.buf.push_str(&format!(" {rendered}\n"));
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Parses one sample line's label block; returns the byte offset just past
+/// the closing `}`.
+fn check_labels(line: &str, open: usize) -> Result<usize, String> {
+    let bytes = line.as_bytes();
+    let mut pos = open + 1;
+    loop {
+        // Label name.
+        let start = pos;
+        while pos < bytes.len() && bytes[pos] != b'=' {
+            pos += 1;
+        }
+        let name = &line[start..pos];
+        if !is_valid_label_name(name.trim()) {
+            return Err(format!("bad label name '{name}' in: {line}"));
+        }
+        pos += 1; // '='
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(format!("label value not quoted in: {line}"));
+        }
+        pos += 1;
+        // Escaped value.
+        loop {
+            match bytes.get(pos) {
+                None => return Err(format!("unterminated label value in: {line}")),
+                Some(b'\\') => pos += 2,
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(_) => pos += 1,
+            }
+        }
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(format!("expected ',' or '}}' in labels of: {line}")),
+        }
+    }
+}
+
+/// Validates a Prometheus text-exposition document. Checks comment/header
+/// syntax, metric and label names, quoting, and that every sample's
+/// metric family was declared with a `# TYPE` line. Returns the number of
+/// sample lines.
+pub fn validate_prometheus(doc: &str) -> Result<usize, String> {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for line in doc.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or_default();
+            let name = parts.next().unwrap_or_default();
+            match keyword {
+                "HELP" => {
+                    if !is_valid_metric_name(name) {
+                        return Err(format!("HELP for invalid metric name: {line}"));
+                    }
+                }
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or_default();
+                    if !is_valid_metric_name(name) {
+                        return Err(format!("TYPE for invalid metric name: {line}"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("unknown metric type '{kind}': {line}"));
+                    }
+                    typed.push(name.to_string());
+                }
+                _ => return Err(format!("unknown comment keyword: {line}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Bare comment (no keyword) — allowed by the format.
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_end, rest_start) = match line.find('{') {
+            Some(open) => (open, check_labels(line, open)?),
+            None => {
+                let sp = line
+                    .find(' ')
+                    .ok_or_else(|| format!("sample without value: {line}"))?;
+                (sp, sp)
+            }
+        };
+        let name = &line[..name_end];
+        if !is_valid_metric_name(name) {
+            return Err(format!("invalid metric name '{name}' in: {line}"));
+        }
+        // A histogram/summary family declares the base name; its samples
+        // may carry _bucket/_sum/_count suffixes.
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !typed.iter().any(|t| t == name || t == base) {
+            return Err(format!("sample for undeclared metric family: {line}"));
+        }
+        let value = line[rest_start..].trim();
+        // Value, optionally followed by a timestamp (we never emit one,
+        // but the format allows it).
+        let value = value.split(' ').next().unwrap_or_default();
+        if !matches!(value, "+Inf" | "-Inf" | "NaN") && value.parse::<f64>().is_err() {
+            return Err(format!("bad sample value '{value}' in: {line}"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_metric_name("kfuse_requests_total"));
+        assert!(is_valid_metric_name("_x:y"));
+        assert!(!is_valid_metric_name("9lives"));
+        assert!(!is_valid_metric_name("a-b"));
+        assert!(!is_valid_metric_name(""));
+        assert!(is_valid_label_name("pipeline"));
+        assert!(!is_valid_label_name("p:l"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn writer_roundtrips_through_validator() {
+        let mut w = PromWriter::new();
+        w.family("kfuse_requests_total", "counter", "Total requests.");
+        w.sample("kfuse_requests_total", &[("pipeline", "a\"b\\c")], 3.0);
+        w.family("kfuse_queue_depth", "gauge", "Queued jobs.");
+        w.sample("kfuse_queue_depth", &[], 0.0);
+        let doc = w.finish();
+        assert_eq!(validate_prometheus(&doc).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_undeclared_family() {
+        assert!(validate_prometheus("mystery_metric 1\n")
+            .unwrap_err()
+            .contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let doc = "# TYPE m gauge\nm not_a_number\n";
+        assert!(validate_prometheus(doc).is_err());
+    }
+
+    #[test]
+    fn rejects_unquoted_label() {
+        let doc = "# TYPE m gauge\nm{l=x} 1\n";
+        assert!(validate_prometheus(doc).is_err());
+    }
+
+    #[test]
+    fn accepts_histogram_suffixes() {
+        let doc = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 2\nh_count 1\n";
+        assert_eq!(validate_prometheus(doc).unwrap(), 3);
+    }
+
+    #[test]
+    fn accepts_special_values() {
+        let doc = "# TYPE m gauge\nm +Inf\nm NaN\n";
+        assert_eq!(validate_prometheus(doc).unwrap(), 2);
+    }
+}

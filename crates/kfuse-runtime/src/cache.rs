@@ -48,6 +48,7 @@ pub struct CachedPlan {
 pub struct PlanCache {
     capacity: usize,
     tick: u64,
+    evictions: u64,
     map: HashMap<PlanKey, (u64, CachedPlan)>,
 }
 
@@ -58,6 +59,7 @@ impl PlanCache {
         Self {
             capacity,
             tick: 0,
+            evictions: 0,
             map: HashMap::new(),
         }
     }
@@ -70,6 +72,17 @@ impl PlanCache {
             *used = tick;
             entry.clone()
         })
+    }
+
+    /// Looks up `key` and applies the id-layout guard: the plan is
+    /// returned only when the entry's [`CachedPlan::layout`] matches the
+    /// caller's [`kfuse_ir::Pipeline::binding_fingerprint`]. A structural
+    /// match with a different layout is a miss — the caller recompiles
+    /// rather than binding its images to the wrong slots.
+    pub fn lookup(&mut self, key: &PlanKey, layout: u64) -> Option<Arc<CompiledPlan>> {
+        self.get(key)
+            .filter(|entry| entry.layout == layout)
+            .map(|entry| entry.plan)
     }
 
     /// Inserts (or replaces) the plan for `key`, evicting the
@@ -87,6 +100,7 @@ impl PlanCache {
                 .map(|(k, _)| *k)
             {
                 self.map.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.map.insert(key, (self.tick, entry));
@@ -100,6 +114,17 @@ impl PlanCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Maximum number of plans this cache holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative count of entries evicted to make room (replacements and
+    /// capacity-0 drops are not evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -165,6 +190,41 @@ mod tests {
         c.insert(key(1), entry());
         assert!(c.is_empty());
         assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn eviction_order_is_strict_lru_and_counted() {
+        let mut c = PlanCache::new(3);
+        c.insert(key(1), entry());
+        c.insert(key(2), entry());
+        c.insert(key(3), entry());
+        assert_eq!(c.evictions(), 0);
+        // Recency order is now 1 < 2 < 3; refresh 1 so 2 is the oldest.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(4), entry()); // evicts 2
+        c.insert(key(5), entry()); // evicts 3 (next-oldest)
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(3)).is_none());
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(4)).is_some());
+        assert!(c.get(&key(5)).is_some());
+        assert_eq!(c.evictions(), 2);
+        assert_eq!(c.capacity(), 3);
+    }
+
+    #[test]
+    fn lookup_rejects_mismatched_layout() {
+        let mut c = PlanCache::new(4);
+        let e = entry();
+        let layout = e.layout;
+        c.insert(key(1), e);
+        // Same structural key, different id layout: the guard refuses the
+        // plan rather than binding foreign images to cached slots.
+        assert!(c.lookup(&key(1), layout.wrapping_add(1)).is_none());
+        assert!(c.lookup(&key(1), layout).is_some());
+        // The entry survives a guarded miss — it is a reuse refusal, not
+        // an invalidation.
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -19,8 +19,14 @@
 //!   id-layout hash so structural sharing can never bind a tenant's images
 //!   to the wrong slots;
 //! * [`metrics`] — per-tenant atomic counters and log₂ latency histograms,
-//!   exported as a [`MetricsSnapshot`] with hand-rolled JSON (the
-//!   workspace is zero-external-crate).
+//!   exported as a [`MetricsSnapshot`] with hand-rolled JSON and
+//!   Prometheus text exposition (the workspace is zero-external-crate).
+//!
+//! Serving is traceable end to end: set a recording
+//! [`kfuse_obs::Tracer`] in [`RuntimeConfig`] and every request emits
+//! `queue_wait`/`plan`/`execute` spans plus the executor's per-kernel and
+//! per-band spans, exportable as Chrome `trace_event` JSON. The default
+//! tracer is disabled and records nothing.
 //!
 //! ```
 //! use kfuse_dsl::Schedule;
@@ -57,5 +63,6 @@ pub mod runtime;
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use metrics::{
     LatencyHistogram, MetricsRegistry, MetricsSnapshot, PipelineMetrics, PipelineSnapshot,
+    RuntimeGauges,
 };
 pub use runtime::{Admission, JobHandle, Runtime, RuntimeConfig, RuntimeError};

@@ -8,7 +8,14 @@
 //! up to ~6 days with bounded memory and no allocation, at the cost of
 //! quantiles quantized to the bucket upper bound — the usual trade of
 //! HdrHistogram-style serving metrics.
+//!
+//! Snapshots export two ways: [`MetricsSnapshot::to_json`] (hand-rolled,
+//! escaping via [`kfuse_obs::escape_json`] — the same helper the Chrome
+//! trace exporter uses) and [`MetricsSnapshot::to_prometheus`]
+//! (text-exposition format via [`kfuse_obs::PromWriter`], validated in CI
+//! by `kfuse_obs::validate_prometheus`).
 
+use kfuse_obs::{escape_json, PromWriter};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -152,7 +159,10 @@ impl MetricsRegistry {
         let mut pipelines: Vec<PipelineSnapshot> = map.iter().map(|(n, m)| m.snapshot(n)).collect();
         drop(map);
         pipelines.sort_by(|a, b| a.name.cmp(&b.name));
-        MetricsSnapshot { pipelines }
+        MetricsSnapshot {
+            pipelines,
+            runtime: RuntimeGauges::default(),
+        }
     }
 }
 
@@ -172,10 +182,30 @@ pub struct PipelineSnapshot {
     pub p99_us: u64,
 }
 
+/// Point-in-time runtime-wide gauges, filled by
+/// [`Runtime::metrics`](crate::Runtime::metrics) from live queue and
+/// plan-cache state (the registry itself only knows per-pipeline
+/// counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeGauges {
+    /// Jobs admitted but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Jobs currently executing on worker threads.
+    pub in_flight: u64,
+    /// Compiled plans currently cached.
+    pub cache_size: u64,
+    /// Plan-cache capacity.
+    pub cache_capacity: u64,
+    /// Cumulative plans evicted to make room.
+    pub cache_evictions: u64,
+}
+
 /// Frozen metrics for every pipeline a runtime has served.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub pipelines: Vec<PipelineSnapshot>,
+    /// Runtime-wide gauges (queue, in-flight, plan cache).
+    pub runtime: RuntimeGauges,
 }
 
 impl MetricsSnapshot {
@@ -209,26 +239,113 @@ impl MetricsSnapshot {
                 p.p99_us,
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"runtime\":");
+        let g = &self.runtime;
+        out.push_str(&format!(
+            "{{\"queue_depth\":{},\"in_flight\":{},\"cache_size\":{},\
+             \"cache_capacity\":{},\"cache_evictions\":{}}}",
+            g.queue_depth, g.in_flight, g.cache_size, g.cache_capacity, g.cache_evictions,
+        ));
+        out.push('}');
         out
     }
-}
 
-/// Escapes a string for inclusion in a JSON string literal.
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    /// Serializes the snapshot in Prometheus text-exposition format.
+    /// Per-pipeline counters carry a `pipeline` label; latency quantiles
+    /// are gauges labeled `pipeline` + `quantile` (bucket-upper-bound
+    /// values, matching the JSON export); runtime gauges are unlabeled.
+    pub fn to_prometheus(&self) -> String {
+        type Field = fn(&PipelineSnapshot) -> u64;
+        let mut w = PromWriter::new();
+        let counters: [(&str, &str, Field); 6] = [
+            ("kfuse_requests_total", "Requests submitted.", |p| {
+                p.requests
+            }),
+            (
+                "kfuse_requests_completed_total",
+                "Requests completed successfully.",
+                |p| p.completed,
+            ),
+            (
+                "kfuse_requests_errors_total",
+                "Requests failed in execution.",
+                |p| p.errors,
+            ),
+            (
+                "kfuse_requests_rejected_total",
+                "Requests rejected at admission.",
+                |p| p.rejected,
+            ),
+            (
+                "kfuse_plan_cache_hits_total",
+                "Jobs served from a cached compiled plan.",
+                |p| p.cache_hits,
+            ),
+            (
+                "kfuse_plan_cache_misses_total",
+                "Jobs that compiled a new plan.",
+                |p| p.cache_misses,
+            ),
+        ];
+        for (name, help, get) in counters {
+            w.family(name, "counter", help);
+            for p in &self.pipelines {
+                w.sample(name, &[("pipeline", &p.name)], get(p) as f64);
+            }
         }
+        w.family(
+            "kfuse_request_latency_us",
+            "gauge",
+            "Request latency quantiles (µs, log2-bucket upper bounds).",
+        );
+        for p in &self.pipelines {
+            for (q, v) in [("0.5", p.p50_us), ("0.95", p.p95_us), ("0.99", p.p99_us)] {
+                w.sample(
+                    "kfuse_request_latency_us",
+                    &[("pipeline", &p.name), ("quantile", q)],
+                    v as f64,
+                );
+            }
+        }
+        let g = &self.runtime;
+        let gauges: [(&str, &str, u64); 4] = [
+            (
+                "kfuse_queue_depth",
+                "Jobs queued for a worker.",
+                g.queue_depth,
+            ),
+            (
+                "kfuse_in_flight_requests",
+                "Jobs currently executing.",
+                g.in_flight,
+            ),
+            (
+                "kfuse_plan_cache_size",
+                "Compiled plans currently cached.",
+                g.cache_size,
+            ),
+            (
+                "kfuse_plan_cache_capacity",
+                "Plan cache capacity.",
+                g.cache_capacity,
+            ),
+        ];
+        for (name, help, v) in gauges {
+            w.family(name, "gauge", help);
+            w.sample(name, &[], v as f64);
+        }
+        w.family(
+            "kfuse_plan_cache_evictions_total",
+            "counter",
+            "Plans evicted from the cache.",
+        );
+        w.sample(
+            "kfuse_plan_cache_evictions_total",
+            &[],
+            g.cache_evictions as f64,
+        );
+        w.finish()
     }
-    out
 }
 
 #[cfg(test)]
@@ -281,6 +398,43 @@ mod tests {
         assert!(json.contains("\"name\":\"a\\\"b\\\\c\""));
         assert!(json.contains("\"requests\":1"));
         assert!(json.contains("\"p50_us\":127"));
+    }
+
+    #[test]
+    fn json_includes_runtime_gauges() {
+        let reg = MetricsRegistry::default();
+        reg.handle("t").record_request();
+        let mut snap = reg.snapshot();
+        snap.runtime = RuntimeGauges {
+            queue_depth: 3,
+            in_flight: 2,
+            cache_size: 5,
+            cache_capacity: 8,
+            cache_evictions: 1,
+        };
+        let json = snap.to_json();
+        assert!(json.contains("\"runtime\":{\"queue_depth\":3,\"in_flight\":2"));
+        assert!(json.contains("\"cache_evictions\":1}"));
+    }
+
+    #[test]
+    fn prometheus_export_round_trips_validator() {
+        let reg = MetricsRegistry::default();
+        let weird = reg.handle("a\"b\\c");
+        weird.record_request();
+        weird.record_completed();
+        weird.record_latency_us(100);
+        reg.handle("plain").record_request();
+        let mut snap = reg.snapshot();
+        snap.runtime.queue_depth = 4;
+        let doc = snap.to_prometheus();
+        // 6 counter families × 2 pipelines + 3 quantiles × 2 pipelines
+        // + 5 runtime samples.
+        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 23);
+        assert!(doc.contains("# TYPE kfuse_requests_total counter"));
+        assert!(doc.contains("kfuse_requests_total{pipeline=\"a\\\"b\\\\c\"} 1"));
+        assert!(doc.contains("kfuse_request_latency_us{pipeline=\"plain\",quantile=\"0.5\"} 0"));
+        assert!(doc.contains("kfuse_queue_depth 4"));
     }
 
     #[test]

@@ -23,14 +23,16 @@
 //! them — no accepted request is ever dropped.
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
-use crate::metrics::{MetricsRegistry, MetricsSnapshot, PipelineMetrics};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, PipelineMetrics, RuntimeGauges};
 use kfuse_core::planner::FusionConfig;
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
 use kfuse_model::GpuSpec;
+use kfuse_obs::{ArgValue, Tracer};
 use kfuse_sim::{CompiledPlan, ExecError, Execution, FastConfig, Scratch};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -58,6 +60,10 @@ pub struct RuntimeConfig {
     pub exec: FastConfig,
     /// Fusion-planner configuration used on cache misses.
     pub fusion: FusionConfig,
+    /// Trace recorder for per-request serving spans (`queue_wait`, `plan`,
+    /// `execute`) and per-kernel executor spans. Disabled by default: the
+    /// hot path then only branches on an `Option` and records nothing.
+    pub tracer: Tracer,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +80,7 @@ impl Default for RuntimeConfig {
                 ..FastConfig::default()
             },
             fusion: kfuse_dsl::default_config(GpuSpec::gtx680()),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -145,6 +152,7 @@ impl JobHandle {
 
 /// A unit of queued work.
 struct Job {
+    tenant: String,
     pipeline: Pipeline,
     inputs: Vec<(ImageId, Image)>,
     schedule: Schedule,
@@ -165,6 +173,8 @@ struct Shared {
     space_available: Condvar,
     cache: Mutex<PlanCache>,
     metrics: MetricsRegistry,
+    /// Jobs currently executing on worker threads (gauge).
+    in_flight: AtomicU64,
     cfg: RuntimeConfig,
 }
 
@@ -191,6 +201,7 @@ impl Runtime {
             space_available: Condvar::new(),
             cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
             metrics: MetricsRegistry::default(),
+            in_flight: AtomicU64::new(0),
             cfg,
         });
         let handles = if spawn {
@@ -233,6 +244,7 @@ impl Runtime {
         metrics.record_request();
         let slot = Arc::new(Slot::default());
         let job = Job {
+            tenant: name.to_string(),
             pipeline: pipeline.clone(),
             inputs,
             schedule,
@@ -248,6 +260,10 @@ impl Runtime {
             }
             if queue.jobs.len() < self.shared.cfg.queue_capacity {
                 queue.jobs.push_back(job);
+                self.shared
+                    .cfg
+                    .tracer
+                    .counter("queue_depth", "serve", queue.jobs.len() as f64);
                 self.shared.job_available.notify_one();
                 return Ok(JobHandle { slot });
             }
@@ -274,9 +290,27 @@ impl Runtime {
         self.submit(name, pipeline, inputs, schedule)?.wait()
     }
 
-    /// A point-in-time snapshot of every tenant's metrics.
+    /// A point-in-time snapshot of every tenant's metrics plus the
+    /// runtime-wide gauges (queue depth, in-flight jobs, plan-cache state).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let queue_depth = self.shared.queue.lock().unwrap().jobs.len() as u64;
+        let (cache_size, cache_capacity, cache_evictions) = {
+            let cache = self.shared.cache.lock().unwrap();
+            (
+                cache.len() as u64,
+                cache.capacity() as u64,
+                cache.evictions(),
+            )
+        };
+        let mut snap = self.shared.metrics.snapshot();
+        snap.runtime = RuntimeGauges {
+            queue_depth,
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            cache_size,
+            cache_capacity,
+            cache_evictions,
+        };
+        snap
     }
 
     /// Number of compiled plans currently cached.
@@ -319,6 +353,10 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     shared.space_available.notify_one();
+                    shared
+                        .cfg
+                        .tracer
+                        .counter("queue_depth", "serve", queue.jobs.len() as f64);
                     break Some(job);
                 }
                 if !queue.accepting {
@@ -328,6 +366,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { return };
+        let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        shared
+            .cfg
+            .tracer
+            .counter("in_flight", "serve", in_flight as f64);
         // Contain panics: a malformed job must fail its own caller, not
         // take the worker (and every queued job behind it) down with it.
         let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job, &mut scratch)))
@@ -339,6 +382,11 @@ fn worker_loop(shared: &Shared) {
                     .unwrap_or_else(|| "unknown panic".to_string());
                 Err(RuntimeError::Panicked(msg))
             });
+        let in_flight = shared.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+        shared
+            .cfg
+            .tracer
+            .counter("in_flight", "serve", in_flight as f64);
         match &result {
             Ok(_) => job.metrics.record_completed(),
             Err(_) => job.metrics.record_error(),
@@ -353,19 +401,27 @@ fn worker_loop(shared: &Shared) {
 
 /// Plan (with cache) and execute one job.
 fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Execution, RuntimeError> {
+    let tracer = &shared.cfg.tracer;
+    if tracer.is_enabled() {
+        // Time spent admitted but waiting for a worker, measured from the
+        // submit instant to now.
+        tracer.complete(
+            "queue_wait",
+            "serve",
+            tracer.ts_of(job.submitted),
+            tracer.now_us(),
+            vec![("pipeline", ArgValue::Str(job.tenant.clone()))],
+        );
+    }
+    let plan_start = tracer.now_us();
     let key = PlanKey {
         fingerprint: job.pipeline.fingerprint(),
         schedule: job.schedule,
         exec: shared.cfg.exec,
     };
     let layout = job.pipeline.binding_fingerprint();
-    let cached = shared
-        .cache
-        .lock()
-        .unwrap()
-        .get(&key)
-        .filter(|entry| entry.layout == layout)
-        .map(|entry| entry.plan);
+    let cached = shared.cache.lock().unwrap().lookup(&key, layout);
+    let hit = cached.is_some();
     let plan = match cached {
         Some(plan) => {
             job.metrics.record_cache_hit();
@@ -390,8 +446,35 @@ fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Executio
             plan
         }
     };
-    plan.execute_with_scratch(&job.inputs, &shared.cfg.exec, scratch)
-        .map_err(RuntimeError::Exec)
+    if tracer.is_enabled() {
+        tracer.complete(
+            "plan",
+            "serve",
+            plan_start,
+            tracer.now_us(),
+            vec![
+                ("pipeline", ArgValue::Str(job.tenant.clone())),
+                (
+                    "cache",
+                    ArgValue::Str(if hit { "hit" } else { "miss" }.into()),
+                ),
+            ],
+        );
+    }
+    let exec_start = tracer.now_us();
+    let result = plan
+        .execute_traced(&job.inputs, &shared.cfg.exec, scratch, tracer)
+        .map_err(RuntimeError::Exec);
+    if tracer.is_enabled() {
+        tracer.complete(
+            "execute",
+            "serve",
+            exec_start,
+            tracer.now_us(),
+            vec![("pipeline", ArgValue::Str(job.tenant.clone()))],
+        );
+    }
+    result
 }
 
 #[cfg(test)]
@@ -539,6 +622,70 @@ mod tests {
             .submit("t", &p, vec![(input, img)], Schedule::Optimized)
             .unwrap_err();
         assert!(matches!(err, RuntimeError::ShuttingDown));
+    }
+
+    #[test]
+    fn traced_serving_emits_request_and_kernel_spans() {
+        let (p, input, out) = blur_pipeline(17, 11);
+        let img = synthetic_image(p.image(input).clone(), 3);
+        let reference = kfuse_sim::execute_reference(&p, &[(input, img.clone())]).unwrap();
+        let tracer = Tracer::enabled();
+        let rt = Runtime::new(RuntimeConfig {
+            tracer: tracer.clone(),
+            ..small_cfg()
+        });
+        let requests = 3;
+        for _ in 0..requests {
+            let exec = rt
+                .execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                .unwrap();
+            // Tracing must not perturb results.
+            assert!(exec
+                .expect_image(out)
+                .bit_equal(reference.expect_image(out)));
+        }
+        let events = tracer.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("queue_wait"), requests);
+        assert_eq!(count("plan"), requests);
+        assert_eq!(count("execute"), requests);
+        // One kernel in the pipeline → one kernel span per request.
+        let kernel_spans = events
+            .iter()
+            .filter(|e| e.name.starts_with("kernel:"))
+            .count();
+        assert_eq!(kernel_spans, requests);
+        // Queue-depth and in-flight gauges were sampled.
+        assert!(events
+            .iter()
+            .any(|e| e.name == "queue_depth"
+                && matches!(e.kind, kfuse_obs::EventKind::Counter { .. })));
+        assert!(events.iter().any(|e| e.name == "in_flight"));
+        // The Chrome export of a real serving trace must validate.
+        let json = tracer.to_chrome_json();
+        let stats = kfuse_obs::validate_chrome_trace(&json).unwrap();
+        assert!(stats.spans_with_prefix("kernel:") >= requests);
+    }
+
+    #[test]
+    fn metrics_include_runtime_gauges() {
+        let (p, input, _) = blur_pipeline(9, 9);
+        let rt = Runtime::new(small_cfg());
+        let img = synthetic_image(p.image(input).clone(), 1);
+        rt.execute("t", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        let snap = rt.metrics();
+        assert_eq!(snap.runtime.queue_depth, 0);
+        assert_eq!(snap.runtime.in_flight, 0);
+        assert_eq!(snap.runtime.cache_size, 1);
+        assert_eq!(
+            snap.runtime.cache_capacity,
+            RuntimeConfig::default().plan_cache_capacity as u64
+        );
+        assert_eq!(snap.runtime.cache_evictions, 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"cache_size\":1"));
+        assert!(kfuse_obs::validate_prometheus(&snap.to_prometheus()).is_ok());
     }
 
     #[test]

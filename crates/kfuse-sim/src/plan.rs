@@ -19,8 +19,9 @@
 //! recompilation.
 
 use crate::exec::{bind_inputs, ExecError, Execution};
-use crate::tile::{execute_kernel_compiled, CompiledKernel, Scratch, TileConfig};
+use crate::tile::{execute_kernel_compiled_traced, CompiledKernel, Scratch, TileConfig};
 use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_obs::Tracer;
 
 /// A pipeline compiled for repeated execution: validated, topologically
 /// ordered, and lowered to instruction tapes.
@@ -79,11 +80,34 @@ impl CompiledPlan {
         cfg: &TileConfig,
         scratch: &mut Scratch,
     ) -> Result<Execution, ExecError> {
+        self.execute_traced(inputs, cfg, scratch, &Tracer::disabled())
+    }
+
+    /// [`CompiledPlan::execute_with_scratch`] with execution profiling:
+    /// every kernel records a `kernel:<name>` span with its modeled byte
+    /// traffic and per-band timing lanes (see
+    /// [`crate::tile::execute_kernel_compiled_traced`]). With a disabled
+    /// tracer this is bit-for-bit the plain execution path.
+    pub fn execute_traced(
+        &self,
+        inputs: &[(ImageId, Image)],
+        cfg: &TileConfig,
+        scratch: &mut Scratch,
+        tracer: &Tracer,
+    ) -> Result<Execution, ExecError> {
         let p = &self.pipeline;
         let mut images = bind_inputs(p, inputs)?;
         for &ki in &self.order {
             let k = &p.kernels()[ki];
-            let out = execute_kernel_compiled(p, k, &self.kernels[ki], &images, cfg, scratch)?;
+            let out = execute_kernel_compiled_traced(
+                p,
+                k,
+                &self.kernels[ki],
+                &images,
+                cfg,
+                scratch,
+                tracer,
+            )?;
             images[k.output.0] = Some(out);
         }
         Ok(Execution::from_images(images))

@@ -34,6 +34,12 @@ use crate::exec::{resolve_kernel_inputs, Evaluator, ExecError};
 use crate::tape::{compile_stage, Instr, LoadTarget, Tape};
 use kfuse_ir::border::Resolved;
 use kfuse_ir::{BinOp, Image, Kernel, Pipeline, UnOp};
+use kfuse_obs::Tracer;
+
+/// Lane offset for the executor's logical row-band lanes in traces: band
+/// `b` records on tid `BAND_TID_BASE + b`, keeping band spans separate
+/// from the request threads' sequential tids.
+pub const BAND_TID_BASE: u64 = 1000;
 
 /// Tuning knobs for the tiled executor.
 ///
@@ -129,6 +135,95 @@ impl CompiledKernel {
     pub fn plane_stages(&self) -> &[usize] {
         &self.plane_order
     }
+}
+
+/// Modeled memory traffic of one kernel execution (f32 = 4 bytes per
+/// element), derived statically from the instruction tapes' load sites and
+/// the clipped tile/halo geometry — the CPU analogue of the global-vs-shared
+/// traffic split the paper's benefit model prices (Eqs. 3–4).
+///
+/// "Global" is the backing image storage (kernel inputs and the output);
+/// "plane" is the per-tile halo-extended scratch a materialized stage is
+/// staged into — the shared-memory stand-in. Every plane read is a global
+/// load avoided relative to an unfused schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelTraffic {
+    /// Bytes read from input images (per tape load site per evaluation).
+    pub global_load_bytes: u64,
+    /// Bytes written to the output image.
+    pub global_store_bytes: u64,
+    /// Bytes written materializing stage planes (once per plane element).
+    pub plane_write_bytes: u64,
+    /// Bytes read back from stage planes by consuming tapes.
+    pub plane_read_bytes: u64,
+    /// Plane bytes attributable to halo overlap: the part of the plane
+    /// rectangles outside the tile interior, i.e. the redundant-computation
+    /// footprint of overlapped tiling (paper Figure 4).
+    pub halo_extra_bytes: u64,
+}
+
+impl KernelTraffic {
+    /// Total modeled bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.global_load_bytes
+            + self.global_store_bytes
+            + self.plane_write_bytes
+            + self.plane_read_bytes
+    }
+}
+
+/// Computes the modeled traffic of executing `ck` for kernel `k` of `p`
+/// under `cfg`. Purely static: walks the tile grid and counts load-site ×
+/// clipped-rectangle products; no pixels are touched.
+pub fn modeled_traffic(
+    p: &Pipeline,
+    k: &Kernel,
+    ck: &CompiledKernel,
+    cfg: &TileConfig,
+) -> KernelTraffic {
+    const BYTES: u64 = 4;
+    let out_desc = p.image(k.output);
+    let (iw, ih) = (out_desc.width, out_desc.height);
+    let chans: Vec<usize> = k.stages.iter().map(kfuse_ir::Stage::channels).collect();
+    let tile_w = cfg.tile_w.max(1);
+    let tile_h = cfg.tile_h.max(1);
+    let mut t = KernelTraffic::default();
+
+    let tape_loads = |j: usize, evals: u64, t: &mut KernelTraffic| {
+        for site in &ck.tapes[j].loads {
+            match site.target {
+                LoadTarget::Input(_) => t.global_load_bytes += evals * BYTES,
+                LoadTarget::Stage(_) => t.plane_read_bytes += evals * BYTES,
+            }
+        }
+    };
+
+    let mut y0 = 0;
+    while y0 < ih {
+        let y1 = (y0 + tile_h).min(ih);
+        let mut x0 = 0;
+        while x0 < iw {
+            let x1 = (x0 + tile_w).min(iw);
+            let tile_area = ((x1 - x0) * (y1 - y0)) as u64;
+            for &j in &ck.plane_order {
+                let (hx, hy) = ck.halos[j];
+                let rx0 = x0.saturating_sub(hx as usize);
+                let ry0 = y0.saturating_sub(hy as usize);
+                let rx1 = (x1 + hx as usize).min(iw);
+                let ry1 = (y1 + hy as usize).min(ih);
+                let area = ((rx1 - rx0) * (ry1 - ry0)) as u64;
+                let nc = chans[j] as u64;
+                t.plane_write_bytes += area * nc * BYTES;
+                t.halo_extra_bytes += area.saturating_sub(tile_area) * nc * BYTES;
+                tape_loads(j, area, &mut t);
+            }
+            tape_loads(ck.root, tile_area, &mut t);
+            t.global_store_bytes += tile_area * chans[ck.root] as u64 * BYTES;
+            x0 = x1;
+        }
+        y0 = y1;
+    }
+    t
 }
 
 /// In-image rectangle a stage plane covers for the current tile.
@@ -646,6 +741,55 @@ pub fn execute_kernel_compiled(
     cfg: &TileConfig,
     scratch: &mut Scratch,
 ) -> Result<Image, ExecError> {
+    execute_kernel_compiled_traced(p, k, ck, images, cfg, scratch, &Tracer::disabled())
+}
+
+/// [`execute_kernel_compiled`] with execution profiling: records one
+/// `kernel:<name>` span carrying the [`modeled_traffic`] byte counts, plus
+/// one `band:<name>` span per row band on its own trace lane
+/// ([`BAND_TID_BASE`]` + band`). With a disabled tracer (the default entry
+/// points) this is the exact same code path at zero cost — no clock reads,
+/// no allocation.
+pub fn execute_kernel_compiled_traced(
+    p: &Pipeline,
+    k: &Kernel,
+    ck: &CompiledKernel,
+    images: &[Option<Image>],
+    cfg: &TileConfig,
+    scratch: &mut Scratch,
+    tracer: &Tracer,
+) -> Result<Image, ExecError> {
+    let kernel_start = tracer.now_us();
+    let out = execute_kernel_compiled_inner(p, k, ck, images, cfg, scratch, tracer)?;
+    if tracer.is_enabled() {
+        let traffic = modeled_traffic(p, k, ck, cfg);
+        tracer.complete(
+            format!("kernel:{}", k.name),
+            "exec",
+            kernel_start,
+            tracer.now_us(),
+            vec![
+                ("global_load_bytes", traffic.global_load_bytes.into()),
+                ("global_store_bytes", traffic.global_store_bytes.into()),
+                ("plane_write_bytes", traffic.plane_write_bytes.into()),
+                ("plane_read_bytes", traffic.plane_read_bytes.into()),
+                ("halo_extra_bytes", traffic.halo_extra_bytes.into()),
+                ("stages", k.stages.len().into()),
+            ],
+        );
+    }
+    Ok(out)
+}
+
+fn execute_kernel_compiled_inner(
+    p: &Pipeline,
+    k: &Kernel,
+    ck: &CompiledKernel,
+    images: &[Option<Image>],
+    cfg: &TileConfig,
+    scratch: &mut Scratch,
+    tracer: &Tracer,
+) -> Result<Image, ExecError> {
     let inputs = resolve_kernel_inputs(p, k, images)?;
     let out_desc = p.image(k.output).clone();
     let (iw, ih) = (out_desc.width, out_desc.height);
@@ -670,7 +814,16 @@ pub fn execute_kernel_compiled(
     let tile_rows = ih.div_ceil(tile_h);
     let threads = cfg.resolved_threads().min(tile_rows);
     if threads <= 1 {
+        let band_start = tracer.now_us();
         run.run_rows(scratch, 0, ih, out.data_mut());
+        tracer.complete_on(
+            format!("band:{}", k.name),
+            "exec",
+            band_start,
+            tracer.now_us(),
+            BAND_TID_BASE,
+            vec![("rows", ih.into())],
+        );
         return Ok(out);
     }
 
@@ -694,12 +847,25 @@ pub fn execute_kernel_compiled(
         rest = tail;
         ty += rows;
     }
+    let name = k.name.as_str();
     std::thread::scope(|s| {
-        for (ys, ye, band) in bands {
+        for (b, (ys, ye, band)) in bands.into_iter().enumerate() {
             let run = &run;
             // Band workers are short-lived; they bring their own scratch
-            // rather than contending for the caller's.
-            s.spawn(move || run.run_rows(&mut Scratch::default(), ys, ye, band));
+            // rather than contending for the caller's, and record on a
+            // stable per-band lane instead of a fresh thread tid.
+            s.spawn(move || {
+                let band_start = tracer.now_us();
+                run.run_rows(&mut Scratch::default(), ys, ye, band);
+                tracer.complete_on(
+                    format!("band:{name}"),
+                    "exec",
+                    band_start,
+                    tracer.now_us(),
+                    BAND_TID_BASE + b as u64,
+                    vec![("rows", (ye - ys).into())],
+                );
+            });
         }
     });
     Ok(out)
@@ -869,6 +1035,98 @@ mod tests {
         };
         let tiled = execute_kernel_tiled(&p, &k, &images, &cfg).unwrap();
         assert!(tiled.bit_equal(reference.expect_image(out)));
+    }
+
+    #[test]
+    fn traffic_model_counts_bytes() {
+        // Fused sq→gauss3 over a 16×16 single-channel image, one 16×16
+        // tile with a 1-pixel halo.
+        let mut p = Pipeline::new("t");
+        let k = fused_kernel(&mut p, BorderMode::Clamp, 16, 16);
+        let ck = CompiledKernel::new(&k);
+        let cfg = TileConfig {
+            tile_w: 16,
+            tile_h: 16,
+            threads: Some(1),
+        };
+        let t = modeled_traffic(&p, &k, &ck, &cfg);
+        // One plane: 16×16 clipped (halo clips at the image edge).
+        assert_eq!(t.plane_write_bytes, 16 * 16 * 4);
+        assert_eq!(t.halo_extra_bytes, 0);
+        // sq reads the input once per plane element.
+        assert_eq!(t.global_load_bytes, 16 * 16 * 4);
+        // gauss reads the plane 9 times per output pixel.
+        assert_eq!(t.plane_read_bytes, 9 * 16 * 16 * 4);
+        assert_eq!(t.global_store_bytes, 16 * 16 * 4);
+        assert_eq!(
+            t.total_bytes(),
+            t.global_load_bytes + t.global_store_bytes + t.plane_write_bytes + t.plane_read_bytes
+        );
+
+        // Smaller tiles pay halo overhead: interior tiles materialize an
+        // 18-wide plane for a 16-wide image? No — 4×4 tiles on 16×16.
+        let small = TileConfig {
+            tile_w: 4,
+            tile_h: 4,
+            threads: Some(1),
+        };
+        let ts = modeled_traffic(&p, &k, &ck, &small);
+        assert!(
+            ts.halo_extra_bytes > 0,
+            "small tiles must show halo overhead"
+        );
+        assert!(ts.plane_write_bytes > t.plane_write_bytes);
+        // Output traffic is tile-shape invariant.
+        assert_eq!(ts.global_store_bytes, t.global_store_bytes);
+    }
+
+    #[test]
+    fn traced_execution_is_bit_identical_and_records_spans() {
+        let mut p = Pipeline::new("t");
+        let k = fused_kernel(&mut p, BorderMode::Mirror, 33, 29);
+        let input_id = p.inputs()[0];
+        let img = synthetic_image(p.image(input_id).clone(), 11);
+        let images = prepare_images(&p, &[(input_id, img)]).unwrap();
+        let ck = CompiledKernel::new(&k);
+        let cfg = TileConfig {
+            tile_w: 8,
+            tile_h: 4,
+            threads: Some(3),
+        };
+        let plain =
+            execute_kernel_compiled(&p, &k, &ck, &images, &cfg, &mut Scratch::default()).unwrap();
+
+        let tracer = Tracer::enabled();
+        let traced = execute_kernel_compiled_traced(
+            &p,
+            &k,
+            &ck,
+            &images,
+            &cfg,
+            &mut Scratch::default(),
+            &tracer,
+        )
+        .unwrap();
+        assert!(traced.bit_equal(&plain));
+
+        let events = tracer.events();
+        let kernel_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "kernel:sq_gauss")
+            .collect();
+        assert_eq!(kernel_spans.len(), 1);
+        assert!(kernel_spans[0]
+            .args
+            .iter()
+            .any(|(k, _)| *k == "global_load_bytes"));
+        let band_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "band:sq_gauss")
+            .collect();
+        assert_eq!(band_spans.len(), 3, "one span per row band");
+        let tids: std::collections::BTreeSet<u64> = band_spans.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3, "each band gets its own lane");
+        assert!(tids.iter().all(|&t| t >= BAND_TID_BASE));
     }
 
     #[test]

@@ -59,7 +59,9 @@ fn main() {
                 };
                 println!("  edge {src} -> {dst}: {tag}, w = {weight:.3e}");
             }
-            TraceEvent::Examine { members, verdict } => match verdict {
+            TraceEvent::Examine {
+                members, verdict, ..
+            } => match verdict {
                 None => println!("  block {{{}}} is legal", members.join(", ")),
                 Some(why) => println!("  block {{{}}} illegal: {why}", members.join(", ")),
             },
