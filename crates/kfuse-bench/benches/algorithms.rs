@@ -63,7 +63,7 @@ fn bench_stoer_wagner() {
     for n in [8usize, 16, 32, 64] {
         let g = random_graph(n, 42);
         bench(&format!("stoer_wagner/{n}"), 20, || {
-            black_box(g.stoer_wagner(0));
+            black_box(g.stoer_wagner(0).expect("bench weights are valid"));
         });
     }
 }

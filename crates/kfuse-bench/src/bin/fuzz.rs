@@ -1,0 +1,95 @@
+//! Differential fuzzing driver: sweep seeds through the full
+//! `kfuse-fuzz` harness and report the first failures, minimized.
+//!
+//! For every seed in `[start, start + seeds)` the harness generates a
+//! random valid pipeline and asserts (a) bit-identity across every
+//! execution path — reference interpreter, fast executor under several
+//! tile shapes, compiled plan (plain and traced), all three fusion
+//! schedules, and a warm-cache runtime round trip — and (b) every planner
+//! invariant (proper partition, block legality, Eq. 12 clamp exactness,
+//! Eq. 13 weight conservation, Eq. 1 objective consistency).
+//!
+//! Failing seeds are shrunk by dropping sink kernels and printed so they
+//! can be checked in as regression tests (`tests/fuzz_regressions.rs`);
+//! the process exits non-zero if any seed fails, so CI can run this as a
+//! smoke gate (`fuzz --seeds 256`).
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin fuzz -- --seeds 1024`.
+
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: fuzz [--seeds N] [--start S] [--verbose]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut seeds = 256u64;
+    let mut start = 0u64;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seeds" => {
+                seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--start" => {
+                start = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--verbose" => verbose = true,
+            _ => usage(),
+        }
+    }
+
+    let mut failures = 0u64;
+    for seed in start..start.saturating_add(seeds) {
+        match kfuse_fuzz::check_seed(seed) {
+            Ok(report) => {
+                if verbose {
+                    println!(
+                        "seed {seed:#018x}: ok ({} kernels, {} images, {} outputs)",
+                        report.kernels, report.images, report.outputs
+                    );
+                }
+            }
+            Err(failure) => {
+                failures += 1;
+                println!("seed {seed:#018x}: FAILED: {failure}");
+                let p = kfuse_fuzz::generate(seed);
+                let shrunk =
+                    kfuse_fuzz::shrink(&p, |q| kfuse_fuzz::check_pipeline(q, seed).is_err());
+                let residual = kfuse_fuzz::check_pipeline(&shrunk, seed)
+                    .expect_err("shrink preserves the failure");
+                println!(
+                    "  minimized: {} -> {} kernels; residual failure: {residual}",
+                    p.kernels().len(),
+                    shrunk.kernels().len()
+                );
+                for k in shrunk.kernels() {
+                    let (rx, ry) = k.root_stage().max_extent();
+                    println!(
+                        "    kernel {} ({} stages, root extent {rx}x{ry})",
+                        k.name,
+                        k.stages.len()
+                    );
+                }
+            }
+        }
+    }
+
+    println!(
+        "fuzz: {} seeds checked starting at {start:#x}, {failures} failure(s)",
+        seeds
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -320,6 +320,7 @@ pub fn plan_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionPlan {
                 }
                 let cut = g
                     .stoer_wagner(0)
+                    .expect("the model clamps every weight to a finite positive value (Eq. 12)")
                     .expect("illegal blocks have at least two members");
                 let side: Vec<KernelId> = cut.side.iter().map(|&i| block[i]).collect();
                 let rest: Vec<KernelId> = block

@@ -1,0 +1,175 @@
+//! The planner invariant checker: every fusion decision re-validated.
+//!
+//! [`check_invariants`] runs Algorithm 1 ([`plan_optimized`]) and then
+//! audits its output against the paper's own contracts:
+//!
+//! * the final partition is a proper partition of `V` (disjoint cover);
+//! * every block passes [`block_legality`] — Figure 2 dependence
+//!   scenarios, header compatibility, and the Eq. 2 shared-memory bound;
+//! * every edge weight fed to `MinCutGraph::stoer_wagner` is finite and
+//!   strictly positive, clamped edges carry exactly `ε`, and un-clamped
+//!   edges carry exactly their raw `δ − φ + γ` (Eq. 12);
+//! * every recorded bisection conserves in-block weight:
+//!   `W(M) = W(A) + W(B) + cut` (the identity behind Eq. 13 — minimizing
+//!   the cut maximizes the weight retained inside the halves);
+//! * the reported objective β equals [`objective`] recomputed from the
+//!   partition (Eq. 1).
+
+use crate::diff::Failure;
+use kfuse_core::plan_optimized;
+use kfuse_core::planner::{block_legality, objective, FusionConfig, TraceEvent};
+use kfuse_graph::NodeId;
+use kfuse_ir::{KernelId, Pipeline};
+use kfuse_model::ClampReason;
+
+fn violation(what: impl Into<String>) -> Failure {
+    Failure::Invariant { what: what.into() }
+}
+
+/// Runs the planner on `p` and checks every invariant listed in the
+/// module docs. Assumes kernel names are unique within `p` (the generator
+/// guarantees this; the trace records blocks by name).
+pub fn check_invariants(p: &Pipeline, cfg: &FusionConfig) -> Result<(), Failure> {
+    let plan = plan_optimized(p, cfg);
+    let eps = cfg.model.epsilon;
+
+    // Proper partition of V.
+    let universe: Vec<NodeId> = (0..p.kernels().len()).map(NodeId).collect();
+    if !plan.partition.is_valid_partition_of(&universe) {
+        return Err(violation(
+            "final partition is not a disjoint cover of the kernel set",
+        ));
+    }
+
+    // Edge weights as fed to the min-cut graph.
+    for e in &plan.edges {
+        let est = &e.estimate;
+        let label = format!("edge {} -> {}", p.kernel(e.src).name, p.kernel(e.dst).name);
+        if !est.weight.is_finite() || est.weight <= 0.0 {
+            return Err(violation(format!(
+                "{label}: weight {} is not finite and strictly positive",
+                est.weight
+            )));
+        }
+        match est.clamp {
+            ClampReason::NotClamped => {
+                if est.weight != est.raw {
+                    return Err(violation(format!(
+                        "{label}: un-clamped weight {} differs from raw {}",
+                        est.weight, est.raw
+                    )));
+                }
+                if est.weight < eps {
+                    return Err(violation(format!(
+                        "{label}: un-clamped weight {} is below epsilon {eps}",
+                        est.weight
+                    )));
+                }
+            }
+            ClampReason::Illegal | ClampReason::Unprofitable => {
+                if est.weight != eps {
+                    return Err(violation(format!(
+                        "{label}: clamped weight {} is not exactly epsilon {eps}",
+                        est.weight
+                    )));
+                }
+            }
+        }
+    }
+
+    // Block legality, re-derived from scratch.
+    for b in plan.partition.blocks() {
+        let members: Vec<KernelId> = b.members().iter().map(|n| KernelId(n.0)).collect();
+        if let Err(reason) = block_legality(p, &members, &plan.edges, cfg) {
+            let names: Vec<&str> = members.iter().map(|&k| p.kernel(k).name.as_str()).collect();
+            return Err(violation(format!(
+                "ready block {{{}}} fails legality: {reason}",
+                names.join(", ")
+            )));
+        }
+    }
+
+    // Weight conservation across every recorded bisection (Eq. 13).
+    let in_weight = |names: &[String]| -> f64 {
+        plan.edges
+            .iter()
+            .filter(|e| {
+                names.contains(&p.kernel(e.src).name) && names.contains(&p.kernel(e.dst).name)
+            })
+            .map(|e| e.estimate.weight)
+            .sum()
+    };
+    for ev in &plan.trace.events {
+        if let TraceEvent::Cut {
+            members,
+            weight,
+            side_a,
+            side_b,
+            ..
+        } = ev
+        {
+            let w_m = in_weight(members);
+            let cross = w_m - in_weight(side_a) - in_weight(side_b);
+            let tol = 1e-6 * w_m.abs().max(1.0);
+            if (cross - weight).abs() > tol {
+                return Err(violation(format!(
+                    "cut of {{{}}} reports weight {weight} but edges say {cross}",
+                    members.join(", ")
+                )));
+            }
+        }
+    }
+
+    // Objective consistency (Eq. 1).
+    let beta = objective(&plan.partition, &plan.edges);
+    if (beta - plan.total_benefit).abs() > 1e-9 * beta.abs().max(1.0) {
+        return Err(violation(format!(
+            "total_benefit {} disagrees with recomputed objective {beta}",
+            plan.total_benefit
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel};
+    use kfuse_model::{BenefitModel, GpuSpec};
+
+    fn cfg() -> FusionConfig {
+        FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()))
+    }
+
+    /// A pipeline that fuses (point chain) and one that cannot (external
+    /// outputs) both satisfy every invariant.
+    #[test]
+    fn known_pipelines_pass() {
+        let mut p = Pipeline::new("chain");
+        let input = p.add_input(ImageDesc::new("in", 16, 16, 1));
+        let mid = p.add_image(ImageDesc::new("mid", 16, 16, 1));
+        let out = p.add_image(ImageDesc::new("out", 16, 16, 1));
+        p.add_kernel(Kernel::simple(
+            "a",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) + Expr::Const(1.0)],
+            vec![],
+        ));
+        p.add_kernel(Kernel::simple(
+            "b",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::load(0) * Expr::Const(2.0)],
+            vec![],
+        ));
+        p.mark_output(out);
+        check_invariants(&p, &cfg()).unwrap();
+
+        // External output pins the edge to ε; invariants must still hold.
+        p.mark_output(mid);
+        check_invariants(&p, &cfg()).unwrap();
+    }
+}

@@ -27,5 +27,5 @@ pub mod mincut;
 pub mod partition;
 
 pub use digraph::{DiGraph, EdgeId, NodeId};
-pub use mincut::{Cut, MinCutGraph};
+pub use mincut::{Cut, MinCutError, MinCutGraph};
 pub use partition::{Block, Partition};

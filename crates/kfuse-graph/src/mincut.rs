@@ -12,6 +12,41 @@
 //! the same tie-breaking the paper specifies: among equal-weight cuts, the
 //! first one encountered is selected.
 
+/// Rejected input detected by [`MinCutGraph::stoer_wagner`].
+///
+/// Maximum-adjacency orderings silently mis-order on NaN connectivities
+/// (every comparison is false) and negative weights break the cut-of-the-
+/// phase optimality argument, so instead of returning a wrong cut the
+/// algorithm refuses the graph up front. The fusion layer guarantees
+/// validity by clamping every weight to `ε` (Eq. 12) before construction;
+/// this error surfaces models that fail to do so.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MinCutError {
+    /// The accumulated weight between vertices `u` and `v` is NaN,
+    /// infinite, or negative.
+    BadWeight {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+        /// The offending accumulated weight.
+        weight: f64,
+    },
+}
+
+impl std::fmt::Display for MinCutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinCutError::BadWeight { u, v, weight } => write!(
+                f,
+                "edge ({u}, {v}) has weight {weight}; min-cut needs finite non-negative weights"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MinCutError {}
+
 /// Result of a global minimum cut: the cut weight and one side of the
 /// bipartition (as vertex indices of the [`MinCutGraph`]).
 ///
@@ -44,7 +79,7 @@ pub struct Cut {
 /// g.add_edge(2, 3, 1.0);
 /// g.add_edge(3, 0, 1.0);
 /// g.add_edge(0, 2, 10.0);
-/// let cut = g.stoer_wagner(0).unwrap();
+/// let cut = g.stoer_wagner(0).expect("weights are valid").unwrap();
 /// assert_eq!(cut.weight, 2.0);
 /// ```
 #[derive(Clone, Debug)]
@@ -75,23 +110,35 @@ impl MinCutGraph {
 
     /// Adds an undirected edge, accumulating onto any existing weight.
     ///
-    /// Self-loops are ignored: they can never cross a cut.
+    /// Self-loops are ignored: they can never cross a cut. NaN, infinite,
+    /// and negative weights are accepted here (accumulation might even
+    /// cancel a negative one) but rejected by [`Self::stoer_wagner`] with
+    /// a typed [`MinCutError`] before any cut is computed.
     ///
     /// # Panics
     ///
-    /// Panics if an endpoint is out of range or `w` is negative or not
-    /// finite.
+    /// Panics if an endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
         assert!(u < self.n && v < self.n, "endpoint out of range");
-        assert!(
-            w.is_finite() && w >= 0.0,
-            "edge weight must be finite and non-negative"
-        );
         if u == v {
             return;
         }
         self.adj[u * self.n + v] += w;
         self.adj[v * self.n + u] += w;
+    }
+
+    /// Returns the first invalid accumulated weight, scanning pairs in
+    /// `(u, v)` lexicographic order.
+    fn validate_weights(&self) -> Result<(), MinCutError> {
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                let weight = self.weight(u, v);
+                if !weight.is_finite() || weight < 0.0 {
+                    return Err(MinCutError::BadWeight { u, v, weight });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Total weight of all edges in the graph.
@@ -126,8 +173,11 @@ impl MinCutGraph {
     ///
     /// `start` selects the initial vertex of every minimum-cut phase, which
     /// makes the run fully deterministic (the paper starts the Harris example
-    /// at kernel `dx`). Returns `None` if the graph has fewer than two
-    /// vertices — a cut needs both sides non-empty.
+    /// at kernel `dx`). Returns `Ok(None)` if the graph has fewer than two
+    /// vertices — a cut needs both sides non-empty — and
+    /// [`MinCutError::BadWeight`] if any accumulated weight is NaN,
+    /// infinite, or negative (the algorithm would silently return a wrong
+    /// cut otherwise).
     ///
     /// Ties between equal-weight cuts-of-the-phase keep the **first**
     /// encountered, per the paper. On disconnected graphs the algorithm
@@ -139,9 +189,10 @@ impl MinCutGraph {
     /// # Panics
     ///
     /// Panics if `start` is out of range (and the graph has ≥ 2 vertices).
-    pub fn stoer_wagner(&self, start: usize) -> Option<Cut> {
+    pub fn stoer_wagner(&self, start: usize) -> Result<Option<Cut>, MinCutError> {
+        self.validate_weights()?;
         if self.n < 2 {
-            return None;
+            return Ok(None);
         }
         assert!(start < self.n, "start vertex out of range");
 
@@ -224,7 +275,7 @@ impl MinCutGraph {
             active.retain(|&u| u != t);
         }
 
-        best
+        Ok(best)
     }
 
     /// Exhaustive minimum cut over all `2^(n-1) - 1` proper bipartitions.
@@ -260,15 +311,15 @@ mod tests {
 
     #[test]
     fn too_small_graphs_have_no_cut() {
-        assert!(MinCutGraph::new(0).stoer_wagner(0).is_none());
-        assert!(MinCutGraph::new(1).stoer_wagner(0).is_none());
+        assert!(MinCutGraph::new(0).stoer_wagner(0).unwrap().is_none());
+        assert!(MinCutGraph::new(1).stoer_wagner(0).unwrap().is_none());
     }
 
     #[test]
     fn two_vertices_single_edge() {
         let mut g = MinCutGraph::new(2);
         g.add_edge(0, 1, 3.5);
-        let cut = g.stoer_wagner(0).unwrap();
+        let cut = g.stoer_wagner(0).unwrap().unwrap();
         assert_eq!(cut.weight, 3.5);
         assert!(cut.side == vec![0] || cut.side == vec![1]);
     }
@@ -279,7 +330,7 @@ mod tests {
         g.add_edge(0, 1, 1.0);
         g.add_edge(1, 0, 2.0);
         assert_eq!(g.weight(0, 1), 3.0);
-        assert_eq!(g.stoer_wagner(0).unwrap().weight, 3.0);
+        assert_eq!(g.stoer_wagner(0).unwrap().unwrap().weight, 3.0);
     }
 
     #[test]
@@ -287,7 +338,42 @@ mod tests {
         let mut g = MinCutGraph::new(2);
         g.add_edge(0, 0, 100.0);
         g.add_edge(0, 1, 1.0);
-        assert_eq!(g.stoer_wagner(0).unwrap().weight, 1.0);
+        assert_eq!(g.stoer_wagner(0).unwrap().unwrap().weight, 1.0);
+    }
+
+    /// NaN and negative weights must surface as typed errors, not as a
+    /// panic or a silently wrong cut (NaN makes every comparison in the
+    /// maximum-adjacency ordering false).
+    #[test]
+    fn invalid_weights_are_typed_errors() {
+        let mut g = MinCutGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, f64::NAN);
+        assert!(matches!(
+            g.stoer_wagner(0),
+            Err(MinCutError::BadWeight { u: 1, v: 2, weight }) if weight.is_nan()
+        ));
+
+        let mut g = MinCutGraph::new(3);
+        g.add_edge(0, 1, -0.5);
+        g.add_edge(1, 2, 1.0);
+        let err = g.stoer_wagner(0).unwrap_err();
+        assert!(matches!(
+            err,
+            MinCutError::BadWeight { u: 0, v: 1, weight } if weight == -0.5
+        ));
+        assert!(err.to_string().contains("finite non-negative"));
+
+        let mut g = MinCutGraph::new(2);
+        g.add_edge(0, 1, f64::INFINITY);
+        assert!(g.stoer_wagner(0).is_err());
+
+        // Accumulation can cancel a negative contribution; the summed
+        // weight is what gets validated.
+        let mut g = MinCutGraph::new(2);
+        g.add_edge(0, 1, -1.0);
+        g.add_edge(0, 1, 3.0);
+        assert_eq!(g.stoer_wagner(0).unwrap().unwrap().weight, 2.0);
     }
 
     #[test]
@@ -312,7 +398,7 @@ mod tests {
         for (u, v, w) in edges {
             g.add_edge(u, v, w);
         }
-        let cut = g.stoer_wagner(0).unwrap();
+        let cut = g.stoer_wagner(0).unwrap().unwrap();
         assert_eq!(cut.weight, 4.0);
         let mut side = cut.side.clone();
         if side.contains(&0) {
@@ -326,7 +412,7 @@ mod tests {
         let mut g = MinCutGraph::new(4);
         g.add_edge(0, 1, 5.0);
         g.add_edge(2, 3, 7.0);
-        let cut = g.stoer_wagner(0).unwrap();
+        let cut = g.stoer_wagner(0).unwrap().unwrap();
         assert_eq!(cut.weight, 0.0);
     }
 
@@ -382,7 +468,7 @@ mod tests {
         for n in 2..=7 {
             for seed in 0..24 {
                 let g = random_graph(n, seed);
-                let sw = g.stoer_wagner(0).unwrap();
+                let sw = g.stoer_wagner(0).unwrap().unwrap();
                 let bf = g.brute_force_min_cut();
                 assert!(
                     (sw.weight - bf.weight).abs() < 1e-9,
@@ -403,7 +489,7 @@ mod tests {
             for seed in 0..12 {
                 let g = random_graph(n, seed);
                 for start in 0..g.vertex_count() {
-                    let cut = g.stoer_wagner(start).unwrap();
+                    let cut = g.stoer_wagner(start).unwrap().unwrap();
                     assert!(!cut.side.is_empty());
                     assert!(cut.side.len() < g.vertex_count());
                     let mut sorted = cut.side.clone();
@@ -424,7 +510,7 @@ mod tests {
                 let g = random_graph(n, seed);
                 let bf = g.brute_force_min_cut().weight;
                 for start in 0..g.vertex_count() {
-                    let sw = g.stoer_wagner(start).unwrap();
+                    let sw = g.stoer_wagner(start).unwrap().unwrap();
                     assert!(
                         (sw.weight - bf).abs() < 1e-9,
                         "n={n} seed={seed} start={start}"

@@ -304,9 +304,13 @@ impl BenefitModel {
         };
 
         let raw = delta - phi + self.gamma;
+        // Non-finite `raw` — NaN from ∞ − ∞ or ±∞ from a degenerate
+        // GpuSpec with `t_shared = 0` — pins to ε as well: the min-cut
+        // graph must only ever see finite positive weights (a plain
+        // `raw < ε` comparison is false for NaN and would let it escape).
         let (weight, clamp) = if scenario == FusionScenario::Illegal {
             (self.epsilon, ClampReason::Illegal)
-        } else if raw < self.epsilon {
+        } else if !raw.is_finite() || raw < self.epsilon {
             (self.epsilon, ClampReason::Unprofitable)
         } else {
             (raw, ClampReason::NotClamped)
@@ -488,6 +492,71 @@ mod tests {
         assert_eq!(est.clamp, ClampReason::Unprofitable);
         // 3×3 producer fused into a 5×5 consumer grows to 7×7 (Eq. 9).
         assert_eq!(est.g, Some(49));
+    }
+
+    fn local_to_local_pipeline() -> (Pipeline, KernelId, KernelId, ImageId) {
+        // in → gauss (3×3) → cons (5×5) → out
+        let mut p = Pipeline::new("l2l");
+        let input = p.add_input(ImageDesc::new("in", 16, 16, 1));
+        let mid = p.add_image(ImageDesc::new("mid", 16, 16, 1));
+        let out = p.add_image(ImageDesc::new("out", 16, 16, 1));
+        let mask3: Vec<&[f32]> = vec![&[1.0, 2.0, 1.0], &[2.0, 4.0, 2.0], &[1.0, 2.0, 1.0]];
+        let gauss = p.add_kernel(Kernel::simple(
+            "gauss",
+            vec![input],
+            mid,
+            vec![BorderMode::Clamp],
+            vec![Expr::convolve(0, 0, &mask3)],
+            vec![],
+        ));
+        let rows5 = [[1.0f32; 5]; 5];
+        let mask5: Vec<&[f32]> = rows5.iter().map(|r| &r[..]).collect();
+        let cons = p.add_kernel(Kernel::simple(
+            "cons",
+            vec![mid],
+            out,
+            vec![BorderMode::Clamp],
+            vec![Expr::convolve(0, 0, &mask5)],
+            vec![],
+        ));
+        p.mark_output(out);
+        p.validate().unwrap();
+        (p, gauss, cons, mid)
+    }
+
+    /// Degenerate GPU parameters must never leak a non-finite weight into
+    /// the min-cut graph: `t_shared = 0` makes `δ_shared = ∞`, and with
+    /// `t_global = 0` on top the division turns into `0/0 = NaN`. Both pin
+    /// to ε (Eq. 12), which `stoer_wagner` then accepts.
+    #[test]
+    fn degenerate_gpu_clamps_non_finite_weights_to_epsilon() {
+        let (p, gauss, cons, mid) = local_to_local_pipeline();
+        let mut model = BenefitModel::new(GpuSpec::gtx680());
+        model.gpu.t_shared = 0.0;
+        let est = model.edge_weight(&p, gauss, cons, mid, true);
+        assert_eq!(est.scenario, FusionScenario::LocalToLocal);
+        assert!(est.raw.is_infinite());
+        assert_eq!(est.weight, model.epsilon);
+        assert_eq!(est.clamp, ClampReason::Unprofitable);
+
+        model.gpu.t_global = 0.0;
+        let est = model.edge_weight(&p, gauss, cons, mid, true);
+        assert!(est.raw.is_nan(), "0/0 should reach the clamp as NaN");
+        assert_eq!(est.weight, model.epsilon);
+        assert_eq!(est.clamp, ClampReason::Unprofitable);
+    }
+
+    /// A zero-thread [`BlockShape`] must not poison the tile-amortized
+    /// recompute term with a division by zero.
+    #[test]
+    fn degenerate_block_shape_stays_finite() {
+        let (p, gauss, cons, mid) = local_to_local_pipeline();
+        let mut model = BenefitModel::new(GpuSpec::gtx680());
+        model.l2l_recompute = L2LRecompute::TileAmortized;
+        model.block = BlockShape { bx: 0, by: 0 };
+        let est = model.edge_weight(&p, gauss, cons, mid, true);
+        assert!(est.phi.is_finite());
+        assert!(est.weight.is_finite() && est.weight > 0.0);
     }
 
     #[test]

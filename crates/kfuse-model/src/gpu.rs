@@ -197,8 +197,12 @@ impl BlockShape {
     }
 
     /// Tile overhead factor: tile samples per thread.
+    ///
+    /// A degenerate block (`bx` or `by` of 0) counts as a single thread
+    /// rather than dividing by zero — the factor must stay finite because
+    /// it feeds the edge weights of the min-cut graph.
     pub fn tile_factor(&self, rx: usize, ry: usize) -> f64 {
-        self.tile_samples(rx, ry) as f64 / self.threads() as f64
+        self.tile_samples(rx, ry) as f64 / self.threads().max(1) as f64
     }
 }
 

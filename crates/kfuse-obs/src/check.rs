@@ -328,10 +328,15 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeTraceStats, String> {
                 stats.span_names.push(name.to_string());
             }
             "C" => {
-                e.get("args")
-                    .and_then(|a| a.get("value"))
-                    .and_then(Json::as_num)
-                    .ok_or_else(|| format!("event {i}: counter without args.value"))?;
+                // `null` is the exporter's RFC 8259-conformant rendering
+                // of a non-finite counter sample (JSON has no NaN/Infinity
+                // tokens); everything `to_chrome_json` can emit must
+                // validate, so accept the redaction alongside numbers.
+                match e.get("args").and_then(|a| a.get("value")) {
+                    Some(Json::Null) => {}
+                    Some(v) if v.as_num().is_some() => {}
+                    _ => return Err(format!("event {i}: counter without args.value")),
+                }
                 stats.counters += 1;
             }
             "i" => stats.instants += 1,
@@ -346,6 +351,18 @@ pub fn validate_chrome_trace(doc: &str) -> Result<ChromeTraceStats, String> {
 mod tests {
     use super::*;
     use crate::tracer::Tracer;
+
+    /// A counter must carry `args.value`, but a `null` value (the
+    /// exporter's redaction of a non-finite sample) is valid.
+    #[test]
+    fn counter_value_null_is_accepted_missing_is_not() {
+        let bad = r#"{"traceEvents":[{"name":"c","ph":"C","ts":1,"pid":1,"tid":1,"args":{}}]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("counter without args.value"));
+        let redacted = r#"{"traceEvents":[{"name":"c","ph":"C","ts":1,"pid":1,"tid":1,"args":{"value":null}}]}"#;
+        assert_eq!(validate_chrome_trace(redacted).unwrap().counters, 1);
+    }
 
     #[test]
     fn parses_nested_document() {

@@ -112,6 +112,30 @@ mod tests {
         assert!(json.contains("\"args\":{\"value\":3.0}"));
     }
 
+    /// Non-finite counter values (a NaN latency gauge, an infinite rate)
+    /// must still produce a document the strict parser and validator
+    /// accept: they render as `null` (JSON has no NaN token), and
+    /// `validate_chrome_trace` counts them as redacted counter samples.
+    #[test]
+    fn non_finite_counter_round_trips_validator() {
+        let events: Vec<Event> = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 2.5]
+            .iter()
+            .map(|&value| Event {
+                name: "mean_latency".to_string(),
+                cat: "serve",
+                ts_us: 1,
+                tid: 1,
+                kind: EventKind::Counter { value },
+                args: Vec::new(),
+            })
+            .collect();
+        let json = to_chrome_json(&events);
+        assert!(json.contains("\"args\":{\"value\":null}"));
+        assert!(json.contains("\"args\":{\"value\":2.5}"));
+        let stats = crate::validate_chrome_trace(&json).unwrap();
+        assert_eq!(stats.counters, 4);
+    }
+
     #[test]
     fn escapes_event_names() {
         let json = to_chrome_json(&[span("a\"b", 0, 1, vec![])]);

@@ -87,23 +87,42 @@ impl PlanCache {
 
     /// Inserts (or replaces) the plan for `key`, evicting the
     /// least-recently-used entry if the cache is full.
+    ///
+    /// Symmetric with the layout guard in [`Self::lookup`]: re-inserting
+    /// under an occupied key keeps the latest entry, and when the displaced
+    /// entry's [`CachedPlan::layout`] differs the replacement is counted as
+    /// an eviction — that is the cross-tenant thrash signature (same
+    /// structure, different id layouts, one slot), and it must show up in
+    /// the metrics rather than silently discarding compiled plans.
+    /// Idempotent re-inserts (same key, same layout) are not counted.
     pub fn insert(&mut self, key: PlanKey, entry: CachedPlan) {
         if self.capacity == 0 {
             return;
         }
         self.tick += 1;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
-            if let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (used, _))| *used)
-                .map(|(k, _)| *k)
-            {
-                self.map.remove(&oldest);
-                self.evictions += 1;
+        match self.map.get_mut(&key) {
+            Some((used, existing)) => {
+                if existing.layout != entry.layout {
+                    self.evictions += 1;
+                }
+                *used = self.tick;
+                *existing = entry;
+            }
+            None => {
+                if self.map.len() >= self.capacity {
+                    if let Some(oldest) = self
+                        .map
+                        .iter()
+                        .min_by_key(|(_, (used, _))| *used)
+                        .map(|(k, _)| *k)
+                    {
+                        self.map.remove(&oldest);
+                        self.evictions += 1;
+                    }
+                }
+                self.map.insert(key, (self.tick, entry));
             }
         }
-        self.map.insert(key, (self.tick, entry));
     }
 
     /// Number of cached plans.
@@ -121,8 +140,10 @@ impl PlanCache {
         self.capacity
     }
 
-    /// Cumulative count of entries evicted to make room (replacements and
-    /// capacity-0 drops are not evictions).
+    /// Cumulative count of displaced entries: LRU evictions to make room,
+    /// plus same-key replacements whose layout hash differed (see
+    /// [`Self::insert`]). Idempotent re-inserts and capacity-0 drops are
+    /// not counted.
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
@@ -225,6 +246,38 @@ mod tests {
         // The entry survives a guarded miss — it is a reuse refusal, not
         // an invalidation.
         assert_eq!(c.len(), 1);
+    }
+
+    /// Double-insert under one key: a same-layout re-insert is idempotent
+    /// and uncounted; a different-layout re-insert replaces the entry and
+    /// bumps the eviction counter (pre-fix it replaced silently), keeping
+    /// `insert` symmetric with the layout-guarded `lookup`.
+    #[test]
+    fn double_insert_is_layout_aware() {
+        let mut c = PlanCache::new(4);
+        let e = entry();
+        let layout = e.layout;
+        let plan = Arc::clone(&e.plan);
+        c.insert(key(1), e.clone());
+        c.insert(key(1), e);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0);
+
+        // Same key, different layout: latest wins, displacement counted.
+        let foreign = CachedPlan {
+            layout: layout.wrapping_add(1),
+            plan,
+        };
+        c.insert(key(1), foreign);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.lookup(&key(1), layout).is_none());
+        assert!(c.lookup(&key(1), layout.wrapping_add(1)).is_some());
+
+        // Replacing back bumps again: the thrash stays visible.
+        c.insert(key(1), entry());
+        assert_eq!(c.evictions(), 2);
+        assert!(c.lookup(&key(1), layout).is_some());
     }
 
     #[test]

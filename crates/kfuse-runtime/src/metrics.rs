@@ -15,7 +15,7 @@
 //! (text-exposition format via [`kfuse_obs::PromWriter`], validated in CI
 //! by `kfuse_obs::validate_prometheus`).
 
-use kfuse_obs::{escape_json, PromWriter};
+use kfuse_obs::{escape_json, fmt_json_f64, PromWriter};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -25,15 +25,20 @@ use std::sync::{Arc, Mutex};
 const BUCKETS: usize = 40;
 
 /// Lock-free latency histogram over power-of-two microsecond buckets.
+///
+/// Alongside the buckets it keeps the exact running sum, so the mean is
+/// not quantized the way the quantiles are.
 #[derive(Debug)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
         }
     }
 }
@@ -43,11 +48,21 @@ impl LatencyHistogram {
     pub fn record(&self, us: u64) {
         let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of the bucket counts.
     fn counts(&self) -> [u64; BUCKETS] {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Mean observed latency in microseconds. NaN when nothing has been
+    /// recorded — 0/0 is the honest answer for "no data", and both
+    /// exporters render it losslessly (`null` in JSON, `NaN` in
+    /// Prometheus text format).
+    fn mean_us(&self) -> f64 {
+        let total: u64 = self.counts().iter().sum();
+        self.sum_us.load(Ordering::Relaxed) as f64 / total as f64
     }
 }
 
@@ -134,6 +149,7 @@ impl PipelineMetrics {
             p50_us: quantile_us(&counts, 0.50),
             p95_us: quantile_us(&counts, 0.95),
             p99_us: quantile_us(&counts, 0.99),
+            mean_us: self.latency.mean_us(),
         }
     }
 }
@@ -167,7 +183,10 @@ impl MetricsRegistry {
 }
 
 /// Frozen metrics for one pipeline.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Not `Eq`: [`Self::mean_us`] is a float, and it is NaN for a pipeline
+/// with no recorded latencies.
+#[derive(Clone, Debug, PartialEq)]
 pub struct PipelineSnapshot {
     pub name: String,
     pub requests: u64,
@@ -180,6 +199,10 @@ pub struct PipelineSnapshot {
     pub p50_us: u64,
     pub p95_us: u64,
     pub p99_us: u64,
+    /// Mean latency (µs), exact (not bucket-quantized). NaN when the
+    /// pipeline has no recorded latencies; exporters render that as
+    /// `null` (JSON) / `NaN` (Prometheus).
+    pub mean_us: f64,
 }
 
 /// Point-in-time runtime-wide gauges, filled by
@@ -201,7 +224,7 @@ pub struct RuntimeGauges {
 }
 
 /// Frozen metrics for every pipeline a runtime has served.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
     pub pipelines: Vec<PipelineSnapshot>,
     /// Runtime-wide gauges (queue, in-flight, plan cache).
@@ -216,7 +239,9 @@ impl MetricsSnapshot {
 
     /// Serializes the snapshot to JSON. Hand-rolled (the workspace has no
     /// external dependencies); the only strings are pipeline names, which
-    /// are escaped per RFC 8259.
+    /// are escaped per RFC 8259. `mean_us` goes through
+    /// [`kfuse_obs::fmt_json_f64`], so a NaN mean (pipeline with no
+    /// latencies yet) renders as `null` instead of an invalid token.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"pipelines\":[");
         for (i, p) in self.pipelines.iter().enumerate() {
@@ -226,7 +251,7 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"requests\":{},\"completed\":{},\"errors\":{},\
                  \"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\
-                 \"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+                 \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{}}}",
                 escape_json(&p.name),
                 p.requests,
                 p.completed,
@@ -237,6 +262,7 @@ impl MetricsSnapshot {
                 p.p50_us,
                 p.p95_us,
                 p.p99_us,
+                fmt_json_f64(p.mean_us),
             ));
         }
         out.push_str("],\"runtime\":");
@@ -306,6 +332,20 @@ impl MetricsSnapshot {
                     v as f64,
                 );
             }
+        }
+        w.family(
+            "kfuse_request_latency_mean_us",
+            "gauge",
+            "Mean request latency (µs); NaN until a latency is recorded.",
+        );
+        for p in &self.pipelines {
+            // PromWriter renders non-finite values with the text-format
+            // NaN/+Inf/-Inf tokens, so an idle pipeline exports cleanly.
+            w.sample(
+                "kfuse_request_latency_mean_us",
+                &[("pipeline", &p.name)],
+                p.mean_us,
+            );
         }
         let g = &self.runtime;
         let gauges: [(&str, &str, u64); 4] = [
@@ -429,12 +469,41 @@ mod tests {
         snap.runtime.queue_depth = 4;
         let doc = snap.to_prometheus();
         // 6 counter families × 2 pipelines + 3 quantiles × 2 pipelines
-        // + 5 runtime samples.
-        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 23);
+        // + 1 mean × 2 pipelines + 5 runtime samples.
+        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 25);
         assert!(doc.contains("# TYPE kfuse_requests_total counter"));
         assert!(doc.contains("kfuse_requests_total{pipeline=\"a\\\"b\\\\c\"} 1"));
         assert!(doc.contains("kfuse_request_latency_us{pipeline=\"plain\",quantile=\"0.5\"} 0"));
+        assert!(doc.contains("kfuse_request_latency_mean_us{pipeline=\"a\\\"b\\\\c\"} 100"));
         assert!(doc.contains("kfuse_queue_depth 4"));
+    }
+
+    /// A pipeline that has counted requests but never recorded a latency
+    /// has a NaN mean. Both exporters must still produce documents their
+    /// own validators accept: JSON renders the mean as `null` (RFC 8259
+    /// has no NaN token), Prometheus text format uses its `NaN` token.
+    /// Pre-fix there was no mean gauge; a naive `format!("{}", f64::NAN)`
+    /// here would emit bare `NaN` and break the strict JSON parser.
+    #[test]
+    fn nan_mean_round_trips_both_exporters() {
+        let reg = MetricsRegistry::default();
+        reg.handle("idle").record_request();
+        let busy = reg.handle("busy");
+        busy.record_latency_us(10);
+        busy.record_latency_us(30);
+        let snap = reg.snapshot();
+        assert!(snap.pipeline("idle").unwrap().mean_us.is_nan());
+        assert_eq!(snap.pipeline("busy").unwrap().mean_us, 20.0);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"mean_us\":null"));
+        assert!(json.contains("\"mean_us\":20"));
+        kfuse_obs::parse_json(&json).expect("strict parser accepts the redacted mean");
+
+        let doc = snap.to_prometheus();
+        assert!(doc.contains("kfuse_request_latency_mean_us{pipeline=\"idle\"} NaN"));
+        assert!(doc.contains("kfuse_request_latency_mean_us{pipeline=\"busy\"} 20"));
+        kfuse_obs::validate_prometheus(&doc).expect("text format allows NaN samples");
     }
 
     #[test]

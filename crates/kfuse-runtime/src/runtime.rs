@@ -33,7 +33,7 @@ use kfuse_sim::{CompiledPlan, ExecError, Execution, FastConfig, Scratch};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// What `submit` does when the work queue is at capacity.
@@ -139,14 +139,76 @@ impl std::fmt::Debug for JobHandle {
 
 impl JobHandle {
     /// Blocks until the job completes and returns its result.
+    ///
+    /// Wakes even if the worker panicked mid-job (the result is then
+    /// [`RuntimeError::Panicked`]): every dequeued job is answered through
+    /// a completion drop-guard that fills the slot on unwind. Poisoned
+    /// slot locks are ignored — the `Option` state is valid at every
+    /// instant the lock is held.
     pub fn wait(self) -> Result<Execution, RuntimeError> {
-        let mut state = self.slot.state.lock().unwrap();
+        let mut state = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(result) = state.take() {
                 return result;
             }
-            state = self.slot.done.wait(state).unwrap();
+            state = self
+                .slot
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+}
+
+/// Guarantees a dequeued job's result slot is filled exactly once.
+///
+/// The worker completes normally via [`CompletionGuard::complete`]; if it
+/// unwinds first — a panic anywhere between dequeue and slot fill, e.g. in
+/// the metrics or tracing paths outside the `catch_unwind` envelope — the
+/// drop impl answers the submitter with [`RuntimeError::Panicked`] instead
+/// of leaving it blocked in [`JobHandle::wait`] forever.
+struct CompletionGuard {
+    slot: Arc<Slot>,
+    completed: bool,
+}
+
+impl CompletionGuard {
+    fn new(slot: Arc<Slot>) -> Self {
+        Self {
+            slot,
+            completed: false,
+        }
+    }
+
+    /// Fills the slot with the job's result and wakes the submitter.
+    fn complete(mut self, result: Result<Execution, RuntimeError>) {
+        self.fill(result);
+    }
+
+    fn fill(&mut self, result: Result<Execution, RuntimeError>) {
+        if self.completed {
+            return;
+        }
+        self.completed = true;
+        let mut state = self
+            .slot
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *state = Some(result);
+        self.slot.done.notify_all();
+    }
+}
+
+impl Drop for CompletionGuard {
+    fn drop(&mut self) {
+        self.fill(Err(RuntimeError::Panicked(
+            "worker unwound before completing the job".to_string(),
+        )));
     }
 }
 
@@ -366,6 +428,12 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(job) = job else { return };
+        // From here on the submitter is owed an answer: the guard fills
+        // the slot with `Panicked` if anything below unwinds before
+        // `complete` runs.
+        let guard = CompletionGuard::new(Arc::clone(&job.slot));
+        #[cfg(test)]
+        fail_point_after_dequeue(&job.tenant);
         let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         shared
             .cfg
@@ -393,10 +461,23 @@ fn worker_loop(shared: &Shared) {
         }
         let us = u64::try_from(job.submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
         job.metrics.record_latency_us(us);
-        let mut state = job.slot.state.lock().unwrap();
-        *state = Some(result);
-        job.slot.done.notify_all();
+        guard.complete(result);
     }
+}
+
+/// Test-only panic injection: submitting under this tenant name makes the
+/// worker unwind *outside* the `catch_unwind` envelope, in the region the
+/// [`CompletionGuard`] exists to cover. Without the guard the submitter
+/// would block in [`JobHandle::wait`] forever.
+#[cfg(test)]
+const PANIC_AFTER_DEQUEUE_TENANT: &str = "__kfuse_test_panic_after_dequeue__";
+
+#[cfg(test)]
+fn fail_point_after_dequeue(tenant: &str) {
+    assert!(
+        tenant != PANIC_AFTER_DEQUEUE_TENANT,
+        "injected panic after dequeue"
+    );
 }
 
 /// Plan (with cache) and execute one job.
@@ -569,6 +650,39 @@ mod tests {
         let m = snap.pipeline("t").unwrap();
         assert_eq!(m.errors, 2);
         assert_eq!(m.completed, 1);
+    }
+
+    /// A worker panic after dequeue but before the slot fill must wake the
+    /// submitter with [`RuntimeError::Panicked`]. Without the
+    /// [`CompletionGuard`] the unwind leaves the result slot empty and this
+    /// test never returns — `wait` blocks forever on a job nobody will
+    /// answer (the pre-guard behavior).
+    #[test]
+    fn worker_panic_after_dequeue_wakes_submitter() {
+        let (p, input, _) = blur_pipeline(5, 5);
+        let rt = Runtime::new(small_cfg());
+        let img = synthetic_image(p.image(input).clone(), 1);
+        let err = rt
+            .execute(
+                PANIC_AFTER_DEQUEUE_TENANT,
+                &p,
+                vec![(input, img.clone())],
+                Schedule::Optimized,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Panicked(_)));
+        assert!(err.to_string().contains("panicked"));
+        // The panicking job is metered as a request against its tenant.
+        let snap = rt.metrics();
+        assert_eq!(
+            snap.pipeline(PANIC_AFTER_DEQUEUE_TENANT).unwrap().requests,
+            1
+        );
+        // The other worker keeps serving; shutdown joins the dead thread
+        // without hanging.
+        rt.execute("t", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        rt.shutdown();
     }
 
     #[test]

@@ -976,6 +976,140 @@ mod tests {
         }
     }
 
+    /// Like [`fused_kernel`] but with a square mask of the given radius,
+    /// so the producer plane's halo can exceed the tile or the image.
+    fn fused_kernel_r(p: &mut Pipeline, mode: BorderMode, w: usize, h: usize, r: usize) -> Kernel {
+        let input = p.add_input(ImageDesc::new("in", w, h, 1));
+        let out = p.add_image(ImageDesc::new("out", w, h, 1));
+        let producer = Stage {
+            name: "sq".into(),
+            refs: vec![StageRef::Input(0)],
+            borders: vec![mode],
+            body: vec![Expr::load(0) * Expr::load(0) + Expr::Const(0.5)],
+            params: vec![],
+            space: MemSpace::Shared,
+        };
+        let side = 2 * r + 1;
+        let rows: Vec<Vec<f32>> = (0..side)
+            .map(|j| {
+                (0..side)
+                    .map(|i| 0.25 * ((i + j * side) % 5) as f32 - 0.5)
+                    .collect()
+            })
+            .collect();
+        let mask: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let root = Stage {
+            name: "conv".into(),
+            refs: vec![StageRef::Stage(0)],
+            borders: vec![mode],
+            body: vec![Expr::convolve(0, 0, &mask)],
+            params: vec![],
+            space: MemSpace::Global,
+        };
+        let k = Kernel {
+            name: "sq_conv".into(),
+            inputs: vec![input],
+            output: out,
+            stages: vec![producer, root],
+            root: 1,
+            input_staging: true,
+        };
+        p.add_kernel(k.clone());
+        p.mark_output(out);
+        k
+    }
+
+    fn degenerate_matches_reference(mode: BorderMode, w: usize, h: usize, r: usize) {
+        let mut p = Pipeline::new("t");
+        let k = fused_kernel_r(&mut p, mode, w, h, r);
+        let input_id = p.inputs()[0];
+        let img = synthetic_image(p.image(input_id).clone(), 19);
+        let images = prepare_images(&p, &[(input_id, img)]).unwrap();
+        let reference = execute_kernel(&p, &k, &images).unwrap();
+        for cfg in [
+            TileConfig {
+                tile_w: 1,
+                tile_h: 1,
+                threads: Some(1),
+            },
+            TileConfig {
+                tile_w: 2,
+                tile_h: 2,
+                threads: Some(2),
+            },
+            TileConfig::default(),
+        ] {
+            let tiled = execute_kernel_tiled(&p, &k, &images, &cfg).unwrap();
+            assert!(
+                tiled.bit_equal(&reference),
+                "mode {mode:?} size {w}x{h} radius {r} cfg {cfg:?}: max diff {}",
+                tiled.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    /// Mask radius ≥ image dimension: the halo-extended plane rectangle
+    /// clips to the whole image (`saturating_sub` floors at 0, `min` caps
+    /// at the extent) and every off-image tap index-exchanges — Repeat and
+    /// Mirror wrap multiple periods on a 1-wide or 2-wide image.
+    #[test]
+    fn radius_exceeds_image_dimension() {
+        for mode in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Repeat,
+            BorderMode::Constant(-2.75),
+        ] {
+            for (w, h) in [(1, 1), (1, 4), (3, 2), (3, 3)] {
+                for r in [w.max(h), w.max(h) + 2, 4] {
+                    degenerate_matches_reference(mode, w, h, r);
+                }
+            }
+        }
+    }
+
+    /// Mask radius ≥ tile dimension but < image dimension: interior tiles
+    /// materialize planes wider than themselves, and edge tiles mix
+    /// clipped planes with index exchange.
+    #[test]
+    fn radius_exceeds_tile_dimension() {
+        for mode in [
+            BorderMode::Clamp,
+            BorderMode::Mirror,
+            BorderMode::Repeat,
+            BorderMode::Constant(3.25),
+        ] {
+            degenerate_matches_reference(mode, 9, 7, 3);
+        }
+    }
+
+    /// The static traffic model must agree with execution geometry in the
+    /// degenerate regime: with radius ≥ both image dimensions every tile's
+    /// plane rectangle clips to exactly the full image.
+    #[test]
+    fn traffic_model_degenerate_halo() {
+        let mut p = Pipeline::new("t");
+        let k = fused_kernel_r(&mut p, BorderMode::Repeat, 3, 2, 5);
+        let ck = CompiledKernel::new(&k);
+        let cfg = TileConfig {
+            tile_w: 1,
+            tile_h: 1,
+            threads: Some(1),
+        };
+        let t = modeled_traffic(&p, &k, &ck, &cfg);
+        // 6 one-pixel tiles, each materializing the full 3×2 plane.
+        assert_eq!(t.plane_write_bytes, 6 * 3 * 2 * 4);
+        assert_eq!(t.halo_extra_bytes, 6 * (3 * 2 - 1) * 4);
+        assert_eq!(t.global_store_bytes, 3 * 2 * 4);
+        // The producer reads the input once per plane element; the root
+        // reads the plane once per mask tap (zero taps are dropped at
+        // expression build time) per output pixel.
+        assert_eq!(t.global_load_bytes, 6 * 3 * 2 * 4);
+        let taps = ck.tapes[ck.root].loads.len() as u64;
+        assert!(taps > 11 * 11 / 2, "11x11 mask should keep most taps");
+        assert_eq!(t.plane_read_bytes, 6 * taps * 4);
+    }
+
     #[test]
     fn halo_accumulates_through_chain() {
         // square → gauss3 → gauss3: the innermost stage needs a 2-pixel

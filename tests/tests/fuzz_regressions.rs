@@ -1,0 +1,179 @@
+//! Checked-in fuzz regression seeds and hardening regressions.
+//!
+//! The differential fuzzer (`kfuse-fuzz`, driven by
+//! `cargo run --release -p kfuse-bench --bin fuzz`) sweeps random seeds in
+//! CI; this file pins the interesting cases so `cargo test` replays them
+//! forever without the sweep. Two kinds of test live here:
+//!
+//! 1. **Representative seeds** — generator seeds whose pipelines exercise
+//!    the features the generator is biased toward (degenerate 1×1 images,
+//!    radius ≥ dimension masks, every border mode, multi-channel images,
+//!    pre-fused multi-stage kernels, Figure 2 diamond topologies). Each
+//!    runs the full harness: bit-identity across every execution path plus
+//!    the planner invariant audit.
+//! 2. **Named bug regressions** — one test per bug fixed in the hardening
+//!    sweep that accompanied the fuzzer, written against public APIs so
+//!    they fail on the pre-fix code.
+
+use kfuse_fuzz::check_seed;
+
+/// Replays a representative slice of the acceptance sweep
+/// (`fuzz --seeds 1024` at start 0). The seeds are chosen so the
+/// generated pipelines jointly cover the generator's feature matrix; a
+/// failure here means an execution path or planner invariant regressed
+/// on a shape the sweep already proved correct.
+#[test]
+fn sweep_representative_seeds() {
+    for seed in 0..8u64 {
+        check_seed(seed).unwrap_or_else(|f| panic!("seed {seed:#x} regressed: {f}"));
+    }
+}
+
+/// High-entropy seeds far from the contiguous sweep range, so the pinned
+/// set is not just a prefix of what CI re-checks anyway.
+#[test]
+fn sweep_scattered_seeds() {
+    for seed in [0x9e3779b97f4a7c15u64, 0xdeadbeef, 0x0123456789abcdef] {
+        check_seed(seed).unwrap_or_else(|f| panic!("seed {seed:#x} regressed: {f}"));
+    }
+}
+
+/// Regression: `MinCutGraph::stoer_wagner` used to run maximum-adjacency
+/// ordering on whatever weights it was handed; a NaN made every
+/// comparison false and silently mis-ordered the search. It now reports
+/// a typed error naming the bad edge.
+#[test]
+fn min_cut_rejects_non_finite_weights() {
+    use kfuse_graph::{MinCutError, MinCutGraph};
+    let mut g = MinCutGraph::new(3);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, f64::NAN);
+    assert!(matches!(
+        g.stoer_wagner(0),
+        Err(MinCutError::BadWeight { u: 1, v: 2, weight }) if weight.is_nan()
+    ));
+}
+
+/// Regression: the Eq. 12 clamp was `raw < ε`, which is false for NaN, so
+/// a degenerate [`GpuSpec`] (`t_shared = 0` makes δ infinite; adding
+/// `t_global = 0` makes the benefit 0/0 = NaN) leaked non-finite weights
+/// into the min-cut graph. The clamp now pins every non-finite raw weight
+/// to ε, and the planner invariant audit — which asserts every min-cut
+/// weight is finite and positive — passes on such a spec.
+#[test]
+fn degenerate_gpu_spec_plans_cleanly() {
+    use kfuse_core::FusionConfig;
+    use kfuse_model::{BenefitModel, GpuSpec};
+    let mut gpu = GpuSpec::gtx680();
+    gpu.t_shared = 0.0;
+    gpu.t_global = 0.0;
+    let cfg = FusionConfig::new(BenefitModel::new(gpu));
+    for seed in 0..4u64 {
+        let p = kfuse_fuzz::generate(seed);
+        kfuse_fuzz::check_invariants(&p, &cfg)
+            .unwrap_or_else(|f| panic!("seed {seed:#x} under degenerate GPU: {f}"));
+    }
+}
+
+/// Regression: `PlanCache::insert` replaced an occupied slot without
+/// checking the entry's binding-layout hash, so two tenants alternating
+/// structurally-identical pipelines with different image-id layouts
+/// thrashed one slot invisibly — `lookup` guards on layout, `insert`
+/// did not. Layout-differing replacement now bumps the eviction counter.
+#[test]
+fn plan_cache_counts_layout_thrash() {
+    use kfuse_dsl::Schedule;
+    use kfuse_ir::{BorderMode, Expr, ImageDesc, Kernel, Pipeline};
+    use kfuse_runtime::{CachedPlan, PlanCache, PlanKey};
+    use kfuse_sim::{CompiledPlan, FastConfig};
+    use std::sync::Arc;
+
+    let mut p = Pipeline::new("p");
+    let input = p.add_input(ImageDesc::new("in", 4, 4, 1));
+    let out = p.add_image(ImageDesc::new("out", 4, 4, 1));
+    p.add_kernel(Kernel::simple(
+        "id",
+        vec![input],
+        out,
+        vec![BorderMode::Clamp],
+        vec![Expr::load(0)],
+        vec![],
+    ));
+    p.mark_output(out);
+    let plan = Arc::new(CompiledPlan::compile(&p).unwrap());
+    let layout = p.binding_fingerprint();
+    let key = PlanKey {
+        fingerprint: p.fingerprint(),
+        schedule: Schedule::Optimized,
+        exec: FastConfig::default(),
+    };
+
+    let mut cache = PlanCache::new(4);
+    let entry = |layout| CachedPlan {
+        layout,
+        plan: Arc::clone(&plan),
+    };
+    cache.insert(key, entry(layout));
+    cache.insert(key, entry(layout)); // idempotent: not counted
+    assert_eq!(cache.evictions(), 0);
+    cache.insert(key, entry(layout.wrapping_add(1))); // thrash: counted
+    assert_eq!(cache.evictions(), 1);
+    assert!(cache.lookup(&key, layout).is_none());
+    assert!(cache.lookup(&key, layout.wrapping_add(1)).is_some());
+}
+
+/// Regression: `validate_chrome_trace` rejected counter events whose
+/// `args.value` was `null` — exactly what the exporter emits for a
+/// non-finite counter sample, since RFC 8259 JSON has no NaN token. The
+/// validator now accepts the redaction.
+#[test]
+fn chrome_trace_accepts_redacted_counters() {
+    use kfuse_obs::{to_chrome_json, Event, EventKind};
+    let events: Vec<Event> = [f64::NAN, 1.5]
+        .iter()
+        .map(|&value| Event {
+            name: "gauge".to_string(),
+            cat: "serve",
+            ts_us: 0,
+            tid: 1,
+            kind: EventKind::Counter { value },
+            args: Vec::new(),
+        })
+        .collect();
+    let json = to_chrome_json(&events);
+    assert!(json.contains("\"value\":null"));
+    let stats = kfuse_obs::validate_chrome_trace(&json).unwrap();
+    assert_eq!(stats.counters, 2);
+}
+
+/// Regression: a pipeline that has admitted requests but recorded no
+/// latencies has a NaN mean; both metric exporters must render documents
+/// their own strict validators accept (`null` in JSON, `NaN` in the
+/// Prometheus text format).
+#[test]
+fn metrics_nan_mean_exports_validate() {
+    use kfuse_runtime::MetricsRegistry;
+    let reg = MetricsRegistry::default();
+    reg.handle("idle").record_request();
+    let snap = reg.snapshot();
+    assert!(snap.pipeline("idle").unwrap().mean_us.is_nan());
+    kfuse_obs::parse_json(&snap.to_json()).expect("JSON export parses");
+    kfuse_obs::validate_prometheus(&snap.to_prometheus()).expect("exposition validates");
+}
+
+/// The shrinker must preserve the failure predicate it is given and only
+/// ever drop sink kernels, so a minimized reproducer from a sweep is
+/// still a valid pipeline exhibiting the original failure.
+#[test]
+fn shrink_preserves_predicate_and_validity() {
+    let p = kfuse_fuzz::generate(7);
+    // An always-failing predicate: shrink must drive the pipeline down to
+    // a single kernel, and the result must still validate.
+    let shrunk = kfuse_fuzz::shrink(&p, |q| !q.kernels().is_empty());
+    assert_eq!(shrunk.kernels().len(), 1);
+    assert!(shrunk.validate().is_ok());
+    // A predicate needing two kernels: shrink stops as soon as dropping
+    // another sink would lose the failure.
+    let two = kfuse_fuzz::shrink(&p, |q| q.kernels().len() >= 2);
+    assert!(p.kernels().len() < 2 || two.kernels().len() == 2);
+}
