@@ -14,18 +14,23 @@
 //! the process exits non-zero if any seed fails, so CI can run this as a
 //! smoke gate (`fuzz --seeds 256`).
 //!
+//! `--wire N` additionally sweeps N seeds through the `kfuse-net` frame
+//! codec (random frames through encode → decode → re-encode for
+//! bit-identity, plus byte-flip corruption probes).
+//!
 //! Run with `cargo run --release -p kfuse-bench --bin fuzz -- --seeds 1024`.
 
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz [--seeds N] [--start S] [--verbose]");
+    eprintln!("usage: fuzz [--seeds N] [--start S] [--wire N] [--verbose]");
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut seeds = 256u64;
     let mut start = 0u64;
+    let mut wire_seeds = 0u64;
     let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,6 +43,12 @@ fn main() -> ExitCode {
             }
             "--start" => {
                 start = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--wire" => {
+                wire_seeds = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -83,10 +94,29 @@ fn main() -> ExitCode {
         }
     }
 
+    let mut wire_failures = 0u64;
+    for seed in start..start.saturating_add(wire_seeds) {
+        match kfuse_fuzz::check_wire_seed(seed) {
+            Ok(()) => {
+                if verbose {
+                    println!("wire seed {seed:#018x}: ok");
+                }
+            }
+            Err(failure) => {
+                wire_failures += 1;
+                println!("wire seed {seed:#018x}: FAILED: {failure}");
+            }
+        }
+    }
+    failures += wire_failures;
+
     println!(
         "fuzz: {} seeds checked starting at {start:#x}, {failures} failure(s)",
         seeds
     );
+    if wire_seeds > 0 {
+        println!("fuzz: {wire_seeds} wire seeds checked, {wire_failures} failure(s)");
+    }
     if failures > 0 {
         ExitCode::FAILURE
     } else {

@@ -1,0 +1,475 @@
+//! Network load generator for `kfuse-net`: the over-the-wire analogue of
+//! `bench_serve`, reproducing the paper's per-app evaluation (§6) as
+//! end-to-end serving latency under concurrent connections.
+//!
+//! By default it starts an in-process [`kfuse_net::Server`] on an
+//! ephemeral localhost port (pass `--addr HOST:PORT` to target an
+//! external `kfuse_serve`), then drives N concurrent connections: each
+//! registers all six paper apps and round-robins submissions across them,
+//! measuring client-observed latency. The first reply per app per
+//! connection is verified **bit-identical** to a local
+//! `execute_reference` run — a correctness gate, not just a stopwatch.
+//!
+//! After the measured phase it (a) probes deadline propagation with
+//! 1 µs budgets that must be rejected at dequeue, (b) scrapes the HTTP
+//! sidecar's `/metrics` and validates the Prometheus exposition with the
+//! `kfuse-obs` validator, checks `/healthz`, and (c) for in-process
+//! servers exercises graceful drain (submissions refused, health flips
+//! to draining). Any failure exits non-zero, so CI runs this as the
+//! end-to-end net smoke.
+//!
+//! Writes `BENCH_net.json` (per-app p50/p95/p99 µs, throughput,
+//! deadline-miss rate) at the repository root.
+//!
+//! Run with `cargo run --release -p kfuse-bench --bin loadgen`.
+//! `KFUSE_BENCH_SCALE=<div>` divides the frame edges (CI smoke uses 4).
+
+use std::fmt::Write as _;
+use std::io::{Read, Write as IoWrite};
+use std::net::{SocketAddr, TcpStream};
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use kfuse_apps::paper_apps;
+use kfuse_dsl::Schedule;
+use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_net::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use kfuse_obs::validate_prometheus;
+use kfuse_sim::{execute_reference, synthetic_image, Execution};
+
+/// Serving-sized frames: paper edges / 32, scaled down further by
+/// `KFUSE_BENCH_SCALE` (same sizing as `bench_serve`).
+fn workload(name: &str, scale: usize) -> (usize, usize) {
+    let (w, h) = if name == "Night" {
+        (1920 / 32, 1200 / 32)
+    } else {
+        (2048 / 32, 2048 / 32)
+    };
+    ((w / scale).max(8), (h / scale).max(8))
+}
+
+fn inputs_for(p: &Pipeline, seed: u64) -> Vec<(ImageId, Image)> {
+    p.inputs()
+        .iter()
+        .map(|&id| (id, synthetic_image(p.image(id).clone(), seed)))
+        .collect()
+}
+
+struct AppSetup {
+    name: &'static str,
+    pipeline: Pipeline,
+    inputs: Vec<(ImageId, Image)>,
+    reference: Execution,
+}
+
+#[derive(Default)]
+struct AppStats {
+    latencies_us: Vec<u64>,
+    deadline_misses: u64,
+    errors: u64,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests N] \
+         [--deadline-ms N] [--no-drain]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut connections: usize = 4;
+    let mut requests_per_app: usize = 16;
+    let mut deadline_ms: u64 = 10_000;
+    let mut exercise_drain = true;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--no-drain" => {
+                exercise_drain = false;
+                i += 1;
+                continue;
+            }
+            flag => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                match flag {
+                    "--addr" => addr = Some(value.clone()),
+                    "--connections" => match value.parse() {
+                        Ok(v) => connections = v,
+                        Err(_) => return usage(),
+                    },
+                    "--requests" => match value.parse() {
+                        Ok(v) => requests_per_app = v,
+                        Err(_) => return usage(),
+                    },
+                    "--deadline-ms" => match value.parse() {
+                        Ok(v) => deadline_ms = v,
+                        Err(_) => return usage(),
+                    },
+                    _ => return usage(),
+                }
+                i += 2;
+            }
+        }
+    }
+
+    let scale: usize = std::env::var("KFUSE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+
+    // In-process server unless an external address was given.
+    let server = if addr.is_none() {
+        let workers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+        let mut cfg = ServerConfig::default();
+        cfg.runtime.workers = workers;
+        cfg.runtime.queue_capacity = 256;
+        Some(Server::bind("127.0.0.1:0", cfg).expect("bind in-process server"))
+    } else {
+        None
+    };
+    let target: SocketAddr = match (&server, &addr) {
+        (Some(s), _) => s.local_addr(),
+        (None, Some(a)) => a.parse().expect("parse --addr"),
+        (None, None) => unreachable!(),
+    };
+    let metrics_addr = server.as_ref().map(|s| s.metrics_addr());
+    println!("loadgen: target {target} ({connections} connections, {requests_per_app} req/app each, scale /{scale})");
+
+    // Build every app once; the local reference execution is the
+    // bit-identity oracle for the first reply per app per connection.
+    let apps: Arc<Vec<AppSetup>> = Arc::new(
+        paper_apps()
+            .into_iter()
+            .map(|app| {
+                let (w, h) = workload(app.name, scale);
+                let pipeline = (app.build_sized)(w, h);
+                let inputs = inputs_for(&pipeline, 42);
+                let reference = execute_reference(&pipeline, &inputs).expect("reference executes");
+                AppSetup {
+                    name: app.name,
+                    pipeline,
+                    inputs,
+                    reference,
+                }
+            })
+            .collect(),
+    );
+
+    let stats: Arc<Vec<Mutex<AppStats>>> = Arc::new(
+        apps.iter()
+            .map(|_| Mutex::new(AppStats::default()))
+            .collect(),
+    );
+    let failures = Arc::new(Mutex::new(Vec::<String>::new()));
+    let deadline = Duration::from_millis(deadline_ms);
+
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for conn in 0..connections {
+        let apps = Arc::clone(&apps);
+        let stats = Arc::clone(&stats);
+        let failures = Arc::clone(&failures);
+        threads.push(std::thread::spawn(move || {
+            let mut client = match Client::connect(target) {
+                Ok(c) => c,
+                Err(e) => {
+                    failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("conn {conn}: connect: {e}"));
+                    return;
+                }
+            };
+            for app in apps.iter() {
+                if let Err(e) = client.register(app.name, &app.pipeline) {
+                    failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("conn {conn}: register {}: {e}", app.name));
+                    return;
+                }
+            }
+            for round in 0..requests_per_app {
+                for (idx, app) in apps.iter().enumerate() {
+                    let t0 = Instant::now();
+                    let result = client.call(
+                        app.name,
+                        app.inputs.clone(),
+                        Schedule::Optimized,
+                        Some(deadline),
+                    );
+                    let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    let mut s = stats[idx].lock().unwrap();
+                    match result {
+                        Ok(outputs) => {
+                            s.latencies_us.push(us);
+                            drop(s);
+                            if round == 0 {
+                                for (id, img) in &outputs {
+                                    if !img.bit_equal(app.reference.expect_image(*id)) {
+                                        failures.lock().unwrap().push(format!(
+                                            "conn {conn}: {} output {} not bit-identical \
+                                             to execute_reference",
+                                            app.name, id.0
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        Err(ClientError::Server {
+                            code: ErrorCode::DeadlineExceeded,
+                            ..
+                        }) => s.deadline_misses += 1,
+                        Err(e) => {
+                            s.errors += 1;
+                            drop(s);
+                            failures
+                                .lock()
+                                .unwrap()
+                                .push(format!("conn {conn}: {} request: {e}", app.name));
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // Deadline propagation probe: a 1 µs budget cannot survive the queue,
+    // so the server must answer DeadlineExceeded without executing.
+    let mut probe_misses = 0u64;
+    let probes = 4;
+    {
+        let mut client = Client::connect(target).expect("probe connect");
+        let app = &apps[0];
+        client
+            .register(app.name, &app.pipeline)
+            .expect("probe register");
+        for _ in 0..probes {
+            match client.call(
+                app.name,
+                app.inputs.clone(),
+                Schedule::Optimized,
+                Some(Duration::from_micros(1)),
+            ) {
+                Err(ClientError::Server {
+                    code: ErrorCode::DeadlineExceeded,
+                    ..
+                }) => probe_misses += 1,
+                Ok(_) => {}
+                Err(e) => failures
+                    .lock()
+                    .unwrap()
+                    .push(format!("deadline probe: {e}")),
+            }
+        }
+        if probe_misses == 0 {
+            failures
+                .lock()
+                .unwrap()
+                .push("deadline probe: no 1µs submission was rejected".into());
+        }
+    }
+
+    // Report + JSON.
+    println!(
+        "\n{:<10} {:>6} {:>9} {:>9} {:>9} {:>9} {:>7} {:>9}",
+        "app", "ok", "p50 µs", "p95 µs", "p99 µs", "req/s", "misses", "miss rate"
+    );
+    let mut json_apps = String::new();
+    let mut total_ok = 0usize;
+    for (idx, app) in apps.iter().enumerate() {
+        let mut s = stats[idx].lock().unwrap();
+        s.latencies_us.sort_unstable();
+        let ok = s.latencies_us.len();
+        total_ok += ok;
+        let pct = |p: f64| -> u64 {
+            if s.latencies_us.is_empty() {
+                return 0;
+            }
+            let i = ((ok as f64) * p).ceil() as usize;
+            s.latencies_us[i.clamp(1, ok) - 1]
+        };
+        let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+        let attempted = ok as u64 + s.deadline_misses + s.errors;
+        let miss_rate = if attempted > 0 {
+            s.deadline_misses as f64 / attempted as f64
+        } else {
+            0.0
+        };
+        let rps = ok as f64 / wall_s;
+        println!(
+            "{:<10} {:>6} {:>9} {:>9} {:>9} {:>9.1} {:>7} {:>8.3}%",
+            app.name,
+            ok,
+            p50,
+            p95,
+            p99,
+            rps,
+            s.deadline_misses,
+            miss_rate * 100.0
+        );
+        if !json_apps.is_empty() {
+            json_apps.push(',');
+        }
+        write!(
+            json_apps,
+            "\n    {{\"name\": \"{}\", \"ok\": {ok}, \"p50_us\": {p50}, \
+             \"p95_us\": {p95}, \"p99_us\": {p99}, \"req_s\": {rps:.3}, \
+             \"deadline_misses\": {}, \"deadline_miss_rate\": {miss_rate:.6}}}",
+            app.name, s.deadline_misses
+        )
+        .unwrap();
+    }
+    println!(
+        "\ntotal: {total_ok} ok in {wall_s:.2}s = {:.1} req/s aggregate; \
+         deadline probe: {probe_misses}/{probes} rejected",
+        total_ok as f64 / wall_s
+    );
+
+    // Metrics sidecar: scrape, validate, health-check (in-process only —
+    // an external server's sidecar address is not discoverable here).
+    let mut prom_samples = 0usize;
+    if let Some(maddr) = metrics_addr {
+        match http_get(maddr, "/metrics") {
+            Ok((status, body)) => {
+                if status != 200 {
+                    failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("/metrics status {status}"));
+                } else {
+                    match validate_prometheus(&body) {
+                        Ok(n) => {
+                            prom_samples = n;
+                            println!("/metrics: {n} samples, valid exposition");
+                        }
+                        Err(e) => failures
+                            .lock()
+                            .unwrap()
+                            .push(format!("/metrics invalid exposition: {e}")),
+                    }
+                    if !body.contains("kfuse_net_connections_total") {
+                        failures
+                            .lock()
+                            .unwrap()
+                            .push("/metrics missing kfuse_net_* families".into());
+                    }
+                }
+            }
+            Err(e) => failures
+                .lock()
+                .unwrap()
+                .push(format!("/metrics scrape: {e}")),
+        }
+        match http_get(maddr, "/healthz") {
+            Ok((200, body)) if body.trim() == "ok" => println!("/healthz: ok"),
+            Ok((status, body)) => failures
+                .lock()
+                .unwrap()
+                .push(format!("/healthz unexpected: {status} {body:?}")),
+            Err(e) => failures.lock().unwrap().push(format!("/healthz: {e}")),
+        }
+    }
+
+    // Graceful drain: refuse new work, keep health honest.
+    if let (Some(server), true) = (&server, exercise_drain) {
+        let mut client = Client::connect(target).expect("drain connect");
+        client.drain().expect("drain ack");
+        if !server.is_draining() {
+            failures
+                .lock()
+                .unwrap()
+                .push("server not draining after Drain".into());
+        }
+        match client.call(
+            apps[0].name,
+            apps[0].inputs.clone(),
+            Schedule::Optimized,
+            None,
+        ) {
+            Err(ClientError::Server {
+                code: ErrorCode::Draining,
+                ..
+            }) => println!("drain: new submissions refused"),
+            other => failures
+                .lock()
+                .unwrap()
+                .push(format!("drain: submit not refused: {other:?}")),
+        }
+        if let Some(maddr) = metrics_addr {
+            match http_get(maddr, "/healthz") {
+                Ok((503, body)) if body.trim() == "draining" => {
+                    println!("drain: /healthz reports draining");
+                }
+                other => failures
+                    .lock()
+                    .unwrap()
+                    .push(format!("drain: /healthz not draining: {other:?}")),
+            }
+        }
+    }
+
+    let failed = {
+        let f = failures.lock().unwrap();
+        for msg in f.iter() {
+            eprintln!("loadgen FAILURE: {msg}");
+        }
+        !f.is_empty()
+    };
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"network serving latency (kfuse-net loadgen)\",\n  \
+         \"scale_divisor\": {scale},\n  \"connections\": {connections},\n  \
+         \"requests_per_app_per_connection\": {requests_per_app},\n  \
+         \"deadline_ms\": {deadline_ms},\n  \"wall_seconds\": {wall_s:.3},\n  \
+         \"aggregate_req_s\": {:.3},\n  \
+         \"deadline_probe\": {{\"probes\": {probes}, \"rejected\": {probe_misses}}},\n  \
+         \"prometheus_samples\": {prom_samples},\n  \"failures\": {},\n  \
+         \"apps\": [{json_apps}\n  ]\n}}\n",
+        total_ok as f64 / wall_s,
+        if failed { "true" } else { "false" },
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net.json");
+    std::fs::write(path, json).expect("write BENCH_net.json");
+    println!("\nwrote {path}");
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Minimal HTTP/1.0 GET returning `(status, body)`.
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: kfuse\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}

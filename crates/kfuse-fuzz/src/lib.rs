@@ -15,7 +15,10 @@
 //!   [`kfuse_runtime::Runtime`] round trip, all bit-identical;
 //! * [`invariants`] — the planner audit: proper partition, block legality,
 //!   Eq. 12 clamping exactness, finite positive min-cut weights, Eq. 13
-//!   weight conservation, Eq. 1 objective consistency.
+//!   weight conservation, Eq. 1 objective consistency;
+//! * [`wire`] — the `kfuse-net` frame-codec harness: random frames
+//!   through encode → decode → re-encode for bit-identity, plus
+//!   single-byte corruption probes that must never panic.
 //!
 //! The `fuzz` bin in `kfuse-bench` drives seed sweeps
 //! (`fuzz --seeds 1024`); failing seeds are [`shrink`]-minimized and
@@ -26,11 +29,13 @@ pub mod diff;
 pub mod gen;
 pub mod invariants;
 pub mod rng;
+pub mod wire;
 
 pub use diff::{differential, make_inputs, Failure};
 pub use gen::{generate, generate_with, GenConfig};
 pub use invariants::check_invariants;
 pub use rng::SplitMix64;
+pub use wire::{check_wire_seed, generate_frame};
 
 use kfuse_ir::Pipeline;
 use kfuse_model::GpuSpec;

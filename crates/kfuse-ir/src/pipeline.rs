@@ -118,6 +118,19 @@ impl Pipeline {
         id
     }
 
+    /// Marks an existing image as a pipeline input.
+    ///
+    /// [`Pipeline::add_input`] covers construction; this exists for
+    /// deserializers that first materialize every image (preserving
+    /// [`ImageId`] assignment) and then restore the declared input list in
+    /// its original order — the order is part of the pipeline's call
+    /// interface and of [`Pipeline::fingerprint`].
+    pub fn mark_input(&mut self, id: ImageId) {
+        if !self.inputs.contains(&id) {
+            self.inputs.push(id);
+        }
+    }
+
     /// Marks an existing image as a pipeline output.
     pub fn mark_output(&mut self, id: ImageId) {
         if !self.outputs.contains(&id) {
@@ -340,6 +353,32 @@ mod tests {
         ));
         p.mark_output(out);
         p
+    }
+
+    #[test]
+    fn mark_input_restores_declared_order() {
+        // Rebuild `chain()`'s interface the way a deserializer does:
+        // images first (ids fixed by insertion), then input marks.
+        let reference = chain();
+        let mut p = Pipeline::new("chain");
+        for desc in reference.images() {
+            p.add_image(desc.clone());
+        }
+        for &input in reference.inputs() {
+            p.mark_input(input);
+        }
+        for &output in reference.outputs() {
+            p.mark_output(output);
+        }
+        for k in reference.kernels() {
+            p.add_kernel(k.clone());
+        }
+        assert_eq!(p.inputs(), reference.inputs());
+        assert_eq!(p.outputs(), reference.outputs());
+        assert!(p.validate().is_ok());
+        // Marking twice is idempotent.
+        p.mark_input(ImageId(0));
+        assert_eq!(p.inputs(), reference.inputs());
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Standalone kfuse network server.
+//!
+//! ```text
+//! kfuse_serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!             [--admission-timeout-ms N] [--duration-secs N]
+//! ```
+//!
+//! Prints the bound frame and metrics addresses on stdout (one `key=value`
+//! per line, so scripts can scrape them), then serves until
+//! `--duration-secs` elapses (0, the default, means forever).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use kfuse_net::{Server, ServerConfig};
+use kfuse_runtime::Admission;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: kfuse_serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--admission-timeout-ms N] [--duration-secs N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers: usize = 2;
+    let mut queue: usize = 64;
+    let mut admission_timeout_ms: u64 = 2000;
+    let mut duration_secs: u64 = 0;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            return usage();
+        };
+        match flag {
+            "--addr" => addr = value.clone(),
+            "--workers" => match value.parse() {
+                Ok(v) => workers = v,
+                Err(_) => return usage(),
+            },
+            "--queue" => match value.parse() {
+                Ok(v) => queue = v,
+                Err(_) => return usage(),
+            },
+            "--admission-timeout-ms" => match value.parse() {
+                Ok(v) => admission_timeout_ms = v,
+                Err(_) => return usage(),
+            },
+            "--duration-secs" => match value.parse() {
+                Ok(v) => duration_secs = v,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let mut cfg = ServerConfig::default();
+    cfg.runtime.workers = workers;
+    cfg.runtime.queue_capacity = queue;
+    cfg.runtime.admission =
+        Admission::BlockWithTimeout(Duration::from_millis(admission_timeout_ms));
+
+    let server = match Server::bind(addr.as_str(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("kfuse_serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("addr={}", server.local_addr());
+    println!("metrics=http://{}/metrics", server.metrics_addr());
+    println!("healthz=http://{}/healthz", server.metrics_addr());
+
+    if duration_secs == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(duration_secs));
+    server.shutdown();
+    ExitCode::SUCCESS
+}

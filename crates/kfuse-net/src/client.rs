@@ -1,0 +1,219 @@
+//! Blocking client for the kfuse wire protocol.
+//!
+//! A [`Client`] wraps one TCP connection. Requests can be pipelined:
+//! [`Client::submit`] returns as soon as the frame is written, and
+//! [`Client::recv_result`] collects replies in submission order (the
+//! server guarantees FIFO replies per connection). [`Client::call`] is
+//! the simple submit-and-wait composition.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use kfuse_dsl::Schedule;
+use kfuse_ir::{Image, ImageId, Pipeline};
+
+use crate::wire::{read_frame, write_frame, ErrorCode, Frame, Limits, WireError};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(io::Error),
+    /// The reply could not be decoded.
+    Wire(WireError),
+    /// The server answered with a typed [`Frame::Error`].
+    Server {
+        /// Request the error answers (`0` = connection-level).
+        request_id: u64,
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server sent a frame that makes no sense here.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server {
+                request_id,
+                code,
+                message,
+            } => write!(
+                f,
+                "server error (request {request_id}, {code:?}): {message}"
+            ),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One connection to a kfuse server.
+pub struct Client {
+    stream: TcpStream,
+    limits: Limits,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects with default [`Limits`] and no socket timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            limits: Limits::default(),
+            next_id: 0,
+        })
+    }
+
+    /// Sets socket read/write timeouts (`None` = block forever).
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
+
+    /// Replaces the decode-side limits applied to server replies.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.limits = limits;
+    }
+
+    /// Sends a raw frame (loadgen and the fuzz harness use this to send
+    /// frames a well-behaved client never would).
+    pub fn send_raw(&mut self, frame: &Frame) -> io::Result<usize> {
+        write_frame(&mut self.stream, frame)
+    }
+
+    /// Receives the next frame, whatever it is.
+    pub fn recv_frame(&mut self) -> Result<Frame, WireError> {
+        read_frame(&mut self.stream, &self.limits)
+    }
+
+    /// Registers `pipeline` under `name`; returns the server-computed
+    /// fingerprint (always equal to `pipeline.fingerprint()` — the server
+    /// verifies and would error otherwise).
+    pub fn register(&mut self, name: &str, pipeline: &Pipeline) -> Result<u64, ClientError> {
+        self.send_raw(&Frame::RegisterPipeline {
+            name: name.to_string(),
+            fingerprint: pipeline.fingerprint(),
+            pipeline: pipeline.clone(),
+        })?;
+        match self.recv_frame()? {
+            Frame::RegisterAck { fingerprint } => Ok(fingerprint),
+            Frame::Error {
+                request_id,
+                code,
+                message,
+            } => Err(ClientError::Server {
+                request_id,
+                code,
+                message,
+            }),
+            _ => Err(ClientError::Unexpected("reply to RegisterPipeline")),
+        }
+    }
+
+    /// Submits without waiting; returns the request id. `deadline` is a
+    /// completion budget measured from server receipt.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+        deadline: Option<Duration>,
+    ) -> Result<u64, ClientError> {
+        self.next_id += 1;
+        let request_id = self.next_id;
+        let deadline_us = deadline
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1))
+            .unwrap_or(0);
+        self.send_raw(&Frame::Submit {
+            request_id,
+            tenant: tenant.to_string(),
+            deadline_us,
+            schedule,
+            inputs,
+        })?;
+        Ok(request_id)
+    }
+
+    /// Collects the next execution reply:
+    /// `(request id, output images)`.
+    pub fn recv_result(&mut self) -> Result<(u64, Vec<(ImageId, Image)>), ClientError> {
+        match self.recv_frame()? {
+            Frame::ResultOk {
+                request_id,
+                outputs,
+            } => Ok((request_id, outputs)),
+            Frame::Error {
+                request_id,
+                code,
+                message,
+            } => Err(ClientError::Server {
+                request_id,
+                code,
+                message,
+            }),
+            _ => Err(ClientError::Unexpected("reply to Submit")),
+        }
+    }
+
+    /// Submit-and-wait.
+    pub fn call(
+        &mut self,
+        tenant: &str,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<(ImageId, Image)>, ClientError> {
+        let id = self.submit(tenant, inputs, schedule, deadline)?;
+        let (request_id, outputs) = self.recv_result()?;
+        if request_id != id {
+            return Err(ClientError::Unexpected("out-of-order reply"));
+        }
+        Ok(outputs)
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let token = 0x6b66_7573_650a_0a0a ^ self.next_id;
+        self.send_raw(&Frame::Ping { token })?;
+        match self.recv_frame()? {
+            Frame::Pong { token: t } if t == token => Ok(()),
+            Frame::Pong { .. } => Err(ClientError::Unexpected("pong with wrong token")),
+            _ => Err(ClientError::Unexpected("reply to Ping")),
+        }
+    }
+
+    /// Asks the server to drain; returns once acknowledged.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        self.send_raw(&Frame::Drain)?;
+        match self.recv_frame()? {
+            Frame::DrainAck => Ok(()),
+            _ => Err(ClientError::Unexpected("reply to Drain")),
+        }
+    }
+}

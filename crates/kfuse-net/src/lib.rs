@@ -1,0 +1,49 @@
+//! Dependency-free TCP serving front-end for the `kfuse` runtime.
+//!
+//! After `kfuse-runtime` made fused-pipeline serving a *process-local*
+//! facility, this crate puts it on the network — the deployment shape
+//! runtime-fusion systems assume (clients ship array-program IR at
+//! runtime; the server amortizes planning across requests via the
+//! fingerprint-keyed plan cache). Everything is built on `std` alone,
+//! matching the workspace's zero-external-crate rule.
+//!
+//! * [`wire`] — the versioned, length-prefixed, FNV-1a-checksummed frame
+//!   protocol: `RegisterPipeline` (serialized kfuse-ir + fingerprint),
+//!   `Submit` (tenant, deadline budget, image payload), `ResultOk` /
+//!   `Error` replies, and `Ping`/`Drain` control frames. Decoding is
+//!   bounded by [`wire::Limits`] before any allocation.
+//! * [`server`] — a [`server::Server`] owning a `kfuse_runtime::Runtime`:
+//!   per-connection read/write timeouts, slow-loris detection, bounded
+//!   in-flight pipelining with FIFO replies, deadline propagation into
+//!   the worker queue, graceful drain, and an HTTP/1.0 sidecar serving
+//!   Prometheus `/metrics` and `/healthz`.
+//! * [`client`] — a blocking [`client::Client`] with register / submit /
+//!   pipelined receive / ping / drain.
+//! * [`metrics`] — transport counters (`kfuse_net_*` families) exported
+//!   next to the runtime's serving metrics.
+//!
+//! Frames survive the wire bit-exactly — images travel as raw IEEE-754
+//! bit patterns — so a served result can be compared with
+//! `Image::bit_equal` against a local reference execution:
+//!
+//! ```
+//! use kfuse_net::wire::{decode_frame, encode_frame, Frame, Limits};
+//!
+//! let bytes = encode_frame(&Frame::Ping { token: 7 });
+//! match decode_frame(&bytes, &Limits::default()).unwrap() {
+//!     Frame::Ping { token } => assert_eq!(token, 7),
+//!     other => panic!("wrong frame: {other:?}"),
+//! }
+//! ```
+
+pub mod client;
+mod codec;
+mod http;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use metrics::{NetMetrics, NetSnapshot};
+pub use server::{Server, ServerConfig};
+pub use wire::{ErrorCode, Frame, Limits, WireError};

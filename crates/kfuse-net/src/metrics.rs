@@ -1,0 +1,222 @@
+//! Network-layer counters, exported alongside the runtime's metrics.
+//!
+//! The runtime already meters *jobs* (`kfuse_requests_total`, latency
+//! histograms, queue gauges — see `kfuse-runtime::metrics`); this module
+//! meters the *transport*: connections, frames, bytes, protocol errors,
+//! and the drain/slow-loris events only the server can see. Families are
+//! prefixed `kfuse_net_` so the two Prometheus documents concatenate into
+//! one valid exposition on the `/metrics` sidecar.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kfuse_obs::PromWriter;
+
+/// Lock-free transport counters shared by every connection handler.
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    connections_refused: AtomicU64,
+    frames_received: AtomicU64,
+    frames_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    protocol_errors: AtomicU64,
+    stalled_connections: AtomicU64,
+    refused_draining: AtomicU64,
+}
+
+impl NetMetrics {
+    pub(crate) fn connection_opened(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.connections_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_closed(&self) {
+        self.connections_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_refused(&self) {
+        self.connections_refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn frame_received(&self, bytes: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn frame_sent(&self, bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn connection_stalled(&self) {
+        self.stalled_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn refused_draining(&self) {
+        self.refused_draining.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            connections_total: self.connections_total.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            stalled_connections: self.stalled_connections.load(Ordering::Relaxed),
+            refused_draining: self.refused_draining.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`NetMetrics`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetSnapshot {
+    /// Connections ever accepted.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Connections dropped at accept because the server was full.
+    pub connections_refused: u64,
+    /// Frames successfully decoded from clients.
+    pub frames_received: u64,
+    /// Frames written to clients.
+    pub frames_sent: u64,
+    /// Wire bytes of successfully decoded frames.
+    pub bytes_received: u64,
+    /// Wire bytes written.
+    pub bytes_sent: u64,
+    /// Frames rejected as malformed (bad magic/version/checksum/…).
+    pub protocol_errors: u64,
+    /// Connections dropped for stalling mid-frame (slow-loris).
+    pub stalled_connections: u64,
+    /// Submissions refused because the server was draining.
+    pub refused_draining: u64,
+}
+
+impl NetSnapshot {
+    /// Prometheus text exposition of the transport counters. Families are
+    /// disjoint from the runtime's (`kfuse_net_*` vs `kfuse_*`), so the
+    /// two documents concatenate into one valid scrape body.
+    pub fn to_prometheus(&self) -> String {
+        let mut w = PromWriter::new();
+        let counters: [(&str, &str, u64); 8] = [
+            (
+                "kfuse_net_connections_total",
+                "Connections ever accepted",
+                self.connections_total,
+            ),
+            (
+                "kfuse_net_connections_refused_total",
+                "Connections dropped at accept (server full)",
+                self.connections_refused,
+            ),
+            (
+                "kfuse_net_frames_received_total",
+                "Frames successfully decoded",
+                self.frames_received,
+            ),
+            (
+                "kfuse_net_frames_sent_total",
+                "Frames written to clients",
+                self.frames_sent,
+            ),
+            (
+                "kfuse_net_bytes_received_total",
+                "Wire bytes of decoded frames",
+                self.bytes_received,
+            ),
+            (
+                "kfuse_net_bytes_sent_total",
+                "Wire bytes written",
+                self.bytes_sent,
+            ),
+            (
+                "kfuse_net_protocol_errors_total",
+                "Frames rejected as malformed",
+                self.protocol_errors,
+            ),
+            (
+                "kfuse_net_refused_draining_total",
+                "Submissions refused while draining",
+                self.refused_draining,
+            ),
+        ];
+        for (name, help, value) in counters {
+            w.family(name, "counter", help);
+            w.sample(name, &[], value as f64);
+        }
+        w.family(
+            "kfuse_net_stalled_connections_total",
+            "counter",
+            "Connections dropped for stalling mid-frame",
+        );
+        w.sample(
+            "kfuse_net_stalled_connections_total",
+            &[],
+            self.stalled_connections as f64,
+        );
+        w.family(
+            "kfuse_net_connections_active",
+            "gauge",
+            "Connections currently open",
+        );
+        w.sample(
+            "kfuse_net_connections_active",
+            &[],
+            self.connections_active as f64,
+        );
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_obs::validate_prometheus;
+
+    #[test]
+    fn prometheus_export_validates() {
+        let m = NetMetrics::default();
+        m.connection_opened();
+        m.frame_received(64);
+        m.frame_sent(1024);
+        m.protocol_error();
+        m.refused_draining();
+        m.connection_stalled();
+        m.connection_refused();
+        let snap = m.snapshot();
+        assert_eq!(snap.connections_total, 1);
+        assert_eq!(snap.connections_active, 1);
+        assert_eq!(snap.bytes_received, 64);
+        assert_eq!(snap.bytes_sent, 1024);
+        let doc = snap.to_prometheus();
+        let samples = validate_prometheus(&doc).expect("valid exposition");
+        assert_eq!(samples, 10);
+        assert!(doc.contains("kfuse_net_connections_total 1"));
+        assert!(doc.contains("kfuse_net_bytes_sent_total 1024"));
+        assert!(doc.contains("kfuse_net_protocol_errors_total 1"));
+    }
+
+    #[test]
+    fn close_decrements_active() {
+        let m = NetMetrics::default();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        let snap = m.snapshot();
+        assert_eq!(snap.connections_total, 2);
+        assert_eq!(snap.connections_active, 1);
+    }
+}

@@ -1,0 +1,574 @@
+//! The kfuse TCP server: frames in, jobs through the runtime, frames out.
+//!
+//! ## Per-connection threading
+//!
+//! Each accepted connection gets a **reader** thread (the handler) and a
+//! **writer** thread, joined by a bounded `sync_channel` whose capacity is
+//! [`ServerConfig::max_in_flight`]. The reader decodes frames and submits
+//! jobs; the writer waits on each [`JobHandle`] in FIFO order and writes
+//! the reply. The channel bound is the per-connection in-flight limit:
+//! when a client pipelines more submits than the server will buffer, the
+//! reader blocks on `send`, stops reading, and TCP backpressure does the
+//! rest. Replies therefore always arrive in submission order.
+//!
+//! ## Timeouts and hostile peers
+//!
+//! The socket carries a read timeout. A timeout while *between* frames is
+//! an idle client — allowed indefinitely. A timeout *mid-frame* means the
+//! peer started a frame and stopped feeding it: the classic slow-loris
+//! hold-a-thread attack, answered by dropping the connection
+//! ([`crate::wire::WireError::Stalled`]). Malformed frames (bad magic,
+//! version, checksum, truncation, over-limit payloads) get a typed
+//! [`Frame::Error`] reply where the stream still has framing, then the
+//! connection closes — a desynchronized byte stream cannot be trusted
+//! again.
+//!
+//! ## Deadlines and drain
+//!
+//! `Submit.deadline_us` is a relative budget; the server anchors it to its
+//! own clock at decode time and threads the absolute instant through
+//! [`Runtime::submit_with_deadline`], so a job that outwaits its budget in
+//! the queue is rejected at dequeue *without executing*. [`Frame::Drain`]
+//! (or [`Server::begin_drain`]) flips a server-wide flag: new submissions
+//! are refused with [`ErrorCode::Draining`] while everything already
+//! admitted runs to completion and its replies are delivered.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use kfuse_ir::{ImageId, Pipeline};
+use kfuse_obs::Tracer;
+use kfuse_runtime::{Admission, JobHandle, MetricsSnapshot, Runtime, RuntimeConfig, RuntimeError};
+
+use crate::http;
+use crate::metrics::{NetMetrics, NetSnapshot};
+use crate::wire::{read_frame_counted, write_frame, ErrorCode, Frame, Limits, WireError};
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Runtime the server owns. The default swaps admission to
+    /// [`Admission::BlockWithTimeout`] — a network front-end must never
+    /// park a connection handler forever on a saturated queue.
+    pub runtime: RuntimeConfig,
+    /// Decode-side resource bounds applied to every received frame.
+    pub limits: Limits,
+    /// Socket read timeout. Between frames a timeout merely re-polls
+    /// (idle clients are fine); mid-frame it drops the connection.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a peer that stops reading its replies is
+    /// disconnected rather than allowed to wedge the writer thread.
+    pub write_timeout: Duration,
+    /// Maximum submitted-but-unanswered requests per connection; beyond
+    /// it the reader stops reading (TCP backpressure).
+    pub max_in_flight: usize,
+    /// Maximum simultaneously open connections; excess accepts are
+    /// dropped immediately.
+    pub max_connections: usize,
+    /// Trace recorder for connection/frame spans (disabled by default).
+    pub tracer: Tracer,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            runtime: RuntimeConfig {
+                admission: Admission::BlockWithTimeout(Duration::from_secs(2)),
+                ..RuntimeConfig::default()
+            },
+            limits: Limits::default(),
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_secs(5),
+            max_in_flight: 32,
+            max_connections: 64,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// A registered pipeline: shared, immutable, validated at registration.
+struct Registered {
+    fingerprint: u64,
+    pipeline: Arc<Pipeline>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) runtime: Runtime,
+    registry: Mutex<HashMap<String, Registered>>,
+    pub(crate) draining: AtomicBool,
+    shutdown: AtomicBool,
+    pub(crate) net: NetMetrics,
+}
+
+impl Inner {
+    pub(crate) fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// What the reader hands the writer for one received frame.
+enum Reply {
+    /// An admitted job: wait for the handle, then answer `request_id`.
+    Job {
+        request_id: u64,
+        handle: JobHandle,
+        outputs: Vec<ImageId>,
+    },
+    /// An immediately-known reply (acks, errors, pongs).
+    Now(Frame),
+}
+
+/// A running kfuse TCP server plus its HTTP metrics sidecar.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    http_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    http_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds the frame listener on `addr` (use port 0 for an ephemeral
+    /// port) and the HTTP sidecar on an ephemeral localhost port, then
+    /// starts accepting.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let bound = listener.local_addr()?;
+        let http_listener = TcpListener::bind("127.0.0.1:0")?;
+        http_listener.set_nonblocking(true)?;
+        let http_addr = http_listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            runtime: Runtime::new(cfg.runtime.clone()),
+            cfg,
+            registry: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            net: NetMetrics::default(),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = thread::Builder::new()
+            .name("kfuse-net-accept".into())
+            .spawn(move || accept_loop(accept_inner, listener, accept_conns))?;
+
+        let http_inner = Arc::clone(&inner);
+        let http_thread = thread::Builder::new()
+            .name("kfuse-net-http".into())
+            .spawn(move || http::serve(http_inner, http_listener))?;
+
+        Ok(Server {
+            inner,
+            addr: bound,
+            http_addr,
+            accept_thread: Some(accept_thread),
+            http_thread: Some(http_thread),
+            conn_threads,
+        })
+    }
+
+    /// Address the frame protocol is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Address of the HTTP `/metrics` + `/healthz` sidecar.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// Whether the server is refusing new submissions.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Refuse new submissions while letting admitted work finish —
+    /// exactly what receiving [`Frame::Drain`] does.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the transport counters.
+    pub fn net_metrics(&self) -> NetSnapshot {
+        self.inner.net.snapshot()
+    }
+
+    /// Snapshot of the owned runtime's serving metrics.
+    pub fn runtime_metrics(&self) -> MetricsSnapshot {
+        self.inner.runtime.metrics()
+    }
+
+    /// Drains, closes the listeners, joins every thread, and shuts the
+    /// runtime down (in-flight jobs finish first).
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.http_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for t in handles {
+            let _ = t.join();
+        }
+        self.inner.runtime.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // `shutdown(self)` takes the threads out; a plain drop still stops
+        // the loops so detached threads exit promptly.
+        self.inner.draining.store(true, Ordering::SeqCst);
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut guard = conns.lock().unwrap();
+                guard.retain(|t| !t.is_finished());
+                if guard.len() >= inner.cfg.max_connections {
+                    inner.net.connection_refused();
+                    drop(stream);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(inner.cfg.read_timeout));
+                let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+                let conn_inner = Arc::clone(&inner);
+                if let Ok(t) = thread::Builder::new()
+                    .name("kfuse-net-conn".into())
+                    .spawn(move || handle_connection(conn_inner, stream))
+                {
+                    guard.push(t);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
+    inner.net.connection_opened();
+    let tracer = inner.cfg.tracer.clone();
+    let _conn_span = tracer.span("connection", "net");
+    tracer.counter(
+        "net_connections_active",
+        "net",
+        inner.net.snapshot().connections_active as f64,
+    );
+
+    let peer_dead = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Reply>(inner.cfg.max_in_flight.max(1));
+    let writer = match stream.try_clone() {
+        Ok(out) => {
+            let w_inner = Arc::clone(&inner);
+            let w_dead = Arc::clone(&peer_dead);
+            thread::Builder::new()
+                .name("kfuse-net-write".into())
+                .spawn(move || writer_loop(w_inner, out, rx, w_dead))
+                .ok()
+        }
+        Err(_) => None,
+    };
+    if writer.is_some() {
+        reader_loop(&inner, &mut stream, &tx, &peer_dead);
+    }
+    drop(tx); // lets the writer drain pending replies and exit
+    if let Some(w) = writer {
+        let _ = w.join();
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    inner.net.connection_closed();
+}
+
+fn reader_loop(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    tx: &SyncSender<Reply>,
+    peer_dead: &AtomicBool,
+) {
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) || peer_dead.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame_counted(stream, &inner.cfg.limits) {
+            Ok((frame, bytes)) => {
+                inner.net.frame_received(bytes);
+                let _span = inner.cfg.tracer.span(frame.type_name(), "net");
+                if !handle_frame(inner, frame, tx) {
+                    return;
+                }
+            }
+            Err(WireError::IdleTimeout) => continue,
+            Err(WireError::Closed) => return,
+            Err(WireError::Stalled) => {
+                inner.net.connection_stalled();
+                return;
+            }
+            Err(WireError::Io(_)) => return,
+            Err(e) => {
+                // Framing-level garbage: answer with a typed error, then
+                // close — the byte stream can no longer be trusted.
+                inner.net.protocol_error();
+                let _ = tx.send(Reply::Now(Frame::Error {
+                    request_id: 0,
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                }));
+                return;
+            }
+        }
+    }
+}
+
+/// Handles one decoded frame; returns `false` to close the connection.
+fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> bool {
+    match frame {
+        Frame::RegisterPipeline {
+            name,
+            fingerprint,
+            pipeline,
+        } => {
+            if inner.draining.load(Ordering::SeqCst) {
+                return send_error(tx, 0, ErrorCode::Draining, "server is draining");
+            }
+            let computed = pipeline.fingerprint();
+            if computed != fingerprint {
+                return send_error(
+                    tx,
+                    0,
+                    ErrorCode::FingerprintMismatch,
+                    &format!("client fingerprint {fingerprint:#018x} != decoded {computed:#018x}"),
+                );
+            }
+            let mut registry = inner.registry.lock().unwrap();
+            // Re-registration of an identical pipeline is idempotent —
+            // keep the existing Arc so in-flight jobs and the plan cache
+            // keep sharing it.
+            match registry.get(&name) {
+                Some(existing) if existing.fingerprint == computed => {}
+                _ => {
+                    registry.insert(
+                        name,
+                        Registered {
+                            fingerprint: computed,
+                            pipeline: Arc::new(pipeline),
+                        },
+                    );
+                }
+            }
+            drop(registry);
+            tx.send(Reply::Now(Frame::RegisterAck {
+                fingerprint: computed,
+            }))
+            .is_ok()
+        }
+        Frame::Submit {
+            request_id,
+            tenant,
+            deadline_us,
+            schedule,
+            inputs,
+        } => {
+            if inner.draining.load(Ordering::SeqCst) {
+                inner.net.refused_draining();
+                return send_error(tx, request_id, ErrorCode::Draining, "server is draining");
+            }
+            let pipeline = {
+                let registry = inner.registry.lock().unwrap();
+                match registry.get(&tenant) {
+                    Some(reg) => Arc::clone(&reg.pipeline),
+                    None => {
+                        return send_error(
+                            tx,
+                            request_id,
+                            ErrorCode::UnknownPipeline,
+                            &format!("no pipeline registered as {tenant:?}"),
+                        )
+                    }
+                }
+            };
+            if let Err(msg) = check_inputs(&pipeline, &inputs) {
+                return send_error(tx, request_id, ErrorCode::BadInputs, &msg);
+            }
+            // Anchor the relative budget to the server clock *before*
+            // queueing so queue wait counts against it.
+            let deadline =
+                (deadline_us > 0).then(|| Instant::now() + Duration::from_micros(deadline_us));
+            match inner
+                .runtime
+                .submit_with_deadline(&tenant, &pipeline, inputs, schedule, deadline)
+            {
+                Ok(handle) => tx
+                    .send(Reply::Job {
+                        request_id,
+                        handle,
+                        outputs: pipeline.outputs().to_vec(),
+                    })
+                    .is_ok(),
+                Err(e) => {
+                    let (code, msg) = map_runtime_error(&e);
+                    send_error(tx, request_id, code, &msg)
+                }
+            }
+        }
+        Frame::Ping { token } => tx.send(Reply::Now(Frame::Pong { token })).is_ok(),
+        Frame::Drain => {
+            inner.draining.store(true, Ordering::SeqCst);
+            tx.send(Reply::Now(Frame::DrainAck)).is_ok()
+        }
+        // Server-to-client frame types arriving at the server are a
+        // protocol violation by a confused peer; answer and keep going.
+        Frame::RegisterAck { .. }
+        | Frame::ResultOk { .. }
+        | Frame::Error { .. }
+        | Frame::Pong { .. }
+        | Frame::DrainAck => send_error(
+            tx,
+            0,
+            ErrorCode::Unsupported,
+            "frame type not accepted in the client-to-server direction",
+        ),
+    }
+}
+
+/// Submitted inputs must bind exactly the pipeline's declared inputs with
+/// matching shapes — checked *before* any id indexes anything.
+fn check_inputs(pipeline: &Pipeline, inputs: &[(ImageId, kfuse_ir::Image)]) -> Result<(), String> {
+    let declared = pipeline.inputs();
+    if inputs.len() != declared.len() {
+        return Err(format!(
+            "pipeline declares {} inputs, submit carries {}",
+            declared.len(),
+            inputs.len()
+        ));
+    }
+    for (id, img) in inputs {
+        if !declared.contains(id) {
+            return Err(format!("image id {} is not a declared input", id.0));
+        }
+        let want = pipeline.image(*id);
+        let got = img.desc();
+        if (got.width, got.height, got.channels) != (want.width, want.height, want.channels) {
+            return Err(format!(
+                "input {} is {}x{}x{}, pipeline wants {}x{}x{}",
+                id.0, got.width, got.height, got.channels, want.width, want.height, want.channels
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn map_runtime_error(e: &RuntimeError) -> (ErrorCode, String) {
+    let code = match e {
+        RuntimeError::QueueFull => ErrorCode::QueueFull,
+        RuntimeError::AdmissionTimeout => ErrorCode::AdmissionTimeout,
+        RuntimeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        RuntimeError::ShuttingDown => ErrorCode::Draining,
+        RuntimeError::Panicked(_) => ErrorCode::Panicked,
+        RuntimeError::Exec(_) => ErrorCode::ExecFailed,
+    };
+    (code, e.to_string())
+}
+
+fn send_error(tx: &SyncSender<Reply>, request_id: u64, code: ErrorCode, message: &str) -> bool {
+    tx.send(Reply::Now(Frame::Error {
+        request_id,
+        code,
+        message: message.to_string(),
+    }))
+    .is_ok()
+}
+
+fn writer_loop(
+    inner: Arc<Inner>,
+    mut out: TcpStream,
+    rx: Receiver<Reply>,
+    peer_dead: Arc<AtomicBool>,
+) {
+    // Iterating the receiver ends when the reader drops its sender; every
+    // queued `Job` is still waited on so its result slot is consumed.
+    for reply in rx.iter() {
+        let frame = match reply {
+            Reply::Now(frame) => frame,
+            Reply::Job {
+                request_id,
+                handle,
+                outputs,
+            } => match handle.wait() {
+                Ok(exec) => {
+                    let mut imgs = Vec::with_capacity(outputs.len());
+                    let mut missing = None;
+                    for id in outputs {
+                        match exec.image(id) {
+                            Some(img) => imgs.push((id, img.clone())),
+                            None => {
+                                missing = Some(id);
+                                break;
+                            }
+                        }
+                    }
+                    match missing {
+                        None => Frame::ResultOk {
+                            request_id,
+                            outputs: imgs,
+                        },
+                        Some(id) => Frame::Error {
+                            request_id,
+                            code: ErrorCode::ExecFailed,
+                            message: format!("execution produced no image {}", id.0),
+                        },
+                    }
+                }
+                Err(e) => {
+                    let (code, message) = map_runtime_error(&e);
+                    Frame::Error {
+                        request_id,
+                        code,
+                        message,
+                    }
+                }
+            },
+        };
+        match write_frame(&mut out, &frame) {
+            Ok(bytes) => inner.net.frame_sent(bytes),
+            Err(_) => {
+                // Peer stopped reading (or write timed out). Mark the
+                // connection dead so the reader exits, then keep draining
+                // the channel without writing: pending job handles must
+                // still be consumed.
+                peer_dead.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+    // Drain any remaining replies after a write failure.
+    for reply in rx.iter() {
+        if let Reply::Job { handle, .. } = reply {
+            let _ = handle.wait();
+        }
+    }
+}

@@ -101,6 +101,8 @@ pub struct PipelineMetrics {
     completed: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
+    deadline_misses: AtomicU64,
+    admission_timeouts: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     latency: LatencyHistogram,
@@ -121,6 +123,18 @@ impl PipelineMetrics {
 
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job whose deadline expired in the queue: answered with
+    /// `DeadlineExceeded` at dequeue, never executed.
+    pub fn record_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a submission that waited out `Admission::BlockWithTimeout`
+    /// without ever being admitted.
+    pub fn record_admission_timeout(&self) {
+        self.admission_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_cache_hit(&self) {
@@ -144,6 +158,8 @@ impl PipelineMetrics {
             completed: self.completed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            admission_timeouts: self.admission_timeouts.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             p50_us: quantile_us(&counts, 0.50),
@@ -193,6 +209,11 @@ pub struct PipelineSnapshot {
     pub completed: u64,
     pub errors: u64,
     pub rejected: u64,
+    /// Jobs answered `DeadlineExceeded` at dequeue (never executed).
+    pub deadline_misses: u64,
+    /// Submissions that timed out waiting for queue space under
+    /// `Admission::BlockWithTimeout`.
+    pub admission_timeouts: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Median latency (µs), quantized to the histogram bucket upper bound.
@@ -213,6 +234,10 @@ pub struct PipelineSnapshot {
 pub struct RuntimeGauges {
     /// Jobs admitted but not yet picked up by a worker.
     pub queue_depth: u64,
+    /// Deepest the queue has ever been since startup (high-water mark):
+    /// instantaneous depth sampled at scrape time misses bursts between
+    /// scrapes; the HWM records the worst backlog ever reached.
+    pub queue_depth_hwm: u64,
     /// Jobs currently executing on worker threads.
     pub in_flight: u64,
     /// Compiled plans currently cached.
@@ -250,13 +275,16 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"requests\":{},\"completed\":{},\"errors\":{},\
-                 \"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"rejected\":{},\"deadline_misses\":{},\"admission_timeouts\":{},\
+                 \"cache_hits\":{},\"cache_misses\":{},\
                  \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{}}}",
                 escape_json(&p.name),
                 p.requests,
                 p.completed,
                 p.errors,
                 p.rejected,
+                p.deadline_misses,
+                p.admission_timeouts,
                 p.cache_hits,
                 p.cache_misses,
                 p.p50_us,
@@ -268,9 +296,14 @@ impl MetricsSnapshot {
         out.push_str("],\"runtime\":");
         let g = &self.runtime;
         out.push_str(&format!(
-            "{{\"queue_depth\":{},\"in_flight\":{},\"cache_size\":{},\
+            "{{\"queue_depth\":{},\"queue_depth_hwm\":{},\"in_flight\":{},\"cache_size\":{},\
              \"cache_capacity\":{},\"cache_evictions\":{}}}",
-            g.queue_depth, g.in_flight, g.cache_size, g.cache_capacity, g.cache_evictions,
+            g.queue_depth,
+            g.queue_depth_hwm,
+            g.in_flight,
+            g.cache_size,
+            g.cache_capacity,
+            g.cache_evictions,
         ));
         out.push('}');
         out
@@ -283,7 +316,7 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         type Field = fn(&PipelineSnapshot) -> u64;
         let mut w = PromWriter::new();
-        let counters: [(&str, &str, Field); 6] = [
+        let counters: [(&str, &str, Field); 8] = [
             ("kfuse_requests_total", "Requests submitted.", |p| {
                 p.requests
             }),
@@ -301,6 +334,16 @@ impl MetricsSnapshot {
                 "kfuse_requests_rejected_total",
                 "Requests rejected at admission.",
                 |p| p.rejected,
+            ),
+            (
+                "kfuse_deadline_misses_total",
+                "Jobs whose deadline expired in the queue (dropped unexecuted).",
+                |p| p.deadline_misses,
+            ),
+            (
+                "kfuse_admission_timeouts_total",
+                "Submissions that timed out waiting for queue space.",
+                |p| p.admission_timeouts,
             ),
             (
                 "kfuse_plan_cache_hits_total",
@@ -348,11 +391,16 @@ impl MetricsSnapshot {
             );
         }
         let g = &self.runtime;
-        let gauges: [(&str, &str, u64); 4] = [
+        let gauges: [(&str, &str, u64); 5] = [
             (
                 "kfuse_queue_depth",
                 "Jobs queued for a worker.",
                 g.queue_depth,
+            ),
+            (
+                "kfuse_queue_depth_hwm",
+                "Deepest the queue has ever been (high-water mark).",
+                g.queue_depth_hwm,
             ),
             (
                 "kfuse_in_flight_requests",
@@ -447,13 +495,16 @@ mod tests {
         let mut snap = reg.snapshot();
         snap.runtime = RuntimeGauges {
             queue_depth: 3,
+            queue_depth_hwm: 7,
             in_flight: 2,
             cache_size: 5,
             cache_capacity: 8,
             cache_evictions: 1,
         };
         let json = snap.to_json();
-        assert!(json.contains("\"runtime\":{\"queue_depth\":3,\"in_flight\":2"));
+        assert!(
+            json.contains("\"runtime\":{\"queue_depth\":3,\"queue_depth_hwm\":7,\"in_flight\":2")
+        );
         assert!(json.contains("\"cache_evictions\":1}"));
     }
 
@@ -467,11 +518,13 @@ mod tests {
         reg.handle("plain").record_request();
         let mut snap = reg.snapshot();
         snap.runtime.queue_depth = 4;
+        snap.runtime.queue_depth_hwm = 9;
         let doc = snap.to_prometheus();
-        // 6 counter families × 2 pipelines + 3 quantiles × 2 pipelines
-        // + 1 mean × 2 pipelines + 5 runtime samples.
-        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 25);
+        // 8 counter families × 2 pipelines + 3 quantiles × 2 pipelines
+        // + 1 mean × 2 pipelines + 6 runtime samples.
+        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 30);
         assert!(doc.contains("# TYPE kfuse_requests_total counter"));
+        assert!(doc.contains("kfuse_queue_depth_hwm 9"));
         assert!(doc.contains("kfuse_requests_total{pipeline=\"a\\\"b\\\\c\"} 1"));
         assert!(doc.contains("kfuse_request_latency_us{pipeline=\"plain\",quantile=\"0.5\"} 0"));
         assert!(doc.contains("kfuse_request_latency_mean_us{pipeline=\"a\\\"b\\\\c\"} 100"));
@@ -522,5 +575,53 @@ mod tests {
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.errors, 0);
         assert_eq!(s.rejected, 0);
+        assert_eq!(s.deadline_misses, 0);
+        assert_eq!(s.admission_timeouts, 0);
+    }
+
+    /// The deadline-miss and admission-timeout counters round-trip through
+    /// both exporters and their own validators, like every other counter.
+    #[test]
+    fn deadline_and_admission_counters_round_trip() {
+        let reg = MetricsRegistry::default();
+        let m = reg.handle("t");
+        m.record_request();
+        m.record_deadline_miss();
+        m.record_deadline_miss();
+        m.record_admission_timeout();
+        let snap = reg.snapshot();
+        let s = snap.pipeline("t").unwrap();
+        assert_eq!(s.deadline_misses, 2);
+        assert_eq!(s.admission_timeouts, 1);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"deadline_misses\":2"));
+        assert!(json.contains("\"admission_timeouts\":1"));
+        kfuse_obs::parse_json(&json).expect("strict parser accepts the snapshot");
+
+        let doc = snap.to_prometheus();
+        assert!(doc.contains("# TYPE kfuse_deadline_misses_total counter"));
+        assert!(doc.contains("kfuse_deadline_misses_total{pipeline=\"t\"} 2"));
+        assert!(doc.contains("kfuse_admission_timeouts_total{pipeline=\"t\"} 1"));
+        kfuse_obs::validate_prometheus(&doc).expect("exposition validates");
+    }
+
+    /// The queue-depth high-water mark renders in both exporters and is
+    /// independent of the instantaneous depth.
+    #[test]
+    fn queue_depth_hwm_round_trips() {
+        let reg = MetricsRegistry::default();
+        reg.handle("t").record_request();
+        let mut snap = reg.snapshot();
+        snap.runtime.queue_depth = 0;
+        snap.runtime.queue_depth_hwm = 12;
+        let json = snap.to_json();
+        assert!(json.contains("\"queue_depth\":0"));
+        assert!(json.contains("\"queue_depth_hwm\":12"));
+        kfuse_obs::parse_json(&json).expect("strict parser accepts the snapshot");
+        let doc = snap.to_prometheus();
+        assert!(doc.contains("# TYPE kfuse_queue_depth_hwm gauge"));
+        assert!(doc.contains("kfuse_queue_depth_hwm 12"));
+        kfuse_obs::validate_prometheus(&doc).expect("exposition validates");
     }
 }

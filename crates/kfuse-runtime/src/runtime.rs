@@ -17,8 +17,14 @@
 //!
 //! Admission control is configurable: when the queue is full, [`Admission::Reject`]
 //! fails the submit with [`RuntimeError::QueueFull`] (shed load, keep
-//! latency bounded) while [`Admission::Block`] parks the submitter until a
-//! worker frees a slot (backpressure). [`Runtime::shutdown`] is graceful:
+//! latency bounded), [`Admission::Block`] parks the submitter until a
+//! worker frees a slot (backpressure), and
+//! [`Admission::BlockWithTimeout`] parks with an upper bound — the mode a
+//! network front-end needs, since a connection handler can never wait
+//! forever. Jobs may carry a deadline
+//! ([`Runtime::submit_with_deadline`]): a job whose deadline passed while
+//! queued is answered with [`RuntimeError::DeadlineExceeded`] at dequeue,
+//! before any planning or execution. [`Runtime::shutdown`] is graceful:
 //! it stops admission, lets the workers drain every queued job, and joins
 //! them — no accepted request is ever dropped.
 
@@ -34,7 +40,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What `submit` does when the work queue is at capacity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +49,12 @@ pub enum Admission {
     Block,
     /// Fail fast with [`RuntimeError::QueueFull`] (load shedding).
     Reject,
+    /// Park the submitting thread like [`Admission::Block`], but give up
+    /// with [`RuntimeError::AdmissionTimeout`] once the wait exceeds the
+    /// given duration. A network front-end must use this (or `Reject`):
+    /// an unbounded `Block` wait would let one saturated runtime pin every
+    /// connection-handler thread forever.
+    BlockWithTimeout(Duration),
 }
 
 /// Configuration of a [`Runtime`].
@@ -94,6 +106,13 @@ pub enum RuntimeError {
     QueueFull,
     /// The runtime is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The queue stayed full past the [`Admission::BlockWithTimeout`]
+    /// deadline; the job was never admitted.
+    AdmissionTimeout,
+    /// The job's deadline had already passed when a worker dequeued it;
+    /// the job was dropped without executing (doing work nobody can use
+    /// anymore only adds queueing delay for everyone behind it).
+    DeadlineExceeded,
     /// The job panicked inside a worker (a bug, but contained: the worker
     /// survives and the panic message is forwarded to the caller).
     Panicked(String),
@@ -105,6 +124,12 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Exec(e) => write!(f, "execution failed: {e}"),
             RuntimeError::QueueFull => write!(f, "work queue is full"),
             RuntimeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            RuntimeError::AdmissionTimeout => {
+                write!(f, "work queue stayed full past the admission timeout")
+            }
+            RuntimeError::DeadlineExceeded => {
+                write!(f, "job deadline expired before a worker picked it up")
+            }
             RuntimeError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
     }
@@ -221,6 +246,9 @@ struct Job {
     metrics: Arc<PipelineMetrics>,
     slot: Arc<Slot>,
     submitted: Instant,
+    /// Latest useful completion instant; expired jobs are dropped at
+    /// dequeue without executing.
+    deadline: Option<Instant>,
 }
 
 struct QueueState {
@@ -237,6 +265,10 @@ struct Shared {
     metrics: MetricsRegistry,
     /// Jobs currently executing on worker threads (gauge).
     in_flight: AtomicU64,
+    /// Deepest the queue has ever been (high-water mark): an instantaneous
+    /// `queue_depth` sampled at `metrics()` time says nothing about bursts
+    /// between scrapes; the HWM pins the worst backlog since startup.
+    queue_depth_hwm: AtomicU64,
     cfg: RuntimeConfig,
 }
 
@@ -264,6 +296,7 @@ impl Runtime {
             cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
             metrics: MetricsRegistry::default(),
             in_flight: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
             cfg,
         });
         let handles = if spawn {
@@ -302,6 +335,23 @@ impl Runtime {
         inputs: Vec<(ImageId, Image)>,
         schedule: Schedule,
     ) -> Result<JobHandle, RuntimeError> {
+        self.submit_with_deadline(name, pipeline, inputs, schedule, None)
+    }
+
+    /// Like [`Runtime::submit`], with a completion deadline. A job whose
+    /// deadline has passed when a worker dequeues it is answered with
+    /// [`RuntimeError::DeadlineExceeded`] **without executing** — the
+    /// caller (e.g. a network client that gave up) can no longer use the
+    /// result, so spending worker time on it would only grow the queue
+    /// wait of every job behind it. `None` means no deadline.
+    pub fn submit_with_deadline(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+        deadline: Option<Instant>,
+    ) -> Result<JobHandle, RuntimeError> {
         let metrics = self.shared.metrics.handle(name);
         metrics.record_request();
         let slot = Arc::new(Slot::default());
@@ -313,6 +363,13 @@ impl Runtime {
             metrics: Arc::clone(&metrics),
             slot: Arc::clone(&slot),
             submitted: Instant::now(),
+            deadline,
+        };
+        // For BlockWithTimeout: the instant at which waiting for queue
+        // space becomes a failed admission.
+        let give_up = match self.shared.cfg.admission {
+            Admission::BlockWithTimeout(t) => Some(Instant::now() + t),
+            _ => None,
         };
         let mut queue = self.shared.queue.lock().unwrap();
         loop {
@@ -322,10 +379,14 @@ impl Runtime {
             }
             if queue.jobs.len() < self.shared.cfg.queue_capacity {
                 queue.jobs.push_back(job);
+                let depth = queue.jobs.len() as u64;
+                self.shared
+                    .queue_depth_hwm
+                    .fetch_max(depth, Ordering::Relaxed);
                 self.shared
                     .cfg
                     .tracer
-                    .counter("queue_depth", "serve", queue.jobs.len() as f64);
+                    .counter("queue_depth", "serve", depth as f64);
                 self.shared.job_available.notify_one();
                 return Ok(JobHandle { slot });
             }
@@ -336,6 +397,20 @@ impl Runtime {
                 }
                 Admission::Block => {
                     queue = self.shared.space_available.wait(queue).unwrap();
+                }
+                Admission::BlockWithTimeout(_) => {
+                    let now = Instant::now();
+                    let give_up = give_up.expect("deadline computed above");
+                    if now >= give_up {
+                        metrics.record_admission_timeout();
+                        return Err(RuntimeError::AdmissionTimeout);
+                    }
+                    let (guard, _timed_out) = self
+                        .shared
+                        .space_available
+                        .wait_timeout(queue, give_up - now)
+                        .unwrap();
+                    queue = guard;
                 }
             }
         }
@@ -367,6 +442,7 @@ impl Runtime {
         let mut snap = self.shared.metrics.snapshot();
         snap.runtime = RuntimeGauges {
             queue_depth,
+            queue_depth_hwm: self.shared.queue_depth_hwm.load(Ordering::Relaxed),
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
             cache_size,
             cache_capacity,
@@ -432,6 +508,19 @@ fn worker_loop(shared: &Shared) {
         // the slot with `Panicked` if anything below unwinds before
         // `complete` runs.
         let guard = CompletionGuard::new(Arc::clone(&job.slot));
+        // Deadline check at dequeue, before any planning or execution: a
+        // job that expired in the queue is answered immediately and costs
+        // no worker time (the network layer translates this into a typed
+        // wire error the client sees instead of a late result).
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                job.metrics.record_deadline_miss();
+                let us = u64::try_from(job.submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+                job.metrics.record_latency_us(us);
+                guard.complete(Err(RuntimeError::DeadlineExceeded));
+                continue;
+            }
+        }
         #[cfg(test)]
         fail_point_after_dequeue(&job.tenant);
         let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
@@ -707,6 +796,127 @@ mod tests {
         let m = snap.pipeline("t").unwrap();
         assert_eq!(m.requests, 3);
         assert_eq!(m.rejected, 1);
+    }
+
+    /// A job whose deadline has already passed when a worker dequeues it
+    /// is answered with `DeadlineExceeded` and never executed: its tenant
+    /// sees a deadline miss, not a completion.
+    #[test]
+    fn expired_deadline_rejected_at_dequeue_without_executing() {
+        let (p, input, _) = blur_pipeline(9, 9);
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            ..small_cfg()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        // A deadline in the past is deterministic: no matter how fast the
+        // worker dequeues, the job is already expired.
+        let past = Instant::now() - Duration::from_millis(10);
+        let err = rt
+            .submit_with_deadline(
+                "late",
+                &p,
+                vec![(input, img.clone())],
+                Schedule::Optimized,
+                Some(past),
+            )
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded));
+        // A generous deadline executes normally.
+        let future = Instant::now() + Duration::from_secs(60);
+        rt.submit_with_deadline(
+            "late",
+            &p,
+            vec![(input, img)],
+            Schedule::Optimized,
+            Some(future),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+        let snap = rt.metrics();
+        let m = snap.pipeline("late").unwrap();
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.deadline_misses, 1);
+        assert_eq!(m.completed, 1);
+        // The expired job never planned or executed: exactly one cache
+        // miss (from the job that ran), no hit.
+        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.cache_hits, 0);
+    }
+
+    /// `BlockWithTimeout` parks the submitter like `Block` but gives up
+    /// once the queue stays full past the timeout, counting the failed
+    /// admission.
+    #[test]
+    fn block_with_timeout_gives_up_on_full_queue() {
+        let cfg = RuntimeConfig {
+            queue_capacity: 2,
+            admission: Admission::BlockWithTimeout(Duration::from_millis(50)),
+            ..RuntimeConfig::default()
+        };
+        // No workers: the queue can never drain, so the wait must time out.
+        let rt = Runtime::without_workers(cfg);
+        let (p, input, _) = blur_pipeline(5, 5);
+        let img = synthetic_image(p.image(input).clone(), 1);
+        for _ in 0..2 {
+            rt.submit("t", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+        }
+        let start = Instant::now();
+        let err = rt
+            .submit("t", &p, vec![(input, img)], Schedule::Baseline)
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::AdmissionTimeout));
+        assert!(start.elapsed() >= Duration::from_millis(50));
+        let snap = rt.metrics();
+        let m = snap.pipeline("t").unwrap();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.admission_timeouts, 1);
+        // Timed-out admissions are not `rejected`: the two counters
+        // distinguish load shedding from backpressure saturation.
+        assert_eq!(m.rejected, 0);
+    }
+
+    /// The queue-depth high-water mark tracks the deepest backlog ever
+    /// reached and survives the queue draining back to empty — which is
+    /// exactly what the instantaneous `queue_depth` gauge cannot show.
+    #[test]
+    fn queue_depth_high_water_mark_persists() {
+        let cfg = RuntimeConfig {
+            queue_capacity: 8,
+            ..RuntimeConfig::default()
+        };
+        // Deterministic part: with no workers the backlog cannot drain,
+        // so depth and HWM agree at the peak.
+        let rt = Runtime::without_workers(cfg.clone());
+        let (p, input, _) = blur_pipeline(5, 5);
+        let img = synthetic_image(p.image(input).clone(), 1);
+        for _ in 0..3 {
+            rt.submit("t", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+        }
+        let snap = rt.metrics();
+        assert_eq!(snap.runtime.queue_depth, 3);
+        assert_eq!(snap.runtime.queue_depth_hwm, 3);
+
+        // Live part: after a served burst fully drains, the HWM remains
+        // nonzero (every push records depth ≥ 1) while depth returns to 0.
+        let rt = Runtime::new(RuntimeConfig { workers: 1, ..cfg });
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|_| {
+                rt.submit("t", &p, vec![(input, img.clone())], Schedule::Baseline)
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = rt.metrics();
+        assert_eq!(snap.runtime.queue_depth, 0);
+        assert!(snap.runtime.queue_depth_hwm >= 1);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! End-to-end network serving: a live [`kfuse_net::Server`] driven by
+//! concurrent clients over localhost.
+//!
+//! The contract under test is the tentpole of the net subsystem:
+//!
+//! * every paper app served over the wire is **bit-identical** to a local
+//!   `execute_reference` run of the same unfused pipeline (the codec is
+//!   bit-exact and fusion is semantics-preserving end to end);
+//! * a deadline that expires in the queue is answered with a typed
+//!   rejection **without executing** (no worker time on dead requests);
+//! * `Drain` lets in-flight work finish and deliver results while new
+//!   submissions are refused.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kfuse_apps::paper_apps;
+use kfuse_dsl::Schedule;
+use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_net::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use kfuse_runtime::{Admission, RuntimeConfig};
+use kfuse_sim::{execute_reference, synthetic_image};
+
+fn inputs_for(p: &Pipeline, seed: u64) -> Vec<(ImageId, Image)> {
+    p.inputs()
+        .iter()
+        .map(|&id| (id, synthetic_image(p.image(id).clone(), seed)))
+        .collect()
+}
+
+/// Server + ≥4 concurrent client threads × six paper apps × three
+/// schedules' worth of traffic, every reply checked against the local
+/// reference interpreter.
+#[test]
+fn concurrent_clients_serve_all_paper_apps_bit_identically() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    let apps: Arc<Vec<_>> = Arc::new(
+        paper_apps()
+            .into_iter()
+            .map(|app| {
+                let p = (app.build_sized)(32, 24);
+                let inputs = inputs_for(&p, 11);
+                let reference = execute_reference(&p, &inputs).expect("reference");
+                (app.name, p, inputs, reference)
+            })
+            .collect(),
+    );
+
+    let verified = Arc::new(AtomicUsize::new(0));
+    let threads: Vec<_> = (0..4)
+        .map(|conn: u64| {
+            let apps = Arc::clone(&apps);
+            let verified = Arc::clone(&verified);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (name, p, _, _) in apps.iter() {
+                    client.register(name, p).expect("register");
+                }
+                let schedule = match conn % 3 {
+                    0 => Schedule::Baseline,
+                    1 => Schedule::Basic,
+                    _ => Schedule::Optimized,
+                };
+                for (name, _, inputs, reference) in apps.iter() {
+                    for _ in 0..3 {
+                        let outputs = client
+                            .call(name, inputs.clone(), schedule, None)
+                            .expect("call");
+                        assert!(!outputs.is_empty());
+                        for (id, img) in &outputs {
+                            assert!(
+                                img.bit_equal(reference.expect_image(*id)),
+                                "{name} output {} differs from execute_reference",
+                                id.0
+                            );
+                        }
+                        verified.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    // 4 connections × 6 apps × 3 calls.
+    assert_eq!(verified.load(Ordering::Relaxed), 72);
+
+    // The runtime metrics saw every request. The plan cache is shared
+    // across connections: only a first call can miss (concurrent cold
+    // starts may each miss before the plan lands), so ≤ 1 miss per
+    // connection and never one per request.
+    let metrics = server.runtime_metrics();
+    for (name, ..) in apps.iter() {
+        let m = metrics.pipeline(name).expect("per-tenant metrics");
+        assert_eq!(m.requests, 12, "{name}");
+        assert_eq!(m.completed, 12, "{name}");
+        assert!(m.cache_misses <= 4, "{name}: {} misses", m.cache_misses);
+    }
+    assert!(server.net_metrics().frames_received >= 72);
+    server.shutdown();
+}
+
+/// A submission whose deadline has already effectively passed when a
+/// worker dequeues it is rejected without executing: no cache activity,
+/// no completion — just the typed error and a deadline-miss count.
+#[test]
+fn expired_deadline_is_rejected_over_the_wire_without_executing() {
+    // No workers would be ideal; instead make the one worker busy with a
+    // long job, so the 1 µs-deadline job must wait in the queue and be
+    // dead on dequeue.
+    let cfg = ServerConfig {
+        runtime: RuntimeConfig {
+            workers: 1,
+            admission: Admission::BlockWithTimeout(Duration::from_secs(5)),
+            ..RuntimeConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let app = &paper_apps()[0];
+    let big = (app.build_sized)(256, 256);
+    let small = (app.build_sized)(16, 16);
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.register("busy", &big).expect("register big");
+    client.register("tight", &small).expect("register small");
+
+    // Pipeline: occupy the worker, then the doomed request behind it.
+    let busy_id = client
+        .submit("busy", inputs_for(&big, 1), Schedule::Optimized, None)
+        .expect("submit busy");
+    let tight_id = client
+        .submit(
+            "tight",
+            inputs_for(&small, 2),
+            Schedule::Optimized,
+            Some(Duration::from_micros(1)),
+        )
+        .expect("submit tight");
+
+    let (id1, _) = client.recv_result().expect("busy result");
+    assert_eq!(id1, busy_id);
+    match client.recv_result() {
+        Err(ClientError::Server {
+            request_id, code, ..
+        }) => {
+            assert_eq!(request_id, tight_id);
+            assert_eq!(code, ErrorCode::DeadlineExceeded);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    let metrics = server.runtime_metrics();
+    let m = metrics.pipeline("tight").expect("tenant metrics");
+    assert_eq!(m.requests, 1);
+    assert_eq!(m.deadline_misses, 1);
+    assert_eq!(m.completed, 0, "expired job must not execute");
+    assert_eq!(m.cache_misses, 0, "expired job must not even plan");
+    server.shutdown();
+}
+
+/// `Drain` lets in-flight requests finish (results still delivered) while
+/// refusing everything submitted afterwards.
+#[test]
+fn drain_finishes_in_flight_and_refuses_new_work() {
+    let cfg = ServerConfig {
+        runtime: RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let app = &paper_apps()[0];
+    let big = (app.build_sized)(256, 256);
+    let inputs = inputs_for(&big, 5);
+    let reference = execute_reference(&big, &inputs).expect("reference");
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.register("work", &big).expect("register");
+
+    // In flight before the drain…
+    let in_flight = client
+        .submit("work", inputs.clone(), Schedule::Optimized, None)
+        .expect("submit");
+    // …drain from a second connection (the first is mid-conversation)…
+    let mut drainer = Client::connect(server.local_addr()).expect("connect drainer");
+    drainer.drain().expect("drain ack");
+    assert!(server.is_draining());
+
+    // …the in-flight request still completes, bit-identical.
+    let (id, outputs) = client.recv_result().expect("in-flight result");
+    assert_eq!(id, in_flight);
+    for (oid, img) in &outputs {
+        assert!(img.bit_equal(reference.expect_image(*oid)));
+    }
+
+    // New work is refused on every connection, old and new.
+    for c in [&mut client, &mut drainer] {
+        match c.call("work", inputs.clone(), Schedule::Optimized, None) {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Draining),
+            other => panic!("expected Draining, got {other:?}"),
+        }
+    }
+    // Registration is refused too.
+    match drainer.register("late", &big) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Draining),
+        other => panic!("expected Draining, got {other:?}"),
+    }
+    assert!(server.net_metrics().refused_draining >= 2);
+    server.shutdown();
+}
+
+/// Pipelined submissions on one connection come back in FIFO order with
+/// the in-flight bound enforced by backpressure, not dropped frames.
+#[test]
+fn pipelined_submissions_reply_in_order() {
+    let cfg = ServerConfig {
+        max_in_flight: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let app = &paper_apps()[1];
+    let p = (app.build_sized)(24, 24);
+    let inputs = inputs_for(&p, 9);
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.register("pipe", &p).expect("register");
+    let ids: Vec<u64> = (0..12)
+        .map(|_| {
+            client
+                .submit("pipe", inputs.clone(), Schedule::Optimized, None)
+                .expect("submit")
+        })
+        .collect();
+    for expected in ids {
+        let (id, outputs) = client.recv_result().expect("result");
+        assert_eq!(id, expected, "replies must be FIFO");
+        assert!(!outputs.is_empty());
+    }
+    server.shutdown();
+}
