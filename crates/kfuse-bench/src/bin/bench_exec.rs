@@ -4,19 +4,35 @@
 //! and under optimized fusion, at the paper's workload sizes (Section V-B:
 //! 2,048² gray-scale, Night at 1,920 × 1,200 RGB).
 //!
+//! Per schedule the fast executor is timed under three configurations:
+//! the default interior (`Interior::Auto`, which resolves to the widest
+//! SIMD tier the host supports — the headline `fast_mpix_s`), the forced
+//! scalar interior (`fast_scalar_mpix_s`, what the pre-SIMD engine and
+//! non-x86 hosts run), and two worker threads (`fast_mt2_mpix_s`). The
+//! optimized schedule is additionally measured with the separable mask
+//! factorization enabled (`FusionConfig::with_separable`, the
+//! `optimized_separable` row).
+//!
 //! Prints a Mpix/s table and writes machine-readable results to
-//! `BENCH_exec.json` at the repository root.
+//! `BENCH_exec.json` at the repository root. The previous file, if any,
+//! is parsed first: when its `scale_divisor` matches, each app carries the
+//! prior optimized-schedule throughput forward (`prev_fast_mpix_s` /
+//! `uplift_vs_prev`), so old and new fast-path numbers sit side by side.
 //!
 //! Run with `cargo run --release -p kfuse-bench --bin bench_exec`.
 //! Set `KFUSE_BENCH_SCALE=<div>` to divide the workload edge lengths
-//! (e.g. `KFUSE_BENCH_SCALE=8` for a quick smoke run).
+//! (e.g. `KFUSE_BENCH_SCALE=8` for a quick smoke run). `KFUSE_FORCE_SCALAR`
+//! pins the Auto interior to scalar (the CI escape hatch); the detected
+//! tier is always recorded as the top-level `simd_level`.
 
 use kfuse_apps::paper_apps;
 use kfuse_core::FusionConfig;
 use kfuse_dsl::{compile, Schedule};
 use kfuse_ir::{Image, ImageId, Pipeline};
 use kfuse_model::{BenefitModel, GpuSpec};
-use kfuse_sim::{execute_fast_with, execute_reference, synthetic_image, FastConfig};
+use kfuse_sim::{
+    detected_level, execute_fast_with, execute_reference, synthetic_image, FastConfig, Interior,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -53,16 +69,34 @@ fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
 struct Measurement {
     schedule: &'static str,
     fast_mpix_s: f64,
+    fast_scalar_mpix_s: f64,
+    fast_mt2_mpix_s: f64,
     interp_mpix_s: f64,
     speedup: f64,
 }
 
+impl Measurement {
+    fn simd_uplift(&self) -> f64 {
+        self.fast_mpix_s / self.fast_scalar_mpix_s
+    }
+}
+
 fn measure(p: &Pipeline, w: usize, h: usize, schedule: &'static str) -> Measurement {
     let inputs = inputs_for(p, 42);
-    let cfg = FastConfig::default();
     let mpix = (w * h) as f64 / 1e6;
-    let fast_s = time_best(3, || {
-        std::hint::black_box(execute_fast_with(p, &inputs, &cfg).expect("fast executes"));
+    let time_fast = |cfg: FastConfig| {
+        time_best(3, || {
+            std::hint::black_box(execute_fast_with(p, &inputs, &cfg).expect("fast executes"));
+        })
+    };
+    let fast_s = time_fast(FastConfig::default());
+    let scalar_s = time_fast(FastConfig {
+        interior: Interior::Scalar,
+        ..FastConfig::default()
+    });
+    let mt2_s = time_fast(FastConfig {
+        threads: Some(2),
+        ..FastConfig::default()
     });
     // The interpreter is orders of magnitude slower; a single timed run
     // (its work is deterministic and cache-resident after the fast runs)
@@ -73,9 +107,39 @@ fn measure(p: &Pipeline, w: usize, h: usize, schedule: &'static str) -> Measurem
     Measurement {
         schedule,
         fast_mpix_s: mpix / fast_s,
+        fast_scalar_mpix_s: mpix / scalar_s,
+        fast_mt2_mpix_s: mpix / mt2_s,
         interp_mpix_s: mpix / interp_s,
         speedup: interp_s / fast_s,
     }
+}
+
+/// `apps[name].schedules.optimized.fast_mpix_s` from the previous
+/// `BENCH_exec.json`, if the file exists, parses, and was recorded at the
+/// same scale divisor (comparing across workload sizes would be noise).
+fn previous_optimized(path: &str, scale: usize) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = kfuse_obs::parse_json(&text) else {
+        return Vec::new();
+    };
+    if doc.get("scale_divisor").and_then(|v| v.as_num()) != Some(scale as f64) {
+        return Vec::new();
+    }
+    let mut prev = Vec::new();
+    for app in doc.get("apps").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+        let name = app.get("name").and_then(|v| v.as_str());
+        let mpix = app
+            .get("schedules")
+            .and_then(|s| s.get("optimized"))
+            .and_then(|o| o.get("fast_mpix_s"))
+            .and_then(|v| v.as_num());
+        if let (Some(name), Some(mpix)) = (name, mpix) {
+            prev.push((name.to_string(), mpix));
+        }
+    }
+    prev
 }
 
 fn main() {
@@ -86,57 +150,104 @@ fn main() {
         .max(1);
     let fusion_cfg = FusionConfig::new(BenefitModel::new(GpuSpec::gtx680()));
     let threads = FastConfig::default().resolved_threads();
+    let simd_level = format!("{:?}", detected_level()).to_lowercase();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
+    let prev = previous_optimized(path, scale);
 
+    println!("simd level: {simd_level}");
     println!(
-        "{:<10} {:>6} {:<10} {:>12} {:>14} {:>9}",
-        "app", "size", "schedule", "fast Mpix/s", "interp Mpix/s", "speedup"
+        "{:<10} {:>9} {:<20} {:>12} {:>12} {:>7} {:>12} {:>14} {:>9}",
+        "app",
+        "size",
+        "schedule",
+        "fast Mpix/s",
+        "scalar",
+        "simd",
+        "2-thread",
+        "interp Mpix/s",
+        "speedup"
     );
     let mut json_apps = String::new();
     for app in paper_apps() {
         let (w, h) = workload(app.name, scale);
         let baseline = (app.build_sized)(w, h);
         let fused = compile(&baseline, Schedule::Optimized, &fusion_cfg);
+        let separable = compile(
+            &baseline,
+            Schedule::Optimized,
+            &FusionConfig::new(BenefitModel::new(GpuSpec::gtx680())).with_separable(),
+        );
         let mut json_schedules = String::new();
+        let mut best = 0.0f64;
         for m in [
             measure(&baseline, w, h, "baseline"),
             measure(&fused, w, h, "optimized"),
+            measure(&separable, w, h, "optimized_separable"),
         ] {
             println!(
-                "{:<10} {:>6} {:<10} {:>12.2} {:>14.3} {:>8.1}x",
+                "{:<10} {:>9} {:<20} {:>12.2} {:>12.2} {:>6.2}x {:>12.2} {:>14.3} {:>8.1}x",
                 app.name,
                 format!("{w}x{h}"),
                 m.schedule,
                 m.fast_mpix_s,
+                m.fast_scalar_mpix_s,
+                m.simd_uplift(),
+                m.fast_mt2_mpix_s,
                 m.interp_mpix_s,
                 m.speedup
             );
+            if m.schedule != "baseline" {
+                best = best.max(m.fast_mpix_s);
+            }
             if !json_schedules.is_empty() {
                 json_schedules.push(',');
             }
             write!(
                 json_schedules,
-                "\n      \"{}\": {{\"fast_mpix_s\": {:.3}, \"interp_mpix_s\": {:.3}, \"speedup\": {:.2}}}",
-                m.schedule, m.fast_mpix_s, m.interp_mpix_s, m.speedup
+                "\n      \"{}\": {{\"fast_mpix_s\": {:.3}, \"interp_mpix_s\": {:.3}, \"speedup\": {:.2}, \"fast_scalar_mpix_s\": {:.3}, \"simd_uplift\": {:.2}, \"fast_mt2_mpix_s\": {:.3}}}",
+                m.schedule,
+                m.fast_mpix_s,
+                m.interp_mpix_s,
+                m.speedup,
+                m.fast_scalar_mpix_s,
+                m.simd_uplift(),
+                m.fast_mt2_mpix_s
             )
             .unwrap();
+        }
+        let mut prev_fields = String::new();
+        if let Some((_, p)) = prev.iter().find(|(n, _)| n == app.name) {
+            write!(
+                prev_fields,
+                " \"prev_fast_mpix_s\": {p:.3}, \"uplift_vs_prev\": {:.2},",
+                best / p
+            )
+            .unwrap();
+            println!(
+                "{:<10} {:>9} previous optimized {:.2} Mpix/s -> best {:.2} Mpix/s ({:.2}x)",
+                app.name,
+                "",
+                p,
+                best,
+                best / p
+            );
         }
         if !json_apps.is_empty() {
             json_apps.push(',');
         }
         write!(
             json_apps,
-            "\n    {{\"name\": \"{}\", \"width\": {w}, \"height\": {h}, \"schedules\": {{{}\n    }}}}",
+            "\n    {{\"name\": \"{}\", \"width\": {w}, \"height\": {h},{prev_fields} \"schedules\": {{{}\n    }}}}",
             app.name, json_schedules
         )
         .unwrap();
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"executor throughput (fast tiled engine vs reference interpreter)\",\n  \"scale_divisor\": {scale},\n  \"threads\": {threads},\n  \"tile\": [{}, {}],\n  \"apps\": [{json_apps}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"executor throughput (fast tiled engine vs reference interpreter)\",\n  \"scale_divisor\": {scale},\n  \"threads\": {threads},\n  \"simd_level\": \"{simd_level}\",\n  \"tile\": [{}, {}],\n  \"apps\": [{json_apps}\n  ]\n}}\n",
         FastConfig::default().tile_w,
         FastConfig::default().tile_h,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_exec.json");
     std::fs::write(path, json).expect("write BENCH_exec.json");
     println!("\nwrote {path}");
 }

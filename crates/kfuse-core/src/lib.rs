@@ -56,6 +56,7 @@ pub mod greedy;
 pub mod legality;
 pub mod planner;
 pub mod resources;
+pub mod separable;
 pub mod synthesis;
 
 pub use basic::{basic_edge_is_fusible, fuse_basic, plan_basic};
@@ -68,4 +69,5 @@ pub use planner::{
     Trace, TraceEvent,
 };
 pub use resources::{fits_device, resource_check, shared_usage_bytes};
+pub use separable::{factor_kernel, factor_pipeline};
 pub use synthesis::{absolute_extents, input_access_extents, synthesize};

@@ -27,6 +27,16 @@ pub struct FusionConfig {
     /// internal edge is itself illegal (Section II-C4: fusions with benefit
     /// ≤ 0 are treated as illegal scenarios).
     pub require_profitable_edges: bool,
+    /// Whether to run the separable mask-factorization rewrite
+    /// ([`crate::separable`]) on the fused pipeline: exactly-separable
+    /// convolution stages are split into 1-D row/column passes.
+    ///
+    /// Off by default because the factored form reassociates the mask sum
+    /// — its output matches the unfactored pipeline only to rounding, not
+    /// bit for bit, and the default path preserves the bit-exact fusion
+    /// oracle. Pair with [`kfuse_model::BenefitModel::separable_phi`] to
+    /// make the planner price recompute `φ` for the cheaper factored form.
+    pub separable: bool,
 }
 
 impl FusionConfig {
@@ -37,7 +47,16 @@ impl FusionConfig {
             block: BlockShape::DEFAULT,
             shared_threshold: 3.0,
             require_profitable_edges: true,
+            separable: false,
         }
+    }
+
+    /// Enables the separable mask-factorization rewrite and the matching
+    /// `φ` reduction in the benefit model.
+    pub fn with_separable(mut self) -> Self {
+        self.separable = true;
+        self.model.separable_phi = true;
+        self
     }
 }
 
@@ -423,10 +442,16 @@ pub struct FusionResult {
     pub plan: FusionPlan,
 }
 
-/// One-call optimized fusion: plan with Algorithm 1, then apply.
+/// One-call optimized fusion: plan with Algorithm 1, then apply. When
+/// [`FusionConfig::separable`] is set, the fused pipeline additionally goes
+/// through the separable mask-factorization rewrite
+/// ([`crate::factor_pipeline`]).
 pub fn fuse_optimized(p: &Pipeline, cfg: &FusionConfig) -> FusionResult {
     let plan = plan_optimized(p, cfg);
-    let pipeline = apply_plan(p, &plan, true);
+    let mut pipeline = apply_plan(p, &plan, true);
+    if cfg.separable {
+        pipeline = crate::separable::factor_pipeline(&pipeline).0;
+    }
     FusionResult { pipeline, plan }
 }
 

@@ -8,6 +8,13 @@
 //!
 //! * the fast executor under several tile shapes and thread counts,
 //!   including tiles smaller than the mask radius;
+//! * the fast executor once per SIMD interior tier (scalar, SSE2, AVX2 —
+//!   explicit tiers clamp to the host, so the lanes run everywhere);
+//! * the separable rewrite ([`kfuse_core::factor_pipeline`]): when any
+//!   stage splits, the factored pipeline must itself be bit-identical
+//!   across the interpreter and both tape interiors (factored vs
+//!   *unfactored* differs by FP reassociation and is pinned with a
+//!   tolerance in `tests/separable_factorization.rs`, not here);
 //! * a [`CompiledPlan`] executed plain and traced (with the resulting
 //!   Chrome trace validated by the strict checker);
 //! * all three fusion [`kfuse_dsl::Schedule`]s, each run through both the
@@ -22,7 +29,7 @@ use kfuse_obs::{validate_chrome_trace, Tracer};
 use kfuse_runtime::{Runtime, RuntimeConfig};
 use kfuse_sim::{
     execute_fast_with, execute_reference, synthetic_image, CompiledPlan, Execution, FastConfig,
-    Scratch,
+    Interior, Scratch,
 };
 use std::fmt;
 
@@ -177,6 +184,7 @@ pub fn differential(p: &Pipeline, seed: u64) -> Result<(), Failure> {
                 tile_w: 3,
                 tile_h: 2,
                 threads: Some(2),
+                ..FastConfig::default()
             },
         ),
         (
@@ -185,12 +193,60 @@ pub fn differential(p: &Pipeline, seed: u64) -> Result<(), Failure> {
                 tile_w: 1,
                 tile_h: 1,
                 threads: Some(1),
+                ..FastConfig::default()
             },
         ),
     ];
     for (path, cfg) in &tile_configs {
         let got = run_fast(p, &inputs, cfg, path)?;
         compare(p, &reference, &got, path)?;
+    }
+
+    // Interior lanes: the SIMD knob must never change a bit. Explicitly
+    // requested tiers clamp to what the host supports, so on a scalar
+    // host all three lanes degenerate to the scalar interior (still a
+    // valid identity check), while on an AVX2 host this pins
+    // scalar == SSE2 == AVX2 == reference.
+    for (path, interior) in [
+        ("fast:scalar-interior", Interior::Scalar),
+        ("fast:sse2-interior", Interior::Sse2),
+        ("fast:avx2-interior", Interior::Avx2),
+    ] {
+        let cfg = FastConfig {
+            interior,
+            ..FastConfig::default()
+        };
+        let got = run_fast(p, &inputs, &cfg, path)?;
+        compare(p, &reference, &got, path)?;
+    }
+
+    // Separable lane: split exactly-separable convolution stages (the
+    // generator is biased to emit them) and require the *factored*
+    // pipeline to agree bit for bit across the interpreter and both tape
+    // interiors. The factored form matches the original only to FP
+    // reassociation, so its own reference run is the oracle here.
+    let (factored, splits) = kfuse_core::factor_pipeline(p);
+    if splits > 0 {
+        factored.validate().map_err(|e| Failure::InvalidPipeline {
+            path: "separable:factor".into(),
+            error: e.to_string(),
+        })?;
+        let sep_reference =
+            execute_reference(&factored, &inputs).map_err(|e| Failure::ExecFailed {
+                path: "separable:reference".into(),
+                error: e.to_string(),
+            })?;
+        for (path, interior) in [
+            ("separable:scalar", Interior::Scalar),
+            ("separable:simd", Interior::Auto),
+        ] {
+            let cfg = FastConfig {
+                interior,
+                ..FastConfig::default()
+            };
+            let got = run_fast(&factored, &inputs, &cfg, path)?;
+            compare(p, &sep_reference, &got, path)?;
+        }
     }
 
     // Compiled plan: plain, then traced with a validated Chrome export.
@@ -240,6 +296,25 @@ pub fn differential(p: &Pipeline, seed: u64) -> Result<(), Failure> {
         let got = run_fast(&fused, &inputs, &FastConfig::default(), &path)?;
         compare(p, &reference, &got, &path)?;
     }
+
+    // Planner + separable rewrite end to end: an Optimized compile with
+    // the separable knob on (factored φ pricing plus post-plan stage
+    // splits). Where a stage split the output differs from the original
+    // by reassociation, so the compiled pipeline's own reference run is
+    // the oracle for the fast executor.
+    let sep_cfg = kfuse_dsl::default_config(GpuSpec::gtx680()).with_separable();
+    let fused = kfuse_dsl::compile(p, kfuse_dsl::Schedule::Optimized, &sep_cfg);
+    fused.validate().map_err(|e| Failure::InvalidPipeline {
+        path: "sched:optimized+separable".into(),
+        error: e.to_string(),
+    })?;
+    let sep_ref = execute_reference(&fused, &inputs).map_err(|e| Failure::ExecFailed {
+        path: "sched:optimized+separable:reference".into(),
+        error: e.to_string(),
+    })?;
+    let path = "sched:optimized+separable:fast";
+    let got = run_fast(&fused, &inputs, &FastConfig::default(), path)?;
+    compare(p, &sep_ref, &got, path)?;
 
     // Runtime round trip: cold compiles and caches, warm must hit.
     let rt = Runtime::new(RuntimeConfig {

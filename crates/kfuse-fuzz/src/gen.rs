@@ -3,8 +3,11 @@
 //! The generator is biased toward the cases the paper's correctness story
 //! hinges on (Sections II and IV): degenerate 1×1 and near-1 images, mask
 //! radii at or beyond the image/tile dimension (where index exchange must
-//! wrap several times), every border mode, multi-channel images, and the
-//! Figure 2 topologies — shared inputs, external outputs, and diamonds.
+//! wrap several times), every border mode, multi-channel images, the
+//! Figure 2 topologies — shared inputs, external outputs, and diamonds —
+//! and **exactly-separable convolutions** (power-of-two outer-product
+//! masks, sometimes behind a hoisted dyadic scale), so the differential
+//! harness's separable lane actually splits stages during a sweep.
 //! Beyond single-stage kernels it also emits **pre-fused multi-stage
 //! kernels** (a `Shared`/`Register` producer stage under a `Global` root),
 //! so the deep-halo executor paths are exercised even when the planner
@@ -174,6 +177,30 @@ fn conv_expr(rng: &mut SplitMix64, slot: usize, rx: i32, ry: i32, src_ch: usize)
     acc.expect("window always contains the center tap")
 }
 
+/// An exactly-separable convolution: the outer product of two
+/// power-of-two tap vectors, sometimes behind a hoisted dyadic scale (the
+/// shape the DSL's normalized-mask lowering emits). Powers of two keep
+/// every product and pivot division exact in `f32`, so
+/// [`kfuse_ir::stage_factorization`]'s bitwise outer-product check is
+/// guaranteed to accept the mask — these bodies are what the differential
+/// harness's separable lane splits into row/column passes.
+fn separable_conv_expr(rng: &mut SplitMix64, slot: usize, ch: usize, rx: i32, ry: i32) -> Expr {
+    const TAPS: [f32; 6] = [-4.0, -2.0, -1.0, 1.0, 2.0, 4.0];
+    let col: Vec<f32> = (0..2 * ry + 1).map(|_| *rng.pick(&TAPS)).collect();
+    let row: Vec<f32> = (0..2 * rx + 1).map(|_| *rng.pick(&TAPS)).collect();
+    let mask: Vec<Vec<f32>> = col
+        .iter()
+        .map(|&u| row.iter().map(|&v| u * v).collect())
+        .collect();
+    let rows: Vec<&[f32]> = mask.iter().map(|r| &r[..]).collect();
+    let conv = Expr::convolve(slot, ch, &rows);
+    if rng.chance(1, 3) {
+        conv * Expr::Const(0.0625)
+    } else {
+        conv
+    }
+}
+
 fn combine(rng: &mut SplitMix64, a: Expr, b: Expr) -> Expr {
     let op = match rng.below(8) {
         0 => BinOp::Sub,
@@ -209,6 +236,23 @@ fn gen_simple_kernel(
 ) -> Kernel {
     let inputs: Vec<ImageId> = srcs.iter().map(|s| s.0).collect();
     let borders: Vec<BorderMode> = srcs.iter().map(|_| pick_border(rng)).collect();
+    // Sometimes the whole kernel is a pure exactly-separable convolution:
+    // one slot shared by every channel (stage_factorization requires the
+    // channels' borders to agree), radius 1–2 per axis. The border is
+    // still random, so `Constant` covers the must-not-split path.
+    if cfg.max_radius >= 1 && rng.chance(1, 4) {
+        let slot = rng.below(srcs.len() as u64) as usize;
+        let max_r = cfg.max_radius.min(2) as u64;
+        let rx = 1 + rng.below(max_r) as i32;
+        let ry = 1 + rng.below(max_r) as i32;
+        let body = (0..out_ch)
+            .map(|_| {
+                let ch = rng.below(srcs[slot].1 as u64) as usize;
+                separable_conv_expr(rng, slot, ch, rx, ry)
+            })
+            .collect();
+        return Kernel::simple(format!("k{ki}"), inputs, out, borders, body, vec![]);
+    }
     let mut body = Vec::with_capacity(out_ch);
     for _ in 0..out_ch {
         let slot = rng.below(srcs.len() as u64) as usize;
@@ -353,9 +397,15 @@ mod tests {
         let mut fused = false;
         let mut multi_channel = false;
         let mut radius_ge_dim = false;
+        let mut separable = false;
         let mut modes = [false; 4];
         for seed in 0..400 {
             let p = generate(seed);
+            separable |= p
+                .kernels()
+                .iter()
+                .flat_map(|k| &k.stages)
+                .any(|s| kfuse_ir::stage_factorization(s).is_some());
             let (w, h) = {
                 let d = p.image(kfuse_ir::ImageId(0));
                 (d.width, d.height)
@@ -379,6 +429,7 @@ mod tests {
             multi_channel |= p.images().iter().any(|d| d.channels > 1);
         }
         assert!(tiny && fused && multi_channel && radius_ge_dim);
+        assert!(separable, "no exactly-separable stage in the sweep");
         assert!(modes.iter().all(|&m| m), "border modes covered: {modes:?}");
     }
 }

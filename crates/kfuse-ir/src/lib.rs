@@ -35,9 +35,13 @@ pub mod image;
 pub mod kernel;
 pub mod pipeline;
 pub mod print;
+pub mod stencil;
 
 pub use border::BorderMode;
-pub use expr::{BinOp, Expr, UnOp};
+pub use expr::{BinOp, Expr, OpCounts, UnOp};
 pub use image::{Image, ImageDesc, ImageId};
 pub use kernel::{ComputePattern, Kernel, KernelId, MemSpace, Stage, StageRef};
 pub use pipeline::{Pipeline, PipelineError};
+pub use stencil::{
+    extract_stencil, separable_op_counts, stage_factorization, Factorization, Stencil,
+};

@@ -186,6 +186,14 @@ pub struct BenefitModel {
     pub l2l_recompute: L2LRecompute,
     /// Thread-block geometry for the tile-amortized mode.
     pub block: BlockShape,
+    /// Price the producer's recompute cost `φ` as if exactly-separable
+    /// convolution stages run in their factored row/column form
+    /// ([`kfuse_ir::separable_op_counts`]). Enable this when the lowering
+    /// pipeline applies the separable rewrite (`kfuse-core`'s
+    /// `FusionConfig::separable`), so fusion decisions account for the
+    /// cheaper factored recompute. Off by default: the paper's walkthrough
+    /// numbers charge the full 2-D mask.
+    pub separable_phi: bool,
 }
 
 impl BenefitModel {
@@ -198,6 +206,7 @@ impl BenefitModel {
             is_mode: IsMode::Pixels,
             l2l_recompute: L2LRecompute::TileAmortized,
             block: BlockShape::DEFAULT,
+            separable_phi: false,
         }
     }
 
@@ -271,7 +280,14 @@ impl BenefitModel {
         let kd = p.kernel(kd_id);
         let scenario = self.classify(ks, kd, ie, legal);
         let is_e = self.iteration_space(p, ie);
-        let counts = ks.op_counts();
+        // `φ` charges re-evaluating the producer under the consumer's
+        // window; if the lowering pipeline factors separable stages, the
+        // recomputed body is the cheaper row/column form.
+        let counts = if self.separable_phi {
+            kfuse_ir::separable_op_counts(ks)
+        } else {
+            ks.op_counts()
+        };
         let producer_cost = cost_op(self.gpu.c_alu, counts.alu, self.gpu.c_sfu, counts.sfu);
         let is_ks = self.is_ks(p, ks);
 

@@ -69,6 +69,13 @@ pub enum Instr {
     Un(UnOp, u32),
     /// `if regs[c] > 0 { regs[t] } else { regs[f] }`.
     Select(u32, u32, u32),
+    /// `regs[a] + regs[b] * regs[c]`, with the multiply and the add each
+    /// correctly rounded — **not** an FMA contraction, so the result is
+    /// bit-identical to the `Mul` + `Bin(Add, ..)` pair it replaces. Fused
+    /// by [`compile_stage`] for single-use products (the accumulate chains
+    /// convolutions lower to), halving the row passes of the tile
+    /// executor's interior.
+    MulAdd(u32, u32, u32),
 }
 
 /// What a load reads from (border-independent view for bounds analysis).
@@ -107,6 +114,15 @@ pub struct Tape {
     pub roots: Vec<u32>,
     /// Distinct load sites (for in-bounds span analysis).
     pub loads: Vec<LoadSite>,
+    /// Physical row-buffer slot assigned to each register by the liveness
+    /// allocator ([`Tape::n_slots`] slots total). Scalar per-pixel
+    /// evaluation ignores this and indexes registers directly; the vector
+    /// interior in [`crate::tile`] stores one *row* per slot, so reusing
+    /// dead registers' slots keeps the whole working set L1-resident even
+    /// for deeply fused tapes.
+    pub slots: Vec<u32>,
+    /// Number of distinct row slots needed (`<= instrs.len()`).
+    pub n_slots: usize,
 }
 
 impl Tape {
@@ -248,7 +264,131 @@ fn remap(instr: Instr, map: &[u32]) -> Instr {
         Instr::Bin(op, a, b) => Instr::Bin(op, map[a as usize], map[b as usize]),
         Instr::Un(op, a) => Instr::Un(op, map[a as usize]),
         Instr::Select(c, t, f) => Instr::Select(map[c as usize], map[t as usize], map[f as usize]),
+        Instr::MulAdd(a, b, c) => Instr::MulAdd(map[a as usize], map[b as usize], map[c as usize]),
     }
+}
+
+/// Appends the operand registers of `instr` to `ops`.
+fn operands(instr: Instr, ops: &mut Vec<u32>) {
+    match instr {
+        Instr::Const(_) | Instr::LoadInput { .. } | Instr::LoadStage { .. } => {}
+        Instr::Bin(_, a, b) => ops.extend([a, b]),
+        Instr::Un(_, a) => ops.push(a),
+        Instr::Select(c, t, f) | Instr::MulAdd(c, t, f) => ops.extend([c, t, f]),
+    }
+}
+
+/// Rewrites `Bin(Add, a, m)` where register `m` is a single-use
+/// `Bin(Mul, b, c)` into one [`Instr::MulAdd`] — the shape `Expr::convolve`
+/// accumulate chains lower to. Operand order is preserved (`a + b * c`,
+/// multiply consumed as the *right* addend only), so results stay
+/// bit-identical to the unfused pair; no floating-point contraction takes
+/// place, the two roundings survive.
+fn fuse_muladd(instrs: &mut Vec<Instr>, roots: &mut [u32]) {
+    let n = instrs.len();
+    let mut uses = vec![0u32; n];
+    let mut ops = Vec::new();
+    for ins in instrs.iter() {
+        ops.clear();
+        operands(*ins, &mut ops);
+        for &o in &ops {
+            uses[o as usize] += 1;
+        }
+    }
+    for &r in roots.iter() {
+        uses[r as usize] += 1;
+    }
+
+    let mut removed = vec![false; n];
+    let mut fused: Vec<Option<(u32, u32, u32)>> = vec![None; n];
+    for i in 0..n {
+        if let Instr::Bin(BinOp::Add, a, m) = instrs[i] {
+            if a == m {
+                continue;
+            }
+            if let Instr::Bin(BinOp::Mul, b, c) = instrs[m as usize] {
+                // `uses` counts root references too, so a single-use
+                // multiply is guaranteed not to be an output channel.
+                if uses[m as usize] == 1 {
+                    removed[m as usize] = true;
+                    fused[i] = Some((a, b, c));
+                }
+            }
+        }
+    }
+
+    let mut map = vec![0u32; n];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if removed[i] {
+            continue;
+        }
+        map[i] = out.len() as u32;
+        let ins = match fused[i] {
+            // `a`, `b`, `c` all precede the removed multiply (SSA order),
+            // so their `map` entries are already final.
+            Some((a, b, c)) => Instr::MulAdd(map[a as usize], map[b as usize], map[c as usize]),
+            None => remap(instrs[i], &map),
+        };
+        out.push(ins);
+    }
+    for r in roots.iter_mut() {
+        *r = map[*r as usize];
+    }
+    *instrs = out;
+}
+
+/// Assigns a physical row-buffer slot to every register via a last-use
+/// liveness scan with a free list. Constants are pinned to slots
+/// `0..const_len` (pre-filled once per tile) and roots stay live to the
+/// end (read after the scan). An instruction's own slot is allocated
+/// *before* its dead operands are released, so an output row never aliases
+/// one of its operand rows — the disjointness the vector interior's
+/// split borrows rely on.
+fn assign_slots(instrs: &[Instr], const_len: usize, roots: &[u32]) -> (Vec<u32>, usize) {
+    let n = instrs.len();
+    let mut last_use = vec![usize::MAX; n];
+    let mut ops = Vec::new();
+    for (i, ins) in instrs.iter().enumerate() {
+        ops.clear();
+        operands(*ins, &mut ops);
+        for &o in &ops {
+            last_use[o as usize] = i;
+        }
+    }
+    // Pin roots (and the constant prefix) for the whole tape.
+    let mut pinned = vec![false; n];
+    for p in pinned.iter_mut().take(const_len) {
+        *p = true;
+    }
+    for &r in roots {
+        pinned[r as usize] = true;
+    }
+
+    let mut slots = vec![0u32; n];
+    let mut free: Vec<u32> = Vec::new();
+    let mut next = const_len as u32;
+    for (i, s) in slots.iter_mut().enumerate().take(const_len) {
+        *s = i as u32;
+    }
+    for i in const_len..n {
+        slots[i] = free.pop().unwrap_or_else(|| {
+            let s = next;
+            next += 1;
+            s
+        });
+        ops.clear();
+        operands(instrs[i], &mut ops);
+        ops.sort_unstable();
+        ops.dedup();
+        for &o in &ops {
+            let o = o as usize;
+            if last_use[o] == i && !pinned[o] && o >= const_len {
+                free.push(slots[o]);
+            }
+        }
+    }
+    (slots, next as usize)
 }
 
 /// Compiles one stage into a [`Tape`], CSE'ing across all channel bodies
@@ -298,12 +438,16 @@ pub fn compile_stage(stage: &Stage) -> Tape {
     for (i, ins) in b.instrs.iter().enumerate() {
         out[map[i] as usize] = remap(*ins, &map);
     }
-    let roots = roots.into_iter().map(|r| map[r as usize]).collect();
+    let mut roots: Vec<u32> = roots.into_iter().map(|r| map[r as usize]).collect();
+    fuse_muladd(&mut out, &mut roots);
+    let (slots, n_slots) = assign_slots(&out, const_len, &roots);
     Tape {
         instrs: out,
         const_len,
         roots,
         loads: b.loads,
+        slots,
+        n_slots,
     }
 }
 
@@ -402,6 +546,7 @@ mod tests {
                         regs[b as usize]
                     }
                 }
+                Instr::MulAdd(a, b, c) => regs[a as usize] + regs[b as usize] * regs[c as usize],
                 Instr::LoadStage { .. } | Instr::Const(_) => unreachable!(),
             };
         }
@@ -427,6 +572,94 @@ mod tests {
             .filter(|i| matches!(i, Instr::LoadInput { .. }))
             .count();
         assert_eq!(loads, 2);
+    }
+
+    #[test]
+    fn muladd_fuses_convolution_accumulate_chains() {
+        // l0*c + l1*c2: first product stays a Mul (left-most term), the
+        // accumulate step becomes one MulAdd; the fused multiply is gone.
+        let s = stage(
+            vec![Expr::load(0) * Expr::Const(2.0) + Expr::load_at(0, 1, 0) * Expr::Const(3.0)],
+            vec![StageRef::Input(0)],
+            vec![BorderMode::Clamp],
+        );
+        let t = compile_stage(&s);
+        let muladds = t
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::MulAdd(..)))
+            .count();
+        let adds = t
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Bin(BinOp::Add, ..)))
+            .count();
+        assert_eq!(muladds, 1);
+        assert_eq!(adds, 0);
+        // consts(2) + loads(2) + first Mul + MulAdd
+        assert_eq!(t.instrs.len(), 6);
+        assert!(matches!(t.instrs[t.roots[0] as usize], Instr::MulAdd(..)));
+    }
+
+    #[test]
+    fn muladd_skips_shared_products() {
+        // The product feeds two adds (CSE shares it): fusing would
+        // duplicate work, so both adds must stay plain `Bin(Add, ..)`.
+        let prod = Expr::load(0) * Expr::Const(2.0);
+        let s = stage(
+            vec![
+                Expr::load_at(0, 1, 0) + prod.clone(),
+                Expr::load_at(0, 2, 0) + prod,
+            ],
+            vec![StageRef::Input(0)],
+            vec![BorderMode::Clamp],
+        );
+        let t = compile_stage(&s);
+        assert!(!t.instrs.iter().any(|i| matches!(i, Instr::MulAdd(..))));
+        assert!(t
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bin(BinOp::Mul, ..))));
+    }
+
+    #[test]
+    fn slot_allocation_reuses_dead_registers() {
+        // A long accumulate chain has a narrow live range: slot count must
+        // come out well below the register count, constants keep their
+        // identity slots, and no two simultaneously-live registers may
+        // share a slot.
+        let mut e = Expr::load(0) * Expr::Const(0.5);
+        for k in 1..9 {
+            e = e + Expr::load_at(0, k, 0) * Expr::Const(k as f32 + 1.5);
+        }
+        let s = stage(vec![e], vec![StageRef::Input(0)], vec![BorderMode::Clamp]);
+        let t = compile_stage(&s);
+        assert_eq!(t.slots.len(), t.instrs.len());
+        assert!(t.n_slots < t.instrs.len(), "no reuse: {} slots", t.n_slots);
+        for i in 0..t.const_len {
+            assert_eq!(t.slots[i] as usize, i);
+        }
+        // Liveness check: walking the tape, an instruction's output slot
+        // must differ from the slot of every register still to be read.
+        for i in t.const_len..t.instrs.len() {
+            for j in i + 1..t.instrs.len() {
+                let mut ops = Vec::new();
+                super::operands(t.instrs[j], &mut ops);
+                for &o in &ops {
+                    if (o as usize) < i {
+                        assert_ne!(
+                            t.slots[i], t.slots[o as usize],
+                            "instr {i} clobbers live reg {o} (read by {j})"
+                        );
+                    }
+                }
+            }
+        }
+        for &r in &t.roots {
+            for i in (r as usize + 1)..t.instrs.len() {
+                assert_ne!(t.slots[i], t.slots[r as usize], "root clobbered");
+            }
+        }
     }
 
     #[test]

@@ -31,9 +31,10 @@
 //! a pure computation once and reusing the result cannot change any bit.
 
 use crate::exec::{resolve_kernel_inputs, Evaluator, ExecError};
+use crate::simd::{self, Interior, SimdLevel};
 use crate::tape::{compile_stage, Instr, LoadTarget, Tape};
 use kfuse_ir::border::Resolved;
-use kfuse_ir::{BinOp, Image, Kernel, Pipeline, UnOp};
+use kfuse_ir::{Image, Kernel, Pipeline};
 use kfuse_obs::Tracer;
 
 /// Lane offset for the executor's logical row-band lanes in traces: band
@@ -53,6 +54,10 @@ pub struct TileConfig {
     pub tile_h: usize,
     /// Worker threads; `None` uses [`std::thread::available_parallelism`].
     pub threads: Option<usize>,
+    /// Interior-evaluation strategy: runtime-dispatched SIMD tiers or the
+    /// scalar escape hatch (see [`Interior`]; `KFUSE_FORCE_SCALAR` pins
+    /// [`Interior::Auto`] to scalar).
+    pub interior: Interior,
 }
 
 impl Default for TileConfig {
@@ -64,6 +69,7 @@ impl Default for TileConfig {
             tile_w: 128,
             tile_h: 64,
             threads: None,
+            interior: Interior::Auto,
         }
     }
 }
@@ -340,22 +346,111 @@ fn eval_pixel<const SAFE: bool>(
                     regs[f as usize]
                 }
             }
+            // Multiply and add each rounded separately — never an FMA —
+            // matching the `Mul` + `Add` pair this instruction replaces.
+            Instr::MulAdd(a, b, c) => regs[a as usize] + regs[b as usize] * regs[c as usize],
         };
         regs[i] = v;
     }
 }
 
-/// Row-major register matrix for instruction-at-a-time evaluation: row
-/// `i` holds the value of SSA register `i` for every pixel of the current
-/// row span. Dispatching once per instruction (instead of once per pixel
-/// per instruction) turns the inner loops into tight elementwise passes
-/// over contiguous `f32` slices that the compiler auto-vectorizes —
-/// without changing a single bit of the result, since each lane performs
-/// exactly the scalar operation.
+/// Row-major register matrix for instruction-at-a-time evaluation: one row
+/// per physical *slot* (see [`Tape::slots`]) holding a register's value for
+/// every pixel of the current row span. Dispatching once per instruction
+/// (instead of once per pixel per instruction) turns the inner loops into
+/// tight elementwise passes over contiguous `f32` slices — without
+/// changing a single bit of the result, since each lane performs exactly
+/// the scalar operation. Slot reuse keeps the matrix at the tape's live
+/// width rather than its length, so even deeply fused tapes stay
+/// L1-resident.
 #[derive(Default)]
 struct RowRegs {
     buf: Vec<f32>,
     cap: usize,
+    srcs: Vec<Src>,
+}
+
+/// Where the row of an SSA register lives for the current span.
+///
+/// Single-channel loads dominate the tapes of the paper's pipelines (every
+/// convolution tap is one), and their rows already sit contiguous in the
+/// source image or stage plane — copying them into the register matrix was
+/// the single largest cost of the fast path. A register holding such a
+/// load is instead recorded as a *view* and consumers read the source in
+/// place; only multi-channel (strided) loads and computed rows
+/// materialize.
+#[derive(Clone, Copy)]
+enum Src {
+    /// Materialized in the register matrix at this slot's row.
+    Reg(u32),
+    /// View into input image `input`, row `ty`, starting at flat `base`.
+    Input {
+        input: usize,
+        ty: usize,
+        base: usize,
+    },
+    /// View into the halo plane of stage `stage`, plane row of image row
+    /// `ty`, starting at in-row offset `base`.
+    Stage {
+        stage: usize,
+        ty: usize,
+        base: usize,
+    },
+}
+
+/// Resolves the row of a register for the current span: its slot row in
+/// the register matrix, or the zero-copy view recorded by the load that
+/// produced it.
+#[inline(always)]
+fn src_row<'s>(
+    src: Src,
+    buf: &'s [f32],
+    cap: usize,
+    len: usize,
+    planes: &'s [Vec<f32>],
+    ctx: &'s Ctx<'_>,
+) -> &'s [f32] {
+    match src {
+        Src::Reg(slot) => &buf[slot as usize * cap..][..len],
+        Src::Input { input, ty, base } => &ctx.inputs[input].row(ty)[base..base + len],
+        Src::Stage { stage, ty, base } => {
+            let rct = ctx.rects[stage];
+            let nc = ctx.chans[stage];
+            &planes[stage][(ty - rct.y0) * rct.w * nc + base..][..len]
+        }
+    }
+}
+
+/// [`src_row`] over a raw matrix base pointer, for use inside the
+/// instruction loop where the output row of the same matrix is borrowed
+/// mutably.
+///
+/// # Safety
+///
+/// `base` must point at a live register matrix of at least
+/// `(slot + 1) * cap` elements for every slot recorded in `src`, and the
+/// returned row must not overlap any `&mut` row the caller constructs —
+/// guaranteed by the tape's slot allocator, which never assigns an
+/// instruction's output slot to a register still live (see
+/// `assign_slots` in [`crate::tape`]).
+#[inline(always)]
+unsafe fn src_row_raw<'s>(
+    src: Src,
+    base: *const f32,
+    cap: usize,
+    len: usize,
+    planes: &'s [Vec<f32>],
+    ctx: &'s Ctx<'_>,
+) -> &'s [f32] {
+    match src {
+        Src::Reg(slot) => std::slice::from_raw_parts(base.add(slot as usize * cap), len),
+        Src::Input { input, ty, base } => &ctx.inputs[input].row(ty)[base..base + len],
+        Src::Stage { stage, ty, base } => {
+            let rct = ctx.rects[stage];
+            let nc = ctx.chans[stage];
+            &planes[stage][(ty - rct.y0) * rct.w * nc + base..][..len]
+        }
+    }
 }
 
 impl RowRegs {
@@ -363,9 +458,19 @@ impl RowRegs {
     /// pre-fills the hoisted constant rows.
     fn prepare(&mut self, tape: &Tape, width: usize) {
         let regs = tape.reg_count();
-        if self.cap < width || self.buf.len() < regs * self.cap {
+        if self.cap < width || self.buf.len() < tape.n_slots * self.cap {
             self.cap = self.cap.max(width);
-            self.buf.resize(regs.max(1) * self.cap, 0.0);
+            self.buf.resize(tape.n_slots.max(1) * self.cap, 0.0);
+        }
+        if self.srcs.len() < regs {
+            self.srcs.resize(regs, Src::Reg(0));
+        }
+        // Hoisted constants are pinned to slots `0..const_len` by the
+        // allocator; every later register's source is (re)written by the
+        // instruction loop before any consumer reads it, so only the
+        // prefix needs resetting here.
+        for (i, s) in self.srcs[..tape.const_len].iter_mut().enumerate() {
+            *s = Src::Reg(i as u32);
         }
         for i in 0..tape.const_len {
             if let Instr::Const(v) = tape.instrs[i] {
@@ -375,57 +480,196 @@ impl RowRegs {
     }
 }
 
-/// Elementwise binary operation over register rows; the operator match is
-/// hoisted out of the loop so each arm vectorizes.
-fn bin_rows(op: BinOp, a: &[f32], b: &[f32], out: &mut [f32]) {
-    macro_rules! ew {
-        ($f:expr) => {
-            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
-                *o = $f(x, y);
-            }
-        };
-    }
-    match op {
-        BinOp::Add => ew!(|x: f32, y: f32| x + y),
-        BinOp::Sub => ew!(|x: f32, y: f32| x - y),
-        BinOp::Mul => ew!(|x: f32, y: f32| x * y),
-        BinOp::Div => ew!(|x: f32, y: f32| x / y),
-        BinOp::Min => ew!(f32::min),
-        BinOp::Max => ew!(f32::max),
-        BinOp::Pow => ew!(f32::powf),
-        BinOp::Lt => ew!(|x, y| f32::from(x < y)),
-        BinOp::Gt => ew!(|x, y| f32::from(x > y)),
-    }
-}
-
-/// Elementwise unary operation over register rows.
-fn un_rows(op: UnOp, a: &[f32], out: &mut [f32]) {
-    macro_rules! ew {
-        ($f:expr) => {
-            for (o, &x) in out.iter_mut().zip(a) {
-                *o = $f(x);
-            }
-        };
-    }
-    match op {
-        UnOp::Neg => ew!(|x: f32| -x),
-        UnOp::Abs => ew!(f32::abs),
-        UnOp::Sqrt => ew!(f32::sqrt),
-        UnOp::Exp => ew!(f32::exp),
-        UnOp::Log => ew!(f32::ln),
-        UnOp::Sin => ew!(f32::sin),
-        UnOp::Cos => ew!(f32::cos),
-        UnOp::Rsqrt => ew!(|x: f32| x.sqrt().recip()),
-        UnOp::Floor => ew!(f32::floor),
-    }
-}
-
 /// Evaluates `tape` instruction-at-a-time for the statically-safe span
 /// `[x0, x0 + len)` at row `y`, leaving each register's row in `rr`.
 ///
 /// Every load in the span is in bounds (guaranteed by [`fast_span`]), so
-/// input and plane reads are straight strided copies.
+/// input and plane reads are straight strided copies. Arithmetic rows run
+/// through [`crate::simd`] at the resolved `level` — explicit AVX2/SSE2
+/// kernels or the scalar loops, all bit-identical (see the module docs
+/// there).
+#[allow(clippy::too_many_arguments)]
 fn eval_rows_vector(
+    tape: &Tape,
+    rr: &mut RowRegs,
+    planes: &[Vec<f32>],
+    ctx: &Ctx<'_>,
+    level: SimdLevel,
+    y: usize,
+    x0: usize,
+    len: usize,
+    direct: Option<&mut [f32]>,
+) {
+    match level {
+        SimdLevel::Scalar => eval_rows_vector_scalar(tape, rr, planes, ctx, y, x0, len, direct),
+        #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+        // SAFETY: `level` only resolves to a tier `detected_level()`
+        // reported as available on this host.
+        SimdLevel::Sse2 => unsafe {
+            eval_rows_vector_sse2(tape, rr, planes, ctx, y, x0, len, direct)
+        },
+        #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+        // SAFETY: as above.
+        SimdLevel::Avx2 => unsafe {
+            eval_rows_vector_avx2(tape, rr, planes, ctx, y, x0, len, direct)
+        },
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "x86")))]
+        _ => eval_rows_vector_scalar(tape, rr, planes, ctx, y, x0, len, direct),
+    }
+}
+
+/// The instruction loop of [`eval_rows_vector`], stamped out once per SIMD
+/// tier. A `#[target_feature]` function cannot be inlined into a caller
+/// compiled without that feature, so dispatching on the tier *inside* the
+/// loop would pay an opaque call per tape instruction per row span — on
+/// short spans that call overhead eats most of the vector win. Instead the
+/// whole loop is compiled per tier and the tier's `#[inline(always)]` row
+/// kernels (see [`crate::simd`]) dissolve into it.
+macro_rules! eval_rows_loop {
+    ($tape:expr, $rr:expr, $planes:expr, $ctx:expr, $y:expr, $x0:expr, $len:expr, $direct:expr,
+     $bin:expr, $un:expr, $sel:expr, $mad:expr) => {{
+        let (tape, rr, planes, ctx) = ($tape, $rr, $planes, $ctx);
+        let (y, x0, len): (usize, usize, usize) = ($y, $x0, $len);
+        let mut direct: Option<&mut [f32]> = $direct;
+        let cap = rr.cap;
+        let srcs = &mut rr.srcs;
+        let buf = &mut rr.buf;
+        // `direct` is only passed for tapes whose single root is the final
+        // operator instruction (see `eval_row`), so taking it at
+        // `i == last` in the operator arms below covers every eligible
+        // tape.
+        let last = tape.instrs.len() - 1;
+        // Operator arms read operand rows and write the output row of the
+        // same matrix through raw pointers: output and operand slots can
+        // sit on either side of each other after slot reuse, so a
+        // `split_at_mut` no longer expresses the disjointness.
+        //
+        // SAFETY (for every `src_row_raw` / `from_raw_parts_mut` below):
+        // `buf` holds `tape.n_slots * cap >= (slot + 1) * cap` elements
+        // for every slot the tape records, and the slot allocator
+        // (`assign_slots` in `crate::tape`) never assigns an instruction's
+        // output slot to a register that is still live — so the `&mut`
+        // output row is disjoint from every operand row, and view operands
+        // (input images, stage planes) are disjoint from the matrix by
+        // construction.
+        for i in tape.const_len..tape.instrs.len() {
+            let slot = tape.slots[i];
+            let dst = slot as usize * cap;
+            match tape.instrs[i] {
+                Instr::Const(v) => {
+                    buf[dst..dst + len].fill(v);
+                    srcs[i] = Src::Reg(slot);
+                }
+                Instr::LoadInput {
+                    input, dx, dy, ch, ..
+                } => {
+                    let img = ctx.inputs[input as usize];
+                    let nc = img.channels();
+                    let ty = (y as i64 + i64::from(dy)) as usize;
+                    let base = (x0 as i64 + i64::from(dx)) as usize * nc + ch as usize;
+                    if nc == 1 {
+                        // Zero-copy: consumers read the image row in place.
+                        srcs[i] = Src::Input {
+                            input: input as usize,
+                            ty,
+                            base,
+                        };
+                    } else {
+                        let row = img.row(ty);
+                        for (k, o) in buf[dst..dst + len].iter_mut().enumerate() {
+                            *o = row[base + k * nc];
+                        }
+                        srcs[i] = Src::Reg(slot);
+                    }
+                }
+                Instr::LoadStage {
+                    stage, dx, dy, ch, ..
+                } => {
+                    let j = stage as usize;
+                    let r = ctx.rects[j];
+                    let nc = ctx.chans[j];
+                    let ty = (y as i64 + i64::from(dy)) as usize;
+                    let base = ((x0 as i64 + i64::from(dx)) as usize - r.x0) * nc + ch as usize;
+                    if nc == 1 {
+                        // Zero-copy: consumers read the plane row in place.
+                        srcs[i] = Src::Stage { stage: j, ty, base };
+                    } else {
+                        let row = &planes[j][(ty - r.y0) * r.w * nc..][..r.w * nc];
+                        for (k, o) in buf[dst..dst + len].iter_mut().enumerate() {
+                            *o = row[base + k * nc];
+                        }
+                        srcs[i] = Src::Reg(slot);
+                    }
+                }
+                Instr::Bin(op, a, b) => {
+                    let taken = if i == last { direct.take() } else { None };
+                    // SAFETY: see the loop-level comment.
+                    unsafe {
+                        let base = buf.as_mut_ptr();
+                        let a = src_row_raw(srcs[a as usize], base, cap, len, planes, ctx);
+                        let b = src_row_raw(srcs[b as usize], base, cap, len, planes, ctx);
+                        let out = match taken {
+                            Some(o) => o,
+                            None => std::slice::from_raw_parts_mut(base.add(dst), len),
+                        };
+                        $bin(op, a, b, out);
+                    }
+                    srcs[i] = Src::Reg(slot);
+                }
+                Instr::Un(op, a) => {
+                    let taken = if i == last { direct.take() } else { None };
+                    // SAFETY: see the loop-level comment.
+                    unsafe {
+                        let base = buf.as_mut_ptr();
+                        let a = src_row_raw(srcs[a as usize], base, cap, len, planes, ctx);
+                        let out = match taken {
+                            Some(o) => o,
+                            None => std::slice::from_raw_parts_mut(base.add(dst), len),
+                        };
+                        $un(op, a, out);
+                    }
+                    srcs[i] = Src::Reg(slot);
+                }
+                Instr::Select(c, t, f) => {
+                    let taken = if i == last { direct.take() } else { None };
+                    // SAFETY: see the loop-level comment.
+                    unsafe {
+                        let base = buf.as_mut_ptr();
+                        let c = src_row_raw(srcs[c as usize], base, cap, len, planes, ctx);
+                        let t = src_row_raw(srcs[t as usize], base, cap, len, planes, ctx);
+                        let f = src_row_raw(srcs[f as usize], base, cap, len, planes, ctx);
+                        let out = match taken {
+                            Some(o) => o,
+                            None => std::slice::from_raw_parts_mut(base.add(dst), len),
+                        };
+                        $sel(c, t, f, out);
+                    }
+                    srcs[i] = Src::Reg(slot);
+                }
+                Instr::MulAdd(a, b, c) => {
+                    let taken = if i == last { direct.take() } else { None };
+                    // SAFETY: see the loop-level comment.
+                    unsafe {
+                        let base = buf.as_mut_ptr();
+                        let a = src_row_raw(srcs[a as usize], base, cap, len, planes, ctx);
+                        let b = src_row_raw(srcs[b as usize], base, cap, len, planes, ctx);
+                        let c = src_row_raw(srcs[c as usize], base, cap, len, planes, ctx);
+                        let out = match taken {
+                            Some(o) => o,
+                            None => std::slice::from_raw_parts_mut(base.add(dst), len),
+                        };
+                        $mad(a, b, c, out);
+                    }
+                    srcs[i] = Src::Reg(slot);
+                }
+            }
+        }
+    }};
+}
+
+/// Scalar-tier instruction loop (also the non-x86 fallback).
+#[allow(clippy::too_many_arguments)]
+fn eval_rows_vector_scalar(
     tape: &Tape,
     rr: &mut RowRegs,
     planes: &[Vec<f32>],
@@ -433,61 +677,86 @@ fn eval_rows_vector(
     y: usize,
     x0: usize,
     len: usize,
+    direct: Option<&mut [f32]>,
 ) {
-    let cap = rr.cap;
-    for i in tape.const_len..tape.instrs.len() {
-        let (prev, cur) = rr.buf.split_at_mut(i * cap);
-        let out = &mut cur[..len];
-        match tape.instrs[i] {
-            Instr::Const(v) => out.fill(v),
-            Instr::LoadInput {
-                input, dx, dy, ch, ..
-            } => {
-                let img = ctx.inputs[input as usize];
-                let nc = img.channels();
-                let row = img.row((y as i64 + i64::from(dy)) as usize);
-                let base = (x0 as i64 + i64::from(dx)) as usize * nc + ch as usize;
-                if nc == 1 {
-                    out.copy_from_slice(&row[base..base + len]);
-                } else {
-                    for (k, o) in out.iter_mut().enumerate() {
-                        *o = row[base + k * nc];
-                    }
-                }
-            }
-            Instr::LoadStage {
-                stage, dx, dy, ch, ..
-            } => {
-                let j = stage as usize;
-                let r = ctx.rects[j];
-                let nc = ctx.chans[j];
-                let ty = (y as i64 + i64::from(dy)) as usize;
-                let row = &planes[j][(ty - r.y0) * r.w * nc..][..r.w * nc];
-                let base = ((x0 as i64 + i64::from(dx)) as usize - r.x0) * nc + ch as usize;
-                if nc == 1 {
-                    out.copy_from_slice(&row[base..base + len]);
-                } else {
-                    for (k, o) in out.iter_mut().enumerate() {
-                        *o = row[base + k * nc];
-                    }
-                }
-            }
-            Instr::Bin(op, a, b) => {
-                let a = &prev[a as usize * cap..][..len];
-                let b = &prev[b as usize * cap..][..len];
-                bin_rows(op, a, b, out);
-            }
-            Instr::Un(op, a) => un_rows(op, &prev[a as usize * cap..][..len], out),
-            Instr::Select(c, t, f) => {
-                let c = &prev[c as usize * cap..][..len];
-                let t = &prev[t as usize * cap..][..len];
-                let f = &prev[f as usize * cap..][..len];
-                for k in 0..len {
-                    out[k] = if c[k] > 0.0 { t[k] } else { f[k] };
-                }
-            }
-        }
-    }
+    eval_rows_loop!(
+        tape,
+        rr,
+        planes,
+        ctx,
+        y,
+        x0,
+        len,
+        direct,
+        simd::bin_rows_scalar,
+        simd::un_rows_scalar,
+        simd::select_rows_scalar,
+        simd::muladd_rows_scalar
+    );
+}
+
+/// SSE2-tier instruction loop.
+///
+/// SAFETY: callers must have verified SSE2 support at runtime.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "sse2")]
+unsafe fn eval_rows_vector_sse2(
+    tape: &Tape,
+    rr: &mut RowRegs,
+    planes: &[Vec<f32>],
+    ctx: &Ctx<'_>,
+    y: usize,
+    x0: usize,
+    len: usize,
+    direct: Option<&mut [f32]>,
+) {
+    eval_rows_loop!(
+        tape,
+        rr,
+        planes,
+        ctx,
+        y,
+        x0,
+        len,
+        direct,
+        simd::bin_rows_sse2_in,
+        simd::un_rows_sse2_in,
+        simd::select_rows_sse2_in,
+        simd::muladd_rows_sse2_in
+    );
+}
+
+/// AVX2-tier instruction loop.
+///
+/// SAFETY: callers must have verified AVX2 support at runtime.
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn eval_rows_vector_avx2(
+    tape: &Tape,
+    rr: &mut RowRegs,
+    planes: &[Vec<f32>],
+    ctx: &Ctx<'_>,
+    y: usize,
+    x0: usize,
+    len: usize,
+    direct: Option<&mut [f32]>,
+) {
+    eval_rows_loop!(
+        tape,
+        rr,
+        planes,
+        ctx,
+        y,
+        x0,
+        len,
+        direct,
+        simd::bin_rows_avx2_in,
+        simd::un_rows_avx2_in,
+        simd::select_rows_avx2_in,
+        simd::muladd_rows_avx2_in
+    );
 }
 
 /// The sub-range of `[x_lo, x_hi)` at row `y` where every load of `tape`
@@ -543,6 +812,7 @@ fn eval_row(
     rr: &mut RowRegs,
     planes: &[Vec<f32>],
     ctx: &Ctx<'_>,
+    level: SimdLevel,
     y: usize,
     x_lo: usize,
     x_hi: usize,
@@ -563,15 +833,30 @@ fn eval_row(
     }
     if flo < fhi {
         let len = fhi - flo;
-        eval_rows_vector(tape, rr, planes, ctx, y, flo, len);
-        if nc == 1 {
-            let root = tape.roots[0] as usize * rr.cap;
-            out_row[flo - x_lo..fhi - x_lo].copy_from_slice(&rr.buf[root..root + len]);
+        // Single-channel tapes rooted at their final operator write that
+        // operator's result straight into the output row, skipping the
+        // register-matrix round trip.
+        let last = tape.instrs.len() - 1;
+        let direct = nc == 1
+            && tape.roots.len() == 1
+            && tape.roots[0] as usize == last
+            && matches!(
+                tape.instrs[last],
+                Instr::Bin(..) | Instr::Un(..) | Instr::Select(..) | Instr::MulAdd(..)
+            );
+        if direct {
+            let dst = &mut out_row[flo - x_lo..fhi - x_lo];
+            eval_rows_vector(tape, rr, planes, ctx, level, y, flo, len, Some(dst));
         } else {
+            eval_rows_vector(tape, rr, planes, ctx, level, y, flo, len, None);
             for (c, &r) in tape.roots.iter().enumerate() {
-                let src = &rr.buf[r as usize * rr.cap..][..len];
-                for (k, &v) in src.iter().enumerate() {
-                    out_row[(flo - x_lo + k) * nc + c] = v;
+                let src = src_row(rr.srcs[r as usize], &rr.buf, rr.cap, len, planes, ctx);
+                if nc == 1 {
+                    out_row[flo - x_lo..fhi - x_lo].copy_from_slice(src);
+                } else {
+                    for (k, &v) in src.iter().enumerate() {
+                        out_row[(flo - x_lo + k) * nc + c] = v;
+                    }
                 }
             }
         }
@@ -626,6 +911,7 @@ struct Run<'a> {
     out_nc: usize,
     tile_w: usize,
     tile_h: usize,
+    level: SimdLevel,
 }
 
 impl Run<'_> {
@@ -686,7 +972,19 @@ impl Run<'_> {
                     };
                     for py in r.y0..r.y0 + r.h {
                         let row = &mut plane[(py - r.y0) * r.w * nc..][..r.w * nc];
-                        eval_row(tape, regs, rr, done, &ctx, py, r.x0, r.x0 + r.w, row, nc);
+                        eval_row(
+                            tape,
+                            regs,
+                            rr,
+                            done,
+                            &ctx,
+                            self.level,
+                            py,
+                            r.x0,
+                            r.x0 + r.w,
+                            row,
+                            nc,
+                        );
                     }
                 }
                 // Root stage writes straight into the output rows.
@@ -704,7 +1002,19 @@ impl Run<'_> {
                 for y in y0..y1 {
                     let row = &mut out_band[(y - y_start) * stride..][..stride];
                     let seg = &mut row[x0 * self.out_nc..x1 * self.out_nc];
-                    eval_row(tape, regs, rr, planes, &ctx, y, x0, x1, seg, self.out_nc);
+                    eval_row(
+                        tape,
+                        regs,
+                        rr,
+                        planes,
+                        &ctx,
+                        self.level,
+                        y,
+                        x0,
+                        x1,
+                        seg,
+                        self.out_nc,
+                    );
                 }
                 x0 = x1;
             }
@@ -809,6 +1119,7 @@ fn execute_kernel_compiled_inner(
         out_nc,
         tile_w,
         tile_h,
+        level: cfg.interior.resolve(),
     };
 
     let tile_rows = ih.div_ceil(tile_h);
@@ -945,6 +1256,7 @@ mod tests {
             tile_w: 3,
             tile_h: 2,
             threads: Some(1),
+            interior: Interior::Auto,
         };
         for (w, h) in [(1, 1), (2, 3), (7, 5), (16, 16), (17, 1)] {
             tiled_matches_reference(BorderMode::Clamp, w, h, &cfg);
@@ -958,6 +1270,7 @@ mod tests {
             tile_w: 512,
             tile_h: 512,
             threads: Some(1),
+            interior: Interior::Auto,
         };
         for mode in [BorderMode::Mirror, BorderMode::Constant(-1.5)] {
             tiled_matches_reference(mode, 5, 3, &cfg);
@@ -970,6 +1283,7 @@ mod tests {
             tile_w: 8,
             tile_h: 4,
             threads: Some(4),
+            interior: Interior::Auto,
         };
         for mode in [BorderMode::Clamp, BorderMode::Repeat] {
             tiled_matches_reference(mode, 33, 29, &cfg);
@@ -1031,11 +1345,13 @@ mod tests {
                 tile_w: 1,
                 tile_h: 1,
                 threads: Some(1),
+                interior: Interior::Auto,
             },
             TileConfig {
                 tile_w: 2,
                 tile_h: 2,
                 threads: Some(2),
+                interior: Interior::Auto,
             },
             TileConfig::default(),
         ] {
@@ -1095,6 +1411,7 @@ mod tests {
             tile_w: 1,
             tile_h: 1,
             threads: Some(1),
+            interior: Interior::Auto,
         };
         let t = modeled_traffic(&p, &k, &ck, &cfg);
         // 6 one-pixel tiles, each materializing the full 3×2 plane.
@@ -1166,6 +1483,7 @@ mod tests {
             tile_w: 5,
             tile_h: 5,
             threads: Some(2),
+            interior: Interior::Auto,
         };
         let tiled = execute_kernel_tiled(&p, &k, &images, &cfg).unwrap();
         assert!(tiled.bit_equal(reference.expect_image(out)));
@@ -1182,6 +1500,7 @@ mod tests {
             tile_w: 16,
             tile_h: 16,
             threads: Some(1),
+            interior: Interior::Auto,
         };
         let t = modeled_traffic(&p, &k, &ck, &cfg);
         // One plane: 16×16 clipped (halo clips at the image edge).
@@ -1203,6 +1522,7 @@ mod tests {
             tile_w: 4,
             tile_h: 4,
             threads: Some(1),
+            interior: Interior::Auto,
         };
         let ts = modeled_traffic(&p, &k, &ck, &small);
         assert!(
@@ -1226,6 +1546,7 @@ mod tests {
             tile_w: 8,
             tile_h: 4,
             threads: Some(3),
+            interior: Interior::Auto,
         };
         let plain =
             execute_kernel_compiled(&p, &k, &ck, &images, &cfg, &mut Scratch::default()).unwrap();
@@ -1271,6 +1592,7 @@ mod tests {
             tile_w: 64,
             tile_h: 64,
             threads: Some(1),
+            interior: Interior::Auto,
         };
         for mode in [
             BorderMode::Clamp,

@@ -38,6 +38,28 @@ fn sweep_scattered_seeds() {
     }
 }
 
+/// Pins the harness's separable lane: replays the first sweep seeds whose
+/// generated pipelines contain exactly-separable convolution stages, so
+/// `cargo test` always exercises the factor-then-cross-check path (the
+/// factored pipeline must be bit-identical across the interpreter and
+/// both tape interiors). The generator is biased to emit such stages;
+/// this fails loudly if that bias ever rots away.
+#[test]
+fn sweep_separable_seeds() {
+    let mut pinned = Vec::new();
+    for seed in 0..200u64 {
+        if pinned.len() == 4 {
+            break;
+        }
+        let p = kfuse_fuzz::generate(seed);
+        if kfuse_core::factor_pipeline(&p).1 > 0 {
+            check_seed(seed).unwrap_or_else(|f| panic!("separable seed {seed:#x} regressed: {f}"));
+            pinned.push(seed);
+        }
+    }
+    assert_eq!(pinned.len(), 4, "separable bias produced only {pinned:?}");
+}
+
 /// Regression: `MinCutGraph::stoer_wagner` used to run maximum-adjacency
 /// ordering on whatever weights it was handed; a NaN made every
 /// comparison false and silently mis-ordered the search. It now reports
