@@ -4,6 +4,12 @@
 //! and under optimized fusion, at the paper's workload sizes (Section V-B:
 //! 2,048² gray-scale, Night at 1,920 × 1,200 RGB).
 //!
+//! Every fast-path number is the **median** of adaptive repeats (5–15,
+//! until the interquartile spread drops under 5%), measured with
+//! `kfuse_tune::measure_until` — the same helper `bench_tune` uses — and
+//! the headline's relative spread is reported alongside it, so a run-to-run
+//! delta inside the spread band reads as noise rather than a regression.
+//!
 //! Per schedule the fast executor is timed under three configurations:
 //! the default interior (`Interior::Auto`, which resolves to the widest
 //! SIMD tier the host supports — the headline `fast_mpix_s`), the forced
@@ -33,6 +39,7 @@ use kfuse_model::{BenefitModel, GpuSpec};
 use kfuse_sim::{
     detected_level, execute_fast_with, execute_reference, synthetic_image, FastConfig, Interior,
 };
+use kfuse_tune::{measure_until, Sample};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -54,21 +61,22 @@ fn inputs_for(p: &Pipeline, seed: u64) -> Vec<(ImageId, Image)> {
         .collect()
 }
 
-/// Best-of-`iters` wall time of `f`, in seconds, after one warm-up call.
-fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..iters {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
+/// Noise-aware timing: median over adaptive repeats with a reported
+/// relative spread (kfuse-tune's measurement vocabulary). The previous
+/// best-of-3 single numbers were how the phantom 0.89× "regression" on
+/// Enhance was born — one noisy run decided the headline.
+fn time_median(f: impl FnMut()) -> Sample {
+    measure_until(5, 15, 0.05, f)
 }
 
 struct Measurement {
     schedule: &'static str,
     fast_mpix_s: f64,
+    /// Relative interquartile spread of the headline fast timing —
+    /// differences within this band are noise, not regressions.
+    fast_spread: f64,
+    /// Timed repeats behind the headline median.
+    fast_repeats: usize,
     fast_scalar_mpix_s: f64,
     fast_mt2_mpix_s: f64,
     interp_mpix_s: f64,
@@ -85,16 +93,16 @@ fn measure(p: &Pipeline, w: usize, h: usize, schedule: &'static str) -> Measurem
     let inputs = inputs_for(p, 42);
     let mpix = (w * h) as f64 / 1e6;
     let time_fast = |cfg: FastConfig| {
-        time_best(3, || {
+        time_median(|| {
             std::hint::black_box(execute_fast_with(p, &inputs, &cfg).expect("fast executes"));
         })
     };
-    let fast_s = time_fast(FastConfig::default());
-    let scalar_s = time_fast(FastConfig {
+    let fast = time_fast(FastConfig::default());
+    let scalar = time_fast(FastConfig {
         interior: Interior::Scalar,
         ..FastConfig::default()
     });
-    let mt2_s = time_fast(FastConfig {
+    let mt2 = time_fast(FastConfig {
         threads: Some(2),
         ..FastConfig::default()
     });
@@ -106,11 +114,13 @@ fn measure(p: &Pipeline, w: usize, h: usize, schedule: &'static str) -> Measurem
     let interp_s = start.elapsed().as_secs_f64();
     Measurement {
         schedule,
-        fast_mpix_s: mpix / fast_s,
-        fast_scalar_mpix_s: mpix / scalar_s,
-        fast_mt2_mpix_s: mpix / mt2_s,
+        fast_mpix_s: mpix / fast.median_s,
+        fast_spread: fast.spread,
+        fast_repeats: fast.n,
+        fast_scalar_mpix_s: mpix / scalar.median_s,
+        fast_mt2_mpix_s: mpix / mt2.median_s,
         interp_mpix_s: mpix / interp_s,
-        speedup: interp_s / fast_s,
+        speedup: interp_s / fast.median_s,
     }
 }
 
@@ -156,11 +166,12 @@ fn main() {
 
     println!("simd level: {simd_level}");
     println!(
-        "{:<10} {:>9} {:<20} {:>12} {:>12} {:>7} {:>12} {:>14} {:>9}",
+        "{:<10} {:>9} {:<20} {:>12} {:>7} {:>12} {:>7} {:>12} {:>14} {:>9}",
         "app",
         "size",
         "schedule",
         "fast Mpix/s",
+        "spread",
         "scalar",
         "simd",
         "2-thread",
@@ -185,11 +196,12 @@ fn main() {
             measure(&separable, w, h, "optimized_separable"),
         ] {
             println!(
-                "{:<10} {:>9} {:<20} {:>12.2} {:>12.2} {:>6.2}x {:>12.2} {:>14.3} {:>8.1}x",
+                "{:<10} {:>9} {:<20} {:>12.2} {:>6.1}% {:>12.2} {:>6.2}x {:>12.2} {:>14.3} {:>8.1}x",
                 app.name,
                 format!("{w}x{h}"),
                 m.schedule,
                 m.fast_mpix_s,
+                m.fast_spread * 100.0,
                 m.fast_scalar_mpix_s,
                 m.simd_uplift(),
                 m.fast_mt2_mpix_s,
@@ -204,9 +216,11 @@ fn main() {
             }
             write!(
                 json_schedules,
-                "\n      \"{}\": {{\"fast_mpix_s\": {:.3}, \"interp_mpix_s\": {:.3}, \"speedup\": {:.2}, \"fast_scalar_mpix_s\": {:.3}, \"simd_uplift\": {:.2}, \"fast_mt2_mpix_s\": {:.3}}}",
+                "\n      \"{}\": {{\"fast_mpix_s\": {:.3}, \"fast_spread\": {:.4}, \"fast_repeats\": {}, \"interp_mpix_s\": {:.3}, \"speedup\": {:.2}, \"fast_scalar_mpix_s\": {:.3}, \"simd_uplift\": {:.2}, \"fast_mt2_mpix_s\": {:.3}}}",
                 m.schedule,
                 m.fast_mpix_s,
+                m.fast_spread,
+                m.fast_repeats,
                 m.interp_mpix_s,
                 m.speedup,
                 m.fast_scalar_mpix_s,

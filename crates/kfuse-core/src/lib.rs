@@ -13,6 +13,10 @@
 //! * [`planner`] — the benefit-weighted dependence graph, **Algorithm 1**
 //!   (recursive Stoer–Wagner min-cut partitioning) with a replayable
 //!   trace, objective Eq. (1), and plan application.
+//! * [`policy`] — planning policies behind one [`PlanPolicy`] trait:
+//!   the paper's static analytic model ([`StaticModelPolicy`]) versus
+//!   measured, feedback-calibrated constants ([`MeasuredPolicy`], fed by
+//!   the `kfuse-tune` calibrator).
 //! * [`explain`] — planner explainability: [`PlanTrace`] flattens a plan
 //!   into per-edge benefit breakdowns (δ, φ, g, γ, ε-clamp reasons),
 //!   legality verdicts, and the recursion log, rendered as a text report
@@ -55,6 +59,7 @@ pub mod explain;
 pub mod greedy;
 pub mod legality;
 pub mod planner;
+pub mod policy;
 pub mod resources;
 pub mod separable;
 pub mod synthesis;
@@ -68,6 +73,7 @@ pub use planner::{
     pair_is_legal, pair_verdict, plan_optimized, EdgeInfo, FusionConfig, FusionPlan, FusionResult,
     Trace, TraceEvent,
 };
+pub use policy::{MeasuredPolicy, PlanPolicy, StaticModelPolicy};
 pub use resources::{fits_device, resource_check, shared_usage_bytes};
 pub use separable::{factor_kernel, factor_pipeline};
 pub use synthesis::{absolute_extents, input_access_extents, synthesize};

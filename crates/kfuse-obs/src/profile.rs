@@ -1,0 +1,154 @@
+//! Profile extraction: turning recorded spans into per-kernel
+//! observations the `kfuse-tune` calibrator can fit against.
+//!
+//! The tiled executor records one `kernel:<name>` Complete span per
+//! kernel execution, carrying modeled traffic (global/plane byte totals)
+//! and modeled compute volume (ALU/SFU operation totals) as span args.
+//! [`kernel_observations`] flattens those spans into flat
+//! [`KernelObservation`] rows: measured wall time on one side, the
+//! modeled resource volumes that should explain it on the other. Fitting
+//! time against volumes yields *effective* per-byte and per-op costs for
+//! this host — the measured counterpart of the paper's data-sheet
+//! `δ`/`φ` constants.
+
+use crate::tracer::{ArgValue, Event, EventKind, Tracer};
+
+/// One observed kernel execution: measured duration plus the modeled
+/// resource volumes recorded alongside it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelObservation {
+    /// Kernel name (the span name without its `kernel:` prefix).
+    pub kernel: String,
+    /// Measured wall time of the execution, in microseconds.
+    pub wall_us: u64,
+    /// Modeled global-memory traffic (loads + stores + halo), in bytes.
+    pub global_bytes: u64,
+    /// Modeled intermediate-plane traffic (writes + reads), in bytes.
+    pub plane_bytes: u64,
+    /// Modeled ALU operation total over the output plane.
+    pub alu_ops: u64,
+    /// Modeled SFU (transcendental) operation total.
+    pub sfu_ops: u64,
+    /// Output pixels produced.
+    pub pixels: u64,
+}
+
+fn arg_u64(ev: &Event, key: &str) -> u64 {
+    ev.args
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map_or(0, |(_, v)| match v {
+            ArgValue::U64(n) => *n,
+            ArgValue::F64(f) => *f as u64,
+            ArgValue::Str(_) => 0,
+        })
+}
+
+/// Extracts one [`KernelObservation`] per `kernel:*` Complete span.
+///
+/// Spans missing the compute-volume args (recorded by older executors)
+/// still yield observations with zero op counts; spans with zero pixels
+/// are dropped as degenerate. Order follows the event buffer (i.e.
+/// execution order within each trace lane).
+pub fn kernel_observations(events: &[Event]) -> Vec<KernelObservation> {
+    let mut out = Vec::new();
+    for ev in events {
+        let EventKind::Complete { dur_us } = ev.kind else {
+            continue;
+        };
+        let Some(kernel) = ev.name.strip_prefix("kernel:") else {
+            continue;
+        };
+        let pixels = arg_u64(ev, "pixels");
+        if pixels == 0 {
+            continue;
+        }
+        out.push(KernelObservation {
+            kernel: kernel.to_string(),
+            wall_us: dur_us,
+            global_bytes: arg_u64(ev, "global_load_bytes")
+                + arg_u64(ev, "global_store_bytes")
+                + arg_u64(ev, "halo_extra_bytes"),
+            plane_bytes: arg_u64(ev, "plane_write_bytes") + arg_u64(ev, "plane_read_bytes"),
+            alu_ops: arg_u64(ev, "alu_ops"),
+            sfu_ops: arg_u64(ev, "sfu_ops"),
+            pixels,
+        });
+    }
+    out
+}
+
+/// [`kernel_observations`] over everything a tracer has recorded.
+pub fn trace_observations(tracer: &Tracer) -> Vec<KernelObservation> {
+    kernel_observations(&tracer.events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_event(name: &str, dur_us: u64, args: Vec<(&'static str, ArgValue)>) -> Event {
+        Event {
+            name: name.to_string(),
+            cat: "exec",
+            ts_us: 0,
+            tid: 1,
+            kind: EventKind::Complete { dur_us },
+            args,
+        }
+    }
+
+    #[test]
+    fn extracts_kernel_spans_only() {
+        let events = vec![
+            kernel_event(
+                "kernel:blur",
+                120,
+                vec![
+                    ("global_load_bytes", 4096u64.into()),
+                    ("global_store_bytes", 1024u64.into()),
+                    ("halo_extra_bytes", 64u64.into()),
+                    ("plane_write_bytes", 512u64.into()),
+                    ("plane_read_bytes", 256u64.into()),
+                    ("alu_ops", 9000u64.into()),
+                    ("sfu_ops", 10u64.into()),
+                    ("pixels", 256u64.into()),
+                ],
+            ),
+            kernel_event("band:blur", 60, vec![]),
+            Event {
+                name: "kernel:ignored-instant".to_string(),
+                cat: "exec",
+                ts_us: 0,
+                tid: 1,
+                kind: EventKind::Instant,
+                args: vec![],
+            },
+        ];
+        let obs = kernel_observations(&events);
+        assert_eq!(obs.len(), 1);
+        let o = &obs[0];
+        assert_eq!(o.kernel, "blur");
+        assert_eq!(o.wall_us, 120);
+        assert_eq!(o.global_bytes, 4096 + 1024 + 64);
+        assert_eq!(o.plane_bytes, 512 + 256);
+        assert_eq!(o.alu_ops, 9000);
+        assert_eq!(o.sfu_ops, 10);
+        assert_eq!(o.pixels, 256);
+    }
+
+    #[test]
+    fn drops_spans_without_pixels() {
+        let events = vec![kernel_event(
+            "kernel:legacy",
+            50,
+            vec![("global_load_bytes", 100u64.into())],
+        )];
+        assert!(kernel_observations(&events).is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_yields_nothing() {
+        assert!(trace_observations(&Tracer::disabled()).is_empty());
+    }
+}

@@ -39,6 +39,36 @@ pub struct CachedPlan {
     pub plan: Arc<CompiledPlan>,
 }
 
+/// Hit/miss tallies for one structural fingerprint, across every
+/// `(schedule, exec)` variant it was looked up under.
+///
+/// This is the observability the autotuner keys on: a fingerprint with
+/// many lookups is *hot* — repeat traffic worth tuning off the request
+/// path — regardless of whether those lookups hit or missed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FingerprintStats {
+    /// Structural pipeline fingerprint.
+    pub fingerprint: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found no reusable plan.
+    pub misses: u64,
+}
+
+impl FingerprintStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Distinct fingerprints tracked in the stats table. Bounding it keeps a
+/// fingerprint-churning tenant from growing the table without limit; at
+/// the cap, *new* fingerprints simply go untracked (existing tallies keep
+/// counting) — hot fingerprints by definition recur, so they are tracked
+/// long before the table fills.
+const MAX_TRACKED_FINGERPRINTS: usize = 64;
+
 /// A bounded least-recently-used map from [`PlanKey`] to [`CachedPlan`].
 ///
 /// Recency is a monotone tick bumped on every hit/insert; eviction scans
@@ -50,6 +80,7 @@ pub struct PlanCache {
     tick: u64,
     evictions: u64,
     map: HashMap<PlanKey, (u64, CachedPlan)>,
+    stats: HashMap<u64, FingerprintStats>,
 }
 
 impl PlanCache {
@@ -61,6 +92,7 @@ impl PlanCache {
             tick: 0,
             evictions: 0,
             map: HashMap::new(),
+            stats: HashMap::new(),
         }
     }
 
@@ -79,10 +111,42 @@ impl PlanCache {
     /// caller's [`kfuse_ir::Pipeline::binding_fingerprint`]. A structural
     /// match with a different layout is a miss — the caller recompiles
     /// rather than binding its images to the wrong slots.
+    ///
+    /// Every lookup also tallies into the per-fingerprint [`FingerprintStats`]
+    /// (including guarded misses — they are misses from the caller's view).
     pub fn lookup(&mut self, key: &PlanKey, layout: u64) -> Option<Arc<CompiledPlan>> {
-        self.get(key)
+        let found = self
+            .get(key)
             .filter(|entry| entry.layout == layout)
-            .map(|entry| entry.plan)
+            .map(|entry| entry.plan);
+        if self.stats.len() < MAX_TRACKED_FINGERPRINTS || self.stats.contains_key(&key.fingerprint)
+        {
+            let s = self
+                .stats
+                .entry(key.fingerprint)
+                .or_insert_with(|| FingerprintStats {
+                    fingerprint: key.fingerprint,
+                    ..FingerprintStats::default()
+                });
+            if found.is_some() {
+                s.hits += 1;
+            } else {
+                s.misses += 1;
+            }
+        }
+        found
+    }
+
+    /// Per-fingerprint lookup tallies, most-looked-up first (fingerprint
+    /// as the tie-break, so the order is deterministic).
+    pub fn fingerprint_stats(&self) -> Vec<FingerprintStats> {
+        let mut out: Vec<FingerprintStats> = self.stats.values().copied().collect();
+        out.sort_by(|a, b| {
+            b.lookups()
+                .cmp(&a.lookups())
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        out
     }
 
     /// Inserts (or replaces) the plan for `key`, evicting the
@@ -123,6 +187,15 @@ impl PlanCache {
                 self.map.insert(key, (self.tick, entry));
             }
         }
+    }
+
+    /// Drops every cached plan while keeping the lookup statistics and the
+    /// eviction counter. Used when the planning policy changes: every
+    /// cached plan was compiled under the old policy and must not be
+    /// served again. Cleared plans are not counted as evictions (nothing
+    /// was displaced by competing traffic).
+    pub fn clear_plans(&mut self) {
+        self.map.clear();
     }
 
     /// Number of cached plans.
@@ -278,6 +351,51 @@ mod tests {
         c.insert(key(1), entry());
         assert_eq!(c.evictions(), 2);
         assert!(c.lookup(&key(1), layout).is_some());
+    }
+
+    #[test]
+    fn fingerprint_stats_tally_hits_and_misses() {
+        let mut c = PlanCache::new(4);
+        let e = entry();
+        let layout = e.layout;
+        // Miss, insert, hit, hit for fingerprint 1; one miss for 2.
+        assert!(c.lookup(&key(1), layout).is_none());
+        c.insert(key(1), e);
+        assert!(c.lookup(&key(1), layout).is_some());
+        assert!(c.lookup(&key(1), layout).is_some());
+        // A guarded (layout-mismatch) lookup counts as a miss too.
+        assert!(c.lookup(&key(1), layout.wrapping_add(1)).is_none());
+        assert!(c.lookup(&key(2), layout).is_none());
+        let stats = c.fingerprint_stats();
+        assert_eq!(stats.len(), 2);
+        // Sorted by total lookups: fingerprint 1 (4 lookups) first.
+        assert_eq!(stats[0].fingerprint, 1);
+        assert_eq!(stats[0].hits, 2);
+        assert_eq!(stats[0].misses, 2);
+        assert_eq!(stats[0].lookups(), 4);
+        assert_eq!(stats[1].fingerprint, 2);
+        assert_eq!(stats[1].misses, 1);
+        // Raw `get` does not tally: only layout-guarded lookups are
+        // request-path traffic.
+        c.get(&key(1));
+        assert_eq!(c.fingerprint_stats()[0].lookups(), 4);
+    }
+
+    #[test]
+    fn fingerprint_stats_table_is_bounded() {
+        let mut c = PlanCache::new(2);
+        for fp in 0..(super::MAX_TRACKED_FINGERPRINTS as u64 + 10) {
+            c.lookup(&key(fp), 0);
+        }
+        assert_eq!(c.fingerprint_stats().len(), super::MAX_TRACKED_FINGERPRINTS);
+        // Tracked fingerprints keep counting past the cap.
+        c.lookup(&key(3), 0);
+        let s = c
+            .fingerprint_stats()
+            .into_iter()
+            .find(|s| s.fingerprint == 3)
+            .unwrap();
+        assert_eq!(s.lookups(), 2);
     }
 
     #[test]

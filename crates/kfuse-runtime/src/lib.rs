@@ -20,7 +20,12 @@
 //!   to the wrong slots;
 //! * [`metrics`] — per-tenant atomic counters and log₂ latency histograms,
 //!   exported as a [`MetricsSnapshot`] with hand-rolled JSON and
-//!   Prometheus text exposition (the workspace is zero-external-crate).
+//!   Prometheus text exposition (the workspace is zero-external-crate);
+//! * [`tune`] — optional online autotuning ([`TuneConfig`]): a background
+//!   retuner thread probes hot pipeline fingerprints off the request path
+//!   with `kfuse-tune`, installs bit-identity-proven winners that override
+//!   the plan for `Optimized` jobs, persists them across restarts, and can
+//!   calibrate the planning policy from the runtime's own trace spans.
 //!
 //! Serving is traceable end to end: set a recording
 //! [`kfuse_obs::Tracer`] in [`RuntimeConfig`] and every request emits
@@ -59,10 +64,12 @@
 pub mod cache;
 pub mod metrics;
 pub mod runtime;
+pub mod tune;
 
-pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use cache::{CachedPlan, FingerprintStats, PlanCache, PlanKey};
 pub use metrics::{
     LatencyHistogram, MetricsRegistry, MetricsSnapshot, PipelineMetrics, PipelineSnapshot,
     RuntimeGauges,
 };
 pub use runtime::{Admission, JobHandle, Runtime, RuntimeConfig, RuntimeError};
+pub use tune::{RetuneReport, TuneConfig};

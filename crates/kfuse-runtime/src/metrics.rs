@@ -194,6 +194,7 @@ impl MetricsRegistry {
         MetricsSnapshot {
             pipelines,
             runtime: RuntimeGauges::default(),
+            fingerprints: Vec::new(),
         }
     }
 }
@@ -244,6 +245,9 @@ pub struct RuntimeGauges {
     pub cache_size: u64,
     /// Plan-cache capacity.
     pub cache_capacity: u64,
+    /// Tuned plan choices installed by the autotuner (0 when tuning is
+    /// disabled).
+    pub tuned_plans: u64,
     /// Cumulative plans evicted to make room.
     pub cache_evictions: u64,
 }
@@ -254,6 +258,10 @@ pub struct MetricsSnapshot {
     pub pipelines: Vec<PipelineSnapshot>,
     /// Runtime-wide gauges (queue, in-flight, plan cache).
     pub runtime: RuntimeGauges,
+    /// Per-fingerprint plan-cache lookup tallies, most-looked-up first
+    /// (see [`crate::cache::FingerprintStats`]): the signal that makes
+    /// tuning-eligible "hot" fingerprints observable.
+    pub fingerprints: Vec<crate::cache::FingerprintStats>,
 }
 
 impl MetricsSnapshot {
@@ -297,15 +305,28 @@ impl MetricsSnapshot {
         let g = &self.runtime;
         out.push_str(&format!(
             "{{\"queue_depth\":{},\"queue_depth_hwm\":{},\"in_flight\":{},\"cache_size\":{},\
-             \"cache_capacity\":{},\"cache_evictions\":{}}}",
+             \"cache_capacity\":{},\"tuned_plans\":{},\"cache_evictions\":{}}}",
             g.queue_depth,
             g.queue_depth_hwm,
             g.in_flight,
             g.cache_size,
             g.cache_capacity,
+            g.tuned_plans,
             g.cache_evictions,
         ));
-        out.push('}');
+        out.push_str(",\"fingerprints\":[");
+        for (i, s) in self.fingerprints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Fingerprints are hashes, not quantities: hex strings keep
+            // them exact (u64 exceeds JSON's interoperable integer range).
+            out.push_str(&format!(
+                "{{\"fingerprint\":\"{:016x}\",\"hits\":{},\"misses\":{}}}",
+                s.fingerprint, s.hits, s.misses
+            ));
+        }
+        out.push_str("]}");
         out
     }
 
@@ -391,7 +412,7 @@ impl MetricsSnapshot {
             );
         }
         let g = &self.runtime;
-        let gauges: [(&str, &str, u64); 5] = [
+        let gauges: [(&str, &str, u64); 6] = [
             (
                 "kfuse_queue_depth",
                 "Jobs queued for a worker.",
@@ -417,6 +438,11 @@ impl MetricsSnapshot {
                 "Plan cache capacity.",
                 g.cache_capacity,
             ),
+            (
+                "kfuse_tuned_plans",
+                "Tuned plan choices installed by the autotuner.",
+                g.tuned_plans,
+            ),
         ];
         for (name, help, v) in gauges {
             w.family(name, "gauge", help);
@@ -432,6 +458,28 @@ impl MetricsSnapshot {
             &[],
             g.cache_evictions as f64,
         );
+        if !self.fingerprints.is_empty() {
+            type FpField = fn(&crate::cache::FingerprintStats) -> u64;
+            let fp_counters: [(&str, &str, FpField); 2] = [
+                (
+                    "kfuse_plan_cache_fingerprint_hits_total",
+                    "Plan-cache hits per structural pipeline fingerprint.",
+                    |s| s.hits,
+                ),
+                (
+                    "kfuse_plan_cache_fingerprint_misses_total",
+                    "Plan-cache misses per structural pipeline fingerprint.",
+                    |s| s.misses,
+                ),
+            ];
+            for (name, help, get) in fp_counters {
+                w.family(name, "counter", help);
+                for s in &self.fingerprints {
+                    let fp = format!("{:016x}", s.fingerprint);
+                    w.sample(name, &[("fingerprint", &fp)], get(s) as f64);
+                }
+            }
+        }
         w.finish()
     }
 }
@@ -499,6 +547,7 @@ mod tests {
             in_flight: 2,
             cache_size: 5,
             cache_capacity: 8,
+            tuned_plans: 0,
             cache_evictions: 1,
         };
         let json = snap.to_json();
@@ -521,8 +570,8 @@ mod tests {
         snap.runtime.queue_depth_hwm = 9;
         let doc = snap.to_prometheus();
         // 8 counter families × 2 pipelines + 3 quantiles × 2 pipelines
-        // + 1 mean × 2 pipelines + 6 runtime samples.
-        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 30);
+        // + 1 mean × 2 pipelines + 7 runtime samples.
+        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 31);
         assert!(doc.contains("# TYPE kfuse_requests_total counter"));
         assert!(doc.contains("kfuse_queue_depth_hwm 9"));
         assert!(doc.contains("kfuse_requests_total{pipeline=\"a\\\"b\\\\c\"} 1"));
@@ -622,6 +671,42 @@ mod tests {
         let doc = snap.to_prometheus();
         assert!(doc.contains("# TYPE kfuse_queue_depth_hwm gauge"));
         assert!(doc.contains("kfuse_queue_depth_hwm 12"));
+        kfuse_obs::validate_prometheus(&doc).expect("exposition validates");
+    }
+
+    /// Per-fingerprint plan-cache tallies render as hex-keyed JSON objects
+    /// and labeled Prometheus counter families; both stay validator-clean.
+    #[test]
+    fn fingerprint_stats_round_trip_both_exporters() {
+        let reg = MetricsRegistry::default();
+        reg.handle("t").record_request();
+        let mut snap = reg.snapshot();
+        snap.runtime.tuned_plans = 2;
+        snap.fingerprints = vec![
+            crate::cache::FingerprintStats {
+                fingerprint: 0xdead_beef,
+                hits: 9,
+                misses: 1,
+            },
+            crate::cache::FingerprintStats {
+                fingerprint: 0x1,
+                hits: 0,
+                misses: 3,
+            },
+        ];
+        let json = snap.to_json();
+        assert!(json.contains("\"tuned_plans\":2"));
+        assert!(json.contains("\"fingerprint\":\"00000000deadbeef\",\"hits\":9,\"misses\":1"));
+        kfuse_obs::parse_json(&json).expect("strict parser accepts the snapshot");
+
+        let doc = snap.to_prometheus();
+        assert!(doc.contains("kfuse_tuned_plans 2"));
+        assert!(doc.contains(
+            "kfuse_plan_cache_fingerprint_hits_total{fingerprint=\"00000000deadbeef\"} 9"
+        ));
+        assert!(doc.contains(
+            "kfuse_plan_cache_fingerprint_misses_total{fingerprint=\"0000000000000001\"} 3"
+        ));
         kfuse_obs::validate_prometheus(&doc).expect("exposition validates");
     }
 }

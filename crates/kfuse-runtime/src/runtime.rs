@@ -30,12 +30,13 @@
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, PipelineMetrics, RuntimeGauges};
-use kfuse_core::planner::FusionConfig;
+use crate::tune::{RetuneReport, TuneConfig, TunerState};
+use kfuse_core::{PlanPolicy, StaticModelPolicy};
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
-use kfuse_model::GpuSpec;
 use kfuse_obs::{ArgValue, Tracer};
 use kfuse_sim::{CompiledPlan, ExecError, Execution, FastConfig, Scratch};
+use kfuse_tune::{output_pixels, size_class_of, TuneKey};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,8 +71,14 @@ pub struct RuntimeConfig {
     pub plan_cache_capacity: usize,
     /// Executor configuration used for every job (part of the cache key).
     pub exec: FastConfig,
-    /// Fusion-planner configuration used on cache misses.
-    pub fusion: FusionConfig,
+    /// Planning policy used on cache misses: who prices the fusion
+    /// decisions ([`StaticModelPolicy`] by default; calibration may swap
+    /// in a [`kfuse_core::MeasuredPolicy`] at runtime).
+    pub policy: Arc<dyn PlanPolicy>,
+    /// Online autotuning of hot pipelines off the request path; `None`
+    /// (the default) disables the retuner entirely — zero overhead beyond
+    /// an `Option` check per job.
+    pub tuning: Option<TuneConfig>,
     /// Trace recorder for per-request serving spans (`queue_wait`, `plan`,
     /// `execute`) and per-kernel executor spans. Disabled by default: the
     /// hot path then only branches on an `Option` and records nothing.
@@ -91,7 +98,8 @@ impl Default for RuntimeConfig {
                 threads: Some(1),
                 ..FastConfig::default()
             },
-            fusion: kfuse_dsl::default_config(GpuSpec::gtx680()),
+            policy: Arc::new(StaticModelPolicy::paper_default()),
+            tuning: None,
             tracer: Tracer::disabled(),
         }
     }
@@ -256,12 +264,12 @@ struct QueueState {
     accepting: bool,
 }
 
-/// State shared between the API side and the workers.
-struct Shared {
+/// State shared between the API side, the workers, and the retuner.
+pub(crate) struct Shared {
     queue: Mutex<QueueState>,
     job_available: Condvar,
     space_available: Condvar,
-    cache: Mutex<PlanCache>,
+    pub(crate) cache: Mutex<PlanCache>,
     metrics: MetricsRegistry,
     /// Jobs currently executing on worker threads (gauge).
     in_flight: AtomicU64,
@@ -269,13 +277,20 @@ struct Shared {
     /// `queue_depth` sampled at `metrics()` time says nothing about bursts
     /// between scrapes; the HWM pins the worst backlog since startup.
     queue_depth_hwm: AtomicU64,
-    cfg: RuntimeConfig,
+    /// The active planning policy. Starts as `cfg.policy`; calibration may
+    /// swap in measured constants (see [`crate::tune`]), which also clears
+    /// the plan cache.
+    pub(crate) policy: Mutex<Arc<dyn PlanPolicy>>,
+    /// Online-tuning state; `None` when tuning is disabled.
+    pub(crate) tuner: Option<TunerState>,
+    pub(crate) cfg: RuntimeConfig,
 }
 
 /// A multi-tenant pipeline-serving runtime. See the [module docs](crate::runtime).
 pub struct Runtime {
     shared: Arc<Shared>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    retuner: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -286,6 +301,8 @@ impl Runtime {
 
     fn start(cfg: RuntimeConfig, spawn: bool) -> Self {
         let workers = cfg.workers.max(1);
+        let policy = Arc::clone(&cfg.policy);
+        let tuner = cfg.tuning.clone().map(TunerState::new);
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -297,6 +314,8 @@ impl Runtime {
             metrics: MetricsRegistry::default(),
             in_flight: AtomicU64::new(0),
             queue_depth_hwm: AtomicU64::new(0),
+            policy: Mutex::new(policy),
+            tuner,
             cfg,
         });
         let handles = if spawn {
@@ -312,9 +331,21 @@ impl Runtime {
         } else {
             Vec::new()
         };
+        let retuner = if spawn && shared.tuner.is_some() {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("kfuse-retuner".to_string())
+                    .spawn(move || crate::tune::retuner_loop(&shared))
+                    .expect("spawning retuner thread"),
+            )
+        } else {
+            None
+        };
         Self {
             shared,
             workers: Mutex::new(handles),
+            retuner: Mutex::new(retuner),
         }
     }
 
@@ -431,12 +462,13 @@ impl Runtime {
     /// runtime-wide gauges (queue depth, in-flight jobs, plan-cache state).
     pub fn metrics(&self) -> MetricsSnapshot {
         let queue_depth = self.shared.queue.lock().unwrap().jobs.len() as u64;
-        let (cache_size, cache_capacity, cache_evictions) = {
+        let (cache_size, cache_capacity, cache_evictions, fingerprints) = {
             let cache = self.shared.cache.lock().unwrap();
             (
                 cache.len() as u64,
                 cache.capacity() as u64,
                 cache.evictions(),
+                cache.fingerprint_stats(),
             )
         };
         let mut snap = self.shared.metrics.snapshot();
@@ -446,14 +478,41 @@ impl Runtime {
             in_flight: self.shared.in_flight.load(Ordering::Relaxed),
             cache_size,
             cache_capacity,
+            tuned_plans: self.tuned_plans() as u64,
             cache_evictions,
         };
+        snap.fingerprints = fingerprints;
         snap
     }
 
     /// Number of compiled plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.shared.cache.lock().unwrap().len()
+    }
+
+    /// Runs one synchronous re-tuning pass (calibration, persisted-entry
+    /// validation, hot-fingerprint autotuning, persistence) on the calling
+    /// thread — the same work the background retuner does on its interval,
+    /// made callable for tests and for deployments that prefer explicit
+    /// scheduling. Returns an empty report when tuning is disabled.
+    pub fn retune_now(&self) -> RetuneReport {
+        crate::tune::retune_pass(&self.shared)
+    }
+
+    /// Number of tuned plan choices currently installed (0 when tuning is
+    /// disabled).
+    pub fn tuned_plans(&self) -> usize {
+        self.shared
+            .tuner
+            .as_ref()
+            .map(TunerState::tuned_count)
+            .unwrap_or(0)
+    }
+
+    /// Name of the active planning policy: `"static"` until calibration
+    /// installs measured constants, then `"measured"`.
+    pub fn policy_name(&self) -> &'static str {
+        self.shared.policy.lock().unwrap().name()
     }
 
     /// Graceful shutdown: stops admission, drains every queued job, and
@@ -466,6 +525,15 @@ impl Runtime {
             // submitters parked on backpressure (to reject).
             self.shared.job_available.notify_all();
             self.shared.space_available.notify_all();
+        }
+        // Stop the retuner first: it must not keep tuning against a
+        // draining runtime.
+        if let Some(t) = &self.shared.tuner {
+            *t.stop.lock().unwrap() = true;
+            t.wake.notify_all();
+        }
+        if let Some(h) = self.retuner.lock().unwrap().take() {
+            let _ = h.join();
         }
         let handles = std::mem::take(&mut *self.workers.lock().unwrap());
         for h in handles {
@@ -584,10 +652,31 @@ fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Executio
         );
     }
     let plan_start = tracer.now_us();
+    let fingerprint = job.pipeline.fingerprint();
+    // A tuned choice, when installed for this (fingerprint, size-class),
+    // overrides the schedule and execution shape — but only for jobs that
+    // asked for `Optimized`. A tenant explicitly requesting
+    // `Baseline`/`Basic` gets exactly what it asked for.
+    let mut schedule = job.schedule;
+    let mut exec = shared.cfg.exec;
+    let mut tuned = false;
+    if let Some(t) = &shared.tuner {
+        if job.schedule == Schedule::Optimized {
+            let tune_key = TuneKey {
+                fingerprint,
+                size_class: size_class_of(output_pixels(&job.pipeline)),
+            };
+            if let Some(choice) = t.choice_for(&tune_key) {
+                schedule = choice.schedule;
+                exec = crate::tune::runtime_fast_config(choice, &shared.cfg.exec);
+                tuned = true;
+            }
+        }
+    }
     let key = PlanKey {
-        fingerprint: job.pipeline.fingerprint(),
-        schedule: job.schedule,
-        exec: shared.cfg.exec,
+        fingerprint,
+        schedule,
+        exec,
     };
     let layout = job.pipeline.binding_fingerprint();
     let cached = shared.cache.lock().unwrap().lookup(&key, layout);
@@ -599,12 +688,18 @@ fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Executio
         }
         None => {
             job.metrics.record_cache_miss();
+            if let Some(t) = &shared.tuner {
+                // Keep a sample of the submitted pipeline so the retuner
+                // can probe this fingerprint off the request path.
+                t.record_sample(&job.pipeline);
+            }
             // Validate before handing the pipeline to the fusion planner;
             // planning assumes a well-formed DAG.
             job.pipeline
                 .validate()
                 .map_err(|e| ExecError::Invalid(e.to_string()))?;
-            let fused = kfuse_dsl::compile(&job.pipeline, job.schedule, &shared.cfg.fusion);
+            let policy = Arc::clone(&*shared.policy.lock().unwrap());
+            let fused = kfuse_dsl::compile(&job.pipeline, schedule, policy.fusion_config());
             let plan = Arc::new(CompiledPlan::compile(&fused)?);
             shared.cache.lock().unwrap().insert(
                 key,
@@ -628,12 +723,16 @@ fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Executio
                     "cache",
                     ArgValue::Str(if hit { "hit" } else { "miss" }.into()),
                 ),
+                (
+                    "tuned",
+                    ArgValue::Str(if tuned { "yes" } else { "no" }.into()),
+                ),
             ],
         );
     }
     let exec_start = tracer.now_us();
     let result = plan
-        .execute_traced(&job.inputs, &shared.cfg.exec, scratch, tracer)
+        .execute_traced(&job.inputs, &exec, scratch, tracer)
         .map_err(RuntimeError::Exec);
     if tracer.is_enabled() {
         tracer.complete(
@@ -1010,6 +1109,152 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"cache_size\":1"));
         assert!(kfuse_obs::validate_prometheus(&snap.to_prometheus()).is_ok());
+    }
+
+    /// A small tuning config that keeps test passes cheap: one candidate
+    /// tile/interior, minimal repeats, hot after 2 lookups.
+    fn tiny_tuning() -> crate::tune::TuneConfig {
+        crate::tune::TuneConfig {
+            hot_threshold: 2,
+            options: kfuse_tune::TuneOptions::smoke(),
+            ..crate::tune::TuneConfig::default()
+        }
+    }
+
+    /// `retune_now` tunes a hot fingerprint, the tuned choice is applied
+    /// to subsequent `Optimized` jobs, and the result stays bit-identical
+    /// to the reference interpreter.
+    #[test]
+    fn retune_installs_choice_for_hot_fingerprint_and_stays_bit_identical() {
+        let (p, input, out) = blur_pipeline(33, 27);
+        let rt = Runtime::new(RuntimeConfig {
+            tuning: Some(tiny_tuning()),
+            ..small_cfg()
+        });
+        let img = synthetic_image(p.image(input).clone(), 5);
+        let reference = kfuse_sim::execute_reference(&p, &[(input, img.clone())]).unwrap();
+        // Drive the fingerprint hot (≥ hot_threshold lookups); the first
+        // miss records the sample pipeline the retuner probes.
+        for _ in 0..3 {
+            rt.execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                .unwrap();
+        }
+        assert_eq!(rt.tuned_plans(), 0);
+        let report = rt.retune_now();
+        assert_eq!(report.installed.len(), 1);
+        assert_eq!(report.tuned_total, 1);
+        assert_eq!(rt.tuned_plans(), 1);
+        // A second pass does not re-tune the same key.
+        let report = rt.retune_now();
+        assert!(report.installed.is_empty());
+        assert_eq!(report.already_tuned, 1);
+        // Tuned execution is still bit-identical to the reference.
+        let exec = rt
+            .execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+            .unwrap();
+        assert!(exec
+            .expect_image(out)
+            .bit_equal(reference.expect_image(out)));
+        // Non-Optimized requests bypass the tuned override entirely.
+        let exec = rt
+            .execute("t", &p, vec![(input, img)], Schedule::Baseline)
+            .unwrap();
+        assert!(exec
+            .expect_image(out)
+            .bit_equal(reference.expect_image(out)));
+        // The gauge and per-fingerprint stats surface in the snapshot.
+        let snap = rt.metrics();
+        assert_eq!(snap.runtime.tuned_plans, 1);
+        assert!(!snap.fingerprints.is_empty());
+        assert_eq!(snap.fingerprints[0].fingerprint, p.fingerprint());
+        assert!(kfuse_obs::validate_prometheus(&snap.to_prometheus()).is_ok());
+        kfuse_obs::parse_json(&snap.to_json()).expect("strict parser accepts the snapshot");
+    }
+
+    /// Tuning winners persist to the text file, and a fresh runtime
+    /// re-validates them against the oracle before trusting them — after
+    /// which it is warm without re-running the tuning search.
+    #[test]
+    fn persisted_tunings_warm_start_a_new_runtime() {
+        let dir = std::env::temp_dir().join("kfuse-runtime-tune-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tuned.txt");
+        std::fs::remove_file(&path).ok();
+        let cfg = || RuntimeConfig {
+            tuning: Some(crate::tune::TuneConfig {
+                persist_path: Some(path.clone()),
+                ..tiny_tuning()
+            }),
+            ..small_cfg()
+        };
+        let (p, input, _) = blur_pipeline(21, 19);
+        let img = synthetic_image(p.image(input).clone(), 9);
+        {
+            let rt = Runtime::new(cfg());
+            for _ in 0..3 {
+                rt.execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                    .unwrap();
+            }
+            assert_eq!(rt.retune_now().installed.len(), 1);
+            rt.shutdown();
+        }
+        assert!(!kfuse_tune::load(&path).is_empty());
+        {
+            let rt = Runtime::new(cfg());
+            // Nothing installed yet: the persisted entry waits for a
+            // sample pipeline to validate against.
+            assert_eq!(rt.tuned_plans(), 0);
+            // One submission records the sample (cache miss) …
+            rt.execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                .unwrap();
+            // … and the next pass installs the validated entry without
+            // the fingerprint being hot yet (1 lookup < threshold 2).
+            let report = rt.retune_now();
+            assert_eq!(report.installed.len(), 1);
+            assert_eq!(rt.tuned_plans(), 1);
+            rt.shutdown();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// With calibration enabled and a recording tracer, a retune pass fits
+    /// measured constants from the runtime's own kernel spans and swaps
+    /// the planning policy — and served results remain bit-identical.
+    #[test]
+    fn calibration_swaps_policy_to_measured() {
+        let (p, input, out) = blur_pipeline(160, 120);
+        let tracer = Tracer::enabled();
+        let rt = Runtime::new(RuntimeConfig {
+            tracer: tracer.clone(),
+            tuning: Some(crate::tune::TuneConfig {
+                calibrate: true,
+                // Keep this test about calibration only: nothing goes hot.
+                hot_threshold: u64::MAX,
+                ..tiny_tuning()
+            }),
+            ..small_cfg()
+        });
+        assert_eq!(rt.policy_name(), "static");
+        let img = synthetic_image(p.image(input).clone(), 2);
+        let reference = kfuse_sim::execute_reference(&p, &[(input, img.clone())]).unwrap();
+        // Enough traced kernel executions to clear MIN_OBSERVATIONS.
+        for _ in 0..kfuse_tune::MIN_OBSERVATIONS + 2 {
+            rt.execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                .unwrap();
+        }
+        let report = rt.retune_now();
+        assert!(report.calibrated);
+        assert_eq!(rt.policy_name(), "measured");
+        // Calibration invalidated the cached plans compiled under the old
+        // policy; the next request recompiles and still matches.
+        let exec = rt
+            .execute("t", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        assert!(exec
+            .expect_image(out)
+            .bit_equal(reference.expect_image(out)));
+        // Calibration happens once; later passes leave the policy alone.
+        assert!(!rt.retune_now().calibrated);
     }
 
     #[test]

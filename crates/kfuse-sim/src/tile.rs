@@ -1073,6 +1073,9 @@ pub fn execute_kernel_compiled_traced(
     let out = execute_kernel_compiled_inner(p, k, ck, images, cfg, scratch, tracer)?;
     if tracer.is_enabled() {
         let traffic = modeled_traffic(p, k, ck, cfg);
+        let desc = p.image(k.output);
+        let pixels = (desc.width * desc.height) as u64;
+        let ops = k.op_counts();
         tracer.complete(
             format!("kernel:{}", k.name),
             "exec",
@@ -1085,6 +1088,11 @@ pub fn execute_kernel_compiled_traced(
                 ("plane_read_bytes", traffic.plane_read_bytes.into()),
                 ("halo_extra_bytes", traffic.halo_extra_bytes.into()),
                 ("stages", k.stages.len().into()),
+                // Modeled compute volume, for the kfuse-tune calibrator:
+                // per-pixel operation counts scaled by the output plane.
+                ("alu_ops", (ops.alu as u64 * pixels).into()),
+                ("sfu_ops", (ops.sfu as u64 * pixels).into()),
+                ("pixels", pixels.into()),
             ],
         );
     }

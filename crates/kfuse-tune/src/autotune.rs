@@ -1,0 +1,510 @@
+//! The autotuner: empirical search over execution configurations.
+//!
+//! The planner's analytic model picks one configuration; the autotuner
+//! *measures* the alternatives. Per `(pipeline fingerprint, size-class)`
+//! key it sweeps schedule × tile shape × interior tier (× optionally the
+//! separable rewrite), timing each candidate with the noise-aware rule of
+//! [`crate::measure`] and keeping the fastest.
+//!
+//! Correctness is non-negotiable: every candidate's output is compared
+//! **bit for bit** against [`kfuse_sim::execute_reference`] on the probe
+//! inputs before it is timed; candidates that disagree (the separable
+//! rewrite reassociates floating point, so it usually does) are rejected
+//! outright. Tuning may change *which* plan runs — never what it computes.
+
+use crate::measure::{measure_until, Sample};
+use kfuse_core::FusionConfig;
+use kfuse_dsl::Schedule;
+use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_sim::{
+    execute_fast_with, execute_reference, synthetic_image, Execution, FastConfig, Interior,
+};
+
+/// What the autotuner tunes *for*: one pipeline structure at one
+/// workload-size bucket. Structures come from
+/// [`Pipeline::fingerprint`]; sizes are bucketed by [`size_class_of`]
+/// (power-of-two pixel-count classes) so a tuning result generalizes to
+/// nearby sizes without claiming to cover all of them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    /// Structural pipeline fingerprint.
+    pub fingerprint: u64,
+    /// `floor(log2(total output pixels))`, 0 for empty outputs.
+    pub size_class: u8,
+}
+
+impl TuneKey {
+    /// The key for `p` at its declared image sizes.
+    pub fn for_pipeline(p: &Pipeline) -> Self {
+        Self {
+            fingerprint: p.fingerprint(),
+            size_class: size_class_of(output_pixels(p)),
+        }
+    }
+}
+
+/// Total pixels over all declared outputs of `p`.
+pub fn output_pixels(p: &Pipeline) -> u64 {
+    p.outputs()
+        .iter()
+        .map(|&id| {
+            let d = p.image(id);
+            (d.width * d.height) as u64
+        })
+        .sum()
+}
+
+/// Power-of-two size bucket: `floor(log2(pixels))`, 0 for 0 or 1.
+pub fn size_class_of(pixels: u64) -> u8 {
+    if pixels < 2 {
+        0
+    } else {
+        (63 - pixels.leading_zeros() as u8).min(63)
+    }
+}
+
+/// One point in the search space: how to compile and how to execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Choice {
+    /// Fusion schedule to compile under.
+    pub schedule: Schedule,
+    /// Whether the separable mask factorization is applied at compile
+    /// time (changes FP association — must survive the identity oracle).
+    pub separable: bool,
+    /// Executor tile width.
+    pub tile_w: usize,
+    /// Executor tile height.
+    pub tile_h: usize,
+    /// Interior-evaluation tier.
+    pub interior: Interior,
+}
+
+impl Choice {
+    /// The static planner's pick: optimized schedule, default tile,
+    /// auto interior, no separable rewrite.
+    pub fn static_default() -> Self {
+        let d = FastConfig::default();
+        Self {
+            schedule: Schedule::Optimized,
+            separable: false,
+            tile_w: d.tile_w,
+            tile_h: d.tile_h,
+            interior: Interior::Auto,
+        }
+    }
+
+    /// The execution configuration of this choice (threads left at the
+    /// executor default — thread count is a deployment property, not a
+    /// per-pipeline tunable).
+    pub fn fast_config(&self) -> FastConfig {
+        FastConfig {
+            tile_w: self.tile_w,
+            tile_h: self.tile_h,
+            interior: self.interior,
+            ..FastConfig::default()
+        }
+    }
+
+    /// Compiles `p` under this choice's schedule/rewrite flags.
+    pub fn compile(&self, p: &Pipeline, base: &FusionConfig) -> Pipeline {
+        let cfg = if self.separable {
+            base.clone().with_separable()
+        } else {
+            base.clone()
+        };
+        kfuse_dsl::compile(p, self.schedule, &cfg)
+    }
+
+    /// Compact human/persistence label, e.g. `optimized+sep 128x64 auto`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}{} {}x{} {}",
+            schedule_tag(self.schedule),
+            if self.separable { "+sep" } else { "" },
+            self.tile_w,
+            self.tile_h,
+            interior_tag(self.interior),
+        )
+    }
+}
+
+/// Stable one-word tag per schedule (persistence + labels).
+pub fn schedule_tag(s: Schedule) -> &'static str {
+    match s {
+        Schedule::Baseline => "baseline",
+        Schedule::Basic => "basic",
+        Schedule::Optimized => "optimized",
+    }
+}
+
+/// Parses a [`schedule_tag`] back.
+pub fn schedule_from_tag(tag: &str) -> Option<Schedule> {
+    match tag {
+        "baseline" => Some(Schedule::Baseline),
+        "basic" => Some(Schedule::Basic),
+        "optimized" => Some(Schedule::Optimized),
+        _ => None,
+    }
+}
+
+/// Stable one-word tag per interior tier (persistence + labels).
+pub fn interior_tag(i: Interior) -> &'static str {
+    match i {
+        Interior::Auto => "auto",
+        Interior::Scalar => "scalar",
+        Interior::Sse2 => "sse2",
+        Interior::Avx2 => "avx2",
+    }
+}
+
+/// Parses an [`interior_tag`] back.
+pub fn interior_from_tag(tag: &str) -> Option<Interior> {
+    match tag {
+        "auto" => Some(Interior::Auto),
+        "scalar" => Some(Interior::Scalar),
+        "sse2" => Some(Interior::Sse2),
+        "avx2" => Some(Interior::Avx2),
+        _ => None,
+    }
+}
+
+/// Search-space and measurement knobs.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Timed repeats per candidate before the spread check.
+    pub min_repeats: usize,
+    /// Hard ceiling on repeats per candidate.
+    pub max_repeats: usize,
+    /// Relative spread below which a measurement is considered settled.
+    pub target_spread: f64,
+    /// Whether separable-rewrite candidates enter the search. They must
+    /// still pass the bit-identity oracle on the probe inputs, which only
+    /// masks that factor *exactly* (e.g. binomial masks) survive. Leave
+    /// off for online tuning: one probe input proves nothing about other
+    /// inputs, and the runtime's contract is bit identity on all of them.
+    pub include_separable: bool,
+    /// Tile shapes to sweep.
+    pub tiles: Vec<(usize, usize)>,
+    /// Interior tiers to sweep.
+    pub interiors: Vec<Interior>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        let d = FastConfig::default();
+        Self {
+            min_repeats: 3,
+            max_repeats: 9,
+            target_spread: 0.10,
+            include_separable: false,
+            tiles: vec![(d.tile_w, d.tile_h), (64, 64), (256, 32), (32, 128)],
+            interiors: vec![Interior::Auto, Interior::Scalar],
+        }
+    }
+}
+
+impl TuneOptions {
+    /// A cheap variant for smoke tests and CI: one tile, one interior,
+    /// minimal repeats.
+    pub fn smoke() -> Self {
+        let d = FastConfig::default();
+        Self {
+            min_repeats: 1,
+            max_repeats: 2,
+            target_spread: 1.0,
+            include_separable: false,
+            tiles: vec![(d.tile_w, d.tile_h)],
+            interiors: vec![Interior::Auto],
+        }
+    }
+
+    /// The full candidate list, deterministic order. Baseline/basic
+    /// schedules participate: when the min-cut plan loses to no fusion on
+    /// this host (the Enhance case), the tuner must be allowed to say so.
+    pub fn candidates(&self) -> Vec<Choice> {
+        let mut out = Vec::new();
+        for &schedule in &Schedule::ALL {
+            let seps: &[bool] = if self.include_separable && schedule != Schedule::Baseline {
+                &[false, true]
+            } else {
+                &[false]
+            };
+            for &separable in seps {
+                for &(tile_w, tile_h) in &self.tiles {
+                    for &interior in &self.interiors {
+                        out.push(Choice {
+                            schedule,
+                            separable,
+                            tile_w,
+                            tile_h,
+                            interior,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One measured candidate.
+#[derive(Clone, Debug)]
+pub struct Measured {
+    /// The candidate.
+    pub choice: Choice,
+    /// Its timing summary.
+    pub sample: Sample,
+}
+
+/// The autotuner's verdict for one [`TuneKey`].
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// What was tuned.
+    pub key: TuneKey,
+    /// The fastest bit-identical candidate.
+    pub best: Choice,
+    /// Its timing.
+    pub best_sample: Sample,
+    /// Every candidate that passed the oracle, fastest first.
+    pub measured: Vec<Measured>,
+    /// Candidates rejected for disagreeing with the reference bit-for-bit.
+    pub rejected: usize,
+}
+
+/// Why tuning produced no result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TuneError {
+    /// The reference interpreter failed on the probe inputs.
+    ReferenceFailed(String),
+    /// No candidate both executed and matched the reference.
+    NoViableCandidate,
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::ReferenceFailed(e) => write!(f, "reference execution failed: {e}"),
+            TuneError::NoViableCandidate => write!(f, "no candidate matched the reference"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// Deterministic probe inputs for tuning `p` off the request path.
+pub fn probe_inputs(p: &Pipeline, seed: u64) -> Vec<(ImageId, Image)> {
+    p.inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let s = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (id, synthetic_image(p.image(id).clone(), s))
+        })
+        .collect()
+}
+
+fn outputs_bit_identical(p: &Pipeline, reference: &Execution, got: &Execution) -> bool {
+    p.outputs()
+        .iter()
+        .all(|&out| match (reference.image(out), got.image(out)) {
+            (Some(a), Some(b)) => a.bit_equal(b),
+            (None, None) => true,
+            _ => false,
+        })
+}
+
+/// Tunes `p` on the given probe inputs.
+///
+/// Every candidate is compiled, executed once, and compared bit-for-bit
+/// against the reference interpreter; only identical candidates are
+/// timed. Measurement uses the adaptive spread rule, and the contenders
+/// within noise of the provisional winner are re-measured at the repeat
+/// ceiling before the final pick — spending repeats exactly where the
+/// decision is close.
+pub fn autotune(
+    p: &Pipeline,
+    inputs: &[(ImageId, Image)],
+    base: &FusionConfig,
+    opts: &TuneOptions,
+) -> Result<TuneResult, TuneError> {
+    let reference =
+        execute_reference(p, inputs).map_err(|e| TuneError::ReferenceFailed(e.to_string()))?;
+    let mut rejected = 0usize;
+    let mut measured: Vec<Measured> = Vec::new();
+    let mut survivors: Vec<(Choice, Pipeline)> = Vec::new();
+    for choice in opts.candidates() {
+        let compiled = choice.compile(p, base);
+        let cfg = choice.fast_config();
+        match execute_fast_with(&compiled, inputs, &cfg) {
+            Ok(exec) if outputs_bit_identical(p, &reference, &exec) => {
+                survivors.push((choice, compiled));
+            }
+            _ => rejected += 1,
+        }
+    }
+    for (choice, compiled) in &survivors {
+        let cfg = choice.fast_config();
+        let sample = measure_until(
+            opts.min_repeats,
+            opts.max_repeats,
+            opts.target_spread,
+            || {
+                std::hint::black_box(
+                    execute_fast_with(compiled, inputs, &cfg).expect("oracle-checked candidate"),
+                );
+            },
+        );
+        measured.push(Measured {
+            choice: *choice,
+            sample,
+        });
+    }
+    if measured.is_empty() {
+        return Err(TuneError::NoViableCandidate);
+    }
+    measured.sort_by(|a, b| {
+        a.sample
+            .median_s
+            .partial_cmp(&b.sample.median_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Re-measure the leaders that are within noise of each other at the
+    // repeat ceiling, if the initial pass could not separate them.
+    if opts.max_repeats > opts.min_repeats && measured.len() > 1 {
+        let leader = measured[0].sample;
+        let contended: Vec<usize> = (0..measured.len())
+            .filter(|&i| !leader.clearly_faster_than(&measured[i].sample))
+            .collect();
+        if contended.len() > 1 {
+            for &i in &contended {
+                let choice = measured[i].choice;
+                let compiled = &survivors
+                    .iter()
+                    .find(|(c, _)| *c == choice)
+                    .expect("measured candidate came from survivors")
+                    .1;
+                let cfg = choice.fast_config();
+                measured[i].sample = measure_until(opts.max_repeats, opts.max_repeats, 0.0, || {
+                    std::hint::black_box(
+                        execute_fast_with(compiled, inputs, &cfg)
+                            .expect("oracle-checked candidate"),
+                    );
+                });
+            }
+            measured.sort_by(|a, b| {
+                a.sample
+                    .median_s
+                    .partial_cmp(&b.sample.median_s)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+    }
+    let best = measured[0].choice;
+    let best_sample = measured[0].sample;
+    Ok(TuneResult {
+        key: TuneKey::for_pipeline(p),
+        best,
+        best_sample,
+        measured,
+        rejected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_dsl::default_config;
+    use kfuse_model::GpuSpec;
+
+    fn small_app() -> Pipeline {
+        // Sobel at a small size: multi-kernel, local windows, realistic.
+        let app = kfuse_apps::paper_apps()
+            .into_iter()
+            .find(|a| a.name == "Sobel")
+            .unwrap();
+        (app.build_sized)(48, 40)
+    }
+
+    #[test]
+    fn size_classes_bucket_by_log2() {
+        assert_eq!(size_class_of(0), 0);
+        assert_eq!(size_class_of(1), 0);
+        assert_eq!(size_class_of(2), 1);
+        assert_eq!(size_class_of(1 << 20), 20);
+        assert_eq!(size_class_of((1 << 20) + 5), 20);
+        assert_eq!(size_class_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn candidate_space_shape() {
+        let opts = TuneOptions::default();
+        let n = opts.candidates().len();
+        // 3 schedules × 4 tiles × 2 interiors, no separable by default.
+        assert_eq!(n, 24);
+        let mut with_sep = opts.clone();
+        with_sep.include_separable = true;
+        // + (basic, optimized) × 4 tiles × 2 interiors.
+        assert_eq!(with_sep.candidates().len(), 40);
+    }
+
+    #[test]
+    fn choice_labels_round_trip_tags() {
+        for s in Schedule::ALL {
+            assert_eq!(schedule_from_tag(schedule_tag(s)), Some(s));
+        }
+        for i in [
+            Interior::Auto,
+            Interior::Scalar,
+            Interior::Sse2,
+            Interior::Avx2,
+        ] {
+            assert_eq!(interior_from_tag(interior_tag(i)), Some(i));
+        }
+        assert_eq!(schedule_from_tag("bogus"), None);
+        assert_eq!(interior_from_tag("bogus"), None);
+    }
+
+    #[test]
+    fn autotune_finds_a_bit_identical_winner() {
+        let p = small_app();
+        let inputs = probe_inputs(&p, 7);
+        let base = default_config(GpuSpec::gtx680());
+        let mut opts = TuneOptions::smoke();
+        opts.tiles = vec![(128, 64), (32, 32)];
+        let result = autotune(&p, &inputs, &base, &opts).unwrap();
+        assert!(!result.measured.is_empty());
+        assert_eq!(result.key, TuneKey::for_pipeline(&p));
+        // The winner, re-executed, is still bit-identical to the reference.
+        let reference = execute_reference(&p, &inputs).unwrap();
+        let compiled = result.best.compile(&p, &base);
+        let exec = execute_fast_with(&compiled, &inputs, &result.best.fast_config()).unwrap();
+        assert!(outputs_bit_identical(&p, &reference, &exec));
+        // Winner is first in the measured list and at least as fast.
+        assert_eq!(result.measured[0].choice, result.best);
+        for m in &result.measured[1..] {
+            assert!(m.sample.median_s >= result.best_sample.median_s);
+        }
+    }
+
+    #[test]
+    fn separable_candidates_face_the_oracle() {
+        // Unsharp contains a binomial gaussian: its factorization is one
+        // of the few that *can* be bit-identical; whether it survives is
+        // decided by the oracle, not assumed. Either way the tuner must
+        // return a winner and count rejections consistently.
+        let app = kfuse_apps::paper_apps()
+            .into_iter()
+            .find(|a| a.name == "Unsharp")
+            .unwrap();
+        let p = (app.build_sized)(40, 32);
+        let inputs = probe_inputs(&p, 3);
+        let base = default_config(GpuSpec::gtx680());
+        let mut opts = TuneOptions::smoke();
+        opts.include_separable = true;
+        let result = autotune(&p, &inputs, &base, &opts).unwrap();
+        assert_eq!(
+            result.measured.len() + result.rejected,
+            opts.candidates().len()
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Cost-constant calibration: fitting the benefit model to this host.
+//!
+//! The paper prices fusion decisions with data-sheet constants — global
+//! and shared access latencies, ALU/SFU throughputs (`kfuse_model::GpuSpec`).
+//! PR 6 demonstrated those can mispredict on a real machine (LLVM
+//! auto-vectorizes the scalar interior; memory systems differ). Following
+//! the "Fusion of Array Operations at Runtime" line of work, this module
+//! fits **effective** constants from observed executions instead:
+//!
+//! Each [`KernelObservation`] pairs a measured wall time with the modeled
+//! resource volumes of that execution. Across many observations we solve
+//! the non-negative least-squares system
+//!
+//! ```text
+//! wall_us ≈ x_g·global_bytes + x_p·plane_bytes + x_a·alu_ops + x_s·sfu_ops
+//! ```
+//!
+//! by projected coordinate descent on the normal equations (columns are
+//! normalized first; non-negativity keeps every fitted cost physical).
+//! The fitted per-byte / per-op costs are then rescaled into the paper's
+//! cycle-like units by anchoring one well-identified coefficient to its
+//! static counterpart — only the *ratios* between constants influence the
+//! min-cut weights, so the anchor choice is presentation, not policy.
+//! Coefficients the data cannot identify (zeroed by NNLS, e.g. when no
+//! observed kernel used the SFU) fall back to their static values:
+//! calibration only overrides what the data actually measures.
+
+use crate::CalibrationError;
+use kfuse_model::CostConstants;
+use kfuse_obs::KernelObservation;
+
+/// Bytes per `f32` sample, matching the executor's traffic model.
+const BYTES_PER_ACCESS: f64 = 4.0;
+
+/// Minimum observations before a fit is attempted. Below this the system
+/// is too under-determined for the residual to mean anything.
+pub const MIN_OBSERVATIONS: usize = 8;
+
+/// A successful calibration: constants ready for
+/// [`kfuse_core::MeasuredPolicy`], plus fit diagnostics.
+#[derive(Clone, Debug)]
+pub struct CalibrationFit {
+    /// Fitted constants in paper-comparable units (anchored, see module
+    /// docs). Always [`CostConstants::is_sane`].
+    pub constants: CostConstants,
+    /// Root-mean-square residual divided by the mean observed time —
+    /// how much of the timing the linear model fails to explain.
+    pub rel_residual: f64,
+    /// Observations the fit used.
+    pub observations: usize,
+    /// Raw fitted coefficients, µs per unit:
+    /// `[global byte, plane byte, alu op, sfu op]`.
+    pub raw: [f64; 4],
+}
+
+/// Accumulates [`KernelObservation`]s and fits [`CostConstants`].
+#[derive(Clone, Debug, Default)]
+pub struct Calibrator {
+    obs: Vec<KernelObservation>,
+}
+
+impl Calibrator {
+    /// An empty calibrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, o: KernelObservation) {
+        self.obs.push(o);
+    }
+
+    /// Adds many observations (e.g. `kfuse_obs::trace_observations`).
+    pub fn extend(&mut self, obs: impl IntoIterator<Item = KernelObservation>) {
+        self.obs.extend(obs);
+    }
+
+    /// Number of accumulated observations.
+    pub fn len(&self) -> usize {
+        self.obs.len()
+    }
+
+    /// Whether no observations have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.obs.is_empty()
+    }
+
+    /// Fits effective constants against `base` (the static constants that
+    /// anchor the scale and backfill unidentified coefficients).
+    pub fn fit(&self, base: &CostConstants) -> Result<CalibrationFit, CalibrationError> {
+        if self.obs.len() < MIN_OBSERVATIONS {
+            return Err(CalibrationError::TooFewObservations {
+                have: self.obs.len(),
+                need: MIN_OBSERVATIONS,
+            });
+        }
+        let rows: Vec<([f64; 4], f64)> = self
+            .obs
+            .iter()
+            .filter(|o| o.wall_us > 0)
+            .map(|o| {
+                (
+                    [
+                        o.global_bytes as f64,
+                        o.plane_bytes as f64,
+                        o.alu_ops as f64,
+                        o.sfu_ops as f64,
+                    ],
+                    o.wall_us as f64,
+                )
+            })
+            .collect();
+        if rows.len() < MIN_OBSERVATIONS {
+            return Err(CalibrationError::TooFewObservations {
+                have: rows.len(),
+                need: MIN_OBSERVATIONS,
+            });
+        }
+
+        // Column norms, for conditioning; all-zero columns stay out of
+        // the descent entirely.
+        let mut norms = [0.0f64; 4];
+        for (x, _) in &rows {
+            for j in 0..4 {
+                norms[j] += x[j] * x[j];
+            }
+        }
+        for n in &mut norms {
+            *n = n.sqrt();
+        }
+        if norms.iter().all(|&n| n == 0.0) {
+            return Err(CalibrationError::Degenerate);
+        }
+
+        // Normal equations over normalized columns: A = XᵀX, b = Xᵀy.
+        let mut a = [[0.0f64; 4]; 4];
+        let mut b = [0.0f64; 4];
+        for (x, y) in &rows {
+            let xn: Vec<f64> = (0..4)
+                .map(|j| if norms[j] > 0.0 { x[j] / norms[j] } else { 0.0 })
+                .collect();
+            for j in 0..4 {
+                b[j] += xn[j] * y;
+                for k in 0..4 {
+                    a[j][k] += xn[j] * xn[k];
+                }
+            }
+        }
+
+        // Projected coordinate descent: x_j ← max(0, (b_j − Σ_{k≠j}
+        // A_jk·x_k) / A_jj). The objective is convex and coordinate-wise
+        // exact, so a few hundred sweeps converge far past timing noise.
+        let mut x = [0.0f64; 4];
+        for _ in 0..400 {
+            let mut delta = 0.0f64;
+            for j in 0..4 {
+                if a[j][j] <= 0.0 {
+                    continue;
+                }
+                let mut r = b[j];
+                for k in 0..4 {
+                    if k != j {
+                        r -= a[j][k] * x[k];
+                    }
+                }
+                let new = (r / a[j][j]).max(0.0);
+                delta = delta.max((new - x[j]).abs());
+                x[j] = new;
+            }
+            if delta < 1e-12 {
+                break;
+            }
+        }
+
+        // Un-normalize back to µs-per-unit coefficients.
+        let mut raw = [0.0f64; 4];
+        for j in 0..4 {
+            raw[j] = if norms[j] > 0.0 { x[j] / norms[j] } else { 0.0 };
+        }
+        if raw.iter().all(|&c| c == 0.0) {
+            return Err(CalibrationError::Degenerate);
+        }
+
+        // Residual diagnostics.
+        let mut ss_res = 0.0f64;
+        let mut sum_y = 0.0f64;
+        for (xr, y) in &rows {
+            let pred: f64 = (0..4).map(|j| raw[j] * xr[j]).sum();
+            ss_res += (pred - y) * (pred - y);
+            sum_y += y;
+        }
+        let mean_y = sum_y / rows.len() as f64;
+        let rel_residual = if mean_y > 0.0 {
+            (ss_res / rows.len() as f64).sqrt() / mean_y
+        } else {
+            f64::INFINITY
+        };
+
+        // Scale into paper units: anchor the best-identified coefficient
+        // (per-access global cost is the usual one) to its static value.
+        let fitted_access = [
+            raw[0] * BYTES_PER_ACCESS, // global, per f32 access
+            raw[1] * BYTES_PER_ACCESS, // plane/shared, per f32 access
+            raw[2],                    // alu, per op
+            raw[3],                    // sfu, per op
+        ];
+        let statics = [base.t_global, base.t_shared, base.c_alu, base.c_sfu];
+        let anchor = (0..4)
+            .filter(|&j| fitted_access[j] > 0.0 && statics[j] > 0.0)
+            .max_by(|&i, &j| {
+                (norms[i] * x[i])
+                    .partial_cmp(&(norms[j] * x[j]))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .ok_or(CalibrationError::Degenerate)?;
+        let scale = statics[anchor] / fitted_access[anchor];
+        let pick = |j: usize| {
+            if fitted_access[j] > 0.0 {
+                fitted_access[j] * scale
+            } else {
+                statics[j]
+            }
+        };
+        let constants = CostConstants {
+            t_global: pick(0),
+            t_shared: pick(1),
+            c_alu: pick(2),
+            c_sfu: pick(3),
+            // γ (concatenation gains) is a planner-side bonus, not a
+            // per-resource cost — it passes through unfitted.
+            gamma: base.gamma,
+        };
+        if !constants.is_sane() {
+            return Err(CalibrationError::Degenerate);
+        }
+        Ok(CalibrationFit {
+            constants,
+            rel_residual,
+            observations: rows.len(),
+            raw,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_model::GpuSpec;
+
+    fn base() -> CostConstants {
+        CostConstants::from_spec(&GpuSpec::gtx680(), 0.0)
+    }
+
+    fn obs(global: u64, plane: u64, alu: u64, sfu: u64, wall_us: u64) -> KernelObservation {
+        KernelObservation {
+            kernel: "k".into(),
+            wall_us,
+            global_bytes: global,
+            plane_bytes: plane,
+            alu_ops: alu,
+            sfu_ops: sfu,
+            pixels: 1,
+        }
+    }
+
+    /// Synthetic timings generated from known coefficients are recovered
+    /// up to the anchoring scale: the *ratios* must match.
+    #[test]
+    fn recovers_planted_cost_ratios() {
+        let (cg, cp, ca) = (0.01, 0.002, 0.0005);
+        let mut cal = Calibrator::new();
+        // Two independent sweep axes so {global, plane, alu} has full
+        // rank (a single-axis sweep makes the columns collinear and NNLS
+        // rightly refuses to split the cost between them).
+        for i in 1..8u64 {
+            for j in 1..5u64 {
+                let g = 1000 * i;
+                let p = 700 * j;
+                let a = 2000 + 400 * i * j;
+                let wall = (cg * g as f64 + cp * p as f64 + ca * a as f64).round() as u64;
+                cal.add(obs(g, p, a, 0, wall.max(1)));
+            }
+        }
+        let fit = cal.fit(&base()).unwrap();
+        let c = fit.constants;
+        // Planted ratio t_global : t_shared = (4·0.01) : (4·0.002) = 5.
+        assert!((c.t_global / c.t_shared - 5.0).abs() < 0.5, "{c:?}");
+        // Planted ratio t_global per access vs c_alu per op = 0.04/0.0005 = 80.
+        assert!((c.t_global / c.c_alu - 80.0).abs() < 8.0, "{c:?}");
+        // SFU never observed: static value passes through.
+        assert_eq!(c.c_sfu, base().c_sfu);
+        assert_eq!(c.gamma, base().gamma);
+        assert!(fit.rel_residual < 0.05, "rel_residual={}", fit.rel_residual);
+        assert!(c.is_sane());
+    }
+
+    #[test]
+    fn too_few_observations_is_an_error() {
+        let mut cal = Calibrator::new();
+        for _ in 0..MIN_OBSERVATIONS - 1 {
+            cal.add(obs(100, 0, 10, 0, 5));
+        }
+        assert!(matches!(
+            cal.fit(&base()),
+            Err(CalibrationError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn all_zero_volumes_are_degenerate() {
+        let mut cal = Calibrator::new();
+        for _ in 0..MIN_OBSERVATIONS {
+            cal.add(obs(0, 0, 0, 0, 5));
+        }
+        assert!(matches!(
+            cal.fit(&base()),
+            Err(CalibrationError::Degenerate)
+        ));
+    }
+
+    #[test]
+    fn zero_wall_times_are_filtered_not_fit() {
+        let mut cal = Calibrator::new();
+        for _ in 0..MIN_OBSERVATIONS {
+            cal.add(obs(100, 0, 10, 0, 0));
+        }
+        assert!(matches!(
+            cal.fit(&base()),
+            Err(CalibrationError::TooFewObservations { .. })
+        ));
+    }
+
+    /// Non-negativity: a column anti-correlated with time must clamp to
+    /// zero (and fall back to its static constant), never go negative.
+    #[test]
+    fn nnls_never_produces_negative_costs() {
+        let mut cal = Calibrator::new();
+        for i in 1..20u64 {
+            // Time driven purely by global bytes; sfu ops *decrease* as
+            // time grows, inviting a negative coefficient.
+            cal.add(obs(1000 * i, 0, 0, 21 - i, 10 * i));
+        }
+        let fit = cal.fit(&base()).unwrap();
+        assert!(fit.raw.iter().all(|&c| c >= 0.0));
+        assert!(fit.constants.is_sane());
+    }
+}
