@@ -19,12 +19,32 @@
 //! in `chrome://tracing` / Perfetto). Exits non-zero on any failure, so CI
 //! can run it as a gate.
 //!
+//! A second, network phase then proves the tentpole end to end: it binds
+//! a real [`kfuse_net::Server`] with the always-on flight recorder, sends
+//! a traced request through a [`kfuse_net::Client`], and asserts that one
+//! propagated trace id links the full causal chain — `client_send` →
+//! `submit` (ingress decode) → `queue_wait` → `plan` → `execute` (plus
+//! per-kernel spans) → `encode_write` → `client_recv` — across at least
+//! three threads. It also drives a deliberately deadline-missed request,
+//! churns the recorder's recent ring past capacity, and checks the missed
+//! request's span tree still comes back (tail-based retention) from the
+//! sidecar's `/debug/requests` endpoint as a validated Chrome trace. The
+//! single-request trace is written to `results/trace_request.json`.
+//!
 //! Run with `cargo run --release -p kfuse-bench --bin trace_check`.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 use kfuse_apps::paper_apps;
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
-use kfuse_obs::{parse_json, validate_chrome_trace, validate_prometheus, Tracer};
+use kfuse_net::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use kfuse_obs::{
+    parse_json, to_chrome_json, validate_chrome_trace, validate_prometheus, RequestOutcome, Tracer,
+};
 use kfuse_runtime::{Runtime, RuntimeConfig};
 use kfuse_sim::{execute_reference, synthetic_image};
 
@@ -121,6 +141,219 @@ fn main() {
         stats.counters,
         total_requests,
         samples,
+        path.display()
+    );
+
+    net_phase();
+}
+
+/// Plain HTTP/1.0 GET against the metrics sidecar; returns the body.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("http connect: {e}")));
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").as_bytes())
+        .unwrap_or_else(|e| fail(&format!("http write: {e}")));
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .unwrap_or_else(|e| fail(&format!("http read: {e}")));
+    if !raw.starts_with("HTTP/1.0 200") {
+        fail(&format!(
+            "GET {path}: expected 200, got {:?}",
+            raw.lines().next().unwrap_or("")
+        ));
+    }
+    match raw.split_once("\r\n\r\n") {
+        Some((_head, body)) => body.to_string(),
+        None => fail(&format!("GET {path}: no header/body separator")),
+    }
+}
+
+/// End-to-end serving-plane phase: trace propagation across the wire,
+/// flight-recorder tail retention, and `/debug/requests`.
+fn net_phase() {
+    // One epoch for both sides so the merged timeline is coherent.
+    let epoch = Instant::now();
+    let server_tracer = Tracer::enabled_at(epoch);
+    let cfg = ServerConfig {
+        runtime: RuntimeConfig {
+            workers: 2,
+            tracer: server_tracer.clone(),
+            ..RuntimeConfig::default()
+        },
+        tracer: server_tracer.clone(),
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap_or_else(|e| fail(&format!("bind: {e}")));
+
+    let app = &paper_apps()[0];
+    let p = (app.build_sized)(48, 32);
+    let inputs = inputs_for(&p, 11);
+
+    let client_tracer = Tracer::enabled_at(epoch);
+    let mut client =
+        Client::connect(server.local_addr()).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    client.set_tracer(client_tracer.clone());
+    client
+        .register("traced", &p)
+        .unwrap_or_else(|e| fail(&format!("register: {e}")));
+
+    // --- The fully traced request. ---
+    let id = client
+        .submit(
+            "traced",
+            inputs.clone(),
+            Schedule::Optimized,
+            Some(Duration::from_secs(10)),
+        )
+        .unwrap_or_else(|e| fail(&format!("traced submit: {e}")));
+    let trace = client
+        .last_trace()
+        .unwrap_or_else(|| fail("client generated no trace context"));
+    let (rid, _) = client
+        .recv_result()
+        .unwrap_or_else(|e| fail(&format!("traced result: {e}")));
+    if rid != id {
+        fail("out-of-order reply to the traced submit");
+    }
+
+    // --- A deliberately deadline-missed request. Saturate both workers
+    // first so the 1 µs budget cannot possibly be met at dequeue. ---
+    let mut churn =
+        Client::connect(server.local_addr()).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    for _ in 0..4 {
+        churn
+            .submit("traced", inputs.clone(), Schedule::Optimized, None)
+            .unwrap_or_else(|e| fail(&format!("churn submit: {e}")));
+    }
+    client
+        .submit(
+            "traced",
+            inputs.clone(),
+            Schedule::Optimized,
+            Some(Duration::from_micros(1)),
+        )
+        .unwrap_or_else(|e| fail(&format!("missed submit: {e}")));
+    let missed = client
+        .last_trace()
+        .unwrap_or_else(|| fail("missed submit generated no trace context"));
+    match client.recv_result() {
+        Err(ClientError::Server {
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        }) => {}
+        other => fail(&format!("expected DeadlineExceeded, got {other:?}")),
+    }
+    for _ in 0..4 {
+        churn
+            .recv_result()
+            .unwrap_or_else(|e| fail(&format!("churn result: {e}")));
+    }
+
+    // --- Churn the recorder's recent ring well past its capacity; the
+    // deadline-missed request must survive in the interesting pool. ---
+    let churn_requests = 80;
+    for _ in 0..churn_requests {
+        churn
+            .call("traced", inputs.clone(), Schedule::Optimized, None)
+            .unwrap_or_else(|e| fail(&format!("churn call: {e}")));
+    }
+
+    let recorder = server
+        .flight_recorder()
+        .unwrap_or_else(|| fail("flight recorder should be on by default"))
+        .clone();
+    let record = recorder
+        .record_for(missed.trace_id)
+        .unwrap_or_else(|| fail("deadline-missed request was evicted by churn"));
+    if record.outcome != RequestOutcome::DeadlineMissed {
+        fail(&format!(
+            "missed request outcome is {:?}, not DeadlineMissed",
+            record.outcome
+        ));
+    }
+    if !record.events.iter().any(|e| e.name == "queue_wait") {
+        fail("missed request's span tree lost its queue_wait span");
+    }
+
+    // --- /debug/requests returns the dump as a valid Chrome trace that
+    // still names the missed trace id. ---
+    let dump = http_get(server.metrics_addr(), "/debug/requests");
+    let dump_stats =
+        validate_chrome_trace(&dump).unwrap_or_else(|e| fail(&format!("flight dump: {e}")));
+    if !dump.contains(&format!("{:016x}", missed.trace_id)) {
+        fail("flight dump does not contain the deadline-missed trace id");
+    }
+    // And the sidecar's combined metrics document still validates with
+    // the new labeled transport families present.
+    let metrics_doc = http_get(server.metrics_addr(), "/metrics");
+    validate_prometheus(&metrics_doc).unwrap_or_else(|e| fail(&format!("sidecar /metrics: {e}")));
+    for family in [
+        "kfuse_net_frames_received_by_type_total{type=\"submit\"}",
+        "kfuse_net_errors_sent_total{code=\"deadline_exceeded\"}",
+        "kfuse_slo_misses_total",
+    ] {
+        if !metrics_doc.contains(family) {
+            fail(&format!("sidecar /metrics is missing {family}"));
+        }
+    }
+
+    // --- One trace id links the whole causal chain, across threads. ---
+    let mut events = server_tracer.events();
+    events.extend(client_tracer.events());
+    let request: Vec<_> = events
+        .iter()
+        .filter(|e| e.trace_id == trace.trace_id)
+        .collect();
+    for name in [
+        "client_send",
+        "submit",
+        "queue_wait",
+        "plan",
+        "execute",
+        "encode_write",
+        "client_recv",
+    ] {
+        if !request.iter().any(|e| e.name == name) {
+            fail(&format!(
+                "traced request is missing its '{name}' span (got: {:?})",
+                request.iter().map(|e| e.name.as_str()).collect::<Vec<_>>()
+            ));
+        }
+    }
+    if !request.iter().any(|e| e.name.starts_with("kernel:")) {
+        fail("traced request has no per-kernel execute span");
+    }
+    let tids: HashSet<u64> = request.iter().map(|e| e.tid).collect();
+    if tids.len() < 3 {
+        fail(&format!(
+            "expected the request chain to cross >= 3 threads, saw {}",
+            tids.len()
+        ));
+    }
+
+    let single: Vec<_> = events
+        .into_iter()
+        .filter(|e| e.trace_id == trace.trace_id)
+        .collect();
+    let single_json = to_chrome_json(&single);
+    let single_stats = validate_chrome_trace(&single_json)
+        .unwrap_or_else(|e| fail(&format!("single-request trace: {e}")));
+    let path = std::path::Path::new("results").join("trace_request.json");
+    std::fs::write(&path, &single_json).expect("write single-request trace");
+
+    server.shutdown();
+    println!(
+        "trace_check net OK: request {:016x} chained {} spans across {} threads; \
+         flight dump retained missed request {:016x} through {} churn requests \
+         ({} dump events); single-request trace written to {}",
+        trace.trace_id,
+        single_stats.complete_spans,
+        tids.len(),
+        missed.trace_id,
+        churn_requests,
+        dump_stats.events,
         path.display()
     );
 }

@@ -11,11 +11,21 @@
 
 use kfuse_dsl::Schedule;
 use kfuse_ir::ImageId;
-use kfuse_net::wire::{decode_frame, encode_frame, ErrorCode, Frame, Limits};
+use kfuse_net::wire::{decode_frame, encode_frame, ErrorCode, Frame, Limits, TraceContext};
 use kfuse_sim::synthetic_image;
 
 use crate::gen::generate;
 use crate::rng::SplitMix64;
+
+/// Half the traced frames carry a trace context (exercising the
+/// version-2 encoding), half do not (exercising the pre-revision
+/// version-1 bytes), so both canonical encodings stay covered.
+fn random_trace(rng: &mut SplitMix64) -> Option<TraceContext> {
+    rng.chance(1, 2).then(|| TraceContext {
+        trace_id: rng.next_u64(),
+        span_id: rng.next_u64(),
+    })
+}
 
 /// Builds a deterministic pseudorandom frame for `seed`, covering every
 /// frame type with type-appropriate random content (pipelines come from
@@ -48,6 +58,7 @@ pub fn generate_frame(seed: u64) -> Frame {
                 },
                 schedule,
                 inputs,
+                trace: random_trace(&mut rng),
             }
         }
         3 => {
@@ -62,6 +73,7 @@ pub fn generate_frame(seed: u64) -> Frame {
             Frame::ResultOk {
                 request_id: rng.next_u64(),
                 outputs,
+                trace: random_trace(&mut rng),
             }
         }
         4 => Frame::Error {
@@ -81,6 +93,7 @@ pub fn generate_frame(seed: u64) -> Frame {
                 ErrorCode::Unsupported,
             ]),
             message: random_name(&mut rng),
+            trace: random_trace(&mut rng),
         },
         5 => Frame::Ping {
             token: rng.next_u64(),
@@ -161,5 +174,57 @@ mod tests {
             seen[(generate_frame(seed).type_byte() - 1) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s), "coverage: {seen:?}");
+    }
+
+    /// The generator must exercise *both* canonical encodings of every
+    /// traced frame type: with a trace context (version 2) and without
+    /// (version 1 — the pre-revision wire bytes old clients send).
+    #[test]
+    fn generator_covers_traced_and_untraced_variants() {
+        // [type 3, 4, 5] × [untraced, traced]
+        let mut seen = [[false; 2]; 3];
+        for seed in 0..2048 {
+            let frame = generate_frame(seed);
+            let idx = match frame.type_byte() {
+                3 => 0,
+                4 => 1,
+                5 => 2,
+                _ => continue,
+            };
+            seen[idx][usize::from(frame.trace().is_some())] = true;
+        }
+        assert!(
+            seen.iter().flatten().all(|&s| s),
+            "trace-context coverage: {seen:?}"
+        );
+    }
+
+    /// Old-version acceptance, fuzzed: every traced frame the generator
+    /// produces also decodes from its version-1 (trace-stripped) bytes.
+    #[test]
+    fn traced_frames_decode_as_version_1_without_context() {
+        let limits = Limits::default();
+        let mut checked = 0;
+        for seed in 0..512 {
+            let frame = generate_frame(seed);
+            let Some(_) = frame.trace() else { continue };
+            let bytes = encode_frame(&frame);
+            // Rebuild the pre-revision frame: version 1, payload minus
+            // the 16 trailing trace bytes, checksum re-sealed.
+            let payload = &bytes[kfuse_net::wire::HEADER_LEN..bytes.len() - 16];
+            let mut old = bytes[..kfuse_net::wire::HEADER_LEN].to_vec();
+            old[4] = kfuse_net::wire::VERSION;
+            old[8..12].copy_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+            old[12..16].copy_from_slice(&kfuse_net::wire::checksum(payload).to_le_bytes());
+            old.extend_from_slice(payload);
+            let decoded = decode_frame(&old, &limits)
+                .unwrap_or_else(|e| panic!("seed {seed}: version-1 bytes rejected: {e}"));
+            assert_eq!(decoded.trace(), None, "seed {seed}");
+            assert_eq!(decoded.type_byte(), frame.type_byte(), "seed {seed}");
+            // And the round trip back to version-1 bytes is canonical.
+            assert_eq!(encode_frame(&decoded), old, "seed {seed}");
+            checked += 1;
+        }
+        assert!(checked > 20, "only {checked} traced frames generated");
     }
 }

@@ -1,0 +1,103 @@
+//! Flight-recorder dump tool.
+//!
+//! ```text
+//! kfuse_flight --addr HOST:PORT [--out FILE]
+//! ```
+//!
+//! Fetches `/debug/requests` from a running server's HTTP sidecar (the
+//! `metrics=` address `kfuse_serve` prints), validates the body as a
+//! Chrome `trace_event` document, prints a per-outcome summary, and
+//! writes the trace to `--out` (default `flight_dump.json`) — ready to
+//! open in `chrome://tracing` or Perfetto. Exits non-zero if the server
+//! is unreachable, recording is disabled, or the dump fails validation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use kfuse_obs::validate_chrome_trace;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: kfuse_flight --addr HOST:PORT [--out FILE]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::new();
+    let mut out = "flight_dump.json".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            return usage();
+        };
+        match flag {
+            "--addr" => addr = value.clone(),
+            "--out" => out = value.clone(),
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    if addr.is_empty() {
+        return usage();
+    }
+
+    let body = match fetch(&addr) {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("kfuse_flight: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match validate_chrome_trace(&body) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("kfuse_flight: dump is not a valid Chrome trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let requests = stats.spans_with_prefix("request:");
+    // Outcome labels appear as span args; a plain count of the literals
+    // is enough for a summary (the dump is the source of truth).
+    let missed = body.matches("deadline_missed").count();
+    let errored = body.matches("\"outcome\":\"error\"").count();
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("kfuse_flight: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "kfuse_flight: {} events ({} spans) over {requests} retained requests \
+         ({missed} deadline-missed, {errored} errored); wrote {out}",
+        stats.events, stats.complete_spans,
+    );
+    ExitCode::SUCCESS
+}
+
+/// HTTP/1.0 GET `/debug/requests`; returns the body on a 200.
+fn fetch(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(10))))
+        .map_err(|e| format!("socket timeouts: {e}"))?;
+    stream
+        .write_all(b"GET /debug/requests HTTP/1.0\r\nHost: kfuse\r\n\r\n")
+        .map_err(|e| format!("request write failed: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("response read failed: {e}"))?;
+    let status = raw.lines().next().unwrap_or("");
+    if !status.starts_with("HTTP/1.0 200") {
+        return Err(format!(
+            "GET /debug/requests answered {status:?} (is the flight recorder enabled?)"
+        ));
+    }
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err("malformed HTTP response (no blank line)".to_string()),
+    }
+}

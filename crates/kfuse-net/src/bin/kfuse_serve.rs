@@ -76,6 +76,7 @@ fn main() -> ExitCode {
     println!("addr={}", server.local_addr());
     println!("metrics=http://{}/metrics", server.metrics_addr());
     println!("healthz=http://{}/healthz", server.metrics_addr());
+    println!("flight=http://{}/debug/requests", server.metrics_addr());
 
     if duration_secs == 0 {
         loop {

@@ -5,15 +5,22 @@
 //! [`Client::recv_result`] collects replies in submission order (the
 //! server guarantees FIFO replies per connection). [`Client::call`] is
 //! the simple submit-and-wait composition.
+//!
+//! When given an enabled [`Tracer`] ([`Client::set_tracer`]), every
+//! submit generates a fresh [`TraceContext`] that travels on the wire,
+//! and the client records `client_send` / `client_recv` spans under that
+//! trace id — the client-side ends of the causal chain the server-side
+//! flight recorder completes.
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_obs::Tracer;
 
-use crate::wire::{read_frame, write_frame, ErrorCode, Frame, Limits, WireError};
+use crate::wire::{read_frame, write_frame, ErrorCode, Frame, Limits, TraceContext, WireError};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -72,6 +79,8 @@ pub struct Client {
     stream: TcpStream,
     limits: Limits,
     next_id: u64,
+    tracer: Tracer,
+    last_trace: Option<TraceContext>,
 }
 
 impl Client {
@@ -83,7 +92,37 @@ impl Client {
             stream,
             limits: Limits::default(),
             next_id: 0,
+            tracer: Tracer::disabled(),
+            last_trace: None,
         })
+    }
+
+    /// Installs a tracer. When enabled, every [`Client::submit`] attaches
+    /// a generated [`TraceContext`] to the wire frame and records
+    /// `client_send` / `client_recv` spans under its trace id.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The trace context attached to the most recent submit (if any).
+    pub fn last_trace(&self) -> Option<TraceContext> {
+        self.last_trace
+    }
+
+    /// Generates a fresh trace id: wall clock, process id, and the
+    /// request counter through a SplitMix64-style finalizer. Nonzero by
+    /// construction (0 means "no trace" on the wire).
+    fn generate_trace_id(&self) -> u64 {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut z = nanos
+            ^ self.next_id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ (u64::from(std::process::id()) << 32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)).max(1)
     }
 
     /// Sets socket read/write timeouts (`None` = block forever).
@@ -127,6 +166,7 @@ impl Client {
                 request_id,
                 code,
                 message,
+                ..
             } => Err(ClientError::Server {
                 request_id,
                 code,
@@ -137,7 +177,8 @@ impl Client {
     }
 
     /// Submits without waiting; returns the request id. `deadline` is a
-    /// completion budget measured from server receipt.
+    /// completion budget measured from server receipt. With a tracer
+    /// installed, a fresh trace context is generated and propagated.
     pub fn submit(
         &mut self,
         tenant: &str,
@@ -145,33 +186,75 @@ impl Client {
         schedule: Schedule,
         deadline: Option<Duration>,
     ) -> Result<u64, ClientError> {
+        let trace = self.tracer.is_enabled().then(|| TraceContext {
+            trace_id: self.generate_trace_id(),
+            span_id: self.next_id + 1,
+        });
+        self.submit_traced(tenant, inputs, schedule, deadline, trace)
+    }
+
+    /// Submits with an explicit trace context (`None` sends a version-1
+    /// frame, exactly what a pre-revision client puts on the wire).
+    pub fn submit_traced(
+        &mut self,
+        tenant: &str,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+        deadline: Option<Duration>,
+        trace: Option<TraceContext>,
+    ) -> Result<u64, ClientError> {
         self.next_id += 1;
         let request_id = self.next_id;
         let deadline_us = deadline
             .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX).max(1))
             .unwrap_or(0);
+        self.last_trace = trace;
+        let start = self.tracer.now_us();
         self.send_raw(&Frame::Submit {
             request_id,
             tenant: tenant.to_string(),
             deadline_us,
             schedule,
             inputs,
+            trace,
         })?;
+        if let Some(t) = trace {
+            self.tracer.scoped(t.trace_id).complete(
+                "client_send",
+                "net",
+                start,
+                self.tracer.now_us(),
+                vec![("tenant", tenant.into()), ("request_id", request_id.into())],
+            );
+        }
         Ok(request_id)
     }
 
     /// Collects the next execution reply:
     /// `(request id, output images)`.
     pub fn recv_result(&mut self) -> Result<(u64, Vec<(ImageId, Image)>), ClientError> {
-        match self.recv_frame()? {
+        let start = self.tracer.now_us();
+        let frame = self.recv_frame()?;
+        if let Some(t) = frame.trace() {
+            self.tracer.scoped(t.trace_id).complete(
+                "client_recv",
+                "net",
+                start,
+                self.tracer.now_us(),
+                vec![("frame", frame.type_name().into())],
+            );
+        }
+        match frame {
             Frame::ResultOk {
                 request_id,
                 outputs,
+                ..
             } => Ok((request_id, outputs)),
             Frame::Error {
                 request_id,
                 code,
                 message,
+                ..
             } => Err(ClientError::Server {
                 request_id,
                 code,

@@ -649,7 +649,8 @@ mod tests {
         put_u32(&mut payload, 0); // width 0!
         put_u32(&mut payload, 4);
         put_u32(&mut payload, 1);
-        let err = crate::wire::decode_payload(3, &payload, &limits()).unwrap_err();
+        let err =
+            crate::wire::decode_payload(crate::wire::VERSION, 3, &payload, &limits()).unwrap_err();
         assert!(matches!(err, WireError::Malformed(_)), "{err:?}");
     }
 

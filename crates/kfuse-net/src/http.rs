@@ -1,4 +1,5 @@
-//! Minimal HTTP/1.0 sidecar for `/metrics` and `/healthz`.
+//! Minimal HTTP/1.0 sidecar for `/metrics`, `/healthz`, and
+//! `/debug/requests`.
 //!
 //! Deliberately tiny: one poll-accept loop on its own thread, one request
 //! per connection, `Connection: close` semantics. The `/metrics` body is
@@ -8,7 +9,9 @@
 //! combined document still passes `kfuse_obs::validate_prometheus`.
 //! `/healthz` answers `200 ok` while serving and `503 draining` once a
 //! drain has begun, which is what a load balancer needs to rotate the
-//! instance out before shutdown.
+//! instance out before shutdown. `/debug/requests` dumps the always-on
+//! flight recorder's retained request span trees as a Chrome trace
+//! (`404` when recording is disabled).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -59,6 +62,19 @@ fn handle_request(inner: &Arc<Inner>, mut stream: TcpStream) {
                 let _ = respond(&mut stream, 200, "text/plain", "ok\n");
             }
         }
+        "/debug/requests" => match inner.runtime.recorder() {
+            Some(rec) => {
+                let _ = respond(
+                    &mut stream,
+                    200,
+                    "application/json",
+                    &rec.dump_chrome_json(),
+                );
+            }
+            None => {
+                let _ = respond(&mut stream, 404, "text/plain", "flight recorder disabled\n");
+            }
+        },
         _ => {
             let _ = respond(&mut stream, 404, "text/plain", "not found\n");
         }

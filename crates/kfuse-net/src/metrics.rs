@@ -11,6 +11,48 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use kfuse_obs::PromWriter;
 
+use crate::wire::ErrorCode;
+
+/// Number of wire frame types (type bytes `1..=FRAME_TYPES`).
+pub const FRAME_TYPES: usize = 9;
+/// Number of typed error codes (`ErrorCode::as_u16` in `1..=ERROR_CODES`).
+pub const ERROR_CODES: usize = 12;
+
+/// Stable label for a frame type byte (matches `Frame::type_name`).
+pub fn frame_type_label(byte: u8) -> &'static str {
+    match byte {
+        1 => "register_pipeline",
+        2 => "register_ack",
+        3 => "submit",
+        4 => "result_ok",
+        5 => "error",
+        6 => "ping",
+        7 => "pong",
+        8 => "drain",
+        9 => "drain_ack",
+        _ => "unknown",
+    }
+}
+
+/// Stable label for an error code (snake_case of the variant).
+pub fn error_code_label(code: u16) -> &'static str {
+    match ErrorCode::from_u16(code) {
+        Some(ErrorCode::Malformed) => "malformed",
+        Some(ErrorCode::UnknownPipeline) => "unknown_pipeline",
+        Some(ErrorCode::QueueFull) => "queue_full",
+        Some(ErrorCode::AdmissionTimeout) => "admission_timeout",
+        Some(ErrorCode::DeadlineExceeded) => "deadline_exceeded",
+        Some(ErrorCode::Draining) => "draining",
+        Some(ErrorCode::ExecFailed) => "exec_failed",
+        Some(ErrorCode::FingerprintMismatch) => "fingerprint_mismatch",
+        Some(ErrorCode::InvalidPipeline) => "invalid_pipeline",
+        Some(ErrorCode::BadInputs) => "bad_inputs",
+        Some(ErrorCode::Panicked) => "panicked",
+        Some(ErrorCode::Unsupported) => "unsupported",
+        None => "unknown",
+    }
+}
+
 /// Lock-free transport counters shared by every connection handler.
 #[derive(Debug, Default)]
 pub struct NetMetrics {
@@ -24,6 +66,9 @@ pub struct NetMetrics {
     protocol_errors: AtomicU64,
     stalled_connections: AtomicU64,
     refused_draining: AtomicU64,
+    frames_received_by_type: [AtomicU64; FRAME_TYPES],
+    frames_sent_by_type: [AtomicU64; FRAME_TYPES],
+    errors_sent_by_code: [AtomicU64; ERROR_CODES],
 }
 
 impl NetMetrics {
@@ -63,8 +108,38 @@ impl NetMetrics {
         self.refused_draining.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn frame_type_received(&self, type_byte: u8) {
+        if let Some(slot) = self
+            .frames_received_by_type
+            .get(type_byte.wrapping_sub(1) as usize)
+        {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn frame_type_sent(&self, type_byte: u8) {
+        if let Some(slot) = self
+            .frames_sent_by_type
+            .get(type_byte.wrapping_sub(1) as usize)
+        {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn error_sent(&self, code: ErrorCode) {
+        if let Some(slot) = self
+            .errors_sent_by_code
+            .get((code.as_u16() as usize).wrapping_sub(1))
+        {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Consistent-enough point-in-time copy of every counter.
     pub fn snapshot(&self) -> NetSnapshot {
+        let load_all = |src: &[AtomicU64]| -> Vec<u64> {
+            src.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        };
         NetSnapshot {
             connections_total: self.connections_total.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Relaxed),
@@ -76,6 +151,9 @@ impl NetMetrics {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             stalled_connections: self.stalled_connections.load(Ordering::Relaxed),
             refused_draining: self.refused_draining.load(Ordering::Relaxed),
+            frames_received_by_type: load_all(&self.frames_received_by_type),
+            frames_sent_by_type: load_all(&self.frames_sent_by_type),
+            errors_sent_by_code: load_all(&self.errors_sent_by_code),
         }
     }
 }
@@ -103,6 +181,14 @@ pub struct NetSnapshot {
     pub stalled_connections: u64,
     /// Submissions refused because the server was draining.
     pub refused_draining: u64,
+    /// Frames decoded, indexed by `type_byte - 1` (see
+    /// [`frame_type_label`]). Length [`FRAME_TYPES`].
+    pub frames_received_by_type: Vec<u64>,
+    /// Frames written, indexed by `type_byte - 1`. Length [`FRAME_TYPES`].
+    pub frames_sent_by_type: Vec<u64>,
+    /// `Error` frames sent, indexed by `ErrorCode::as_u16() - 1` (see
+    /// [`error_code_label`]). Length [`ERROR_CODES`].
+    pub errors_sent_by_code: Vec<u64>,
 }
 
 impl NetSnapshot {
@@ -177,6 +263,45 @@ impl NetSnapshot {
             &[],
             self.connections_active as f64,
         );
+        // Labeled per-frame-type and per-error-code families. Samples are
+        // sparse — a label value appears once its counter is nonzero —
+        // which is the Prometheus convention for labeled counters.
+        let by_type: [(&str, &str, &[u64]); 2] = [
+            (
+                "kfuse_net_frames_received_by_type_total",
+                "Frames decoded, by frame type",
+                &self.frames_received_by_type,
+            ),
+            (
+                "kfuse_net_frames_sent_by_type_total",
+                "Frames written, by frame type",
+                &self.frames_sent_by_type,
+            ),
+        ];
+        for (name, help, counts) in by_type {
+            if counts.iter().any(|&c| c > 0) {
+                w.family(name, "counter", help);
+                for (i, &c) in counts.iter().enumerate() {
+                    if c > 0 {
+                        let label = frame_type_label(i as u8 + 1);
+                        w.sample(name, &[("type", label)], c as f64);
+                    }
+                }
+            }
+        }
+        if self.errors_sent_by_code.iter().any(|&c| c > 0) {
+            w.family(
+                "kfuse_net_errors_sent_total",
+                "counter",
+                "Error frames sent, by error code",
+            );
+            for (i, &c) in self.errors_sent_by_code.iter().enumerate() {
+                if c > 0 {
+                    let label = error_code_label(i as u16 + 1);
+                    w.sample("kfuse_net_errors_sent_total", &[("code", label)], c as f64);
+                }
+            }
+        }
         w.finish()
     }
 }
@@ -207,6 +332,53 @@ mod tests {
         assert!(doc.contains("kfuse_net_connections_total 1"));
         assert!(doc.contains("kfuse_net_bytes_sent_total 1024"));
         assert!(doc.contains("kfuse_net_protocol_errors_total 1"));
+        // No labeled activity recorded: the sparse families stay absent.
+        assert!(!doc.contains("kfuse_net_frames_received_by_type_total"));
+        assert!(!doc.contains("kfuse_net_errors_sent_total"));
+    }
+
+    #[test]
+    fn per_type_and_per_code_families_round_trip() {
+        let m = NetMetrics::default();
+        m.frame_type_received(3); // submit
+        m.frame_type_received(3);
+        m.frame_type_received(6); // ping
+        m.frame_type_sent(4); // result_ok
+        m.frame_type_sent(5); // error
+        m.error_sent(ErrorCode::DeadlineExceeded);
+        m.error_sent(ErrorCode::Malformed);
+        m.error_sent(ErrorCode::Malformed);
+        // Out-of-range inputs are ignored, never a panic or misfile.
+        m.frame_type_received(0);
+        m.frame_type_received(200);
+        let snap = m.snapshot();
+        assert_eq!(snap.frames_received_by_type[2], 2);
+        assert_eq!(snap.frames_received_by_type[5], 1);
+        assert_eq!(snap.frames_sent_by_type[3], 1);
+        assert_eq!(snap.errors_sent_by_code[0], 2);
+        assert_eq!(snap.errors_sent_by_code[4], 1);
+        let doc = snap.to_prometheus();
+        let samples = validate_prometheus(&doc).expect("valid exposition");
+        // 10 flat samples + 2 received types + 2 sent types + 2 codes.
+        assert_eq!(samples, 16);
+        assert!(doc.contains("kfuse_net_frames_received_by_type_total{type=\"submit\"} 2"));
+        assert!(doc.contains("kfuse_net_frames_sent_by_type_total{type=\"error\"} 1"));
+        assert!(doc.contains("kfuse_net_errors_sent_total{code=\"malformed\"} 2"));
+        assert!(doc.contains("kfuse_net_errors_sent_total{code=\"deadline_exceeded\"} 1"));
+    }
+
+    #[test]
+    fn every_label_is_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for b in 1..=FRAME_TYPES as u8 {
+            assert!(seen.insert(frame_type_label(b)), "dup label for type {b}");
+        }
+        seen.clear();
+        for c in 1..=ERROR_CODES as u16 {
+            assert!(seen.insert(error_code_label(c)), "dup label for code {c}");
+        }
+        assert_eq!(frame_type_label(0), "unknown");
+        assert_eq!(error_code_label(13), "unknown");
     }
 
     #[test]

@@ -43,12 +43,14 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use kfuse_ir::{ImageId, Pipeline};
-use kfuse_obs::Tracer;
+use kfuse_obs::{FlightRecorder, Tracer};
 use kfuse_runtime::{Admission, JobHandle, MetricsSnapshot, Runtime, RuntimeConfig, RuntimeError};
 
 use crate::http;
 use crate::metrics::{NetMetrics, NetSnapshot};
-use crate::wire::{read_frame_counted, write_frame, ErrorCode, Frame, Limits, WireError};
+use crate::wire::{
+    read_frame_counted, write_frame, ErrorCode, Frame, Limits, TraceContext, WireError,
+};
 
 /// Configuration of a [`Server`].
 #[derive(Clone, Debug)]
@@ -73,6 +75,12 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Trace recorder for connection/frame spans (disabled by default).
     pub tracer: Tracer,
+    /// Always-on flight recorder capturing every request's span tree in
+    /// a bounded ring with tail-based retention. Installed into the
+    /// owned runtime (unless the runtime config already carries one) and
+    /// dumped by the HTTP sidecar's `/debug/requests`. `None` disables
+    /// recording entirely.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +96,7 @@ impl Default for ServerConfig {
             max_in_flight: 32,
             max_connections: 64,
             tracer: Tracer::disabled(),
+            recorder: Some(Arc::new(FlightRecorder::default())),
         }
     }
 }
@@ -115,11 +124,14 @@ impl Inner {
 
 /// What the reader hands the writer for one received frame.
 enum Reply {
-    /// An admitted job: wait for the handle, then answer `request_id`.
+    /// An admitted job: wait for the handle, then answer `request_id`,
+    /// echoing the submit's trace context so the client can stitch the
+    /// reply into the same causal chain.
     Job {
         request_id: u64,
         handle: JobHandle,
         outputs: Vec<ImageId>,
+        trace: Option<TraceContext>,
     },
     /// An immediately-known reply (acks, errors, pongs).
     Now(Frame),
@@ -147,8 +159,12 @@ impl Server {
         http_listener.set_nonblocking(true)?;
         let http_addr = http_listener.local_addr()?;
 
+        let mut runtime_cfg = cfg.runtime.clone();
+        if runtime_cfg.recorder.is_none() {
+            runtime_cfg.recorder = cfg.recorder.clone();
+        }
         let inner = Arc::new(Inner {
-            runtime: Runtime::new(cfg.runtime.clone()),
+            runtime: Runtime::new(runtime_cfg),
             cfg,
             registry: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
@@ -207,6 +223,11 @@ impl Server {
     /// Snapshot of the owned runtime's serving metrics.
     pub fn runtime_metrics(&self) -> MetricsSnapshot {
         self.inner.runtime.metrics()
+    }
+
+    /// The always-on flight recorder, if one is installed.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.runtime.recorder()
     }
 
     /// Drains, closes the listeners, joins every thread, and shuts the
@@ -317,7 +338,15 @@ fn reader_loop(
         match read_frame_counted(stream, &inner.cfg.limits) {
             Ok((frame, bytes)) => {
                 inner.net.frame_received(bytes);
-                let _span = inner.cfg.tracer.span(frame.type_name(), "net");
+                inner.net.frame_type_received(frame.type_byte());
+                // The ingress span lands on the reader thread; scoping it
+                // to the frame's trace context anchors the server side of
+                // the request's causal chain at decode time.
+                let span_tracer = match frame.trace() {
+                    Some(t) => inner.cfg.tracer.scoped(t.trace_id),
+                    None => inner.cfg.tracer.clone(),
+                };
+                let _span = span_tracer.span(frame.type_name(), "net");
                 if !handle_frame(inner, frame, tx) {
                     return;
                 }
@@ -337,6 +366,7 @@ fn reader_loop(
                     request_id: 0,
                     code: ErrorCode::Malformed,
                     message: e.to_string(),
+                    trace: None,
                 }));
                 return;
             }
@@ -392,46 +422,58 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
             deadline_us,
             schedule,
             inputs,
+            trace,
         } => {
             if inner.draining.load(Ordering::SeqCst) {
                 inner.net.refused_draining();
-                return send_error(tx, request_id, ErrorCode::Draining, "server is draining");
+                return send_error_traced(
+                    tx,
+                    request_id,
+                    ErrorCode::Draining,
+                    "server is draining",
+                    trace,
+                );
             }
             let pipeline = {
                 let registry = inner.registry.lock().unwrap();
                 match registry.get(&tenant) {
                     Some(reg) => Arc::clone(&reg.pipeline),
                     None => {
-                        return send_error(
+                        return send_error_traced(
                             tx,
                             request_id,
                             ErrorCode::UnknownPipeline,
                             &format!("no pipeline registered as {tenant:?}"),
+                            trace,
                         )
                     }
                 }
             };
             if let Err(msg) = check_inputs(&pipeline, &inputs) {
-                return send_error(tx, request_id, ErrorCode::BadInputs, &msg);
+                return send_error_traced(tx, request_id, ErrorCode::BadInputs, &msg, trace);
             }
             // Anchor the relative budget to the server clock *before*
             // queueing so queue wait counts against it.
             let deadline =
                 (deadline_us > 0).then(|| Instant::now() + Duration::from_micros(deadline_us));
-            match inner
-                .runtime
-                .submit_with_deadline(&tenant, &pipeline, inputs, schedule, deadline)
-            {
+            // Propagate the client's trace context into the runtime so
+            // queue/plan/execute spans (and the flight-recorder entry)
+            // land under the same trace id the client generated.
+            let (trace_id, span_id) = trace.map_or((0, 0), |t| (t.trace_id, t.span_id));
+            match inner.runtime.submit_with_ctx(
+                &tenant, &pipeline, inputs, schedule, deadline, trace_id, span_id,
+            ) {
                 Ok(handle) => tx
                     .send(Reply::Job {
                         request_id,
                         handle,
                         outputs: pipeline.outputs().to_vec(),
+                        trace,
                     })
                     .is_ok(),
                 Err(e) => {
                     let (code, msg) = map_runtime_error(&e);
-                    send_error(tx, request_id, code, &msg)
+                    send_error_traced(tx, request_id, code, &msg, trace)
                 }
             }
         }
@@ -495,10 +537,23 @@ fn map_runtime_error(e: &RuntimeError) -> (ErrorCode, String) {
 }
 
 fn send_error(tx: &SyncSender<Reply>, request_id: u64, code: ErrorCode, message: &str) -> bool {
+    send_error_traced(tx, request_id, code, message, None)
+}
+
+/// Like [`send_error`], but echoes the request's trace context so even
+/// refusals stay attributable to the trace that caused them.
+fn send_error_traced(
+    tx: &SyncSender<Reply>,
+    request_id: u64,
+    code: ErrorCode,
+    message: &str,
+    trace: Option<TraceContext>,
+) -> bool {
     tx.send(Reply::Now(Frame::Error {
         request_id,
         code,
         message: message.to_string(),
+        trace,
     }))
     .is_ok()
 }
@@ -518,6 +573,7 @@ fn writer_loop(
                 request_id,
                 handle,
                 outputs,
+                trace,
             } => match handle.wait() {
                 Ok(exec) => {
                     let mut imgs = Vec::with_capacity(outputs.len());
@@ -535,11 +591,13 @@ fn writer_loop(
                         None => Frame::ResultOk {
                             request_id,
                             outputs: imgs,
+                            trace,
                         },
                         Some(id) => Frame::Error {
                             request_id,
                             code: ErrorCode::ExecFailed,
                             message: format!("execution produced no image {}", id.0),
+                            trace,
                         },
                     }
                 }
@@ -549,12 +607,33 @@ fn writer_loop(
                         request_id,
                         code,
                         message,
+                        trace,
                     }
                 }
             },
         };
+        inner.net.frame_type_sent(frame.type_byte());
+        if let Frame::Error { code, .. } = &frame {
+            inner.net.error_sent(*code);
+        }
+        // The encode span lands on the writer thread, closing the
+        // server side of the request's causal chain.
+        let span_tracer = match frame.trace() {
+            Some(t) => inner.cfg.tracer.scoped(t.trace_id),
+            None => inner.cfg.tracer.clone(),
+        };
+        let encode_start = span_tracer.now_us();
         match write_frame(&mut out, &frame) {
-            Ok(bytes) => inner.net.frame_sent(bytes),
+            Ok(bytes) => {
+                inner.net.frame_sent(bytes);
+                span_tracer.complete(
+                    "encode_write",
+                    "net",
+                    encode_start,
+                    span_tracer.now_us(),
+                    vec![("frame", frame.type_name().into())],
+                );
+            }
             Err(_) => {
                 // Peer stopped reading (or write timed out). Mark the
                 // connection dead so the reader exits, then keep draining

@@ -5,13 +5,23 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic           "KFN1"
-//!      4     1  version         0x01
+//!      4     1  version         0x01 or 0x02 (traced)
 //!      5     1  frame type      see [`Frame`]
 //!      6     2  reserved        must be zero (LE)
 //!      8     4  payload length  bytes after the header (LE)
 //!     12     4  checksum        FNV-1a-32 of the payload (LE)
 //!     16     …  payload         frame-type specific
 //! ```
+//!
+//! **Version 2 (traced)** is the additive trace-context revision: the
+//! `Submit`, `ResultOk`, and `Error` payloads carry a trailing 16-byte
+//! [`TraceContext`] (`trace_id` + `span_id`, both u64 LE) after their
+//! version-1 fields. Encoding is *canonical per presence*: a frame with
+//! trace context always encodes as version 2, a frame without always as
+//! version 1 — so decode→re-encode is bit-identical in both directions
+//! and pre-revision peers keep interoperating (they simply never send
+//! version 2). A version-2 header on any other frame type is rejected as
+//! malformed: no frame has two valid encodings.
 //!
 //! All multi-byte integers are little-endian; `f32` values travel as their
 //! IEEE-754 bit patterns so results round-trip **bit-identically** (the
@@ -36,10 +46,28 @@ use crate::codec;
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"KFN1";
-/// Protocol version this crate speaks.
+/// Base protocol version (no trace context).
 pub const VERSION: u8 = 1;
+/// Trace-context protocol revision: `Submit`/`ResultOk`/`Error` payloads
+/// end with a 16-byte [`TraceContext`].
+pub const VERSION_TRACED: u8 = 2;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 16;
+/// On-wire size of a [`TraceContext`] (two u64s).
+pub const TRACE_CONTEXT_LEN: usize = 16;
+
+/// Client-generated request trace identity, propagated end-to-end:
+/// carried on `Submit`, echoed verbatim in `ResultOk`/`Error`, and
+/// stamped onto every server-side span the request produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// 64-bit request trace id (the client should pick it unique and
+    /// nonzero; the server treats it as opaque).
+    pub trace_id: u64,
+    /// The client's root span id under `trace_id` (0 when the client
+    /// tracks no spans of its own).
+    pub span_id: u64,
+}
 
 /// FNV-1a 32-bit checksum (the 32-bit sibling of the fingerprint hash
 /// used by `kfuse-ir`).
@@ -271,6 +299,9 @@ pub enum Frame {
         schedule: Schedule,
         /// Input images keyed by the pipeline's [`ImageId`]s.
         inputs: Vec<(ImageId, Image)>,
+        /// Request trace identity (version-2 frames only; `None` from
+        /// pre-revision clients).
+        trace: Option<TraceContext>,
     },
     /// Successful execution result.
     ResultOk {
@@ -278,6 +309,8 @@ pub enum Frame {
         request_id: u64,
         /// The pipeline's declared outputs, bit-exact.
         outputs: Vec<(ImageId, Image)>,
+        /// Echo of the submit's trace context, if it carried one.
+        trace: Option<TraceContext>,
     },
     /// Typed failure reply. `request_id` is `0` for connection-level
     /// errors that answer no particular request.
@@ -288,6 +321,8 @@ pub enum Frame {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Echo of the submit's trace context, if it carried one.
+        trace: Option<TraceContext>,
     },
     /// Liveness probe.
     Ping {
@@ -318,6 +353,26 @@ impl Frame {
             Frame::Pong { .. } => 7,
             Frame::Drain => 8,
             Frame::DrainAck => 9,
+        }
+    }
+
+    /// The trace context this frame carries, if any.
+    pub fn trace(&self) -> Option<TraceContext> {
+        match self {
+            Frame::Submit { trace, .. }
+            | Frame::ResultOk { trace, .. }
+            | Frame::Error { trace, .. } => *trace,
+            _ => None,
+        }
+    }
+
+    /// The wire version this frame canonically encodes as: version 2 iff
+    /// it carries a trace context, version 1 otherwise.
+    pub fn wire_version(&self) -> u8 {
+        if self.trace().is_some() {
+            VERSION_TRACED
+        } else {
+            VERSION
         }
     }
 
@@ -474,32 +529,59 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             deadline_us,
             schedule,
             inputs,
+            trace,
         } => {
             put_u64(out, *request_id);
             put_str(out, tenant);
             put_u64(out, *deadline_us);
             put_u8(out, schedule_byte(*schedule));
             codec::encode_bound_images(out, inputs);
+            put_trace(out, trace);
         }
         Frame::ResultOk {
             request_id,
             outputs,
+            trace,
         } => {
             put_u64(out, *request_id);
             codec::encode_bound_images(out, outputs);
+            put_trace(out, trace);
         }
         Frame::Error {
             request_id,
             code,
             message,
+            trace,
         } => {
             put_u64(out, *request_id);
             put_u16(out, code.as_u16());
             put_str(out, message);
+            put_trace(out, trace);
         }
         Frame::Ping { token } | Frame::Pong { token } => put_u64(out, *token),
         Frame::Drain | Frame::DrainAck => {}
     }
+}
+
+/// Appends the 16-byte trace context for version-2 frames; version-1
+/// frames (no context) append nothing.
+fn put_trace(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    if let Some(t) = trace {
+        put_u64(out, t.trace_id);
+        put_u64(out, t.span_id);
+    }
+}
+
+/// Reads the trailing trace context of a version-2 payload (`None` for
+/// version 1, which has no such field).
+fn read_trace(r: &mut ByteReader<'_>, version: u8) -> Result<Option<TraceContext>, WireError> {
+    if version != VERSION_TRACED {
+        return Ok(None);
+    }
+    Ok(Some(TraceContext {
+        trace_id: r.u64()?,
+        span_id: r.u64()?,
+    }))
 }
 
 fn schedule_byte(s: Schedule) -> u8 {
@@ -524,12 +606,14 @@ fn schedule_from_byte(b: u8) -> Result<Schedule, WireError> {
 }
 
 /// Serializes a frame as header + payload, ready to write to a stream.
+/// The header's version byte is [`Frame::wire_version`] — version 2 iff
+/// the frame carries a trace context.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     let mut payload = Vec::new();
     encode_payload(frame, &mut payload);
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(frame.wire_version());
     out.push(frame.type_byte());
     out.extend_from_slice(&0u16.to_le_bytes());
     out.extend_from_slice(
@@ -542,17 +626,21 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out
 }
 
-/// Validated frame header: `(type byte, payload length, payload checksum)`.
+/// Validated frame header:
+/// `(version, type byte, payload length, payload checksum)`.
+/// Both [`VERSION`] and [`VERSION_TRACED`] are accepted — a server built
+/// at this revision still decodes every pre-revision frame.
 pub fn parse_header(
     header: &[u8; HEADER_LEN],
     limits: &Limits,
-) -> Result<(u8, u32, u32), WireError> {
+) -> Result<(u8, u8, u32, u32), WireError> {
     let magic = [header[0], header[1], header[2], header[3]];
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    if header[4] != VERSION {
-        return Err(WireError::BadVersion(header[4]));
+    let version = header[4];
+    if version != VERSION && version != VERSION_TRACED {
+        return Err(WireError::BadVersion(version));
     }
     let ftype = header[5];
     if !(1..=9).contains(&ftype) {
@@ -570,11 +658,24 @@ pub fn parse_header(
         });
     }
     let cksum = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
-    Ok((ftype, len, cksum))
+    Ok((version, ftype, len, cksum))
 }
 
-/// Decodes one payload whose header already validated as `ftype`.
-pub fn decode_payload(ftype: u8, payload: &[u8], limits: &Limits) -> Result<Frame, WireError> {
+/// Decodes one payload whose header already validated as `(version,
+/// ftype)`. Version 2 is only meaningful for `Submit`/`ResultOk`/`Error`
+/// (the traced frames); on any other type it is rejected so every frame
+/// has exactly one valid encoding.
+pub fn decode_payload(
+    version: u8,
+    ftype: u8,
+    payload: &[u8],
+    limits: &Limits,
+) -> Result<Frame, WireError> {
+    if version == VERSION_TRACED && !matches!(ftype, 3..=5) {
+        return Err(WireError::Malformed(format!(
+            "frame type {ftype} carries no trace context; version 2 is invalid for it"
+        )));
+    }
     let mut r = ByteReader::new(payload);
     let frame = match ftype {
         1 => {
@@ -596,20 +697,24 @@ pub fn decode_payload(ftype: u8, payload: &[u8], limits: &Limits) -> Result<Fram
             let deadline_us = r.u64()?;
             let schedule = schedule_from_byte(r.u8()?)?;
             let inputs = codec::decode_bound_images(&mut r, limits)?;
+            let trace = read_trace(&mut r, version)?;
             Frame::Submit {
                 request_id,
                 tenant,
                 deadline_us,
                 schedule,
                 inputs,
+                trace,
             }
         }
         4 => {
             let request_id = r.u64()?;
             let outputs = codec::decode_bound_images(&mut r, limits)?;
+            let trace = read_trace(&mut r, version)?;
             Frame::ResultOk {
                 request_id,
                 outputs,
+                trace,
             }
         }
         5 => {
@@ -618,10 +723,12 @@ pub fn decode_payload(ftype: u8, payload: &[u8], limits: &Limits) -> Result<Fram
             let code = ErrorCode::from_u16(raw)
                 .ok_or_else(|| WireError::Malformed(format!("unknown error code {raw}")))?;
             let message = r.string(limits, "error message")?;
+            let trace = read_trace(&mut r, version)?;
             Frame::Error {
                 request_id,
                 code,
                 message,
+                trace,
             }
         }
         6 => Frame::Ping { token: r.u64()? },
@@ -643,7 +750,7 @@ pub fn decode_frame(buf: &[u8], limits: &Limits) -> Result<Frame, WireError> {
     }
     let mut header = [0u8; HEADER_LEN];
     header.copy_from_slice(&buf[..HEADER_LEN]);
-    let (ftype, len, expected) = parse_header(&header, limits)?;
+    let (version, ftype, len, expected) = parse_header(&header, limits)?;
     let payload = &buf[HEADER_LEN..];
     if payload.len() < len as usize {
         return Err(WireError::Truncated);
@@ -655,7 +762,7 @@ pub fn decode_frame(buf: &[u8], limits: &Limits) -> Result<Frame, WireError> {
     if found != expected {
         return Err(WireError::ChecksumMismatch { expected, found });
     }
-    decode_payload(ftype, payload, limits)
+    decode_payload(version, ftype, payload, limits)
 }
 
 fn is_timeout(e: &io::Error) -> bool {
@@ -703,14 +810,14 @@ pub fn read_frame(r: &mut impl Read, limits: &Limits) -> Result<Frame, WireError
 pub fn read_frame_counted(r: &mut impl Read, limits: &Limits) -> Result<(Frame, usize), WireError> {
     let mut header = [0u8; HEADER_LEN];
     read_full(r, &mut header, false)?;
-    let (ftype, len, expected) = parse_header(&header, limits)?;
+    let (version, ftype, len, expected) = parse_header(&header, limits)?;
     let mut payload = vec![0u8; len as usize];
     read_full(r, &mut payload, true)?;
     let found = checksum(&payload);
     if found != expected {
         return Err(WireError::ChecksumMismatch { expected, found });
     }
-    let frame = decode_payload(ftype, &payload, limits)?;
+    let frame = decode_payload(version, ftype, &payload, limits)?;
     Ok((frame, HEADER_LEN + payload.len()))
 }
 
@@ -752,6 +859,7 @@ mod tests {
             request_id: 7,
             code: ErrorCode::DeadlineExceeded,
             message: "too late".into(),
+            trace: None,
         });
     }
 
@@ -766,6 +874,7 @@ mod tests {
             deadline_us: 5_000_000,
             schedule: Schedule::Optimized,
             inputs: vec![(ImageId(0), img)],
+            trace: None,
         };
         match roundtrip(&frame) {
             Frame::Submit {
@@ -774,6 +883,7 @@ mod tests {
                 deadline_us,
                 schedule,
                 inputs,
+                ..
             } => {
                 assert_eq!(request_id, 42);
                 assert_eq!(tenant, "harris");
@@ -896,6 +1006,148 @@ mod tests {
         }
         assert_eq!(ErrorCode::from_u16(0), None);
         assert_eq!(ErrorCode::from_u16(13), None);
+    }
+
+    fn ctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0x0123_4567_89ab_cdef,
+            span_id: 0xfeed_face_cafe_f00d,
+        }
+    }
+
+    #[test]
+    fn traced_frames_encode_as_version_2() {
+        let traced = Frame::Submit {
+            request_id: 1,
+            tenant: "t".into(),
+            deadline_us: 0,
+            schedule: Schedule::Basic,
+            inputs: vec![],
+            trace: Some(ctx()),
+        };
+        let bytes = encode_frame(&traced);
+        assert_eq!(bytes[4], VERSION_TRACED);
+        match roundtrip(&traced) {
+            Frame::Submit { trace, .. } => assert_eq!(trace, Some(ctx())),
+            other => panic!("decoded wrong frame: {other:?}"),
+        }
+
+        // Untraced encodes as version 1: exactly the pre-revision bytes.
+        let untraced = Frame::Submit {
+            request_id: 1,
+            tenant: "t".into(),
+            deadline_us: 0,
+            schedule: Schedule::Basic,
+            inputs: vec![],
+            trace: None,
+        };
+        let old_bytes = encode_frame(&untraced);
+        assert_eq!(old_bytes[4], VERSION);
+        assert_eq!(
+            bytes.len(),
+            old_bytes.len() + TRACE_CONTEXT_LEN,
+            "trace context is exactly 16 additive bytes"
+        );
+        match roundtrip(&untraced) {
+            Frame::Submit { trace, .. } => assert_eq!(trace, None),
+            other => panic!("decoded wrong frame: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_replies_round_trip() {
+        match roundtrip(&Frame::ResultOk {
+            request_id: 9,
+            outputs: vec![],
+            trace: Some(ctx()),
+        }) {
+            Frame::ResultOk { trace, .. } => assert_eq!(trace, Some(ctx())),
+            other => panic!("decoded wrong frame: {other:?}"),
+        }
+        match roundtrip(&Frame::Error {
+            request_id: 9,
+            code: ErrorCode::QueueFull,
+            message: "full".into(),
+            trace: Some(ctx()),
+        }) {
+            Frame::Error { trace, .. } => assert_eq!(trace, Some(ctx())),
+            other => panic!("decoded wrong frame: {other:?}"),
+        }
+    }
+
+    /// A pre-revision (version-1) frame — byte-for-byte what an old
+    /// client sends — must still decode, with `trace: None`.
+    #[test]
+    fn version_1_frames_still_accepted() {
+        let bytes = encode_frame(&Frame::Submit {
+            request_id: 3,
+            tenant: "old".into(),
+            deadline_us: 10,
+            schedule: Schedule::Baseline,
+            inputs: vec![],
+            trace: None,
+        });
+        assert_eq!(bytes[4], VERSION);
+        match decode_frame(&bytes, &limits()).unwrap() {
+            Frame::Submit {
+                request_id, trace, ..
+            } => {
+                assert_eq!(request_id, 3);
+                assert_eq!(trace, None);
+            }
+            other => panic!("decoded wrong frame: {other:?}"),
+        }
+    }
+
+    /// Hostile-peer rules for the new field: a version-2 header on a
+    /// frame type that carries no trace context is malformed (no frame
+    /// may have two encodings), and a version-2 traced frame whose
+    /// payload is missing the 16 trailing bytes is truncated.
+    #[test]
+    fn hostile_trace_context_rejected() {
+        let mut bytes = encode_frame(&Frame::Ping { token: 5 });
+        bytes[4] = VERSION_TRACED;
+        // Re-seal the checksum (unchanged payload) so the version check
+        // is what trips, not the checksum.
+        assert!(matches!(
+            decode_frame(&bytes, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+
+        let traced = encode_frame(&Frame::Error {
+            request_id: 1,
+            code: ErrorCode::QueueFull,
+            message: String::new(),
+            trace: Some(ctx()),
+        });
+        // Strip half the trace context and re-frame honestly.
+        let payload = &traced[HEADER_LEN..traced.len() - 8];
+        let mut cut = traced[..HEADER_LEN].to_vec();
+        cut[8..12].copy_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+        cut[12..16].copy_from_slice(&checksum(payload).to_le_bytes());
+        cut.extend_from_slice(payload);
+        assert!(matches!(
+            decode_frame(&cut, &limits()),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    /// Version 1 with trailing trace-context-sized bytes is *not*
+    /// silently reinterpreted — the decoder flags the extra bytes.
+    #[test]
+    fn version_1_with_trailing_trace_bytes_rejected() {
+        let traced = encode_frame(&Frame::Error {
+            request_id: 1,
+            code: ErrorCode::QueueFull,
+            message: String::new(),
+            trace: Some(ctx()),
+        });
+        let mut downgraded = traced.clone();
+        downgraded[4] = VERSION;
+        assert!(matches!(
+            decode_frame(&downgraded, &limits()),
+            Err(WireError::TrailingBytes(16))
+        ));
     }
 
     #[test]

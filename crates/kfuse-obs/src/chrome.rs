@@ -14,12 +14,18 @@ use crate::tracer::{ArgValue, Event, EventKind};
 /// workspace traces a single process).
 pub const TRACE_PID: u64 = 1;
 
-fn push_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+fn push_args(out: &mut String, trace_id: u64, args: &[(&'static str, ArgValue)]) {
     out.push('{');
-    for (i, (k, v)) in args.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    if trace_id != 0 {
+        out.push_str(&format!("\"trace_id\":\"{trace_id:016x}\""));
+        first = false;
+    }
+    for (k, v) in args {
+        if !first {
             out.push(',');
         }
+        first = false;
         push_json_string(out, k);
         out.push(':');
         match v {
@@ -63,7 +69,7 @@ pub fn to_chrome_json(events: &[Event]) -> String {
                 out.push_str(&fmt_json_f64(*value));
                 out.push('}');
             }
-            _ => push_args(&mut out, &e.args),
+            _ => push_args(&mut out, e.trace_id, &e.args),
         }
         out.push('}');
     }
@@ -81,6 +87,7 @@ mod tests {
             cat: "test",
             ts_us: ts,
             tid: 7,
+            trace_id: 0,
             kind: EventKind::Complete { dur_us: dur },
             args,
         }
@@ -104,6 +111,7 @@ mod tests {
             cat: "serve",
             ts_us: 1,
             tid: 1,
+            trace_id: 0,
             kind: EventKind::Counter { value: 3.0 },
             args: Vec::new(),
         };
@@ -125,6 +133,7 @@ mod tests {
                 cat: "serve",
                 ts_us: 1,
                 tid: 1,
+                trace_id: 0,
                 kind: EventKind::Counter { value },
                 args: Vec::new(),
             })
@@ -134,6 +143,21 @@ mod tests {
         assert!(json.contains("\"args\":{\"value\":2.5}"));
         let stats = crate::validate_chrome_trace(&json).unwrap();
         assert_eq!(stats.counters, 4);
+    }
+
+    #[test]
+    fn renders_trace_id_as_hex_arg() {
+        let mut e = span(
+            "queue_wait",
+            2,
+            3,
+            vec![("pipeline", ArgValue::Str("t".into()))],
+        );
+        e.trace_id = 0xab;
+        let json = to_chrome_json(&[e]);
+        assert!(json.contains("\"trace_id\":\"00000000000000ab\""));
+        assert!(json.contains("\"pipeline\":\"t\""));
+        crate::validate_chrome_trace(&json).unwrap();
     }
 
     #[test]

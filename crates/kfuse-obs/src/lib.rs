@@ -21,6 +21,9 @@
 //! * [`json`] — the single JSON string-escape/number-format helper shared
 //!   by every hand-rolled serializer in the workspace (runtime metrics
 //!   snapshot, trace exporter).
+//! * [`recorder`] — [`FlightRecorder`], the always-on bounded ring of
+//!   completed request span trees with tail-based retention (deadline
+//!   misses, errors, and the slow tail survive eviction).
 //! * [`prom`] — Prometheus text-exposition writer and validator.
 //! * [`check`] — std-only strict JSON parser and Chrome-trace validator;
 //!   CI round-trips every emitted artifact through these.
@@ -48,6 +51,7 @@ pub mod chrome;
 pub mod json;
 pub mod profile;
 pub mod prom;
+pub mod recorder;
 pub mod tracer;
 
 pub use check::{parse_json, validate_chrome_trace, ChromeTraceStats, Json};
@@ -55,4 +59,7 @@ pub use chrome::to_chrome_json;
 pub use json::{escape_json, fmt_json_f64, push_json_escaped, push_json_string};
 pub use profile::{kernel_observations, trace_observations, KernelObservation};
 pub use prom::{escape_label_value, is_valid_metric_name, validate_prometheus, PromWriter};
+pub use recorder::{
+    ActiveRequest, FlightRecorder, RecorderConfig, RecorderStats, RequestOutcome, RequestRecord,
+};
 pub use tracer::{current_tid, ArgValue, Event, EventKind, SpanGuard, Tracer};

@@ -93,6 +93,7 @@ mod tests {
             cat: "exec",
             ts_us: 0,
             tid: 1,
+            trace_id: 0,
             kind: EventKind::Complete { dur_us },
             args,
         }
@@ -121,6 +122,7 @@ mod tests {
                 cat: "exec",
                 ts_us: 0,
                 tid: 1,
+                trace_id: 0,
                 kind: EventKind::Instant,
                 args: vec![],
             },

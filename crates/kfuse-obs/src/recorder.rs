@@ -1,0 +1,640 @@
+//! Always-on flight recorder: a bounded ring of completed request span
+//! trees with tail-based retention.
+//!
+//! Tracing à la [`Tracer`] is all-or-nothing: either every event in the
+//! process accumulates forever (fine for a bench run, not for a server),
+//! or nothing records. Production debugging needs the opposite shape:
+//! **always on, fixed memory, biased toward the requests you will
+//! actually ask about** — the ones that missed their deadline, errored,
+//! or landed in the slow tail. That is tail-based sampling, decided at
+//! request *completion* when the outcome is known, not at ingest.
+//!
+//! Mechanics:
+//!
+//! * [`FlightRecorder::begin`] hands out an [`ActiveRequest`] whose
+//!   private [`Tracer`] the serving layers record into (queue_wait, plan,
+//!   execute, per-kernel/band spans — whatever they already emit). The
+//!   buffer is per-request, so recording contends on nothing shared.
+//! * [`FlightRecorder::finish`] stamps every event with the request's
+//!   trace id, synthesizes a `request:<tenant>` root span, mirrors the
+//!   tree into an optional global tracer, and commits the record to the
+//!   ring.
+//! * Retention is two bounded FIFO pools: a *recent* pool every request
+//!   passes through, and an *interesting* pool for requests whose outcome
+//!   was not clean Ok or whose duration fell in the configured slowest
+//!   fraction (estimated from a log2 duration histogram). Churn in the
+//!   recent pool cannot evict an interesting record; each pool only
+//!   evicts its own oldest entry.
+//!
+//! Memory is bounded by `capacity + interesting_capacity` records of at
+//! most `max_events_per_request` events each; beyond that, a request's
+//! later events are dropped (and counted) rather than grown.
+
+use crate::chrome::to_chrome_json;
+use crate::tracer::{current_tid, ArgValue, Event, EventKind, Tracer};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Sizing and retention-policy knobs for a [`FlightRecorder`].
+#[derive(Clone, Debug)]
+pub struct RecorderConfig {
+    /// Recent-pool capacity: how many of the latest requests are retained
+    /// regardless of outcome.
+    pub capacity: usize,
+    /// Interesting-pool capacity: how many deadline-missed / errored /
+    /// slow-tail requests are retained against churn.
+    pub interesting_capacity: usize,
+    /// Per-request event cap; events beyond it are dropped and counted in
+    /// [`RequestRecord::dropped_events`].
+    pub max_events_per_request: usize,
+    /// Fraction of slowest requests classified as interesting (e.g. 0.05
+    /// keeps the slowest ~5%). The threshold is estimated from a log2
+    /// histogram of all finished durations and only kicks in once
+    /// [`MIN_SAMPLES_FOR_SLOW`] requests have finished.
+    pub slow_fraction: f64,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            interesting_capacity: 64,
+            max_events_per_request: 512,
+            slow_fraction: 0.05,
+        }
+    }
+}
+
+/// Finished requests required before the slow-tail classifier activates
+/// (before that, every duration would look like the tail).
+pub const MIN_SAMPLES_FOR_SLOW: u64 = 32;
+
+/// How a recorded request ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Completed normally.
+    Ok,
+    /// Rejected or completed past its deadline.
+    DeadlineMissed,
+    /// Failed with an error (the runtime's error string).
+    Errored(String),
+}
+
+impl RequestOutcome {
+    /// Short label rendered into the root span's `outcome` arg.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestOutcome::Ok => "ok",
+            RequestOutcome::DeadlineMissed => "deadline_missed",
+            RequestOutcome::Errored(_) => "error",
+        }
+    }
+}
+
+/// One retained request: identity, outcome, and its full span tree.
+#[derive(Clone, Debug)]
+pub struct RequestRecord {
+    /// Propagated (or synthesized) 64-bit trace id; never 0.
+    pub trace_id: u64,
+    /// Client-side root span id (0 when the client sent none).
+    pub span_id: u64,
+    /// Tenant / pipeline name the request was submitted under.
+    pub tenant: String,
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+    /// Request start, microseconds on the recording timeline.
+    pub start_us: u64,
+    /// Wall duration in microseconds.
+    pub dur_us: u64,
+    /// Events dropped past the per-request cap.
+    pub dropped_events: u64,
+    /// Monotone commit sequence number (eviction is FIFO by this).
+    pub seq: u64,
+    /// The span tree: every event recorded under this request's trace id,
+    /// including the synthesized `request:<tenant>` root span.
+    pub events: Vec<Event>,
+}
+
+/// Point-in-time recorder health counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Requests committed to the ring since creation.
+    pub finished: u64,
+    /// Records evicted (from either pool).
+    pub evicted: u64,
+    /// Records currently held in the recent pool.
+    pub retained_recent: usize,
+    /// Records currently held in the interesting pool.
+    pub retained_interesting: usize,
+    /// Events dropped across all finished requests (per-request cap).
+    pub dropped_events: u64,
+}
+
+/// Log2 duration-histogram buckets (covers 1 µs .. ~2^63 µs).
+const DUR_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct Pools {
+    recent: VecDeque<RequestRecord>,
+    interesting: VecDeque<RequestRecord>,
+    dur_hist: [u64; DUR_BUCKETS],
+    finished: u64,
+    evicted: u64,
+    dropped_events: u64,
+}
+
+/// A request being recorded: owns the private span buffer the serving
+/// layers write into. Obtained from [`FlightRecorder::begin`], consumed
+/// by [`FlightRecorder::finish`].
+#[derive(Debug)]
+pub struct ActiveRequest {
+    tracer: Tracer,
+    mirror: Tracer,
+    trace_id: u64,
+    span_id: u64,
+    tenant: String,
+    started: Instant,
+    start_us: u64,
+}
+
+impl ActiveRequest {
+    /// The per-request tracer. Hand this (or clones of it) to anything
+    /// that records spans on the request's behalf — every event is
+    /// automatically stamped with the request's trace id.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The request's trace id (synthesized when the client sent none).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The client-side root span id (0 if absent).
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+}
+
+/// Bounded, always-on ring of completed request span trees. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cfg: RecorderConfig,
+    epoch: Instant,
+    /// Synthesized-trace-id counter (tagged into the high bit so local
+    /// ids cannot collide with well-behaved client-generated ones).
+    synth: AtomicU64,
+    seq: AtomicU64,
+    inner: Mutex<Pools>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(RecorderConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with its timeline epoch set to now.
+    pub fn new(cfg: RecorderConfig) -> Self {
+        Self::with_epoch(cfg, Instant::now())
+    }
+
+    /// A recorder anchored at an externally chosen epoch (so its records
+    /// align with an existing tracer's timeline).
+    pub fn with_epoch(cfg: RecorderConfig, epoch: Instant) -> Self {
+        Self {
+            cfg,
+            epoch,
+            synth: AtomicU64::new(1),
+            seq: AtomicU64::new(0),
+            inner: Mutex::new(Pools {
+                recent: VecDeque::new(),
+                interesting: VecDeque::new(),
+                dur_hist: [0; DUR_BUCKETS],
+                finished: 0,
+                evicted: 0,
+                dropped_events: 0,
+            }),
+        }
+    }
+
+    /// The recorder's timeline epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Begins recording one request. `trace_id` 0 means the client sent
+    /// no trace context; a process-local id is synthesized so the record
+    /// is still addressable. When `mirror` is an enabled tracer, the
+    /// request records on *its* timeline (and [`finish`](Self::finish)
+    /// copies the span tree into it); otherwise the recorder's own epoch
+    /// is used.
+    pub fn begin(
+        &self,
+        trace_id: u64,
+        span_id: u64,
+        tenant: &str,
+        mirror: &Tracer,
+    ) -> ActiveRequest {
+        let trace_id = if trace_id != 0 {
+            trace_id
+        } else {
+            (1 << 63) | self.synth.fetch_add(1, Ordering::Relaxed)
+        };
+        let epoch = mirror.epoch().unwrap_or(self.epoch);
+        let tracer = Tracer::enabled_at(epoch).scoped(trace_id);
+        let started = Instant::now();
+        let start_us = tracer.ts_of(started);
+        ActiveRequest {
+            tracer,
+            mirror: mirror.clone(),
+            trace_id,
+            span_id,
+            tenant: tenant.to_string(),
+            started,
+            start_us,
+        }
+    }
+
+    /// Finishes a request: synthesizes the `request:<tenant>` root span,
+    /// mirrors the tree into the global tracer given at `begin`, and
+    /// commits the record to the ring under the retention policy.
+    /// Returns the request's wall duration in microseconds.
+    pub fn finish(&self, active: ActiveRequest, outcome: RequestOutcome) -> u64 {
+        let dur_us = u64::try_from(active.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut events = active.tracer.take_events();
+        events.push(Event {
+            name: format!("request:{}", active.tenant),
+            cat: "serve",
+            ts_us: active.start_us,
+            tid: current_tid(),
+            trace_id: active.trace_id,
+            kind: EventKind::Complete { dur_us },
+            args: vec![
+                ("tenant", ArgValue::Str(active.tenant.clone())),
+                ("outcome", ArgValue::Str(outcome.label().to_string())),
+                ("span_id", ArgValue::Str(format!("{:016x}", active.span_id))),
+            ],
+        });
+        self.mirror_into(&active.mirror, &events);
+        let mut dropped = 0u64;
+        if events.len() > self.cfg.max_events_per_request {
+            // Keep the earliest events plus the root span (last element):
+            // the causal prefix and the summary survive, the middle drops.
+            dropped = (events.len() - self.cfg.max_events_per_request) as u64;
+            let root = events.pop().expect("root span just pushed");
+            events.truncate(self.cfg.max_events_per_request.saturating_sub(1));
+            events.push(root);
+        }
+        self.commit(RequestRecord {
+            trace_id: active.trace_id,
+            span_id: active.span_id,
+            tenant: active.tenant,
+            outcome,
+            start_us: active.start_us,
+            dur_us,
+            dropped_events: dropped,
+            seq: 0, // assigned in commit
+            events,
+        });
+        dur_us
+    }
+
+    fn mirror_into(&self, mirror: &Tracer, events: &[Event]) {
+        if mirror.is_enabled() {
+            mirror.record_all(events.to_vec());
+        }
+    }
+
+    /// Commits a fully built record under the retention policy. Exposed
+    /// so callers (and tests) with externally measured durations can
+    /// bypass [`begin`](Self::begin)/[`finish`](Self::finish); `seq` is
+    /// overwritten with the recorder's own counter.
+    pub fn commit(&self, mut record: RequestRecord) {
+        record.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut pools = self.inner.lock().unwrap();
+        pools.finished += 1;
+        pools.dropped_events += record.dropped_events;
+        let bucket = (63 - record.dur_us.max(1).leading_zeros()) as usize;
+        pools.dur_hist[bucket.min(DUR_BUCKETS - 1)] += 1;
+        let interesting = record.outcome != RequestOutcome::Ok
+            || Self::is_slow(&pools, record.dur_us, self.cfg.slow_fraction);
+        let (pool, cap) = if interesting {
+            (&mut pools.interesting, self.cfg.interesting_capacity)
+        } else {
+            (&mut pools.recent, self.cfg.capacity)
+        };
+        pool.push_back(record);
+        let mut evicted = 0;
+        while pool.len() > cap.max(1) {
+            pool.pop_front();
+            evicted += 1;
+        }
+        pools.evicted += evicted;
+    }
+
+    /// Whether `dur_us` falls in the slowest `slow_fraction` of observed
+    /// durations (conservative log2-bucket estimate).
+    fn is_slow(pools: &Pools, dur_us: u64, slow_fraction: f64) -> bool {
+        if pools.finished < MIN_SAMPLES_FOR_SLOW || slow_fraction <= 0.0 {
+            return false;
+        }
+        // Find the bucket where the cumulative count reaches the
+        // (1 - slow_fraction) quantile; durations in a *higher* bucket
+        // are definitely in the tail.
+        let target = ((pools.finished as f64) * (1.0 - slow_fraction)).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, &count) in pools.dur_hist.iter().enumerate() {
+            cum += count;
+            if cum >= target {
+                let bucket = (63 - dur_us.max(1).leading_zeros()) as usize;
+                return bucket > i;
+            }
+        }
+        false
+    }
+
+    /// All retained records, oldest first (by commit sequence).
+    pub fn snapshot(&self) -> Vec<RequestRecord> {
+        let pools = self.inner.lock().unwrap();
+        let mut out: Vec<RequestRecord> = pools
+            .recent
+            .iter()
+            .chain(pools.interesting.iter())
+            .cloned()
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// The retained record for `trace_id`, if any.
+    pub fn record_for(&self, trace_id: u64) -> Option<RequestRecord> {
+        self.snapshot().into_iter().find(|r| r.trace_id == trace_id)
+    }
+
+    /// Whether a record for `trace_id` is currently retained.
+    pub fn contains(&self, trace_id: u64) -> bool {
+        self.record_for(trace_id).is_some()
+    }
+
+    /// Recorder health counters.
+    pub fn stats(&self) -> RecorderStats {
+        let pools = self.inner.lock().unwrap();
+        RecorderStats {
+            finished: pools.finished,
+            evicted: pools.evicted,
+            retained_recent: pools.recent.len(),
+            retained_interesting: pools.interesting.len(),
+            dropped_events: pools.dropped_events,
+        }
+    }
+
+    /// Renders every retained span tree as one Chrome trace JSON document
+    /// (events merged and sorted by timestamp) — the payload behind the
+    /// HTTP sidecar's `/debug/requests` and the `kfuse_flight` tool.
+    pub fn dump_chrome_json(&self) -> String {
+        let mut events: Vec<Event> = self.snapshot().into_iter().flat_map(|r| r.events).collect();
+        events.sort_by_key(|e| e.ts_us);
+        to_chrome_json(&events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::validate_chrome_trace;
+
+    fn record(trace_id: u64, dur_us: u64, outcome: RequestOutcome) -> RequestRecord {
+        RequestRecord {
+            trace_id,
+            span_id: 0,
+            tenant: "t".to_string(),
+            outcome,
+            start_us: 0,
+            dur_us,
+            dropped_events: 0,
+            seq: 0,
+            events: vec![Event {
+                name: "queue_wait".to_string(),
+                cat: "serve",
+                ts_us: 0,
+                tid: 1,
+                trace_id,
+                kind: EventKind::Complete { dur_us },
+                args: vec![],
+            }],
+        }
+    }
+
+    fn small(capacity: usize, interesting: usize) -> FlightRecorder {
+        FlightRecorder::new(RecorderConfig {
+            capacity,
+            interesting_capacity: interesting,
+            ..RecorderConfig::default()
+        })
+    }
+
+    #[test]
+    fn begin_finish_records_span_tree() {
+        let rec = FlightRecorder::default();
+        let active = rec.begin(0xabc, 0x1, "tenant-a", &Tracer::disabled());
+        {
+            let mut span = active.tracer().span("plan", "serve");
+            span.arg("pipeline", "tenant-a");
+        }
+        let dur = rec.finish(active, RequestOutcome::Ok);
+        let rec_out = rec.record_for(0xabc).expect("retained");
+        assert_eq!(rec_out.tenant, "tenant-a");
+        assert_eq!(rec_out.dur_us, dur);
+        assert!(rec_out.events.iter().any(|e| e.name == "plan"));
+        let root = rec_out
+            .events
+            .iter()
+            .find(|e| e.name == "request:tenant-a")
+            .expect("root span");
+        assert_eq!(root.trace_id, 0xabc);
+        // Every event in the tree carries the propagated trace id.
+        assert!(rec_out.events.iter().all(|e| e.trace_id == 0xabc));
+    }
+
+    #[test]
+    fn zero_trace_id_is_synthesized_nonzero() {
+        let rec = FlightRecorder::default();
+        let a = rec.begin(0, 0, "t", &Tracer::disabled());
+        let b = rec.begin(0, 0, "t", &Tracer::disabled());
+        assert_ne!(a.trace_id(), 0);
+        assert_ne!(a.trace_id(), b.trace_id());
+        assert!(
+            a.trace_id() >> 63 == 1,
+            "synthesized ids are high-bit tagged"
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let rec = small(3, 3);
+        for i in 1..=5u64 {
+            rec.commit(record(i, 10, RequestOutcome::Ok));
+        }
+        let ids: Vec<u64> = rec.snapshot().iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, vec![3, 4, 5], "FIFO eviction keeps the newest");
+        assert_eq!(rec.stats().evicted, 2);
+    }
+
+    #[test]
+    fn deadline_missed_survives_churn() {
+        let rec = small(4, 4);
+        rec.commit(record(999, 10, RequestOutcome::DeadlineMissed));
+        for i in 1..=100u64 {
+            rec.commit(record(i, 10, RequestOutcome::Ok));
+        }
+        assert!(rec.contains(999), "interesting pool is churn-proof");
+        assert_eq!(
+            rec.record_for(999).unwrap().outcome,
+            RequestOutcome::DeadlineMissed
+        );
+    }
+
+    #[test]
+    fn errored_requests_are_interesting() {
+        let rec = small(2, 2);
+        rec.commit(record(7, 5, RequestOutcome::Errored("boom".into())));
+        for i in 1..=20u64 {
+            rec.commit(record(i, 5, RequestOutcome::Ok));
+        }
+        assert!(rec.contains(7));
+    }
+
+    #[test]
+    fn slow_tail_is_retained_after_warmup() {
+        let rec = small(4, 4);
+        // Warm up the histogram with fast requests.
+        for i in 1..=64u64 {
+            rec.commit(record(i, 50, RequestOutcome::Ok));
+        }
+        // A request orders of magnitude slower lands in the tail pool…
+        rec.commit(record(555, 500_000, RequestOutcome::Ok));
+        // …and survives further fast-request churn.
+        for i in 100..=200u64 {
+            rec.commit(record(i, 50, RequestOutcome::Ok));
+        }
+        assert!(rec.contains(555), "slowest-percentile request retained");
+    }
+
+    #[test]
+    fn slow_classifier_inactive_before_min_samples() {
+        let pools = Pools {
+            recent: VecDeque::new(),
+            interesting: VecDeque::new(),
+            dur_hist: [0; DUR_BUCKETS],
+            finished: MIN_SAMPLES_FOR_SLOW - 1,
+            evicted: 0,
+            dropped_events: 0,
+        };
+        assert!(!FlightRecorder::is_slow(&pools, u64::MAX, 0.05));
+    }
+
+    #[test]
+    fn per_request_event_cap_keeps_root_span() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            max_events_per_request: 4,
+            ..RecorderConfig::default()
+        });
+        let active = rec.begin(0x5, 0, "t", &Tracer::disabled());
+        for i in 0..10u64 {
+            active
+                .tracer()
+                .complete(format!("e{i}"), "test", i, i + 1, vec![]);
+        }
+        rec.finish(active, RequestOutcome::Ok);
+        let r = rec.record_for(0x5).unwrap();
+        assert_eq!(r.events.len(), 4);
+        assert_eq!(r.dropped_events, 7); // 10 + root = 11, kept 4
+        assert!(r.events.iter().any(|e| e.name == "request:t"));
+        assert_eq!(rec.stats().dropped_events, 7);
+    }
+
+    #[test]
+    fn finish_mirrors_into_global_tracer() {
+        let global = Tracer::enabled();
+        let rec = FlightRecorder::default();
+        let active = rec.begin(0x9, 0, "t", &global);
+        drop(active.tracer().span("execute", "serve"));
+        rec.finish(active, RequestOutcome::Ok);
+        let mirrored = global.events();
+        assert!(mirrored
+            .iter()
+            .any(|e| e.name == "execute" && e.trace_id == 0x9));
+        assert!(mirrored.iter().any(|e| e.name == "request:t"));
+    }
+
+    #[test]
+    fn dump_is_valid_chrome_trace() {
+        let rec = FlightRecorder::default();
+        for i in 1..=3u64 {
+            let active = rec.begin(i, 0, "t", &Tracer::disabled());
+            drop(active.tracer().span("execute", "serve"));
+            rec.finish(
+                active,
+                if i == 2 {
+                    RequestOutcome::DeadlineMissed
+                } else {
+                    RequestOutcome::Ok
+                },
+            );
+        }
+        let json = rec.dump_chrome_json();
+        let stats = validate_chrome_trace(&json).unwrap();
+        assert_eq!(stats.spans_with_prefix("request:"), 3);
+        assert!(json.contains("deadline_missed"));
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_interesting_records() {
+        use std::sync::Arc;
+        let rec = Arc::new(small(8, 64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let rec = Arc::clone(&rec);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let id = (t << 32) | i;
+                    let active = rec.begin(id, 0, "t", &Tracer::disabled());
+                    drop(active.tracer().span("execute", "serve"));
+                    let outcome = if i % 10 == 0 {
+                        RequestOutcome::DeadlineMissed
+                    } else {
+                        RequestOutcome::Ok
+                    };
+                    rec.finish(active, outcome);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = rec.stats();
+        assert_eq!(stats.finished, 200);
+        // 4 threads × 5 missed each = 20 interesting, all within the
+        // interesting pool's capacity so none may be lost. Scheduler
+        // jitter can legitimately add slow-tail `Ok` requests on top.
+        assert!(
+            (20..=64).contains(&stats.retained_interesting),
+            "retained_interesting = {}",
+            stats.retained_interesting
+        );
+        let snapshot = rec.snapshot();
+        assert_eq!(
+            snapshot
+                .iter()
+                .filter(|r| r.outcome == RequestOutcome::DeadlineMissed)
+                .count(),
+            20
+        );
+        validate_chrome_trace(&rec.dump_chrome_json()).unwrap();
+    }
+}

@@ -94,6 +94,10 @@ pub struct Event {
     pub ts_us: u64,
     /// Logical thread/lane id.
     pub tid: u64,
+    /// Request trace id this event belongs to (0 = not request-scoped).
+    /// Stamped automatically by [`Tracer::scoped`] handles and rendered
+    /// as a `trace_id` hex arg in the Chrome export.
+    pub trace_id: u64,
     /// Event payload.
     pub kind: EventKind,
     /// Key/value arguments.
@@ -123,28 +127,63 @@ struct Inner {
 #[derive(Clone, Debug, Default)]
 pub struct Tracer {
     inner: Option<Arc<Inner>>,
+    trace_id: u64,
 }
 
 impl Tracer {
     /// A recording tracer with its epoch set to now.
     pub fn enabled() -> Self {
+        Self::enabled_at(Instant::now())
+    }
+
+    /// A recording tracer anchored at an externally chosen epoch, so
+    /// several tracers (client-side, server-side, per-request) render on
+    /// one shared timeline.
+    pub fn enabled_at(epoch: Instant) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
-                epoch: Instant::now(),
+                epoch,
                 events: Mutex::new(Vec::new()),
             })),
+            trace_id: 0,
         }
     }
 
     /// The no-op tracer: every recording call returns immediately without
     /// reading the clock or taking a lock. This is `Default`.
     pub fn disabled() -> Self {
-        Self { inner: None }
+        Self {
+            inner: None,
+            trace_id: 0,
+        }
     }
 
     /// Whether this tracer records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The tracer's epoch (`None` when disabled).
+    pub fn epoch(&self) -> Option<Instant> {
+        self.inner.as_ref().map(|i| i.epoch)
+    }
+
+    /// A handle onto the *same* event buffer that stamps every event it
+    /// records (whose `trace_id` is still 0) with `trace_id`. This is how
+    /// request-scoped recording works: the serving layers hold a scoped
+    /// handle for the duration of one request, and every span any of them
+    /// records — across worker, band, reader, and writer threads — lands
+    /// under that request's id.
+    pub fn scoped(&self, trace_id: u64) -> Tracer {
+        Tracer {
+            inner: self.inner.clone(),
+            trace_id,
+        }
+    }
+
+    /// The trace id this handle stamps onto recorded events (0 = none).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 
     /// Microseconds since the tracer's epoch (0 when disabled).
@@ -162,10 +201,27 @@ impl Tracer {
         })
     }
 
-    /// Records a raw event (no-op when disabled).
-    pub fn record(&self, event: Event) {
+    /// Records a raw event (no-op when disabled). Scoped handles stamp
+    /// their trace id onto events that do not already carry one.
+    pub fn record(&self, mut event: Event) {
         if let Some(inner) = &self.inner {
+            if event.trace_id == 0 {
+                event.trace_id = self.trace_id;
+            }
             inner.events.lock().unwrap().push(event);
+        }
+    }
+
+    /// Bulk-appends already-recorded events (no-op when disabled). Used to
+    /// mirror a finished request's span tree from a per-request buffer
+    /// into a global trace. Events keep their own timestamps and trace
+    /// ids, so the source buffer must share this tracer's epoch.
+    pub fn record_all(&self, events: Vec<Event>) {
+        if let Some(inner) = &self.inner {
+            if events.is_empty() {
+                return;
+            }
+            inner.events.lock().unwrap().extend(events);
         }
     }
 
@@ -202,6 +258,7 @@ impl Tracer {
             cat,
             ts_us: start_us,
             tid,
+            trace_id: 0,
             kind: EventKind::Complete {
                 dur_us: end_us.saturating_sub(start_us),
             },
@@ -225,6 +282,7 @@ impl Tracer {
             cat,
             ts_us: ts,
             tid: current_tid(),
+            trace_id: 0,
             kind: EventKind::Instant,
             args,
         });
@@ -241,6 +299,7 @@ impl Tracer {
             cat,
             ts_us: ts,
             tid: current_tid(),
+            trace_id: 0,
             kind: EventKind::Counter { value },
             args: Vec::new(),
         });
@@ -424,5 +483,55 @@ mod tests {
         let before = Instant::now();
         let t = Tracer::enabled();
         assert_eq!(t.ts_of(before), 0);
+    }
+
+    #[test]
+    fn scoped_handle_stamps_trace_id() {
+        let t = Tracer::enabled();
+        let scoped = t.scoped(0xdead_beef);
+        scoped.instant("tagged", "test", vec![]);
+        t.instant("untagged", "test", vec![]);
+        let events = t.events();
+        let tagged = events.iter().find(|e| e.name == "tagged").unwrap();
+        let untagged = events.iter().find(|e| e.name == "untagged").unwrap();
+        assert_eq!(tagged.trace_id, 0xdead_beef);
+        assert_eq!(untagged.trace_id, 0);
+    }
+
+    #[test]
+    fn scoped_handle_keeps_explicit_trace_ids() {
+        let t = Tracer::enabled().scoped(7);
+        t.record(Event {
+            name: "pre-stamped".into(),
+            cat: "test",
+            ts_us: 0,
+            tid: 1,
+            trace_id: 42,
+            kind: EventKind::Instant,
+            args: vec![],
+        });
+        assert_eq!(t.events()[0].trace_id, 42);
+    }
+
+    #[test]
+    fn shared_epoch_aligns_timestamps() {
+        let epoch = Instant::now();
+        let a = Tracer::enabled_at(epoch);
+        let b = Tracer::enabled_at(epoch);
+        assert_eq!(a.epoch(), b.epoch());
+        let now = Instant::now();
+        assert!(a.ts_of(now).abs_diff(b.ts_of(now)) <= 1);
+    }
+
+    #[test]
+    fn record_all_mirrors_events() {
+        let epoch = Instant::now();
+        let per_request = Tracer::enabled_at(epoch).scoped(9);
+        per_request.complete("queue_wait", "serve", 1, 2, vec![]);
+        let global = Tracer::enabled_at(epoch);
+        global.record_all(per_request.take_events());
+        let events = global.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace_id, 9);
     }
 }

@@ -37,6 +37,11 @@ pub struct CachedPlan {
     pub layout: u64,
     /// The compiled plan, shared with any in-flight executions.
     pub plan: Arc<CompiledPlan>,
+    /// Modeled execute time (µs) of one run of this plan under the
+    /// planning policy's cost model, priced at compile time. Divided into
+    /// observed execute times it yields the per-fingerprint model-fidelity
+    /// ratio the metrics export (0 = not priced).
+    pub modeled_us: f64,
 }
 
 /// Hit/miss tallies for one structural fingerprint, across every
@@ -114,11 +119,8 @@ impl PlanCache {
     ///
     /// Every lookup also tallies into the per-fingerprint [`FingerprintStats`]
     /// (including guarded misses — they are misses from the caller's view).
-    pub fn lookup(&mut self, key: &PlanKey, layout: u64) -> Option<Arc<CompiledPlan>> {
-        let found = self
-            .get(key)
-            .filter(|entry| entry.layout == layout)
-            .map(|entry| entry.plan);
+    pub fn lookup(&mut self, key: &PlanKey, layout: u64) -> Option<CachedPlan> {
+        let found = self.get(key).filter(|entry| entry.layout == layout);
         if self.stats.len() < MAX_TRACKED_FINGERPRINTS || self.stats.contains_key(&key.fingerprint)
         {
             let s = self
@@ -251,6 +253,7 @@ mod tests {
         CachedPlan {
             layout: p.binding_fingerprint(),
             plan: Arc::new(CompiledPlan::compile(&p).unwrap()),
+            modeled_us: 0.0,
         }
     }
 
@@ -340,6 +343,7 @@ mod tests {
         let foreign = CachedPlan {
             layout: layout.wrapping_add(1),
             plan,
+            modeled_us: 0.0,
         };
         c.insert(key(1), foreign);
         assert_eq!(c.len(), 1);

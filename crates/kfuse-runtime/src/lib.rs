@@ -68,8 +68,8 @@ pub mod tune;
 
 pub use cache::{CachedPlan, FingerprintStats, PlanCache, PlanKey};
 pub use metrics::{
-    LatencyHistogram, MetricsRegistry, MetricsSnapshot, PipelineMetrics, PipelineSnapshot,
-    RuntimeGauges,
+    FidelitySnapshot, LatencyExemplar, LatencyHistogram, MetricsRegistry, MetricsSnapshot,
+    PipelineMetrics, PipelineSnapshot, RuntimeGauges,
 };
 pub use runtime::{Admission, JobHandle, Runtime, RuntimeConfig, RuntimeError};
 pub use tune::{RetuneReport, TuneConfig};

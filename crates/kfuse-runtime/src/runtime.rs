@@ -31,10 +31,10 @@
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, PipelineMetrics, RuntimeGauges};
 use crate::tune::{RetuneReport, TuneConfig, TunerState};
-use kfuse_core::{PlanPolicy, StaticModelPolicy};
+use kfuse_core::{FusionConfig, PlanPolicy, StaticModelPolicy};
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
-use kfuse_obs::{ArgValue, Tracer};
+use kfuse_obs::{ActiveRequest, ArgValue, FlightRecorder, RequestOutcome, Tracer};
 use kfuse_sim::{CompiledPlan, ExecError, Execution, FastConfig, Scratch};
 use kfuse_tune::{output_pixels, size_class_of, TuneKey};
 use std::collections::VecDeque;
@@ -83,6 +83,11 @@ pub struct RuntimeConfig {
     /// `execute`) and per-kernel executor spans. Disabled by default: the
     /// hot path then only branches on an `Option` and records nothing.
     pub tracer: Tracer,
+    /// Always-on flight recorder: every job's span tree is captured under
+    /// its (propagated or synthesized) trace id into a bounded ring with
+    /// tail-based retention — see [`kfuse_obs::FlightRecorder`]. `None`
+    /// (the default) disables per-request recording entirely.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for RuntimeConfig {
@@ -101,6 +106,7 @@ impl Default for RuntimeConfig {
             policy: Arc::new(StaticModelPolicy::paper_default()),
             tuning: None,
             tracer: Tracer::disabled(),
+            recorder: None,
         }
     }
 }
@@ -257,6 +263,10 @@ struct Job {
     /// Latest useful completion instant; expired jobs are dropped at
     /// dequeue without executing.
     deadline: Option<Instant>,
+    /// Wire-propagated trace context (0 = none; a flight recorder then
+    /// synthesizes a high-bit-tagged id at dequeue).
+    trace_id: u64,
+    span_id: u64,
 }
 
 struct QueueState {
@@ -383,6 +393,26 @@ impl Runtime {
         schedule: Schedule,
         deadline: Option<Instant>,
     ) -> Result<JobHandle, RuntimeError> {
+        self.submit_with_ctx(name, pipeline, inputs, schedule, deadline, 0, 0)
+    }
+
+    /// Like [`Runtime::submit_with_deadline`], carrying a propagated trace
+    /// context. `trace_id`/`span_id` travel with the job so every serving
+    /// span (and the flight-recorder record) lands under the client's
+    /// trace id — the server anchors the wire-decoded context here. Zero
+    /// means "no client trace": with a recorder installed, a synthesized
+    /// high-bit-tagged id is used instead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_with_ctx(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+        deadline: Option<Instant>,
+        trace_id: u64,
+        span_id: u64,
+    ) -> Result<JobHandle, RuntimeError> {
         let metrics = self.shared.metrics.handle(name);
         metrics.record_request();
         let slot = Arc::new(Slot::default());
@@ -395,6 +425,8 @@ impl Runtime {
             slot: Arc::clone(&slot),
             submitted: Instant::now(),
             deadline,
+            trace_id,
+            span_id,
         };
         // For BlockWithTimeout: the instant at which waiting for queue
         // space becomes a failed admission.
@@ -490,6 +522,12 @@ impl Runtime {
         self.shared.cache.lock().unwrap().len()
     }
 
+    /// The installed flight recorder, if any (the HTTP sidecar's
+    /// `/debug/requests` endpoint dumps it).
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.cfg.recorder.as_ref()
+    }
+
     /// Runs one synchronous re-tuning pass (calibration, persisted-entry
     /// validation, hot-fingerprint autotuning, persistence) on the calling
     /// thread — the same work the background retuner does on its interval,
@@ -576,6 +614,19 @@ fn worker_loop(shared: &Shared) {
         // the slot with `Panicked` if anything below unwinds before
         // `complete` runs.
         let guard = CompletionGuard::new(Arc::clone(&job.slot));
+        // Request-scoped recording: the flight recorder hands out a
+        // private tracer (uncontended; mirrored into the global tracer at
+        // finish) under the job's propagated — or synthesized — trace id.
+        let mut request = shared
+            .cfg
+            .recorder
+            .as_ref()
+            .map(|r| r.begin(job.trace_id, job.span_id, &job.tenant, &shared.cfg.tracer));
+        let span_tracer = match &request {
+            Some(active) => active.tracer().clone(),
+            None if job.trace_id != 0 => shared.cfg.tracer.scoped(job.trace_id),
+            None => shared.cfg.tracer.clone(),
+        };
         // Deadline check at dequeue, before any planning or execution: a
         // job that expired in the queue is answered immediately and costs
         // no worker time (the network layer translates this into a typed
@@ -584,7 +635,26 @@ fn worker_loop(shared: &Shared) {
             if Instant::now() >= deadline {
                 job.metrics.record_deadline_miss();
                 let us = u64::try_from(job.submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
-                job.metrics.record_latency_us(us);
+                // The missed request keeps its span tree: queue_wait is
+                // all the time it ever spent.
+                if span_tracer.is_enabled() {
+                    span_tracer.complete(
+                        "queue_wait",
+                        "serve",
+                        span_tracer.ts_of(job.submitted),
+                        span_tracer.now_us(),
+                        vec![("pipeline", ArgValue::Str(job.tenant.clone()))],
+                    );
+                }
+                record_slo(&job, us);
+                let trace_id = request
+                    .as_ref()
+                    .map(ActiveRequest::trace_id)
+                    .unwrap_or(job.trace_id);
+                job.metrics.record_latency_traced(us, trace_id);
+                if let (Some(r), Some(active)) = (shared.cfg.recorder.as_ref(), request.take()) {
+                    r.finish(active, RequestOutcome::DeadlineMissed);
+                }
                 guard.complete(Err(RuntimeError::DeadlineExceeded));
                 continue;
             }
@@ -598,15 +668,17 @@ fn worker_loop(shared: &Shared) {
             .counter("in_flight", "serve", in_flight as f64);
         // Contain panics: a malformed job must fail its own caller, not
         // take the worker (and every queued job behind it) down with it.
-        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &job, &mut scratch)))
-            .unwrap_or_else(|panic| {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(ToString::to_string)
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".to_string());
-                Err(RuntimeError::Panicked(msg))
-            });
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_job(shared, &job, &mut scratch, &span_tracer)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(RuntimeError::Panicked(msg))
+        });
         let in_flight = shared.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
         shared
             .cfg
@@ -617,9 +689,34 @@ fn worker_loop(shared: &Shared) {
             Err(_) => job.metrics.record_error(),
         }
         let us = u64::try_from(job.submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
-        job.metrics.record_latency_us(us);
+        record_slo(&job, us);
+        let trace_id = request
+            .as_ref()
+            .map(ActiveRequest::trace_id)
+            .unwrap_or(job.trace_id);
+        job.metrics.record_latency_traced(us, trace_id);
+        if let (Some(r), Some(active)) = (shared.cfg.recorder.as_ref(), request.take()) {
+            let outcome = match &result {
+                Ok(_) => RequestOutcome::Ok,
+                Err(RuntimeError::DeadlineExceeded) => RequestOutcome::DeadlineMissed,
+                Err(e) => RequestOutcome::Errored(e.to_string()),
+            };
+            r.finish(active, outcome);
+        }
         guard.complete(result);
     }
+}
+
+/// SLO accounting for deadlined jobs: how much of the request's deadline
+/// budget the runtime burned, and whether the SLO was met. Jobs without a
+/// deadline carry no SLO and record nothing.
+fn record_slo(job: &Job, spent_us: u64) {
+    let Some(deadline) = job.deadline else { return };
+    let budget_us = deadline
+        .checked_duration_since(job.submitted)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    job.metrics.record_slo(budget_us, spent_us);
 }
 
 /// Test-only panic injection: submitting under this tenant name makes the
@@ -637,9 +734,37 @@ fn fail_point_after_dequeue(tenant: &str) {
     );
 }
 
-/// Plan (with cache) and execute one job.
-fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Execution, RuntimeError> {
-    let tracer = &shared.cfg.tracer;
+/// Modeled wall time (µs) of one execution of `p` under the policy's cost
+/// model: per-launch thread costs priced with the model's constants plus
+/// launch overhead, converted through the modeled core clock. The absolute
+/// scale is the model GPU's, not this host's — what the metrics track is
+/// the per-fingerprint observed/modeled *ratio*, whose drift flags
+/// pipelines where the planner's cost model stopped tracking reality.
+fn modeled_execute_us(p: &Pipeline, cfg: &FusionConfig) -> f64 {
+    let model = &cfg.model;
+    let c = model.constants();
+    let mut cycles = 0.0;
+    for lc in kfuse_sim::analyze_pipeline(p, model.block) {
+        let t = &lc.per_thread;
+        let per_thread = t.alu * c.c_alu
+            + t.sfu * c.c_sfu
+            + t.shared_access * c.t_shared
+            + (t.dram_ld + t.dram_st) * c.t_global;
+        cycles += lc.threads as f64 * per_thread + model.gpu.launch_overhead_cycles();
+    }
+    cycles / (model.gpu.core_clock_hz() / 1e6)
+}
+
+/// Plan (with cache) and execute one job. Spans go to `tracer`: the
+/// request-scoped tracer when a flight recorder is active (so they carry
+/// the trace id and land in the request's record), the runtime's global
+/// tracer otherwise.
+fn run_job(
+    shared: &Shared,
+    job: &Job,
+    scratch: &mut Scratch,
+    tracer: &Tracer,
+) -> Result<Execution, RuntimeError> {
     if tracer.is_enabled() {
         // Time spent admitted but waiting for a worker, measured from the
         // submit instant to now.
@@ -681,10 +806,10 @@ fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Executio
     let layout = job.pipeline.binding_fingerprint();
     let cached = shared.cache.lock().unwrap().lookup(&key, layout);
     let hit = cached.is_some();
-    let plan = match cached {
-        Some(plan) => {
+    let (plan, modeled_us) = match cached {
+        Some(entry) => {
             job.metrics.record_cache_hit();
-            plan
+            (entry.plan, entry.modeled_us)
         }
         None => {
             job.metrics.record_cache_miss();
@@ -701,14 +826,18 @@ fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Executio
             let policy = Arc::clone(&*shared.policy.lock().unwrap());
             let fused = kfuse_dsl::compile(&job.pipeline, schedule, policy.fusion_config());
             let plan = Arc::new(CompiledPlan::compile(&fused)?);
+            // Price the fused plan once at compile time; every execution
+            // divides its observed time by this for the fidelity ratio.
+            let modeled_us = modeled_execute_us(plan.pipeline(), policy.fusion_config());
             shared.cache.lock().unwrap().insert(
                 key,
                 CachedPlan {
                     layout,
                     plan: Arc::clone(&plan),
+                    modeled_us,
                 },
             );
-            plan
+            (plan, modeled_us)
         }
     };
     if tracer.is_enabled() {
@@ -731,9 +860,16 @@ fn run_job(shared: &Shared, job: &Job, scratch: &mut Scratch) -> Result<Executio
         );
     }
     let exec_start = tracer.now_us();
+    let exec_t0 = Instant::now();
     let result = plan
         .execute_traced(&job.inputs, &exec, scratch, tracer)
         .map_err(RuntimeError::Exec);
+    if result.is_ok() {
+        let observed_us = u64::try_from(exec_t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        shared
+            .metrics
+            .record_fidelity(fingerprint, observed_us, modeled_us);
+    }
     if tracer.is_enabled() {
         tracer.complete(
             "execute",
@@ -1088,6 +1224,123 @@ mod tests {
         let json = tracer.to_chrome_json();
         let stats = kfuse_obs::validate_chrome_trace(&json).unwrap();
         assert!(stats.spans_with_prefix("kernel:") >= requests);
+    }
+
+    /// With a flight recorder installed, a job submitted under a
+    /// propagated trace context leaves a complete span tree in the ring —
+    /// queue_wait/plan/execute plus the executor's kernel span, every
+    /// event stamped with the request's trace id — and the same spans are
+    /// mirrored into the global tracer.
+    #[test]
+    fn flight_recorder_captures_request_span_tree() {
+        let (p, input, _) = blur_pipeline(17, 11);
+        let tracer = Tracer::enabled();
+        let recorder = Arc::new(kfuse_obs::FlightRecorder::default());
+        let rt = Runtime::new(RuntimeConfig {
+            tracer: tracer.clone(),
+            recorder: Some(Arc::clone(&recorder)),
+            ..small_cfg()
+        });
+        let img = synthetic_image(p.image(input).clone(), 3);
+        rt.submit_with_ctx(
+            "t",
+            &p,
+            vec![(input, img)],
+            Schedule::Optimized,
+            None,
+            0x77,
+            0x9,
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+        let rec = recorder.record_for(0x77).expect("request recorded");
+        assert_eq!(rec.outcome, kfuse_obs::RequestOutcome::Ok);
+        assert_eq!(rec.span_id, 0x9);
+        let has = |name: &str| rec.events.iter().any(|e| e.name == name);
+        assert!(has("queue_wait") && has("plan") && has("execute"));
+        assert!(rec.events.iter().any(|e| e.name.starts_with("kernel:")));
+        assert!(rec.events.iter().all(|e| e.trace_id == 0x77));
+        // Mirrored into the global tracer too: the merged serving trace
+        // still carries the request's spans.
+        assert!(tracer.events().iter().any(|e| e.trace_id == 0x77));
+        // Without a client trace id, the recorder synthesizes a
+        // high-bit-tagged one.
+        let img = synthetic_image(p.image(input).clone(), 4);
+        rt.execute("t", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        assert!(recorder
+            .snapshot()
+            .iter()
+            .any(|r| r.trace_id >> 63 == 1 && r.outcome == kfuse_obs::RequestOutcome::Ok));
+    }
+
+    /// A job dropped at dequeue because its deadline expired still leaves
+    /// a flight record — outcome `DeadlineMissed`, queue_wait span under
+    /// the propagated trace id — and the tenant's SLO gauges burn.
+    #[test]
+    fn recorder_and_slo_capture_deadline_missed_request() {
+        let (p, input, _) = blur_pipeline(9, 9);
+        let recorder = Arc::new(kfuse_obs::FlightRecorder::default());
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            recorder: Some(Arc::clone(&recorder)),
+            ..small_cfg()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        let past = Instant::now() - Duration::from_millis(10);
+        let err = rt
+            .submit_with_ctx(
+                "late",
+                &p,
+                vec![(input, img)],
+                Schedule::Optimized,
+                Some(past),
+                0xdead,
+                1,
+            )
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded));
+        let rec = recorder
+            .record_for(0xdead)
+            .expect("missed request recorded");
+        assert_eq!(rec.outcome, kfuse_obs::RequestOutcome::DeadlineMissed);
+        assert!(rec.events.iter().any(|e| e.name == "queue_wait"));
+        let snap = rt.metrics();
+        let m = snap.pipeline("late").unwrap();
+        assert_eq!(m.slo_jobs, 1);
+        assert_eq!(m.slo_misses, 1);
+        assert!(m.budget_burn > 1.0 || m.budget_burn.is_infinite());
+        assert_eq!(m.slo_miss_rate, 1.0);
+        // The latency histogram holds the trace id as a bucket exemplar.
+        assert!(m.exemplars.iter().any(|e| e.trace_id == 0xdead));
+    }
+
+    /// Executed jobs feed the per-fingerprint model-fidelity table: the
+    /// plan is priced once at compile time and every execution divides
+    /// observed wall time by it.
+    #[test]
+    fn executions_accumulate_model_fidelity() {
+        let (p, input, _) = blur_pipeline(33, 27);
+        let rt = Runtime::new(small_cfg());
+        let img = synthetic_image(p.image(input).clone(), 5);
+        for _ in 0..3 {
+            rt.execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                .unwrap();
+        }
+        let snap = rt.metrics();
+        assert_eq!(snap.fidelity.len(), 1);
+        let f = &snap.fidelity[0];
+        assert_eq!(f.fingerprint, p.fingerprint());
+        assert_eq!(f.jobs, 3);
+        assert!(f.modeled_us > 0.0);
+        assert!(f.ratio.is_finite() && f.ratio >= 0.0);
+        assert!(snap.to_json().contains("\"fidelity\":[{\"fingerprint\":"));
+        assert!(snap
+            .to_prometheus()
+            .contains("kfuse_execute_fidelity_ratio"));
     }
 
     #[test]

@@ -182,10 +182,26 @@ fn drain_finishes_in_flight_and_refuses_new_work() {
     let mut client = Client::connect(server.local_addr()).expect("connect");
     client.register("work", &big).expect("register");
 
-    // In flight before the drain…
+    // In flight before the drain… `submit` returns at socket-write time,
+    // so wait until the runtime has actually admitted the job — a drain
+    // racing ahead of the submit on a second connection would otherwise
+    // legitimately refuse it.
     let in_flight = client
         .submit("work", inputs.clone(), Schedule::Optimized, None)
         .expect("submit");
+    let admitted = |s: &kfuse_net::Server| {
+        s.runtime_metrics()
+            .pipelines
+            .iter()
+            .any(|p| p.name == "work" && p.requests >= 1)
+    };
+    for _ in 0..2000 {
+        if admitted(&server) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(admitted(&server), "submit never reached the runtime");
     // …drain from a second connection (the first is mid-conversation)…
     let mut drainer = Client::connect(server.local_addr()).expect("connect drainer");
     drainer.drain().expect("drain ack");
@@ -241,5 +257,70 @@ fn pipelined_submissions_reply_in_order() {
         assert_eq!(id, expected, "replies must be FIFO");
         assert!(!outputs.is_empty());
     }
+    server.shutdown();
+}
+
+/// A traced submit's trace id propagates across the wire, lands in the
+/// always-on flight recorder, and comes back out of the HTTP sidecar's
+/// `/debug/requests` dump as a validated Chrome trace — surviving enough
+/// follow-up traffic to roll the recent ring.
+#[test]
+fn traced_request_appears_in_flight_recorder_dump() {
+    use std::io::{Read, Write};
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let app = &paper_apps()[2];
+    let p = (app.build_sized)(24, 24);
+    let inputs = inputs_for(&p, 3);
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.set_tracer(kfuse_obs::Tracer::enabled());
+    client.register("traced", &p).expect("register");
+    let id = client
+        .submit("traced", inputs.clone(), Schedule::Optimized, None)
+        .expect("submit");
+    let trace = client.last_trace().expect("tracer generates a context");
+    let (rid, outputs) = client.recv_result().expect("result");
+    assert_eq!(rid, id);
+    assert!(!outputs.is_empty());
+
+    // The reply echoed the same trace context back.
+    assert_eq!(client.last_trace(), Some(trace));
+
+    // The server-side record carries the propagated ids and a span tree.
+    let recorder = server
+        .flight_recorder()
+        .expect("recorder is on by default")
+        .clone();
+    let record = recorder
+        .record_for(trace.trace_id)
+        .expect("traced request recorded");
+    assert_eq!(record.span_id, trace.span_id);
+    assert_eq!(record.tenant, "traced");
+    for span in ["queue_wait", "execute"] {
+        assert!(
+            record.events.iter().any(|e| e.name == span),
+            "record lacks {span} span"
+        );
+    }
+
+    // Fetch the dump over HTTP like an operator would.
+    let mut stream = std::net::TcpStream::connect(server.metrics_addr()).expect("http connect");
+    stream
+        .write_all(b"GET /debug/requests HTTP/1.0\r\n\r\n")
+        .expect("http write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("http read");
+    assert!(
+        raw.starts_with("HTTP/1.0 200"),
+        "got {:?}",
+        raw.lines().next()
+    );
+    let body = raw.split_once("\r\n\r\n").expect("has body").1;
+    kfuse_obs::validate_chrome_trace(body).expect("dump is a valid Chrome trace");
+    assert!(
+        body.contains(&format!("{:016x}", trace.trace_id)),
+        "dump lost the propagated trace id"
+    );
     server.shutdown();
 }
