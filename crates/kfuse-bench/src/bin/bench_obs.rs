@@ -57,6 +57,7 @@ fn run_trial(
                 p,
                 inputs.to_vec(),
                 Schedule::Optimized,
+                kfuse_runtime::Priority::Normal,
                 None,
                 trace_id,
                 1,

@@ -18,8 +18,28 @@
 //! to draining). Any failure exits non-zero, so CI runs this as the
 //! end-to-end net smoke.
 //!
+//! With `--sweep`, two more phases run against dedicated in-process
+//! servers:
+//!
+//! * an **open-loop overload sweep** — closed-loop calibration finds the
+//!   saturation throughput, then Poisson arrivals at 2× that rate (a
+//!   20/60/20 High/Normal/Low priority mix) drive a QoS-configured
+//!   server past capacity. Arrivals do not wait for completions, so the
+//!   server must *shed* (queue-pressure thresholds, tenant share caps,
+//!   deadline rejection) to protect goodput; the phase reports goodput
+//!   under saturation, shed rate, and per-priority p99, and fails if
+//!   goodput is zero or nothing was shed.
+//! * a **shard-affinity check** — the same warm traffic against a
+//!   1-shard and a 4-shard server; fingerprint-affinity routing must
+//!   keep the warm plan-cache hit rate within 5 points of unsharded.
+//!
+//! `--strict-qos` additionally gates goodput ≥ 80% of calibrated peak
+//! and High-priority p99 ≤ Low-priority p99 (off by default: both are
+//! timing-sensitive on noisy shared runners).
+//!
 //! Writes `BENCH_net.json` (per-app p50/p95/p99 µs, throughput,
-//! deadline-miss rate) at the repository root.
+//! deadline-miss rate, plus the sweep results when enabled) at the
+//! repository root.
 //!
 //! Run with `cargo run --release -p kfuse-bench --bin loadgen`.
 //! `KFUSE_BENCH_SCALE=<div>` divides the frame edges (CI smoke uses 4).
@@ -34,7 +54,8 @@ use std::time::{Duration, Instant};
 use kfuse_apps::paper_apps;
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
-use kfuse_net::{Client, ClientError, ErrorCode, Server, ServerConfig};
+use kfuse_net::wire::{read_frame, write_frame, Limits, WireError};
+use kfuse_net::{Client, ClientError, ErrorCode, Frame, Priority, Server, ServerConfig};
 use kfuse_obs::validate_prometheus;
 use kfuse_sim::{execute_reference, synthetic_image, Execution};
 
@@ -73,9 +94,94 @@ struct AppStats {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--connections N] [--requests N] \
-         [--deadline-ms N] [--no-drain]"
+         [--deadline-ms N] [--no-drain] [--sweep] [--strict-qos]"
     );
     ExitCode::from(2)
+}
+
+/// SplitMix64: the workspace's standard tiny deterministic PRNG.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponentially distributed inter-arrival gap (seconds) for a
+    /// Poisson process of `rate` arrivals/second.
+    fn exp_gap(&mut self, rate: f64) -> f64 {
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+
+    /// 20/60/20 High/Normal/Low, the serving mix the sweep offers.
+    fn priority(&mut self) -> Priority {
+        match self.next_u64() % 10 {
+            0 | 1 => Priority::High,
+            8 | 9 => Priority::Low,
+            _ => Priority::Normal,
+        }
+    }
+}
+
+/// Index into per-priority stats arrays: High, Normal, Low.
+fn prio_idx(p: Priority) -> usize {
+    match p {
+        Priority::High => 0,
+        Priority::Normal => 1,
+        Priority::Low => 2,
+    }
+}
+
+const PRIO_NAMES: [&str; 3] = ["high", "normal", "low"];
+
+/// Aggregated outcome of the open-loop overload sweep.
+#[derive(Default)]
+struct SweepStats {
+    /// Completed-OK latencies (µs), by priority class.
+    latencies_us: [Vec<u64>; 3],
+    /// Typed load-shedding rejections (queue full / pressure shed /
+    /// deadline expired / admission timeout), by priority class.
+    shed: [u64; 3],
+    /// Anything else that went wrong (transport faults, unexpected
+    /// frames) — should be zero.
+    errors: u64,
+}
+
+impl SweepStats {
+    fn merge(&mut self, other: SweepStats) {
+        for i in 0..3 {
+            self.latencies_us[i].extend(other.latencies_us[i].iter());
+            self.shed[i] += other.shed[i];
+        }
+        self.errors += other.errors;
+    }
+
+    fn ok(&self) -> u64 {
+        self.latencies_us.iter().map(|v| v.len() as u64).sum()
+    }
+
+    fn total_shed(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+
+    fn p99_us(&mut self, class: usize) -> u64 {
+        let v = &mut self.latencies_us[class];
+        if v.is_empty() {
+            return 0;
+        }
+        v.sort_unstable();
+        let i = ((v.len() as f64) * 0.99).ceil() as usize;
+        v[i.clamp(1, v.len()) - 1]
+    }
 }
 
 fn main() -> ExitCode {
@@ -84,6 +190,8 @@ fn main() -> ExitCode {
     let mut requests_per_app: usize = 16;
     let mut deadline_ms: u64 = 10_000;
     let mut exercise_drain = true;
+    let mut sweep = false;
+    let mut strict_qos = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -91,6 +199,16 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--no-drain" => {
                 exercise_drain = false;
+                i += 1;
+                continue;
+            }
+            "--sweep" => {
+                sweep = true;
+                i += 1;
+                continue;
+            }
+            "--strict-qos" => {
+                strict_qos = true;
                 i += 1;
                 continue;
             }
@@ -421,6 +539,186 @@ fn main() -> ExitCode {
         }
     }
 
+    // Open-loop overload sweep + shard-affinity check. Both run against
+    // dedicated in-process servers (the main one may be draining by now),
+    // with QoS shedding configured: queue 64, immediate-reject admission,
+    // Normal shed past 75% queue depth, Low past 50%, High never
+    // pressure-shed.
+    let mut sweep_json = String::new();
+    if sweep {
+        use kfuse_runtime::Admission;
+        let sworkers = std::thread::available_parallelism().map_or(2, |n| n.get().min(4));
+        let mut scfg = ServerConfig::default();
+        scfg.runtime.workers = sworkers;
+        scfg.runtime.queue_capacity = 64;
+        scfg.runtime.admission = Admission::Reject;
+        scfg.runtime.shed_normal_fraction = 0.75;
+        scfg.runtime.shed_low_fraction = 0.5;
+        let sweep_server = Server::bind("127.0.0.1:0", scfg).expect("bind sweep server");
+        let starget = sweep_server.local_addr();
+
+        let cal_secs = 0.8;
+        let peak = calibrate_peak(starget, &apps[0], connections.max(2), cal_secs);
+        // 2× saturation, floored so a pathologically slow calibration
+        // still produces a real overload test.
+        let offered = (2.0 * peak).max(50.0);
+        let sweep_dur = Duration::from_secs(2);
+        let sweep_conns = connections.max(2);
+        println!(
+            "\noverload sweep: peak ≈ {peak:.0} req/s; offering {offered:.0} req/s \
+             open-loop (Poisson, 20/60/20 high/normal/low) for {:.1}s",
+            sweep_dur.as_secs_f64()
+        );
+
+        let mut agg = SweepStats::default();
+        let mut sweep_threads = Vec::new();
+        for c in 0..sweep_conns {
+            let apps = Arc::clone(&apps);
+            let per_conn_rate = offered / sweep_conns as f64;
+            sweep_threads.push(std::thread::spawn(move || {
+                sweep_connection(
+                    starget,
+                    &apps[0],
+                    per_conn_rate,
+                    sweep_dur,
+                    250_000,
+                    0xc0ff_ee00 + c as u64,
+                )
+            }));
+        }
+        for t in sweep_threads {
+            match t.join() {
+                Ok(Ok(stats)) => agg.merge(stats),
+                Ok(Err(e)) => failures.lock().unwrap().push(format!("sweep: {e}")),
+                Err(_) => failures
+                    .lock()
+                    .unwrap()
+                    .push("sweep: connection thread panicked".into()),
+            }
+        }
+        sweep_server.shutdown();
+
+        let ok = agg.ok();
+        let shed = agg.total_shed();
+        let goodput = ok as f64 / sweep_dur.as_secs_f64();
+        let attempted = ok + shed + agg.errors;
+        let shed_rate = if attempted > 0 {
+            shed as f64 / attempted as f64
+        } else {
+            0.0
+        };
+        println!(
+            "overload sweep: {ok} ok ({goodput:.0} req/s goodput, {:.0}% of peak), \
+             {shed} shed ({:.1}%), {} errors",
+            if peak > 0.0 {
+                goodput / peak * 100.0
+            } else {
+                0.0
+            },
+            shed_rate * 100.0,
+            agg.errors
+        );
+        let mut prio_json = String::new();
+        for (class, name) in PRIO_NAMES.iter().enumerate() {
+            let n = agg.latencies_us[class].len();
+            let p99 = agg.p99_us(class);
+            println!(
+                "  {:<7} {:>7} ok  p99 {:>9} µs  shed {:>6}",
+                name, n, p99, agg.shed[class]
+            );
+            if !prio_json.is_empty() {
+                prio_json.push(',');
+            }
+            write!(
+                prio_json,
+                "\n      {{\"class\": \"{name}\", \"ok\": {n}, \"p99_us\": {p99}, \
+                 \"shed\": {}}}",
+                agg.shed[class]
+            )
+            .unwrap();
+        }
+
+        // Smoke gates: a saturated server must keep doing useful work
+        // (nonzero goodput) *because* it sheds (nonzero shed) — a zero
+        // in either slot means the overload path is broken.
+        if ok == 0 {
+            failures
+                .lock()
+                .unwrap()
+                .push("sweep: zero goodput at 2× saturation".into());
+        }
+        if shed == 0 {
+            failures
+                .lock()
+                .unwrap()
+                .push("sweep: nothing shed at 2× saturation — load shedding inactive".into());
+        }
+        if strict_qos {
+            if goodput < 0.8 * peak {
+                failures.lock().unwrap().push(format!(
+                    "sweep (strict): goodput {goodput:.0} req/s < 80% of peak {peak:.0}"
+                ));
+            }
+            let (high_n, low_n) = (agg.latencies_us[0].len(), agg.latencies_us[2].len());
+            if high_n > 0 && low_n > 0 && agg.p99_us(0) > agg.p99_us(2) {
+                failures.lock().unwrap().push(format!(
+                    "sweep (strict): high-priority p99 {} µs > low-priority p99 {} µs",
+                    agg.p99_us(0),
+                    agg.p99_us(2)
+                ));
+            }
+        }
+
+        // Shard affinity: warm hit rate must survive sharding.
+        let mut affinity_json = "null".to_string();
+        match (
+            shard_affinity_hit_rate(1, scale),
+            shard_affinity_hit_rate(4, scale),
+        ) {
+            (Ok(unsharded), Ok(sharded)) => {
+                println!(
+                    "shard affinity: warm plan-cache hit rate {:.1}% unsharded vs \
+                     {:.1}% with 4 shards",
+                    unsharded * 100.0,
+                    sharded * 100.0
+                );
+                if (unsharded - sharded).abs() > 0.05 {
+                    failures.lock().unwrap().push(format!(
+                        "shard affinity: hit rate {:.3} (4 shards) deviates more than \
+                         5 points from {:.3} (unsharded)",
+                        sharded, unsharded
+                    ));
+                }
+                affinity_json = format!(
+                    "{{\"shards\": 4, \"warm_hit_rate_unsharded\": {unsharded:.4}, \
+                     \"warm_hit_rate_sharded\": {sharded:.4}}}"
+                );
+            }
+            (a, b) => {
+                for r in [a, b] {
+                    if let Err(e) = r {
+                        failures
+                            .lock()
+                            .unwrap()
+                            .push(format!("shard affinity: {e}"));
+                    }
+                }
+            }
+        }
+
+        sweep_json = format!(
+            "\"overload_sweep\": {{\n    \"calibrated_peak_req_s\": {peak:.1},\n    \
+             \"offered_req_s\": {offered:.1},\n    \"duration_s\": {:.1},\n    \
+             \"connections\": {sweep_conns},\n    \"deadline_us\": 250000,\n    \
+             \"ok\": {ok},\n    \"shed\": {shed},\n    \"errors\": {},\n    \
+             \"goodput_req_s\": {goodput:.1},\n    \"shed_rate\": {shed_rate:.4},\n    \
+             \"priorities\": [{prio_json}\n    ]\n  }},\n  \
+             \"shard_affinity\": {affinity_json},\n  ",
+            sweep_dur.as_secs_f64(),
+            agg.errors,
+        );
+    }
+
     let failed = {
         let f = failures.lock().unwrap();
         for msg in f.iter() {
@@ -436,7 +734,7 @@ fn main() -> ExitCode {
          \"deadline_ms\": {deadline_ms},\n  \"wall_seconds\": {wall_s:.3},\n  \
          \"aggregate_req_s\": {:.3},\n  \
          \"deadline_probe\": {{\"probes\": {probes}, \"rejected\": {probe_misses}}},\n  \
-         \"prometheus_samples\": {prom_samples},\n  \"failures\": {},\n  \
+         \"prometheus_samples\": {prom_samples},\n  {sweep_json}\"failures\": {},\n  \
          \"apps\": [{json_apps}\n  ]\n}}\n",
         total_ok as f64 / wall_s,
         if failed { "true" } else { "false" },
@@ -453,6 +751,217 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Closed-loop saturation probe: `connections` clients call as fast as
+/// replies come back for `secs`; the aggregate completion rate is the
+/// server's (approximate) peak goodput, the yardstick the open-loop
+/// phase doubles.
+fn calibrate_peak(target: SocketAddr, app: &AppSetup, connections: usize, secs: f64) -> f64 {
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut threads = Vec::new();
+    for _ in 0..connections {
+        let done = Arc::clone(&done);
+        let total = Arc::clone(&total);
+        let pipeline = app.pipeline.clone();
+        let inputs = app.inputs.clone();
+        threads.push(std::thread::spawn(move || {
+            let Ok(mut client) = Client::connect(target) else {
+                return;
+            };
+            if client.register("sweep", &pipeline).is_err() {
+                return;
+            }
+            while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                if client
+                    .call("sweep", inputs.clone(), Schedule::Optimized, None)
+                    .is_ok()
+                {
+                    total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    done.store(true, std::sync::atomic::Ordering::Relaxed);
+    for t in threads {
+        let _ = t.join();
+    }
+    total.load(std::sync::atomic::Ordering::Relaxed) as f64 / secs
+}
+
+/// One open-loop connection: a writer thread emits Poisson arrivals at
+/// `rate`/s for `duration` — *never* waiting for completions, the
+/// defining property of an overload test — while the calling thread
+/// reads replies until the writer finishes and the in-flight set drains.
+fn sweep_connection(
+    target: SocketAddr,
+    app: &AppSetup,
+    rate: f64,
+    duration: Duration,
+    deadline_us: u64,
+    seed: u64,
+) -> Result<SweepStats, String> {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut stream = TcpStream::connect(target).map_err(|e| format!("sweep connect: {e}"))?;
+    let limits = Limits::default();
+    write_frame(
+        &mut stream,
+        &Frame::RegisterPipeline {
+            name: "sweep".into(),
+            fingerprint: app.pipeline.fingerprint(),
+            pipeline: app.pipeline.clone(),
+        },
+    )
+    .map_err(|e| format!("sweep register: {e}"))?;
+    match read_frame(&mut stream, &limits) {
+        Ok(Frame::RegisterAck { .. }) => {}
+        other => return Err(format!("sweep register reply: {other:?}")),
+    }
+
+    let inflight: Arc<Mutex<HashMap<u64, (Instant, Priority)>>> =
+        Arc::new(Mutex::new(HashMap::new()));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let mut wstream = stream
+            .try_clone()
+            .map_err(|e| format!("sweep clone: {e}"))?;
+        let inflight = Arc::clone(&inflight);
+        let done = Arc::clone(&done);
+        let inputs = app.inputs.clone();
+        std::thread::spawn(move || {
+            let mut rng = SplitMix64(seed ^ 0x005e_ed0f_5eed);
+            let start = Instant::now();
+            let dur_s = duration.as_secs_f64();
+            let mut offset = 0.0f64;
+            let mut rid = 0u64;
+            while offset < dur_s && rid < 50_000 {
+                offset += rng.exp_gap(rate);
+                let target_t = start + Duration::from_secs_f64(offset);
+                let gap = target_t.saturating_duration_since(Instant::now());
+                if !gap.is_zero() {
+                    std::thread::sleep(gap);
+                }
+                rid += 1;
+                let priority = rng.priority();
+                inflight
+                    .lock()
+                    .unwrap()
+                    .insert(rid, (Instant::now(), priority));
+                let frame = Frame::Submit {
+                    request_id: rid,
+                    tenant: "sweep".into(),
+                    deadline_us,
+                    schedule: Schedule::Optimized,
+                    inputs: inputs.clone(),
+                    priority,
+                    trace: None,
+                };
+                if write_frame(&mut wstream, &frame).is_err() {
+                    break;
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+        })
+    };
+
+    // Reader: 500 ms poll timeout so the loop can notice the writer
+    // finishing; between frames a timeout is a clean idle poll.
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    let mut stats = SweepStats::default();
+    let mut idle_polls = 0u32;
+    loop {
+        match read_frame(&mut stream, &limits) {
+            Ok(Frame::ResultOk { request_id, .. }) => {
+                idle_polls = 0;
+                if let Some((t0, p)) = inflight.lock().unwrap().remove(&request_id) {
+                    let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    stats.latencies_us[prio_idx(p)].push(us);
+                }
+            }
+            Ok(Frame::Error {
+                request_id, code, ..
+            }) => {
+                idle_polls = 0;
+                let entry = inflight.lock().unwrap().remove(&request_id);
+                match code {
+                    ErrorCode::QueueFull
+                    | ErrorCode::DeadlineExceeded
+                    | ErrorCode::AdmissionTimeout => {
+                        let p = entry.map_or(Priority::Normal, |(_, p)| p);
+                        stats.shed[prio_idx(p)] += 1;
+                    }
+                    _ => stats.errors += 1,
+                }
+            }
+            Ok(_) => {
+                idle_polls = 0;
+                stats.errors += 1;
+            }
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle_polls += 1;
+                // Writer finished and nothing has arrived for 5 s: the
+                // remaining in-flight entries will never be answered
+                // (connection torn down mid-reply); stop waiting.
+                if done.load(Ordering::SeqCst) && idle_polls > 10 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        if done.load(Ordering::SeqCst) && inflight.lock().unwrap().is_empty() {
+            break;
+        }
+    }
+    let _ = writer.join();
+    Ok(stats)
+}
+
+/// Warm plan-cache hit rate over the wire against a server with
+/// `shards` runtime shards: six distinct fingerprints × 3 calls each, so
+/// a perfect cache (and perfect affinity) warms to 12/18 hits.
+fn shard_affinity_hit_rate(shards: usize, scale: usize) -> Result<f64, String> {
+    let mut cfg = ServerConfig::default();
+    cfg.runtime.workers = 2;
+    cfg.runtime.shards = shards;
+    let server = Server::bind("127.0.0.1:0", cfg).map_err(|e| format!("affinity bind: {e}"))?;
+    let mut client =
+        Client::connect(server.local_addr()).map_err(|e| format!("affinity connect: {e}"))?;
+    for app in paper_apps() {
+        let (w, h) = workload(app.name, scale);
+        let p = (app.build_sized)(w, h);
+        let inputs = inputs_for(&p, 7);
+        client
+            .register(app.name, &p)
+            .map_err(|e| format!("affinity register {}: {e}", app.name))?;
+        for _ in 0..3 {
+            client
+                .call(app.name, inputs.clone(), Schedule::Optimized, None)
+                .map_err(|e| format!("affinity call {}: {e}", app.name))?;
+        }
+    }
+    let metrics = server.runtime_metrics();
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for p in &metrics.pipelines {
+        hits += p.cache_hits;
+        misses += p.cache_misses;
+    }
+    server.shutdown();
+    if hits + misses == 0 {
+        return Err("affinity: no cache activity recorded".into());
+    }
+    Ok(hits as f64 / (hits + misses) as f64)
 }
 
 /// Minimal HTTP/1.0 GET returning `(status, body)`.

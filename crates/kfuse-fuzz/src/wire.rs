@@ -12,6 +12,7 @@
 use kfuse_dsl::Schedule;
 use kfuse_ir::ImageId;
 use kfuse_net::wire::{decode_frame, encode_frame, ErrorCode, Frame, Limits, TraceContext};
+use kfuse_net::Priority;
 use kfuse_sim::synthetic_image;
 
 use crate::gen::generate;
@@ -25,6 +26,20 @@ fn random_trace(rng: &mut SplitMix64) -> Option<TraceContext> {
         trace_id: rng.next_u64(),
         span_id: rng.next_u64(),
     })
+}
+
+/// Half the submits stay `Normal` (canonical version-1/2 bytes), the
+/// rest split between `High` and `Low` (canonical version-3 bytes), so
+/// the QoS protocol revision gets the same fuzz coverage as the trace
+/// revision.
+fn random_priority(rng: &mut SplitMix64) -> Priority {
+    if rng.chance(1, 2) {
+        Priority::Normal
+    } else if rng.chance(1, 2) {
+        Priority::High
+    } else {
+        Priority::Low
+    }
 }
 
 /// Builds a deterministic pseudorandom frame for `seed`, covering every
@@ -58,6 +73,7 @@ pub fn generate_frame(seed: u64) -> Frame {
                 },
                 schedule,
                 inputs,
+                priority: random_priority(&mut rng),
                 trace: random_trace(&mut rng),
             }
         }
@@ -91,6 +107,7 @@ pub fn generate_frame(seed: u64) -> Frame {
                 ErrorCode::BadInputs,
                 ErrorCode::Panicked,
                 ErrorCode::Unsupported,
+                ErrorCode::ConnectionLimit,
             ]),
             message: random_name(&mut rng),
             trace: random_trace(&mut rng),
@@ -208,6 +225,14 @@ mod tests {
         for seed in 0..512 {
             let frame = generate_frame(seed);
             let Some(_) = frame.trace() else { continue };
+            // Version-3 submits (non-Normal priority) carry a priority
+            // prefix inside the payload; stripping the trace tail alone
+            // does not produce valid version-1 bytes for them.
+            if let Frame::Submit { priority, .. } = &frame {
+                if *priority != Priority::Normal {
+                    continue;
+                }
+            }
             let bytes = encode_frame(&frame);
             // Rebuild the pre-revision frame: version 1, payload minus
             // the 16 trailing trace bytes, checksum re-sealed.
@@ -226,5 +251,32 @@ mod tests {
             checked += 1;
         }
         assert!(checked > 20, "only {checked} traced frames generated");
+    }
+
+    /// The generator must exercise every Submit QoS lane — Normal
+    /// (version 1/2) plus High and Low (version 3), each with and
+    /// without a trace context — so all four version-3 canonical
+    /// encodings stay under fuzz.
+    #[test]
+    fn generator_covers_priority_lanes() {
+        // [Normal, High, Low] × [untraced, traced]
+        let mut seen = [[false; 2]; 3];
+        for seed in 0..4096 {
+            if let Frame::Submit {
+                priority, trace, ..
+            } = generate_frame(seed)
+            {
+                let lane = match priority {
+                    Priority::Normal => 0,
+                    Priority::High => 1,
+                    Priority::Low => 2,
+                };
+                seen[lane][usize::from(trace.is_some())] = true;
+            }
+        }
+        assert!(
+            seen.iter().flatten().all(|&s| s),
+            "priority-lane coverage (Normal, High, Low): {seen:?}"
+        );
     }
 }

@@ -2,9 +2,14 @@
 //!
 //! A [`Client`] wraps one TCP connection. Requests can be pipelined:
 //! [`Client::submit`] returns as soon as the frame is written, and
-//! [`Client::recv_result`] collects replies in submission order (the
-//! server guarantees FIFO replies per connection). [`Client::call`] is
-//! the simple submit-and-wait composition.
+//! [`Client::recv_result`] collects replies as they arrive. Replies come
+//! back in *completion* order, not submission order — the server
+//! multiplexes all in-flight jobs onto the connection so a slow request
+//! never head-of-line blocks a fast one; match replies to requests by
+//! request id. [`Client::call`] is the simple submit-and-wait
+//! composition (one request in flight, so ordering is moot).
+//! [`Client::submit_qos`] attaches a [`Priority`] class that the
+//! server's weighted-fair scheduler honors.
 //!
 //! When given an enabled [`Tracer`] ([`Client::set_tracer`]), every
 //! submit generates a fresh [`TraceContext`] that travels on the wire,
@@ -19,6 +24,7 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
 use kfuse_obs::Tracer;
+use kfuse_runtime::Priority;
 
 use crate::wire::{read_frame, write_frame, ErrorCode, Frame, Limits, TraceContext, WireError};
 
@@ -190,7 +196,24 @@ impl Client {
             trace_id: self.generate_trace_id(),
             span_id: self.next_id + 1,
         });
-        self.submit_traced(tenant, inputs, schedule, deadline, trace)
+        self.submit_full(tenant, inputs, schedule, deadline, Priority::Normal, trace)
+    }
+
+    /// Like [`Client::submit`], but with an explicit [`Priority`] class.
+    /// Non-`Normal` priorities put a version-3 frame on the wire.
+    pub fn submit_qos(
+        &mut self,
+        tenant: &str,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+        deadline: Option<Duration>,
+        priority: Priority,
+    ) -> Result<u64, ClientError> {
+        let trace = self.tracer.is_enabled().then(|| TraceContext {
+            trace_id: self.generate_trace_id(),
+            span_id: self.next_id + 1,
+        });
+        self.submit_full(tenant, inputs, schedule, deadline, priority, trace)
     }
 
     /// Submits with an explicit trace context (`None` sends a version-1
@@ -201,6 +224,20 @@ impl Client {
         inputs: Vec<(ImageId, Image)>,
         schedule: Schedule,
         deadline: Option<Duration>,
+        trace: Option<TraceContext>,
+    ) -> Result<u64, ClientError> {
+        self.submit_full(tenant, inputs, schedule, deadline, Priority::Normal, trace)
+    }
+
+    /// Full-control submit: priority class and trace context both
+    /// explicit. All other submit flavors funnel through here.
+    pub fn submit_full(
+        &mut self,
+        tenant: &str,
+        inputs: Vec<(ImageId, Image)>,
+        schedule: Schedule,
+        deadline: Option<Duration>,
+        priority: Priority,
         trace: Option<TraceContext>,
     ) -> Result<u64, ClientError> {
         self.next_id += 1;
@@ -216,6 +253,7 @@ impl Client {
             deadline_us,
             schedule,
             inputs,
+            priority,
             trace,
         })?;
         if let Some(t) = trace {

@@ -12,11 +12,14 @@
 //!   `Submit` (tenant, deadline budget, image payload), `ResultOk` /
 //!   `Error` replies, and `Ping`/`Drain` control frames. Decoding is
 //!   bounded by [`wire::Limits`] before any allocation.
-//! * [`server`] — a [`server::Server`] owning a `kfuse_runtime::Runtime`:
-//!   per-connection read/write timeouts, slow-loris detection, bounded
-//!   in-flight pipelining with FIFO replies, deadline propagation into
-//!   the worker queue, graceful drain, and an HTTP/1.0 sidecar serving
-//!   Prometheus `/metrics` and `/healthz`.
+//! * [`server`] — a [`server::Server`] owning a `kfuse_runtime::Runtime`
+//!   (sharded, QoS-aware): per-connection read/write timeouts,
+//!   slow-loris detection, bounded in-flight pipelining with
+//!   completion-order reply multiplexing (a slow request never
+//!   head-of-line blocks a fast one on the same connection), priority
+//!   and deadline propagation into the weighted-fair worker queue,
+//!   typed refusals at the connection limit, graceful drain, and an
+//!   HTTP/1.0 sidecar serving Prometheus `/metrics` and `/healthz`.
 //! * [`client`] — a blocking [`client::Client`] with register / submit /
 //!   pipelined receive / ping / drain.
 //! * [`metrics`] — transport counters (`kfuse_net_*` families) exported
@@ -44,6 +47,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError};
+pub use kfuse_runtime::Priority;
 pub use metrics::{NetMetrics, NetSnapshot};
 pub use server::{Server, ServerConfig};
 pub use wire::{ErrorCode, Frame, Limits, WireError};

@@ -16,7 +16,7 @@ use crate::wire::ErrorCode;
 /// Number of wire frame types (type bytes `1..=FRAME_TYPES`).
 pub const FRAME_TYPES: usize = 9;
 /// Number of typed error codes (`ErrorCode::as_u16` in `1..=ERROR_CODES`).
-pub const ERROR_CODES: usize = 12;
+pub const ERROR_CODES: usize = 13;
 
 /// Stable label for a frame type byte (matches `Frame::type_name`).
 pub fn frame_type_label(byte: u8) -> &'static str {
@@ -49,6 +49,7 @@ pub fn error_code_label(code: u16) -> &'static str {
         Some(ErrorCode::BadInputs) => "bad_inputs",
         Some(ErrorCode::Panicked) => "panicked",
         Some(ErrorCode::Unsupported) => "unsupported",
+        Some(ErrorCode::ConnectionLimit) => "connection_limit",
         None => "unknown",
     }
 }
@@ -378,7 +379,7 @@ mod tests {
             assert!(seen.insert(error_code_label(c)), "dup label for code {c}");
         }
         assert_eq!(frame_type_label(0), "unknown");
-        assert_eq!(error_code_label(13), "unknown");
+        assert_eq!(error_code_label(14), "unknown");
     }
 
     #[test]

@@ -1,15 +1,26 @@
 //! The kfuse TCP server: frames in, jobs through the runtime, frames out.
 //!
-//! ## Per-connection threading
+//! ## Per-connection threading: multiplexed replies
 //!
-//! Each accepted connection gets a **reader** thread (the handler) and a
-//! **writer** thread, joined by a bounded `sync_channel` whose capacity is
-//! [`ServerConfig::max_in_flight`]. The reader decodes frames and submits
-//! jobs; the writer waits on each [`JobHandle`] in FIFO order and writes
-//! the reply. The channel bound is the per-connection in-flight limit:
-//! when a client pipelines more submits than the server will buffer, the
-//! reader blocks on `send`, stops reading, and TCP backpressure does the
-//! rest. Replies therefore always arrive in submission order.
+//! Each accepted connection gets one persistent **reader** thread and a
+//! shared **outbox**. The reader decodes frames and submits jobs; each
+//! job registers a [`JobHandle::on_ready`] completion watcher that
+//! enqueues the reply into the outbox *when the job finishes*, and a
+//! short-lived **drainer** thread (spawned on the empty→non-empty edge,
+//! exiting when the outbox runs dry) writes queued replies to the
+//! socket. Two head-of-line problems from the thread-per-direction
+//! design die here: an idle connection pins one polling reader, not a
+//! reader/writer pair, and a slow request no longer delays the replies
+//! of faster requests pipelined behind it on the same connection —
+//! replies go out in **completion order**, matched to requests by
+//! `request_id`. Workers never touch sockets: the watcher only enqueues,
+//! so a peer that stops reading cannot wedge a runtime worker.
+//!
+//! In-flight submits are bounded by a [`Gate`] of
+//! [`ServerConfig::max_in_flight`]: past it the reader stops reading and
+//! TCP backpressure does the rest. Control replies (acks, pongs, errors)
+//! enqueue in receipt order; only their interleaving with job replies is
+//! completion-ordered.
 //!
 //! ## Timeouts and hostile peers
 //!
@@ -33,12 +44,11 @@
 //! are refused with [`ErrorCode::Draining`] while everything already
 //! admitted runs to completion and its replies are delivered.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -122,9 +132,10 @@ impl Inner {
     }
 }
 
-/// What the reader hands the writer for one received frame.
+/// One outbox entry: a reply ready (or about to be ready) to write.
 enum Reply {
-    /// An admitted job: wait for the handle, then answer `request_id`,
+    /// A *completed* job: enqueued by its `on_ready` watcher, so the
+    /// handle's `wait` returns without blocking. Answers `request_id`,
     /// echoing the submit's trace context so the client can stitch the
     /// reply into the same causal chain.
     Job {
@@ -135,6 +146,289 @@ enum Reply {
     },
     /// An immediately-known reply (acks, errors, pongs).
     Now(Frame),
+}
+
+/// Counting gate bounding submitted-but-unanswered jobs per connection.
+/// `release` runs once per acquired job — when its reply frame is
+/// written, or when the reply is dropped because the peer died.
+struct Gate {
+    n: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self {
+            n: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot frees up (TCP backpressure: the reader stops
+    /// reading), re-checking `abort` periodically. False = connection is
+    /// closing, don't admit.
+    fn acquire(&self, max: usize, abort: impl Fn() -> bool) -> bool {
+        let mut n = self.n.lock().unwrap();
+        while *n >= max {
+            if abort() {
+                return false;
+            }
+            let (guard, _) = self.cv.wait_timeout(n, Duration::from_millis(50)).unwrap();
+            n = guard;
+        }
+        *n += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut n = self.n.lock().unwrap();
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.cv.notify_all();
+    }
+
+    /// Waits until every acquired job has been answered or dropped.
+    fn wait_idle(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        let mut n = self.n.lock().unwrap();
+        while *n > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(n, left.min(Duration::from_millis(50)))
+                .unwrap();
+            n = guard;
+        }
+    }
+}
+
+/// Shared reply path of one connection: a queue of ready replies plus a
+/// lazily-spawned drainer thread that writes them in completion order
+/// and exits when the queue runs dry — an idle connection keeps no
+/// writer thread alive.
+struct Outbox {
+    inner: Arc<Inner>,
+    /// Write half of the connection (a `try_clone` of the reader's
+    /// stream; both share one underlying socket).
+    out: Mutex<TcpStream>,
+    state: Mutex<OutboxState>,
+    cv: Condvar,
+    gate: Gate,
+}
+
+#[derive(Default)]
+struct OutboxState {
+    queue: VecDeque<Reply>,
+    /// A drainer thread is running (spawned on the empty→non-empty edge).
+    drainer_active: bool,
+    /// The peer stopped reading or the socket died: drop further replies
+    /// instead of queueing them unboundedly.
+    peer_dead: bool,
+}
+
+impl Outbox {
+    fn new(inner: Arc<Inner>, out: TcpStream) -> Arc<Self> {
+        Arc::new(Self {
+            inner,
+            out: Mutex::new(out),
+            state: Mutex::new(OutboxState::default()),
+            cv: Condvar::new(),
+            gate: Gate::new(),
+        })
+    }
+
+    fn peer_dead(&self) -> bool {
+        self.state.lock().unwrap().peer_dead
+    }
+
+    /// Enqueues a reply and ensures a drainer is running. Called from the
+    /// reader (control replies) and from worker threads (`on_ready`
+    /// watchers) — it never blocks, so a slow connection can never stall
+    /// a runtime worker. Returns false once the peer is dead.
+    fn push(self: &Arc<Self>, reply: Reply) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.peer_dead {
+            drop(st);
+            self.discard(reply);
+            return false;
+        }
+        st.queue.push_back(reply);
+        if !st.drainer_active {
+            st.drainer_active = true;
+            drop(st);
+            let ob = Arc::clone(self);
+            if thread::Builder::new()
+                .name("kfuse-net-write".into())
+                .spawn(move || ob.drain())
+                .is_err()
+            {
+                // Could not spawn: poison the connection rather than let
+                // replies rot in the queue.
+                self.mark_dead();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Consumes a reply that will never be written, releasing its gate
+    /// slot so the reader (or close path) stops waiting for it.
+    fn discard(&self, reply: Reply) {
+        if let Reply::Job { handle, .. } = reply {
+            // The watcher fired, so this does not block; consuming the
+            // result keeps "every admitted job is reaped" true even for
+            // dead peers.
+            let _ = handle.wait();
+            self.gate.release();
+        }
+    }
+
+    fn mark_dead(&self) {
+        let dropped = {
+            let mut st = self.state.lock().unwrap();
+            st.peer_dead = true;
+            std::mem::take(&mut st.queue)
+        };
+        for reply in dropped {
+            self.discard(reply);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits until every queued reply has been written (or the peer died
+    /// and the queue was dropped) — the connection close barrier.
+    fn quiesce(&self, timeout: Duration) {
+        self.gate.wait_idle(timeout);
+        let mut st = self.state.lock().unwrap();
+        while !st.queue.is_empty() || st.drainer_active {
+            let (guard, res) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(100))
+                .unwrap();
+            st = guard;
+            if res.timed_out() && st.peer_dead {
+                return;
+            }
+        }
+    }
+
+    /// The drainer: pops ready replies and writes them until the queue is
+    /// empty, then exits (the next push spawns a fresh one).
+    fn drain(self: Arc<Self>) {
+        loop {
+            let reply = {
+                let mut st = self.state.lock().unwrap();
+                match st.queue.pop_front() {
+                    Some(r) => r,
+                    None => {
+                        st.drainer_active = false;
+                        drop(st);
+                        self.cv.notify_all();
+                        return;
+                    }
+                }
+            };
+            let was_job = matches!(reply, Reply::Job { .. });
+            let frame = build_reply_frame(reply);
+            self.inner.net.frame_type_sent(frame.type_byte());
+            if let Frame::Error { code, .. } = &frame {
+                self.inner.net.error_sent(*code);
+            }
+            // The encode span lands on the drainer thread, closing the
+            // server side of the request's causal chain.
+            let span_tracer = match frame.trace() {
+                Some(t) => self.inner.cfg.tracer.scoped(t.trace_id),
+                None => self.inner.cfg.tracer.clone(),
+            };
+            let encode_start = span_tracer.now_us();
+            let wrote = {
+                let mut out = self.out.lock().unwrap();
+                write_frame(&mut *out, &frame)
+            };
+            match wrote {
+                Ok(bytes) => {
+                    self.inner.net.frame_sent(bytes);
+                    span_tracer.complete(
+                        "encode_write",
+                        "net",
+                        encode_start,
+                        span_tracer.now_us(),
+                        vec![("frame", frame.type_name().into())],
+                    );
+                    if was_job {
+                        self.gate.release();
+                    }
+                }
+                Err(_) => {
+                    // Peer stopped reading (or the write timed out): mark
+                    // the connection dead so the reader exits and pending
+                    // replies are reaped without writing.
+                    if was_job {
+                        self.gate.release();
+                    }
+                    self.mark_dead();
+                    let mut st = self.state.lock().unwrap();
+                    st.drainer_active = false;
+                    drop(st);
+                    self.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Builds the wire reply for one outbox entry. Job handles are ready
+/// (their watcher fired), so `wait` returns without blocking.
+fn build_reply_frame(reply: Reply) -> Frame {
+    match reply {
+        Reply::Now(frame) => frame,
+        Reply::Job {
+            request_id,
+            handle,
+            outputs,
+            trace,
+        } => match handle.wait() {
+            Ok(exec) => {
+                let mut imgs = Vec::with_capacity(outputs.len());
+                let mut missing = None;
+                for id in outputs {
+                    match exec.image(id) {
+                        Some(img) => imgs.push((id, img.clone())),
+                        None => {
+                            missing = Some(id);
+                            break;
+                        }
+                    }
+                }
+                match missing {
+                    None => Frame::ResultOk {
+                        request_id,
+                        outputs: imgs,
+                        trace,
+                    },
+                    Some(id) => Frame::Error {
+                        request_id,
+                        code: ErrorCode::ExecFailed,
+                        message: format!("execution produced no image {}", id.0),
+                        trace,
+                    },
+                }
+            }
+            Err(e) => {
+                let (code, message) = map_runtime_error(&e);
+                Frame::Error {
+                    request_id,
+                    code,
+                    message,
+                    trace,
+                }
+            }
+        },
+    }
 }
 
 /// A running kfuse TCP server plus its HTTP metrics sidecar.
@@ -268,7 +562,26 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener, conns: Arc<Mutex<Vec<Jo
                 let mut guard = conns.lock().unwrap();
                 guard.retain(|t| !t.is_finished());
                 if guard.len() >= inner.cfg.max_connections {
+                    // Tell the peer *why* before closing: a silent drop
+                    // looks identical to a network fault and sends clients
+                    // into blind reconnect loops against a full server.
                     inner.net.connection_refused();
+                    let mut stream = stream;
+                    let _ = stream.set_write_timeout(Some(inner.cfg.write_timeout));
+                    let frame = Frame::Error {
+                        request_id: 0,
+                        code: ErrorCode::ConnectionLimit,
+                        message: format!(
+                            "connection limit reached ({} active)",
+                            inner.cfg.max_connections
+                        ),
+                        trace: None,
+                    };
+                    inner.net.frame_type_sent(frame.type_byte());
+                    inner.net.error_sent(ErrorCode::ConnectionLimit);
+                    if let Ok(bytes) = write_frame(&mut stream, &frame) {
+                        inner.net.frame_sent(bytes);
+                    }
                     drop(stream);
                     continue;
                 }
@@ -301,38 +614,21 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
         inner.net.snapshot().connections_active as f64,
     );
 
-    let peer_dead = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = std::sync::mpsc::sync_channel::<Reply>(inner.cfg.max_in_flight.max(1));
-    let writer = match stream.try_clone() {
-        Ok(out) => {
-            let w_inner = Arc::clone(&inner);
-            let w_dead = Arc::clone(&peer_dead);
-            thread::Builder::new()
-                .name("kfuse-net-write".into())
-                .spawn(move || writer_loop(w_inner, out, rx, w_dead))
-                .ok()
-        }
-        Err(_) => None,
-    };
-    if writer.is_some() {
-        reader_loop(&inner, &mut stream, &tx, &peer_dead);
-    }
-    drop(tx); // lets the writer drain pending replies and exit
-    if let Some(w) = writer {
-        let _ = w.join();
+    if let Ok(out) = stream.try_clone() {
+        let outbox = Outbox::new(Arc::clone(&inner), out);
+        reader_loop(&inner, &mut stream, &outbox);
+        // Close barrier: everything already admitted is answered (or the
+        // peer is dead and its replies were reaped) before the socket
+        // goes away.
+        outbox.quiesce(Duration::from_secs(30));
     }
     let _ = stream.shutdown(Shutdown::Both);
     inner.net.connection_closed();
 }
 
-fn reader_loop(
-    inner: &Arc<Inner>,
-    stream: &mut TcpStream,
-    tx: &SyncSender<Reply>,
-    peer_dead: &AtomicBool,
-) {
+fn reader_loop(inner: &Arc<Inner>, stream: &mut TcpStream, outbox: &Arc<Outbox>) {
     loop {
-        if inner.shutdown.load(Ordering::SeqCst) || peer_dead.load(Ordering::SeqCst) {
+        if inner.shutdown.load(Ordering::SeqCst) || outbox.peer_dead() {
             return;
         }
         match read_frame_counted(stream, &inner.cfg.limits) {
@@ -347,7 +643,7 @@ fn reader_loop(
                     None => inner.cfg.tracer.clone(),
                 };
                 let _span = span_tracer.span(frame.type_name(), "net");
-                if !handle_frame(inner, frame, tx) {
+                if !handle_frame(inner, frame, outbox) {
                     return;
                 }
             }
@@ -362,7 +658,7 @@ fn reader_loop(
                 // Framing-level garbage: answer with a typed error, then
                 // close — the byte stream can no longer be trusted.
                 inner.net.protocol_error();
-                let _ = tx.send(Reply::Now(Frame::Error {
+                outbox.push(Reply::Now(Frame::Error {
                     request_id: 0,
                     code: ErrorCode::Malformed,
                     message: e.to_string(),
@@ -375,7 +671,7 @@ fn reader_loop(
 }
 
 /// Handles one decoded frame; returns `false` to close the connection.
-fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> bool {
+fn handle_frame(inner: &Arc<Inner>, frame: Frame, outbox: &Arc<Outbox>) -> bool {
     match frame {
         Frame::RegisterPipeline {
             name,
@@ -383,12 +679,12 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
             pipeline,
         } => {
             if inner.draining.load(Ordering::SeqCst) {
-                return send_error(tx, 0, ErrorCode::Draining, "server is draining");
+                return send_error(outbox, 0, ErrorCode::Draining, "server is draining");
             }
             let computed = pipeline.fingerprint();
             if computed != fingerprint {
                 return send_error(
-                    tx,
+                    outbox,
                     0,
                     ErrorCode::FingerprintMismatch,
                     &format!("client fingerprint {fingerprint:#018x} != decoded {computed:#018x}"),
@@ -411,10 +707,9 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
                 }
             }
             drop(registry);
-            tx.send(Reply::Now(Frame::RegisterAck {
+            outbox.push(Reply::Now(Frame::RegisterAck {
                 fingerprint: computed,
             }))
-            .is_ok()
         }
         Frame::Submit {
             request_id,
@@ -422,12 +717,13 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
             deadline_us,
             schedule,
             inputs,
+            priority,
             trace,
         } => {
             if inner.draining.load(Ordering::SeqCst) {
                 inner.net.refused_draining();
                 return send_error_traced(
-                    tx,
+                    outbox,
                     request_id,
                     ErrorCode::Draining,
                     "server is draining",
@@ -440,7 +736,7 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
                     Some(reg) => Arc::clone(&reg.pipeline),
                     None => {
                         return send_error_traced(
-                            tx,
+                            outbox,
                             request_id,
                             ErrorCode::UnknownPipeline,
                             &format!("no pipeline registered as {tenant:?}"),
@@ -450,7 +746,20 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
                 }
             };
             if let Err(msg) = check_inputs(&pipeline, &inputs) {
-                return send_error_traced(tx, request_id, ErrorCode::BadInputs, &msg, trace);
+                return send_error_traced(outbox, request_id, ErrorCode::BadInputs, &msg, trace);
+            }
+            // The in-flight gate: past `max_in_flight` unanswered jobs
+            // the reader parks here and TCP backpressure throttles the
+            // client.
+            let gate_inner = Arc::clone(inner);
+            let gate_ob = Arc::clone(outbox);
+            if !outbox
+                .gate
+                .acquire(inner.cfg.max_in_flight.max(1), move || {
+                    gate_inner.shutdown_requested() || gate_ob.peer_dead()
+                })
+            {
+                return false;
             }
             // Anchor the relative budget to the server clock *before*
             // queueing so queue wait counts against it.
@@ -461,26 +770,40 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
             // land under the same trace id the client generated.
             let (trace_id, span_id) = trace.map_or((0, 0), |t| (t.trace_id, t.span_id));
             match inner.runtime.submit_with_ctx(
-                &tenant, &pipeline, inputs, schedule, deadline, trace_id, span_id,
+                &tenant, &pipeline, inputs, schedule, priority, deadline, trace_id, span_id,
             ) {
-                Ok(handle) => tx
-                    .send(Reply::Job {
-                        request_id,
-                        handle,
-                        outputs: pipeline.outputs().to_vec(),
-                        trace,
-                    })
-                    .is_ok(),
+                Ok(handle) => {
+                    // Completion-order multiplexing: the watcher enqueues
+                    // the reply the moment the job finishes; the reaper
+                    // duplicate is what the drainer consumes the result
+                    // through.
+                    let reaper = handle.duplicate();
+                    let ob = Arc::clone(outbox);
+                    let outputs = pipeline.outputs().to_vec();
+                    handle.on_ready(move || {
+                        ob.push(Reply::Job {
+                            request_id,
+                            handle: reaper,
+                            outputs,
+                            trace,
+                        });
+                    });
+                    true
+                }
                 Err(e) => {
+                    // Shed/rejected at admission: nothing will complete,
+                    // so the gate slot frees immediately and the typed
+                    // error can overtake slower in-flight replies.
+                    outbox.gate.release();
                     let (code, msg) = map_runtime_error(&e);
-                    send_error_traced(tx, request_id, code, &msg, trace)
+                    send_error_traced(outbox, request_id, code, &msg, trace)
                 }
             }
         }
-        Frame::Ping { token } => tx.send(Reply::Now(Frame::Pong { token })).is_ok(),
+        Frame::Ping { token } => outbox.push(Reply::Now(Frame::Pong { token })),
         Frame::Drain => {
             inner.draining.store(true, Ordering::SeqCst);
-            tx.send(Reply::Now(Frame::DrainAck)).is_ok()
+            outbox.push(Reply::Now(Frame::DrainAck))
         }
         // Server-to-client frame types arriving at the server are a
         // protocol violation by a confused peer; answer and keep going.
@@ -489,7 +812,7 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, tx: &SyncSender<Reply>) -> boo
         | Frame::Error { .. }
         | Frame::Pong { .. }
         | Frame::DrainAck => send_error(
-            tx,
+            outbox,
             0,
             ErrorCode::Unsupported,
             "frame type not accepted in the client-to-server direction",
@@ -536,118 +859,23 @@ fn map_runtime_error(e: &RuntimeError) -> (ErrorCode, String) {
     (code, e.to_string())
 }
 
-fn send_error(tx: &SyncSender<Reply>, request_id: u64, code: ErrorCode, message: &str) -> bool {
-    send_error_traced(tx, request_id, code, message, None)
+fn send_error(outbox: &Arc<Outbox>, request_id: u64, code: ErrorCode, message: &str) -> bool {
+    send_error_traced(outbox, request_id, code, message, None)
 }
 
 /// Like [`send_error`], but echoes the request's trace context so even
 /// refusals stay attributable to the trace that caused them.
 fn send_error_traced(
-    tx: &SyncSender<Reply>,
+    outbox: &Arc<Outbox>,
     request_id: u64,
     code: ErrorCode,
     message: &str,
     trace: Option<TraceContext>,
 ) -> bool {
-    tx.send(Reply::Now(Frame::Error {
+    outbox.push(Reply::Now(Frame::Error {
         request_id,
         code,
         message: message.to_string(),
         trace,
     }))
-    .is_ok()
-}
-
-fn writer_loop(
-    inner: Arc<Inner>,
-    mut out: TcpStream,
-    rx: Receiver<Reply>,
-    peer_dead: Arc<AtomicBool>,
-) {
-    // Iterating the receiver ends when the reader drops its sender; every
-    // queued `Job` is still waited on so its result slot is consumed.
-    for reply in rx.iter() {
-        let frame = match reply {
-            Reply::Now(frame) => frame,
-            Reply::Job {
-                request_id,
-                handle,
-                outputs,
-                trace,
-            } => match handle.wait() {
-                Ok(exec) => {
-                    let mut imgs = Vec::with_capacity(outputs.len());
-                    let mut missing = None;
-                    for id in outputs {
-                        match exec.image(id) {
-                            Some(img) => imgs.push((id, img.clone())),
-                            None => {
-                                missing = Some(id);
-                                break;
-                            }
-                        }
-                    }
-                    match missing {
-                        None => Frame::ResultOk {
-                            request_id,
-                            outputs: imgs,
-                            trace,
-                        },
-                        Some(id) => Frame::Error {
-                            request_id,
-                            code: ErrorCode::ExecFailed,
-                            message: format!("execution produced no image {}", id.0),
-                            trace,
-                        },
-                    }
-                }
-                Err(e) => {
-                    let (code, message) = map_runtime_error(&e);
-                    Frame::Error {
-                        request_id,
-                        code,
-                        message,
-                        trace,
-                    }
-                }
-            },
-        };
-        inner.net.frame_type_sent(frame.type_byte());
-        if let Frame::Error { code, .. } = &frame {
-            inner.net.error_sent(*code);
-        }
-        // The encode span lands on the writer thread, closing the
-        // server side of the request's causal chain.
-        let span_tracer = match frame.trace() {
-            Some(t) => inner.cfg.tracer.scoped(t.trace_id),
-            None => inner.cfg.tracer.clone(),
-        };
-        let encode_start = span_tracer.now_us();
-        match write_frame(&mut out, &frame) {
-            Ok(bytes) => {
-                inner.net.frame_sent(bytes);
-                span_tracer.complete(
-                    "encode_write",
-                    "net",
-                    encode_start,
-                    span_tracer.now_us(),
-                    vec![("frame", frame.type_name().into())],
-                );
-            }
-            Err(_) => {
-                // Peer stopped reading (or write timed out). Mark the
-                // connection dead so the reader exits, then keep draining
-                // the channel without writing: pending job handles must
-                // still be consumed.
-                peer_dead.store(true, Ordering::SeqCst);
-                break;
-            }
-        }
-    }
-    // Drain any remaining replies after a write failure.
-    for reply in rx.iter() {
-        if let Reply::Job { handle, .. } = reply {
-            let _ = handle.wait();
-        }
-    }
 }

@@ -23,6 +23,17 @@
 //! version 2). A version-2 header on any other frame type is rejected as
 //! malformed: no frame has two valid encodings.
 //!
+//! **Version 3 (QoS)** is the additive priority revision, `Submit` only:
+//! after the version-1 fields the payload carries a priority byte
+//! (`1` = high, `2` = low) and a trace-presence byte (`0`/`1`), then the
+//! 16-byte trace context iff present. The same canonical-per-presence
+//! rule extends: a submit encodes as version 3 **iff** its priority is
+//! not `Normal` (normal-priority submits keep their version-1/2 bytes,
+//! so pre-revision captures stay bit-identical); a version-3 header
+//! announcing normal priority, an unknown priority byte, or any frame
+//! type other than `Submit` is malformed. Replies carry no priority —
+//! the class shapes queueing, not the result.
+//!
 //! All multi-byte integers are little-endian; `f32` values travel as their
 //! IEEE-754 bit patterns so results round-trip **bit-identically** (the
 //! same discipline `kfuse-fuzz` enforces between executors). The checksum
@@ -41,6 +52,7 @@ use std::io::{self, ErrorKind, Read, Write};
 
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
+use kfuse_runtime::Priority;
 
 use crate::codec;
 
@@ -51,6 +63,10 @@ pub const VERSION: u8 = 1;
 /// Trace-context protocol revision: `Submit`/`ResultOk`/`Error` payloads
 /// end with a 16-byte [`TraceContext`].
 pub const VERSION_TRACED: u8 = 2;
+/// QoS protocol revision (`Submit` only): the payload carries a priority
+/// byte and a trace-presence byte after the version-1 fields. Only
+/// non-normal priorities encode at this version.
+pub const VERSION_QOS: u8 = 3;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// On-wire size of a [`TraceContext`] (two u64s).
@@ -225,6 +241,8 @@ pub enum ErrorCode {
     Panicked,
     /// The frame type is valid but not accepted in this direction.
     Unsupported,
+    /// The server is at its connection limit and refuses this connection.
+    ConnectionLimit,
 }
 
 impl ErrorCode {
@@ -243,6 +261,7 @@ impl ErrorCode {
             ErrorCode::BadInputs => 10,
             ErrorCode::Panicked => 11,
             ErrorCode::Unsupported => 12,
+            ErrorCode::ConnectionLimit => 13,
         }
     }
 
@@ -261,6 +280,7 @@ impl ErrorCode {
             10 => ErrorCode::BadInputs,
             11 => ErrorCode::Panicked,
             12 => ErrorCode::Unsupported,
+            13 => ErrorCode::ConnectionLimit,
             _ => return None,
         })
     }
@@ -299,7 +319,10 @@ pub enum Frame {
         schedule: Schedule,
         /// Input images keyed by the pipeline's [`ImageId`]s.
         inputs: Vec<(ImageId, Image)>,
-        /// Request trace identity (version-2 frames only; `None` from
+        /// Queueing class (version-3 frames only; pre-revision clients
+        /// always submit `Normal`).
+        priority: Priority,
+        /// Request trace identity (version ≥ 2 frames only; `None` from
         /// pre-revision clients).
         trace: Option<TraceContext>,
     },
@@ -366,9 +389,16 @@ impl Frame {
         }
     }
 
-    /// The wire version this frame canonically encodes as: version 2 iff
-    /// it carries a trace context, version 1 otherwise.
+    /// The wire version this frame canonically encodes as: version 3 iff
+    /// it is a non-normal-priority submit, else version 2 iff it carries
+    /// a trace context, version 1 otherwise. Exactly one encoding per
+    /// frame, at the oldest version that can express it.
     pub fn wire_version(&self) -> u8 {
+        if let Frame::Submit { priority, .. } = self {
+            if *priority != Priority::Normal {
+                return VERSION_QOS;
+            }
+        }
         if self.trace().is_some() {
             VERSION_TRACED
         } else {
@@ -529,6 +559,7 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             deadline_us,
             schedule,
             inputs,
+            priority,
             trace,
         } => {
             put_u64(out, *request_id);
@@ -536,6 +567,13 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
             put_u64(out, *deadline_us);
             put_u8(out, schedule_byte(*schedule));
             codec::encode_bound_images(out, inputs);
+            if *priority != Priority::Normal {
+                // Version-3 tail: priority byte + trace-presence byte
+                // (+ context). The explicit presence flag keeps the
+                // priority field orthogonal to tracing.
+                put_u8(out, priority_byte(*priority));
+                put_u8(out, u8::from(trace.is_some()));
+            }
             put_trace(out, trace);
         }
         Frame::ResultOk {
@@ -582,6 +620,33 @@ fn read_trace(r: &mut ByteReader<'_>, version: u8) -> Result<Option<TraceContext
         trace_id: r.u64()?,
         span_id: r.u64()?,
     }))
+}
+
+/// Wire byte for a non-normal priority (`Normal` never encodes one —
+/// its submits stay at version ≤ 2).
+fn priority_byte(p: Priority) -> u8 {
+    match p {
+        Priority::Normal => 0,
+        Priority::High => 1,
+        Priority::Low => 2,
+    }
+}
+
+fn priority_from_byte(b: u8) -> Result<Priority, WireError> {
+    Ok(match b {
+        1 => Priority::High,
+        2 => Priority::Low,
+        0 => {
+            return Err(WireError::Malformed(
+                "version 3 announcing normal priority; canonical encoding is version ≤ 2".into(),
+            ))
+        }
+        other => {
+            return Err(WireError::Malformed(format!(
+                "unknown priority byte {other}"
+            )))
+        }
+    })
 }
 
 fn schedule_byte(s: Schedule) -> u8 {
@@ -639,7 +704,7 @@ pub fn parse_header(
         return Err(WireError::BadMagic(magic));
     }
     let version = header[4];
-    if version != VERSION && version != VERSION_TRACED {
+    if !(VERSION..=VERSION_QOS).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let ftype = header[5];
@@ -663,8 +728,9 @@ pub fn parse_header(
 
 /// Decodes one payload whose header already validated as `(version,
 /// ftype)`. Version 2 is only meaningful for `Submit`/`ResultOk`/`Error`
-/// (the traced frames); on any other type it is rejected so every frame
-/// has exactly one valid encoding.
+/// (the traced frames) and version 3 only for `Submit` (the prioritized
+/// frame); elsewhere they are rejected so every frame has exactly one
+/// valid encoding.
 pub fn decode_payload(
     version: u8,
     ftype: u8,
@@ -674,6 +740,11 @@ pub fn decode_payload(
     if version == VERSION_TRACED && !matches!(ftype, 3..=5) {
         return Err(WireError::Malformed(format!(
             "frame type {ftype} carries no trace context; version 2 is invalid for it"
+        )));
+    }
+    if version == VERSION_QOS && ftype != 3 {
+        return Err(WireError::Malformed(format!(
+            "frame type {ftype} carries no priority; version 3 is invalid for it"
         )));
     }
     let mut r = ByteReader::new(payload);
@@ -697,13 +768,31 @@ pub fn decode_payload(
             let deadline_us = r.u64()?;
             let schedule = schedule_from_byte(r.u8()?)?;
             let inputs = codec::decode_bound_images(&mut r, limits)?;
-            let trace = read_trace(&mut r, version)?;
+            let (priority, trace) = if version == VERSION_QOS {
+                let priority = priority_from_byte(r.u8()?)?;
+                let trace = match r.u8()? {
+                    0 => None,
+                    1 => Some(TraceContext {
+                        trace_id: r.u64()?,
+                        span_id: r.u64()?,
+                    }),
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "bad trace-presence byte {other}"
+                        )))
+                    }
+                };
+                (priority, trace)
+            } else {
+                (Priority::Normal, read_trace(&mut r, version)?)
+            };
             Frame::Submit {
                 request_id,
                 tenant,
                 deadline_us,
                 schedule,
                 inputs,
+                priority,
                 trace,
             }
         }
@@ -874,6 +963,7 @@ mod tests {
             deadline_us: 5_000_000,
             schedule: Schedule::Optimized,
             inputs: vec![(ImageId(0), img)],
+            priority: Priority::Normal,
             trace: None,
         };
         match roundtrip(&frame) {
@@ -1005,7 +1095,8 @@ mod tests {
             }
         }
         assert_eq!(ErrorCode::from_u16(0), None);
-        assert_eq!(ErrorCode::from_u16(13), None);
+        assert_eq!(ErrorCode::from_u16(13), Some(ErrorCode::ConnectionLimit));
+        assert_eq!(ErrorCode::from_u16(14), None);
     }
 
     fn ctx() -> TraceContext {
@@ -1023,6 +1114,7 @@ mod tests {
             deadline_us: 0,
             schedule: Schedule::Basic,
             inputs: vec![],
+            priority: Priority::Normal,
             trace: Some(ctx()),
         };
         let bytes = encode_frame(&traced);
@@ -1039,6 +1131,7 @@ mod tests {
             deadline_us: 0,
             schedule: Schedule::Basic,
             inputs: vec![],
+            priority: Priority::Normal,
             trace: None,
         };
         let old_bytes = encode_frame(&untraced);
@@ -1085,6 +1178,7 @@ mod tests {
             deadline_us: 10,
             schedule: Schedule::Baseline,
             inputs: vec![],
+            priority: Priority::Normal,
             trace: None,
         });
         assert_eq!(bytes[4], VERSION);
@@ -1147,6 +1241,152 @@ mod tests {
         assert!(matches!(
             decode_frame(&downgraded, &limits()),
             Err(WireError::TrailingBytes(16))
+        ));
+    }
+
+    fn qos_submit(priority: Priority, trace: Option<TraceContext>) -> Frame {
+        Frame::Submit {
+            request_id: 11,
+            tenant: "q".into(),
+            deadline_us: 250,
+            schedule: Schedule::Optimized,
+            inputs: vec![],
+            priority,
+            trace,
+        }
+    }
+
+    /// Non-normal priorities encode as version 3 and round-trip
+    /// bit-identically, with and without trace context; normal priority
+    /// keeps the pre-revision bytes exactly.
+    #[test]
+    fn prioritized_submits_encode_as_version_3() {
+        for (priority, trace) in [
+            (Priority::High, None),
+            (Priority::Low, None),
+            (Priority::High, Some(ctx())),
+            (Priority::Low, Some(ctx())),
+        ] {
+            let frame = qos_submit(priority, trace);
+            let bytes = encode_frame(&frame);
+            assert_eq!(bytes[4], VERSION_QOS);
+            match roundtrip(&frame) {
+                Frame::Submit {
+                    priority: p,
+                    trace: t,
+                    ..
+                } => {
+                    assert_eq!(p, priority);
+                    assert_eq!(t, trace);
+                }
+                other => panic!("decoded wrong frame: {other:?}"),
+            }
+        }
+        // Normal priority never bumps the version: the bytes are exactly
+        // what a pre-revision client sends.
+        assert_eq!(
+            encode_frame(&qos_submit(Priority::Normal, None))[4],
+            VERSION
+        );
+        assert_eq!(
+            encode_frame(&qos_submit(Priority::Normal, Some(ctx())))[4],
+            VERSION_TRACED
+        );
+        // The untraced v3 tail is exactly 2 additive bytes over v1.
+        let v1 = encode_frame(&qos_submit(Priority::Normal, None));
+        let v3 = encode_frame(&qos_submit(Priority::High, None));
+        assert_eq!(v3.len(), v1.len() + 2);
+    }
+
+    /// Hostile-peer rules for version 3: normal priority announced at
+    /// v3, unknown priority bytes, bad trace-presence bytes, v3 on a
+    /// non-submit frame, and a truncated tail are all rejected.
+    #[test]
+    fn hostile_qos_frames_rejected() {
+        // Re-frame a valid v3 payload with a mutated tail byte.
+        let reseal = |bytes: &[u8], mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut payload = bytes[HEADER_LEN..].to_vec();
+            mutate(&mut payload);
+            let mut out = bytes[..HEADER_LEN].to_vec();
+            out[8..12].copy_from_slice(&u32::try_from(payload.len()).unwrap().to_le_bytes());
+            out[12..16].copy_from_slice(&checksum(&payload).to_le_bytes());
+            out.extend_from_slice(&payload);
+            out
+        };
+        let good = encode_frame(&qos_submit(Priority::High, None));
+
+        // Priority byte 0 (normal) at version 3: non-canonical.
+        let n = good.len() - HEADER_LEN;
+        let bad = reseal(&good, &|p| p[n - 2] = 0);
+        assert!(matches!(
+            decode_frame(&bad, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+        // Unknown priority byte.
+        let bad = reseal(&good, &|p| p[n - 2] = 9);
+        assert!(matches!(
+            decode_frame(&bad, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+        // Bad trace-presence byte.
+        let bad = reseal(&good, &|p| p[n - 1] = 7);
+        assert!(matches!(
+            decode_frame(&bad, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+        // Presence byte says traced but the context bytes are missing.
+        let bad = reseal(&good, &|p| {
+            let n = p.len();
+            p[n - 1] = 1;
+        });
+        assert!(matches!(
+            decode_frame(&bad, &limits()),
+            Err(WireError::Truncated)
+        ));
+        // Tail chopped off entirely, honestly re-framed: truncated.
+        let bad = reseal(&good, &|p| p.truncate(p.len() - 2));
+        assert!(matches!(
+            decode_frame(&bad, &limits()),
+            Err(WireError::Truncated)
+        ));
+
+        // Version 3 on a frame type that carries no priority.
+        let mut ping = encode_frame(&Frame::Ping { token: 5 });
+        ping[4] = VERSION_QOS;
+        assert!(matches!(
+            decode_frame(&ping, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+        // …and on a traced reply (type 4/5 allow v2, not v3).
+        let mut err = encode_frame(&Frame::Error {
+            request_id: 1,
+            code: ErrorCode::ConnectionLimit,
+            message: String::new(),
+            trace: Some(ctx()),
+        });
+        err[4] = VERSION_QOS;
+        assert!(matches!(
+            decode_frame(&err, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    /// A v3 frame "downgraded" to a v1/v2 header is not silently
+    /// reinterpreted: the QoS tail surfaces as trailing bytes.
+    #[test]
+    fn version_3_downgrade_rejected() {
+        let mut bytes = encode_frame(&qos_submit(Priority::Low, None));
+        bytes[4] = VERSION;
+        assert!(matches!(
+            decode_frame(&bytes, &limits()),
+            Err(WireError::TrailingBytes(2))
+        ));
+        let mut bytes = encode_frame(&qos_submit(Priority::Low, Some(ctx())));
+        bytes[4] = VERSION_TRACED;
+        // v2 consumes 16 of the 18 tail bytes as the context.
+        assert!(matches!(
+            decode_frame(&bytes, &limits()),
+            Err(WireError::TrailingBytes(2))
         ));
     }
 

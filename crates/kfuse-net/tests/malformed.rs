@@ -182,6 +182,70 @@ fn fingerprint_mismatch_and_unknown_tenant_are_typed() {
     server.shutdown();
 }
 
+/// A connection past `max_connections` is refused with a typed
+/// [`ErrorCode::ConnectionLimit`] error — not a silent close a client
+/// cannot tell apart from a network fault — and is counted.
+#[test]
+fn over_limit_connection_gets_typed_error() {
+    let cfg = ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+
+    // Occupy the only slot and keep it alive.
+    let mut occupant = Client::connect(server.local_addr()).expect("first connect");
+    occupant.ping().expect("occupant is live");
+
+    // The second connection is told why before the close.
+    let mut refused = TcpStream::connect(server.local_addr()).expect("second connect");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match read_frame(&mut refused, &Limits::default()) {
+        Ok(Frame::Error {
+            request_id,
+            code,
+            message,
+            ..
+        }) => {
+            assert_eq!(request_id, 0, "connection-level error");
+            assert_eq!(code, ErrorCode::ConnectionLimit);
+            assert!(
+                message.contains("connection limit"),
+                "unhelpful message: {message:?}"
+            );
+        }
+        other => panic!("expected ConnectionLimit error, got {other:?}"),
+    }
+    // ...and then the close.
+    match read_frame(&mut refused, &Limits::default()) {
+        Err(WireError::Closed) | Err(WireError::Io(_)) => {}
+        other => panic!("expected close after refusal, got {other:?}"),
+    }
+
+    let net = server.net_metrics();
+    assert_eq!(net.connections_refused, 1);
+    // ConnectionLimit is code 13 → index 12 in the per-code counters.
+    assert_eq!(net.errors_sent_by_code[12], 1);
+
+    // The occupant's slot is untouched.
+    occupant.ping().expect("occupant still live");
+
+    // Once the occupant leaves, new connections are admitted again.
+    drop(occupant);
+    for _ in 0..200 {
+        if let Ok(mut c) = Client::connect(server.local_addr()) {
+            if c.ping().is_ok() {
+                server.shutdown();
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("slot never freed after occupant disconnected");
+}
+
 #[test]
 fn mismatched_input_shape_is_typed() {
     let server = test_server();

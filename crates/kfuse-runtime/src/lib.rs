@@ -12,9 +12,12 @@
 //!
 //! Architecture (see `DESIGN.md` §3.8):
 //!
-//! * [`runtime`] — bounded work queue with configurable [`Admission`]
-//!   control, a `std::thread` worker pool with per-worker scratch reuse,
-//!   and graceful draining [`Runtime::shutdown`];
+//! * [`runtime`] — N runtime shards with fingerprint-affinity routing,
+//!   each holding a bounded queue with per-tenant weighted-fair queueing
+//!   and strict [`Priority`] classes, configurable [`Admission`] control
+//!   with early QoS load shedding, a `std::thread` worker pool with
+//!   per-worker scratch reuse, and graceful draining
+//!   [`Runtime::shutdown`];
 //! * [`cache`] — the LRU [`PlanCache`] keyed by [`PlanKey`], guarded by an
 //!   id-layout hash so structural sharing can never bind a tenant's images
 //!   to the wrong slots;
@@ -71,5 +74,5 @@ pub use metrics::{
     FidelitySnapshot, LatencyExemplar, LatencyHistogram, MetricsRegistry, MetricsSnapshot,
     PipelineMetrics, PipelineSnapshot, RuntimeGauges,
 };
-pub use runtime::{Admission, JobHandle, Runtime, RuntimeConfig, RuntimeError};
+pub use runtime::{Admission, JobHandle, Priority, Runtime, RuntimeConfig, RuntimeError};
 pub use tune::{RetuneReport, TuneConfig};

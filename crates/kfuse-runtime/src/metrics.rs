@@ -169,6 +169,7 @@ pub struct PipelineMetrics {
     completed: AtomicU64,
     errors: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
     deadline_misses: AtomicU64,
     admission_timeouts: AtomicU64,
     cache_hits: AtomicU64,
@@ -200,6 +201,14 @@ impl PipelineMetrics {
 
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a submission shed by QoS policy at admission (tenant over
+    /// its queue share, or queue pressure past the class threshold) —
+    /// deliberate overload protection, tallied apart from plain
+    /// full-queue rejections so operators can tell policy from capacity.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts a job whose deadline expired in the queue: answered with
@@ -259,6 +268,7 @@ impl PipelineMetrics {
             completed: self.completed.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             admission_timeouts: self.admission_timeouts.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -383,7 +393,13 @@ pub struct PipelineSnapshot {
     pub completed: u64,
     pub errors: u64,
     pub rejected: u64,
-    /// Jobs answered `DeadlineExceeded` at dequeue (never executed).
+    /// Submissions shed by QoS policy at admission (tenant share cap or
+    /// per-class queue-pressure threshold) — counted apart from
+    /// `rejected` so overload protection is distinguishable from a
+    /// genuinely full queue.
+    pub shed: u64,
+    /// Jobs answered `DeadlineExceeded` — expired at admission or in the
+    /// queue (never executed).
     pub deadline_misses: u64,
     /// Submissions that timed out waiting for queue space under
     /// `Admission::BlockWithTimeout`.
@@ -436,6 +452,9 @@ pub struct RuntimeGauges {
     pub tuned_plans: u64,
     /// Cumulative plans evicted to make room.
     pub cache_evictions: u64,
+    /// Runtime shards serving the process (1 = unsharded). Queue and
+    /// cache gauges above are summed across shards; the HWM is the max.
+    pub shards: u64,
 }
 
 /// Frozen metrics for every pipeline a runtime has served.
@@ -472,7 +491,7 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"requests\":{},\"completed\":{},\"errors\":{},\
-                 \"rejected\":{},\"deadline_misses\":{},\"admission_timeouts\":{},\
+                 \"rejected\":{},\"shed\":{},\"deadline_misses\":{},\"admission_timeouts\":{},\
                  \"cache_hits\":{},\"cache_misses\":{},\
                  \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{},\
                  \"slo_jobs\":{},\"slo_misses\":{},\"budget_burn\":{},\"slo_miss_rate\":{}",
@@ -481,6 +500,7 @@ impl MetricsSnapshot {
                 p.completed,
                 p.errors,
                 p.rejected,
+                p.shed,
                 p.deadline_misses,
                 p.admission_timeouts,
                 p.cache_hits,
@@ -512,7 +532,7 @@ impl MetricsSnapshot {
         let g = &self.runtime;
         out.push_str(&format!(
             "{{\"queue_depth\":{},\"queue_depth_hwm\":{},\"in_flight\":{},\"cache_size\":{},\
-             \"cache_capacity\":{},\"tuned_plans\":{},\"cache_evictions\":{}}}",
+             \"cache_capacity\":{},\"tuned_plans\":{},\"cache_evictions\":{},\"shards\":{}}}",
             g.queue_depth,
             g.queue_depth_hwm,
             g.in_flight,
@@ -520,6 +540,7 @@ impl MetricsSnapshot {
             g.cache_capacity,
             g.tuned_plans,
             g.cache_evictions,
+            g.shards,
         ));
         out.push_str(",\"fingerprints\":[");
         for (i, s) in self.fingerprints.iter().enumerate() {
@@ -559,7 +580,7 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         type Field = fn(&PipelineSnapshot) -> u64;
         let mut w = PromWriter::new();
-        let counters: [(&str, &str, Field); 8] = [
+        let counters: [(&str, &str, Field); 9] = [
             ("kfuse_requests_total", "Requests submitted.", |p| {
                 p.requests
             }),
@@ -577,6 +598,11 @@ impl MetricsSnapshot {
                 "kfuse_requests_rejected_total",
                 "Requests rejected at admission.",
                 |p| p.rejected,
+            ),
+            (
+                "kfuse_requests_shed_total",
+                "Requests shed by QoS policy at admission (tenant share cap or queue pressure).",
+                |p| p.shed,
             ),
             (
                 "kfuse_deadline_misses_total",
@@ -690,7 +716,7 @@ impl MetricsSnapshot {
             }
         }
         let g = &self.runtime;
-        let gauges: [(&str, &str, u64); 6] = [
+        let gauges: [(&str, &str, u64); 7] = [
             (
                 "kfuse_queue_depth",
                 "Jobs queued for a worker.",
@@ -720,6 +746,11 @@ impl MetricsSnapshot {
                 "kfuse_tuned_plans",
                 "Tuned plan choices installed by the autotuner.",
                 g.tuned_plans,
+            ),
+            (
+                "kfuse_runtime_shards",
+                "Runtime shards serving this process (1 = unsharded).",
+                g.shards,
             ),
         ];
         for (name, help, v) in gauges {
@@ -914,12 +945,13 @@ mod tests {
             cache_capacity: 8,
             tuned_plans: 0,
             cache_evictions: 1,
+            shards: 4,
         };
         let json = snap.to_json();
         assert!(
             json.contains("\"runtime\":{\"queue_depth\":3,\"queue_depth_hwm\":7,\"in_flight\":2")
         );
-        assert!(json.contains("\"cache_evictions\":1}"));
+        assert!(json.contains("\"cache_evictions\":1,\"shards\":4}"));
     }
 
     #[test]
@@ -934,10 +966,10 @@ mod tests {
         snap.runtime.queue_depth = 4;
         snap.runtime.queue_depth_hwm = 9;
         let doc = snap.to_prometheus();
-        // 8 counter families × 2 pipelines + 3 quantiles × 2 pipelines
+        // 9 counter families × 2 pipelines + 3 quantiles × 2 pipelines
         // + 1 mean × 2 pipelines + 2 SLO counters × 2 + 2 SLO gauges × 2
-        // + 7 runtime samples (no exemplars or fidelity rows recorded).
-        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 39);
+        // + 8 runtime samples (no exemplars or fidelity rows recorded).
+        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 42);
         assert!(doc.contains("# TYPE kfuse_requests_total counter"));
         assert!(doc.contains("kfuse_queue_depth_hwm 9"));
         assert!(doc.contains("kfuse_requests_total{pipeline=\"a\\\"b\\\\c\"} 1"));
@@ -972,6 +1004,34 @@ mod tests {
         assert!(doc.contains("kfuse_request_latency_mean_us{pipeline=\"idle\"} NaN"));
         assert!(doc.contains("kfuse_request_latency_mean_us{pipeline=\"busy\"} 20"));
         kfuse_obs::validate_prometheus(&doc).expect("text format allows NaN samples");
+    }
+
+    /// The shed counter and shard-count gauge round-trip both exporters,
+    /// and sheds stay separate from plain rejections.
+    #[test]
+    fn shed_and_shards_round_trip_both_exporters() {
+        let reg = MetricsRegistry::default();
+        let m = reg.handle("t");
+        m.record_request();
+        m.record_shed();
+        m.record_shed();
+        m.record_rejected();
+        let mut snap = reg.snapshot();
+        snap.runtime.shards = 4;
+        let s = snap.pipeline("t").unwrap();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.rejected, 1);
+
+        let json = snap.to_json();
+        assert!(json.contains("\"shed\":2"));
+        assert!(json.contains("\"shards\":4"));
+        kfuse_obs::parse_json(&json).expect("strict parser accepts the snapshot");
+
+        let doc = snap.to_prometheus();
+        assert!(doc.contains("# TYPE kfuse_requests_shed_total counter"));
+        assert!(doc.contains("kfuse_requests_shed_total{pipeline=\"t\"} 2"));
+        assert!(doc.contains("kfuse_runtime_shards 4"));
+        kfuse_obs::validate_prometheus(&doc).expect("exposition validates");
     }
 
     #[test]

@@ -1,10 +1,19 @@
-//! The serving runtime: worker pool, bounded admission queue, and
-//! plan-cached execution.
+//! The serving runtime: sharded worker pools, a weighted-fair admission
+//! queue with priority classes, and plan-cached execution.
 //!
-//! A [`Runtime`] owns `workers` OS threads that drain a bounded FIFO of
-//! submitted jobs. Each job names a tenant pipeline, carries its input
-//! images and requested fusion [`Schedule`], and is answered through a
-//! one-shot result slot ([`JobHandle`]). Per job the worker:
+//! A [`Runtime`] owns one or more *shards* (`cfg.shards`), each with its
+//! own bounded work queue, plan cache, worker pool, and (when tuning is
+//! enabled) retuner. Submissions are routed to a shard by the pipeline's
+//! structural fingerprint — *fingerprint affinity* — so every repeat of a
+//! pipeline lands on the shard that already compiled its plan and the
+//! plan-cache hit rate survives scale-out. Within a shard, jobs are not a
+//! FIFO: each of the three [`Priority`] classes holds per-tenant lanes
+//! drained by deficit-round-robin (a weighted-fair-queueing
+//! approximation with unit job cost), so one tenant flooding the queue
+//! can no longer head-of-line block everyone else. Each job names a
+//! tenant pipeline, carries its input images and requested fusion
+//! [`Schedule`], and is answered through a one-shot result slot
+//! ([`JobHandle`]). Per job the worker:
 //!
 //! 1. fingerprints the submitted pipeline (structural + id-layout hashes),
 //! 2. consults the shared LRU [`PlanCache`] under
@@ -21,12 +30,20 @@
 //! worker frees a slot (backpressure), and
 //! [`Admission::BlockWithTimeout`] parks with an upper bound — the mode a
 //! network front-end needs, since a connection handler can never wait
-//! forever. Jobs may carry a deadline
-//! ([`Runtime::submit_with_deadline`]): a job whose deadline passed while
-//! queued is answered with [`RuntimeError::DeadlineExceeded`] at dequeue,
-//! before any planning or execution. [`Runtime::shutdown`] is graceful:
-//! it stops admission, lets the workers drain every queued job, and joins
-//! them — no accepted request is ever dropped.
+//! forever. Load is additionally shed *early*, at admission, where a
+//! rejection costs nothing: a job whose deadline has already expired at
+//! submit time is refused with [`RuntimeError::DeadlineExceeded`] before
+//! it can occupy queue capacity (or park the submitter waiting to admit
+//! provably-dead work); a tenant holding more than its configured share
+//! of the queue is refused with [`RuntimeError::QueueFull`]; and
+//! `Normal`/`Low`-priority work is refused once queue depth crosses its
+//! class's pressure threshold, reserving the remaining capacity for
+//! higher classes. Jobs may still carry a deadline that expires *in* the
+//! queue ([`Runtime::submit_with_deadline`]): those are answered with
+//! [`RuntimeError::DeadlineExceeded`] at dequeue, before any planning or
+//! execution. [`Runtime::shutdown`] is graceful: it stops admission,
+//! lets the workers drain every queued job, and joins them — no accepted
+//! request is ever dropped.
 
 use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, PipelineMetrics, RuntimeGauges};
@@ -58,15 +75,73 @@ pub enum Admission {
     BlockWithTimeout(Duration),
 }
 
+/// Scheduling class of a submitted job. Classes are drained strictly in
+/// order — every queued `High` job is served before any `Normal` job,
+/// and `Normal` before `Low` — while *within* a class tenants share
+/// capacity via weighted round-robin. Sustained `High` load can starve
+/// `Low`; the pressure thresholds in [`RuntimeConfig`] exist to shed
+/// low classes early instead of letting them rot in the queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-sensitive interactive work; served first, never
+    /// pressure-shed (only a completely full queue refuses it).
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Batch/background work; served last, shed first under pressure.
+    Low,
+}
+
+impl Priority {
+    /// Dense index used for the per-class queues (`High`=0 .. `Low`=2).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Stable lowercase label for metrics and wire diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
 /// Configuration of a [`Runtime`].
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
-    /// Worker threads draining the queue.
+    /// Worker threads draining the queue, **per shard**.
     pub workers: usize,
-    /// Maximum queued (admitted but not yet executing) jobs.
+    /// Maximum queued (admitted but not yet executing) jobs, per shard.
     pub queue_capacity: usize,
     /// Behavior when the queue is full.
     pub admission: Admission,
+    /// Number of runtime shards, each with its own queue, plan cache,
+    /// and worker pool. Submissions route by pipeline fingerprint, so a
+    /// given pipeline structure always lands on the same shard and its
+    /// cached plan. 0 is treated as 1.
+    pub shards: usize,
+    /// Per-tenant weight for the fair queue: a tenant with weight `w`
+    /// may drain up to `w` consecutive jobs per round-robin turn within
+    /// its priority class. Unlisted tenants get weight 1.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Largest fraction of one shard's queue a single tenant may occupy
+    /// before further submissions are shed with
+    /// [`RuntimeError::QueueFull`]. `1.0` (the default) disables the
+    /// cap. The floor is one slot — a tenant can always queue *one* job.
+    pub max_tenant_share: f64,
+    /// Queue-depth fraction past which `Low`-priority submissions are
+    /// shed immediately instead of queued/blocked. `1.0` disables.
+    pub shed_low_fraction: f64,
+    /// Queue-depth fraction past which `Normal`-priority submissions are
+    /// shed immediately. `1.0` disables. `High` is never pressure-shed.
+    pub shed_normal_fraction: f64,
     /// Maximum cached compiled plans; 0 disables plan caching.
     pub plan_cache_capacity: usize,
     /// Executor configuration used for every job (part of the cache key).
@@ -96,6 +171,14 @@ impl Default for RuntimeConfig {
             workers: 2,
             queue_capacity: 64,
             admission: Admission::Block,
+            shards: 1,
+            tenant_weights: Vec::new(),
+            // QoS shedding is opt-in: embedded uses of the runtime keep
+            // the conservative "queue everything until full" behavior;
+            // the network serving plane turns the thresholds on.
+            max_tenant_share: 1.0,
+            shed_low_fraction: 1.0,
+            shed_normal_fraction: 1.0,
             plan_cache_capacity: 32,
             // One executor thread per job: in a serving runtime the
             // parallelism lives across requests, not inside one.
@@ -160,8 +243,21 @@ impl From<ExecError> for RuntimeError {
 /// One-shot result slot a worker fills and a [`JobHandle`] waits on.
 #[derive(Default)]
 struct Slot {
-    state: Mutex<Option<Result<Execution, RuntimeError>>>,
+    state: Mutex<SlotState>,
     done: Condvar,
+}
+
+#[derive(Default)]
+struct SlotState {
+    result: Option<Result<Execution, RuntimeError>>,
+    /// Set when a waiter consumes `result`, so a second waiter on a
+    /// [`JobHandle::duplicate`] errors instead of blocking forever.
+    taken: bool,
+    /// Completion watcher registered by [`JobHandle::on_ready`]: invoked
+    /// exactly once, after the result is stored. Lets a network front-end
+    /// multiplex many in-flight jobs onto one reply path instead of
+    /// parking a thread per job in [`JobHandle::wait`].
+    watcher: Option<Box<dyn FnOnce() + Send>>,
 }
 
 /// Handle to a submitted job; [`JobHandle::wait`] blocks until a worker
@@ -191,14 +287,61 @@ impl JobHandle {
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         loop {
-            if let Some(result) = state.take() {
+            if let Some(result) = state.result.take() {
+                state.taken = true;
                 return result;
+            }
+            if state.taken {
+                return Err(RuntimeError::Panicked(
+                    "result already taken by a duplicate handle".into(),
+                ));
             }
             state = self
                 .slot
                 .done
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Registers a completion watcher: `f` runs exactly once, as soon as
+    /// the job's result is available (immediately, on the caller's
+    /// thread, if it already is; otherwise on the worker thread that
+    /// completes the job). The watcher is a *readiness* signal — it takes
+    /// no result; pair it with [`JobHandle::wait`], which then returns
+    /// without blocking. This is what lets a connection handler keep N
+    /// jobs in flight and write replies in completion order instead of
+    /// submission order (no head-of-line blocking on a slow request).
+    pub fn on_ready(&self, f: impl FnOnce() + Send + 'static) {
+        let run_now = {
+            let mut state = self
+                .slot
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if state.result.is_some() {
+                true
+            } else {
+                state.watcher = Some(Box::new(f));
+                return;
+            }
+        };
+        if run_now {
+            f();
+        }
+    }
+
+    /// Returns a second handle to the same job's result slot.
+    ///
+    /// The result is delivered to whichever handle calls
+    /// [`JobHandle::wait`] first; the other then observes a
+    /// [`RuntimeError::Panicked`] "result already taken" error. Use this
+    /// when [`JobHandle::on_ready`] registration and the eventual `wait`
+    /// happen on different owners (e.g. a server that registers a
+    /// watcher, then hands the duplicate to the reply writer).
+    pub fn duplicate(&self) -> JobHandle {
+        JobHandle {
+            slot: Arc::clone(&self.slot),
         }
     }
 }
@@ -233,13 +376,21 @@ impl CompletionGuard {
             return;
         }
         self.completed = true;
-        let mut state = self
-            .slot
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        *state = Some(result);
-        self.slot.done.notify_all();
+        let watcher = {
+            let mut state = self
+                .slot
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.result = Some(result);
+            self.slot.done.notify_all();
+            state.watcher.take()
+        };
+        // Run the readiness watcher outside the slot lock: it may call
+        // back into `wait` (which relocks) or do real work.
+        if let Some(w) = watcher {
+            w();
+        }
     }
 }
 
@@ -257,6 +408,7 @@ struct Job {
     pipeline: Pipeline,
     inputs: Vec<(ImageId, Image)>,
     schedule: Schedule,
+    priority: Priority,
     metrics: Arc<PipelineMetrics>,
     slot: Arc<Slot>,
     submitted: Instant,
@@ -269,18 +421,132 @@ struct Job {
     span_id: u64,
 }
 
-struct QueueState {
+/// One tenant's FIFO lane within a priority class. `credit` is the
+/// deficit-round-robin budget: how many more jobs this lane may drain
+/// before the cursor moves on. Lanes are removed the moment they empty,
+/// so the lane vector only ever holds tenants with queued work.
+struct TenantLane {
+    tenant: String,
+    weight: u32,
+    credit: u32,
     jobs: VecDeque<Job>,
+}
+
+/// One priority class: per-tenant lanes drained by weighted round-robin
+/// (deficit round-robin with unit job cost — the classic O(1)
+/// approximation of weighted-fair queueing). A tenant with weight `w`
+/// gets up to `w` consecutive pops per turn; every active tenant is
+/// visited once per round, so a flooding tenant delays a light tenant by
+/// at most one round, not by its whole backlog.
+#[derive(Default)]
+struct ClassQueue {
+    lanes: Vec<TenantLane>,
+    cursor: usize,
+}
+
+impl ClassQueue {
+    fn push(&mut self, job: Job, weight: u32) {
+        match self.lanes.iter_mut().find(|l| l.tenant == job.tenant) {
+            Some(lane) => lane.jobs.push_back(job),
+            None => self.lanes.push(TenantLane {
+                tenant: job.tenant.clone(),
+                weight: weight.max(1),
+                credit: weight.max(1),
+                jobs: VecDeque::from([job]),
+            }),
+        }
+    }
+
+    /// Pops the next job under DRR. Invariants: non-current lanes always
+    /// hold a full credit (the cursor recharges a lane when it leaves
+    /// it), and empty lanes are removed immediately.
+    fn pop(&mut self) -> Option<Job> {
+        if self.lanes.is_empty() {
+            return None;
+        }
+        if self.cursor >= self.lanes.len() {
+            self.cursor = 0;
+        }
+        let lane = &mut self.lanes[self.cursor];
+        let job = lane.jobs.pop_front().expect("lanes are never empty");
+        lane.credit = lane.credit.saturating_sub(1);
+        if lane.jobs.is_empty() {
+            // Lane drained: drop it. The cursor now points at what was
+            // the next lane (which, by the invariant, has full credit).
+            self.lanes.remove(self.cursor);
+        } else if lane.credit == 0 {
+            // Turn over: recharge for this lane's next visit and move on.
+            lane.credit = lane.weight;
+            self.cursor += 1;
+        }
+        Some(job)
+    }
+}
+
+/// The sharded work queue: three strict-priority classes, each a
+/// weighted-fair set of per-tenant lanes, plus the per-tenant depth
+/// table the admission share-cap consults.
+struct QueueState {
+    classes: [ClassQueue; 3],
+    /// Total queued jobs across all classes (kept so depth checks do not
+    /// walk the lanes).
+    len: usize,
+    /// Queued jobs per tenant, across classes; entries removed at zero.
+    tenant_depth: std::collections::HashMap<String, usize>,
     accepting: bool,
 }
 
-/// State shared between the API side, the workers, and the retuner.
+impl QueueState {
+    fn new() -> Self {
+        Self {
+            classes: [
+                ClassQueue::default(),
+                ClassQueue::default(),
+                ClassQueue::default(),
+            ],
+            len: 0,
+            tenant_depth: std::collections::HashMap::new(),
+            accepting: true,
+        }
+    }
+
+    fn push(&mut self, job: Job, weight: u32) {
+        *self.tenant_depth.entry(job.tenant.clone()).or_insert(0) += 1;
+        self.classes[job.priority.index()].push(job, weight);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        for class in &mut self.classes {
+            if let Some(job) = class.pop() {
+                self.len -= 1;
+                if let Some(d) = self.tenant_depth.get_mut(&job.tenant) {
+                    *d -= 1;
+                    if *d == 0 {
+                        self.tenant_depth.remove(&job.tenant);
+                    }
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn tenant_depth(&self, tenant: &str) -> usize {
+        self.tenant_depth.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+/// Per-shard state shared between the API side, the shard's workers,
+/// and its retuner. The metrics registry alone is shared *across* shards
+/// (tenant counters are global; everything else — queue, cache, tuner —
+/// is shard-local so shards never contend on each other's locks).
 pub(crate) struct Shared {
     queue: Mutex<QueueState>,
     job_available: Condvar,
     space_available: Condvar,
     pub(crate) cache: Mutex<PlanCache>,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
     /// Jobs currently executing on worker threads (gauge).
     in_flight: AtomicU64,
     /// Deepest the queue has ever been (high-water mark): an instantaneous
@@ -298,65 +564,91 @@ pub(crate) struct Shared {
 
 /// A multi-tenant pipeline-serving runtime. See the [module docs](crate::runtime).
 pub struct Runtime {
-    shared: Arc<Shared>,
+    shards: Vec<Arc<Shared>>,
+    metrics: Arc<MetricsRegistry>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    retuner: Mutex<Option<std::thread::JoinHandle<()>>>,
+    retuners: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// SplitMix64 finalizer: decorrelates the shard index from raw
+/// fingerprint bits (structural fingerprints are themselves hashes, but
+/// routing must stay uniform even for adversarially similar ones).
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
 }
 
 impl Runtime {
-    /// Starts a runtime with `cfg.workers` worker threads.
+    /// Starts a runtime with `cfg.shards` shards of `cfg.workers` worker
+    /// threads each.
     pub fn new(cfg: RuntimeConfig) -> Self {
         Self::start(cfg, true)
     }
 
     fn start(cfg: RuntimeConfig, spawn: bool) -> Self {
-        let workers = cfg.workers.max(1);
-        let policy = Arc::clone(&cfg.policy);
-        let tuner = cfg.tuning.clone().map(TunerState::new);
-        let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                accepting: true,
-            }),
-            job_available: Condvar::new(),
-            space_available: Condvar::new(),
-            cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
-            metrics: MetricsRegistry::default(),
-            in_flight: AtomicU64::new(0),
-            queue_depth_hwm: AtomicU64::new(0),
-            policy: Mutex::new(policy),
-            tuner,
-            cfg,
-        });
-        let handles = if spawn {
-            (0..workers)
-                .map(|i| {
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("kfuse-worker-{i}"))
-                        .spawn(move || worker_loop(&shared))
-                        .expect("spawning runtime worker")
+        let n_shards = cfg.shards.max(1);
+        let workers_per_shard = cfg.workers.max(1);
+        let metrics = Arc::new(MetricsRegistry::default());
+        let shards: Vec<Arc<Shared>> = (0..n_shards)
+            .map(|_| {
+                Arc::new(Shared {
+                    queue: Mutex::new(QueueState::new()),
+                    job_available: Condvar::new(),
+                    space_available: Condvar::new(),
+                    cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+                    metrics: Arc::clone(&metrics),
+                    in_flight: AtomicU64::new(0),
+                    queue_depth_hwm: AtomicU64::new(0),
+                    policy: Mutex::new(Arc::clone(&cfg.policy)),
+                    tuner: cfg.tuning.clone().map(TunerState::new),
+                    cfg: cfg.clone(),
                 })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let retuner = if spawn && shared.tuner.is_some() {
-            let shared = Arc::clone(&shared);
-            Some(
-                std::thread::Builder::new()
-                    .name("kfuse-retuner".to_string())
-                    .spawn(move || crate::tune::retuner_loop(&shared))
-                    .expect("spawning retuner thread"),
-            )
-        } else {
-            None
-        };
-        Self {
-            shared,
-            workers: Mutex::new(handles),
-            retuner: Mutex::new(retuner),
+            })
+            .collect();
+        let mut handles = Vec::new();
+        let mut retuners = Vec::new();
+        if spawn {
+            for (s, shard) in shards.iter().enumerate() {
+                for i in 0..workers_per_shard {
+                    let shared = Arc::clone(shard);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("kfuse-worker-{s}.{i}"))
+                            .spawn(move || worker_loop(&shared))
+                            .expect("spawning runtime worker"),
+                    );
+                }
+                if shard.tuner.is_some() {
+                    let shared = Arc::clone(shard);
+                    retuners.push(
+                        std::thread::Builder::new()
+                            .name(format!("kfuse-retuner-{s}"))
+                            .spawn(move || crate::tune::retuner_loop(&shared))
+                            .expect("spawning retuner thread"),
+                    );
+                }
+            }
         }
+        Self {
+            shards,
+            metrics,
+            workers: Mutex::new(handles),
+            retuners: Mutex::new(retuners),
+        }
+    }
+
+    /// The shard a given pipeline fingerprint routes to. Pure function of
+    /// the fingerprint and shard count: every submission of the same
+    /// structure reuses the same shard-local plan cache.
+    fn shard_for(&self, fingerprint: u64) -> &Arc<Shared> {
+        let idx = (mix64(fingerprint) % self.shards.len() as u64) as usize;
+        &self.shards[idx]
+    }
+
+    /// Number of shards this runtime is running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// A runtime whose queue is never drained — deterministic admission
@@ -393,15 +685,36 @@ impl Runtime {
         schedule: Schedule,
         deadline: Option<Instant>,
     ) -> Result<JobHandle, RuntimeError> {
-        self.submit_with_ctx(name, pipeline, inputs, schedule, deadline, 0, 0)
+        self.submit_with_ctx(
+            name,
+            pipeline,
+            inputs,
+            schedule,
+            Priority::Normal,
+            deadline,
+            0,
+            0,
+        )
     }
 
-    /// Like [`Runtime::submit_with_deadline`], carrying a propagated trace
-    /// context. `trace_id`/`span_id` travel with the job so every serving
-    /// span (and the flight-recorder record) lands under the client's
-    /// trace id — the server anchors the wire-decoded context here. Zero
-    /// means "no client trace": with a recorder installed, a synthesized
-    /// high-bit-tagged id is used instead.
+    /// Like [`Runtime::submit_with_deadline`], carrying a scheduling
+    /// [`Priority`] and a propagated trace context. `trace_id`/`span_id`
+    /// travel with the job so every serving span (and the flight-recorder
+    /// record) lands under the client's trace id — the server anchors the
+    /// wire-decoded context here. Zero means "no client trace": with a
+    /// recorder installed, a synthesized high-bit-tagged id is used
+    /// instead.
+    ///
+    /// Admission sheds cheap-to-reject work before it costs anything:
+    ///
+    /// * a deadline already expired at submit time → immediate
+    ///   [`RuntimeError::DeadlineExceeded`] (counted as a deadline miss;
+    ///   nothing is queued, no worker ever sees it);
+    /// * tenant over its [`RuntimeConfig::max_tenant_share`] of the shard
+    ///   queue, or queue depth past the class's pressure threshold →
+    ///   immediate [`RuntimeError::QueueFull`] (counted as shed), even
+    ///   under blocking admission — blocking is reserved for work the
+    ///   runtime actually intends to take.
     #[allow(clippy::too_many_arguments)]
     pub fn submit_with_ctx(
         &self,
@@ -409,18 +722,30 @@ impl Runtime {
         pipeline: &Pipeline,
         inputs: Vec<(ImageId, Image)>,
         schedule: Schedule,
+        priority: Priority,
         deadline: Option<Instant>,
         trace_id: u64,
         span_id: u64,
     ) -> Result<JobHandle, RuntimeError> {
-        let metrics = self.shared.metrics.handle(name);
+        let metrics = self.metrics.handle(name);
         metrics.record_request();
+        // Dead on arrival: the deadline expired before admission. The
+        // whole point of early shedding — the reject costs one clock
+        // read instead of queue capacity plus a dequeue-side drop.
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                metrics.record_deadline_miss();
+                return Err(RuntimeError::DeadlineExceeded);
+            }
+        }
+        let shared = self.shard_for(pipeline.fingerprint());
         let slot = Arc::new(Slot::default());
         let job = Job {
             tenant: name.to_string(),
             pipeline: pipeline.clone(),
             inputs,
             schedule,
+            priority,
             metrics: Arc::clone(&metrics),
             slot: Arc::clone(&slot),
             submitted: Instant::now(),
@@ -428,38 +753,57 @@ impl Runtime {
             trace_id,
             span_id,
         };
+        let cfg = &shared.cfg;
+        let weight = cfg
+            .tenant_weights
+            .iter()
+            .find(|(t, _)| t == name)
+            .map(|(_, w)| *w)
+            .unwrap_or(1);
+        let capacity = cfg.queue_capacity;
+        // Tenant share cap and per-class pressure threshold, in queue
+        // slots. A threshold at or past capacity is disabled (the plain
+        // full-queue admission policy already covers it).
+        let tenant_cap = ((cfg.max_tenant_share * capacity as f64).ceil() as usize).max(1);
+        let pressure = match priority {
+            Priority::High => capacity,
+            Priority::Normal => (cfg.shed_normal_fraction * capacity as f64).ceil() as usize,
+            Priority::Low => (cfg.shed_low_fraction * capacity as f64).ceil() as usize,
+        };
         // For BlockWithTimeout: the instant at which waiting for queue
         // space becomes a failed admission.
-        let give_up = match self.shared.cfg.admission {
+        let give_up = match cfg.admission {
             Admission::BlockWithTimeout(t) => Some(Instant::now() + t),
             _ => None,
         };
-        let mut queue = self.shared.queue.lock().unwrap();
-        loop {
+        let mut queue = shared.queue.lock().unwrap();
+        let depth = loop {
             if !queue.accepting {
                 metrics.record_rejected();
                 return Err(RuntimeError::ShuttingDown);
             }
-            if queue.jobs.len() < self.shared.cfg.queue_capacity {
-                queue.jobs.push_back(job);
-                let depth = queue.jobs.len() as u64;
-                self.shared
-                    .queue_depth_hwm
-                    .fetch_max(depth, Ordering::Relaxed);
-                self.shared
-                    .cfg
-                    .tracer
-                    .counter("queue_depth", "serve", depth as f64);
-                self.shared.job_available.notify_one();
-                return Ok(JobHandle { slot });
+            if tenant_cap < capacity && queue.tenant_depth(name) >= tenant_cap {
+                metrics.record_shed();
+                return Err(RuntimeError::QueueFull);
             }
-            match self.shared.cfg.admission {
+            if pressure < capacity && queue.len >= pressure {
+                metrics.record_shed();
+                return Err(RuntimeError::QueueFull);
+            }
+            if queue.len < capacity {
+                queue.push(job, weight);
+                let depth = queue.len as u64;
+                shared.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+                shared.job_available.notify_one();
+                break depth;
+            }
+            match cfg.admission {
                 Admission::Reject => {
                     metrics.record_rejected();
                     return Err(RuntimeError::QueueFull);
                 }
                 Admission::Block => {
-                    queue = self.shared.space_available.wait(queue).unwrap();
+                    queue = shared.space_available.wait(queue).unwrap();
                 }
                 Admission::BlockWithTimeout(_) => {
                     let now = Instant::now();
@@ -468,15 +812,21 @@ impl Runtime {
                         metrics.record_admission_timeout();
                         return Err(RuntimeError::AdmissionTimeout);
                     }
-                    let (guard, _timed_out) = self
-                        .shared
+                    let (guard, _timed_out) = shared
                         .space_available
                         .wait_timeout(queue, give_up - now)
                         .unwrap();
                     queue = guard;
                 }
             }
-        }
+        };
+        drop(queue);
+        // Trace-counter emission happens *after* the queue lock is
+        // released: a recording tracer takes its own lock and formats
+        // arguments, and doing that under the queue mutex serialized
+        // every submitter behind tracing cost (see DESIGN.md §3.15).
+        cfg.tracer.counter("queue_depth", "serve", depth as f64);
+        Ok(JobHandle { slot })
     }
 
     /// Convenience: submit and wait.
@@ -491,91 +841,152 @@ impl Runtime {
     }
 
     /// A point-in-time snapshot of every tenant's metrics plus the
-    /// runtime-wide gauges (queue depth, in-flight jobs, plan-cache state).
+    /// runtime-wide gauges (queue depth, in-flight jobs, plan-cache
+    /// state), aggregated across shards. Depth-like gauges sum; the
+    /// high-water mark is the deepest any single shard has been;
+    /// per-fingerprint plan-cache stats merge by fingerprint (affinity
+    /// routing means each fingerprint only ever tallies on one shard, so
+    /// the merge is a concatenation in practice).
     pub fn metrics(&self) -> MetricsSnapshot {
-        let queue_depth = self.shared.queue.lock().unwrap().jobs.len() as u64;
-        let (cache_size, cache_capacity, cache_evictions, fingerprints) = {
-            let cache = self.shared.cache.lock().unwrap();
-            (
-                cache.len() as u64,
-                cache.capacity() as u64,
-                cache.evictions(),
-                cache.fingerprint_stats(),
-            )
-        };
-        let mut snap = self.shared.metrics.snapshot();
+        let mut queue_depth = 0u64;
+        let mut queue_depth_hwm = 0u64;
+        let mut in_flight = 0u64;
+        let mut cache_size = 0u64;
+        let mut cache_capacity = 0u64;
+        let mut cache_evictions = 0u64;
+        let mut by_fp: std::collections::HashMap<u64, crate::cache::FingerprintStats> =
+            std::collections::HashMap::new();
+        for shard in &self.shards {
+            queue_depth += shard.queue.lock().unwrap().len as u64;
+            queue_depth_hwm = queue_depth_hwm.max(shard.queue_depth_hwm.load(Ordering::Relaxed));
+            in_flight += shard.in_flight.load(Ordering::Relaxed);
+            let cache = shard.cache.lock().unwrap();
+            cache_size += cache.len() as u64;
+            cache_capacity += cache.capacity() as u64;
+            cache_evictions += cache.evictions();
+            for s in cache.fingerprint_stats() {
+                let e = by_fp
+                    .entry(s.fingerprint)
+                    .or_insert(crate::cache::FingerprintStats {
+                        fingerprint: s.fingerprint,
+                        ..Default::default()
+                    });
+                e.hits += s.hits;
+                e.misses += s.misses;
+            }
+        }
+        let mut fingerprints: Vec<_> = by_fp.into_values().collect();
+        fingerprints.sort_by(|a, b| {
+            b.lookups()
+                .cmp(&a.lookups())
+                .then(a.fingerprint.cmp(&b.fingerprint))
+        });
+        let mut snap = self.metrics.snapshot();
         snap.runtime = RuntimeGauges {
             queue_depth,
-            queue_depth_hwm: self.shared.queue_depth_hwm.load(Ordering::Relaxed),
-            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            queue_depth_hwm,
+            in_flight,
             cache_size,
             cache_capacity,
             tuned_plans: self.tuned_plans() as u64,
             cache_evictions,
+            shards: self.shards.len() as u64,
         };
         snap.fingerprints = fingerprints;
         snap
     }
 
-    /// Number of compiled plans currently cached.
+    /// Number of compiled plans currently cached, across all shards.
     pub fn cached_plans(&self) -> usize {
-        self.shared.cache.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| s.cache.lock().unwrap().len())
+            .sum()
     }
 
     /// The installed flight recorder, if any (the HTTP sidecar's
     /// `/debug/requests` endpoint dumps it).
     pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
-        self.shared.cfg.recorder.as_ref()
+        self.shards[0].cfg.recorder.as_ref()
     }
 
     /// Runs one synchronous re-tuning pass (calibration, persisted-entry
-    /// validation, hot-fingerprint autotuning, persistence) on the calling
-    /// thread — the same work the background retuner does on its interval,
-    /// made callable for tests and for deployments that prefer explicit
-    /// scheduling. Returns an empty report when tuning is disabled.
+    /// validation, hot-fingerprint autotuning, persistence) per shard on
+    /// the calling thread — the same work the background retuners do on
+    /// their interval, made callable for tests and for deployments that
+    /// prefer explicit scheduling. Returns the merged report (empty when
+    /// tuning is disabled).
     pub fn retune_now(&self) -> RetuneReport {
-        crate::tune::retune_pass(&self.shared)
+        let mut merged = RetuneReport::default();
+        for shard in &self.shards {
+            let r = crate::tune::retune_pass(shard);
+            merged.installed.extend(r.installed);
+            merged.already_tuned += r.already_tuned;
+            merged.tuned_total += r.tuned_total;
+            merged.calibrated |= r.calibrated;
+        }
+        merged
     }
 
-    /// Number of tuned plan choices currently installed (0 when tuning is
-    /// disabled).
+    /// Number of tuned plan choices currently installed across shards
+    /// (0 when tuning is disabled).
     pub fn tuned_plans(&self) -> usize {
-        self.shared
-            .tuner
-            .as_ref()
+        self.shards
+            .iter()
+            .filter_map(|s| s.tuner.as_ref())
             .map(TunerState::tuned_count)
-            .unwrap_or(0)
+            .sum()
     }
 
     /// Name of the active planning policy: `"static"` until calibration
-    /// installs measured constants, then `"measured"`.
+    /// installs measured constants, then `"measured"`. With multiple
+    /// shards, "measured" as soon as any shard has calibrated.
     pub fn policy_name(&self) -> &'static str {
-        self.shared.policy.lock().unwrap().name()
+        self.shards
+            .iter()
+            .map(|s| s.policy.lock().unwrap().name())
+            .find(|&n| n == "measured")
+            .unwrap_or_else(|| self.shards[0].policy.lock().unwrap().name())
     }
 
-    /// Graceful shutdown: stops admission, drains every queued job, and
-    /// joins the workers. Idempotent; also invoked by `Drop`.
+    /// Graceful shutdown: stops admission on every shard, drains every
+    /// queued job, and joins the workers. Idempotent; also invoked by
+    /// `Drop`.
     pub fn shutdown(&self) {
-        {
-            let mut queue = self.shared.queue.lock().unwrap();
+        for shard in &self.shards {
+            let mut queue = shard.queue.lock().unwrap();
             queue.accepting = false;
             // Wake idle workers (to observe the flag and exit) and any
             // submitters parked on backpressure (to reject).
-            self.shared.job_available.notify_all();
-            self.shared.space_available.notify_all();
+            shard.job_available.notify_all();
+            shard.space_available.notify_all();
         }
-        // Stop the retuner first: it must not keep tuning against a
+        // Stop the retuners first: they must not keep tuning against a
         // draining runtime.
-        if let Some(t) = &self.shared.tuner {
-            *t.stop.lock().unwrap() = true;
-            t.wake.notify_all();
+        for shard in &self.shards {
+            if let Some(t) = &shard.tuner {
+                *t.stop.lock().unwrap() = true;
+                t.wake.notify_all();
+            }
         }
-        if let Some(h) = self.retuner.lock().unwrap().take() {
+        for h in std::mem::take(&mut *self.retuners.lock().unwrap()) {
             let _ = h.join();
         }
-        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
-        for h in handles {
+        for h in std::mem::take(&mut *self.workers.lock().unwrap()) {
             let _ = h.join();
+        }
+    }
+
+    /// Test-only synchronous drain: stops admission and runs a worker
+    /// loop on the calling thread until every queued job is answered.
+    /// Lets queue-order and dequeue-path tests execute deterministically
+    /// against a [`Runtime::without_workers`] runtime.
+    #[cfg(test)]
+    fn drain_for_test(&self) {
+        for shard in &self.shards {
+            shard.queue.lock().unwrap().accepting = false;
+            shard.job_available.notify_all();
+            worker_loop(shard);
         }
     }
 }
@@ -592,16 +1003,12 @@ fn worker_loop(shared: &Shared) {
     // allocating.
     let mut scratch = Scratch::default();
     loop {
-        let job = {
+        let polled = {
             let mut queue = shared.queue.lock().unwrap();
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
+                if let Some(job) = queue.pop() {
                     shared.space_available.notify_one();
-                    shared
-                        .cfg
-                        .tracer
-                        .counter("queue_depth", "serve", queue.jobs.len() as f64);
-                    break Some(job);
+                    break Some((job, queue.len));
                 }
                 if !queue.accepting {
                     break None;
@@ -609,7 +1016,14 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.job_available.wait(queue).unwrap();
             }
         };
-        let Some(job) = job else { return };
+        let Some((job, depth)) = polled else { return };
+        // Counter emission deliberately outside the queue lock — a
+        // recording tracer serializes on its own lock and must not extend
+        // the queue critical section (DESIGN.md §3.15).
+        shared
+            .cfg
+            .tracer
+            .counter("queue_depth", "serve", depth as f64);
         // From here on the submitter is owed an answer: the guard fills
         // the slot with `Panicked` if anything below unwinds before
         // `complete` runs.
@@ -1033,19 +1447,21 @@ mod tests {
         assert_eq!(m.rejected, 1);
     }
 
-    /// A job whose deadline has already passed when a worker dequeues it
-    /// is answered with `DeadlineExceeded` and never executed: its tenant
-    /// sees a deadline miss, not a completion.
+    /// Regression (pre-fix this failed): a job whose deadline has
+    /// *already expired at submit time* is rejected at admission with
+    /// `DeadlineExceeded` — it never occupies queue capacity, never
+    /// reaches a worker, and never plans. The seed runtime admitted it
+    /// and only dropped it at dequeue.
     #[test]
-    fn expired_deadline_rejected_at_dequeue_without_executing() {
+    fn expired_deadline_rejected_at_admission_without_queueing() {
         let (p, input, _) = blur_pipeline(9, 9);
-        let rt = Runtime::new(RuntimeConfig {
+        let rt = Runtime::without_workers(RuntimeConfig {
             workers: 1,
             ..small_cfg()
         });
         let img = synthetic_image(p.image(input).clone(), 1);
-        // A deadline in the past is deterministic: no matter how fast the
-        // worker dequeues, the job is already expired.
+        // A deadline in the past is deterministic: expired before the
+        // submit call even takes the queue lock.
         let past = Instant::now() - Duration::from_millis(10);
         let err = rt
             .submit_with_deadline(
@@ -1055,11 +1471,11 @@ mod tests {
                 Schedule::Optimized,
                 Some(past),
             )
-            .unwrap()
-            .wait()
             .unwrap_err();
         assert!(matches!(err, RuntimeError::DeadlineExceeded));
-        // A generous deadline executes normally.
+        // Nothing was queued: the dead job costs no capacity.
+        assert_eq!(rt.metrics().runtime.queue_depth, 0);
+        // A generous deadline is admitted normally.
         let future = Instant::now() + Duration::from_secs(60);
         rt.submit_with_deadline(
             "late",
@@ -1068,18 +1484,76 @@ mod tests {
             Schedule::Optimized,
             Some(future),
         )
-        .unwrap()
-        .wait()
         .unwrap();
         let snap = rt.metrics();
         let m = snap.pipeline("late").unwrap();
         assert_eq!(m.requests, 2);
         assert_eq!(m.deadline_misses, 1);
-        assert_eq!(m.completed, 1);
-        // The expired job never planned or executed: exactly one cache
-        // miss (from the job that ran), no hit.
-        assert_eq!(m.cache_misses, 1);
+        assert_eq!(m.completed, 0);
+        // The expired job never planned or executed.
+        assert_eq!(m.cache_misses, 0);
         assert_eq!(m.cache_hits, 0);
+    }
+
+    /// Regression (pre-fix this hung until the admission timeout): under
+    /// blocking admission with a full queue, a dead-on-arrival job must
+    /// be rejected immediately instead of parking the submitter waiting
+    /// to admit work nobody can use.
+    #[test]
+    fn expired_deadline_does_not_block_on_full_queue() {
+        let cfg = RuntimeConfig {
+            queue_capacity: 1,
+            admission: Admission::Block,
+            ..RuntimeConfig::default()
+        };
+        // No workers: the queue stays full forever.
+        let rt = Runtime::without_workers(cfg);
+        let (p, input, _) = blur_pipeline(5, 5);
+        let img = synthetic_image(p.image(input).clone(), 1);
+        rt.submit("t", &p, vec![(input, img.clone())], Schedule::Baseline)
+            .unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        let start = Instant::now();
+        let err = rt
+            .submit_with_deadline("t", &p, vec![(input, img)], Schedule::Baseline, Some(past))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded));
+        // Immediate: with the seed behavior this blocked indefinitely.
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    /// A deadline that expires *while queued* is still dropped at
+    /// dequeue, before any planning or execution — the dequeue-side check
+    /// backstops the admission-side one.
+    #[test]
+    fn deadline_expiring_in_queue_rejected_at_dequeue() {
+        let (p, input, _) = blur_pipeline(9, 9);
+        let rt = Runtime::without_workers(RuntimeConfig {
+            workers: 1,
+            ..small_cfg()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        // Valid at admission, expired by the time anything dequeues it.
+        let soon = Instant::now() + Duration::from_millis(20);
+        let handle = rt
+            .submit_with_deadline(
+                "late",
+                &p,
+                vec![(input, img)],
+                Schedule::Optimized,
+                Some(soon),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        rt.drain_for_test();
+        let err = handle.wait().unwrap_err();
+        assert!(matches!(err, RuntimeError::DeadlineExceeded));
+        let snap = rt.metrics();
+        let m = snap.pipeline("late").unwrap();
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.deadline_misses, 1);
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.cache_misses, 0, "expired job must not even plan");
     }
 
     /// `BlockWithTimeout` parks the submitter like `Block` but gives up
@@ -1247,6 +1721,7 @@ mod tests {
             &p,
             vec![(input, img)],
             Schedule::Optimized,
+            Priority::Normal,
             None,
             0x77,
             0x9,
@@ -1275,33 +1750,39 @@ mod tests {
             .any(|r| r.trace_id >> 63 == 1 && r.outcome == kfuse_obs::RequestOutcome::Ok));
     }
 
-    /// A job dropped at dequeue because its deadline expired still leaves
-    /// a flight record — outcome `DeadlineMissed`, queue_wait span under
-    /// the propagated trace id — and the tenant's SLO gauges burn.
+    /// A job dropped at dequeue because its deadline expired *in the
+    /// queue* still leaves a flight record — outcome `DeadlineMissed`,
+    /// queue_wait span under the propagated trace id — and the tenant's
+    /// SLO gauges burn. (A deadline already expired at submit never gets
+    /// this far: admission rejects it before a record exists.)
     #[test]
     fn recorder_and_slo_capture_deadline_missed_request() {
         let (p, input, _) = blur_pipeline(9, 9);
         let recorder = Arc::new(kfuse_obs::FlightRecorder::default());
-        let rt = Runtime::new(RuntimeConfig {
+        let rt = Runtime::without_workers(RuntimeConfig {
             workers: 1,
             recorder: Some(Arc::clone(&recorder)),
             ..small_cfg()
         });
         let img = synthetic_image(p.image(input).clone(), 1);
-        let past = Instant::now() - Duration::from_millis(10);
-        let err = rt
+        // Alive at admission, dead at dequeue: no worker exists, so the
+        // deadline deterministically expires while queued.
+        let soon = Instant::now() + Duration::from_millis(20);
+        let handle = rt
             .submit_with_ctx(
                 "late",
                 &p,
                 vec![(input, img)],
                 Schedule::Optimized,
-                Some(past),
+                Priority::Normal,
+                Some(soon),
                 0xdead,
                 1,
             )
-            .unwrap()
-            .wait()
-            .unwrap_err();
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        rt.drain_for_test();
+        let err = handle.wait().unwrap_err();
         assert!(matches!(err, RuntimeError::DeadlineExceeded));
         let rec = recorder
             .record_for(0xdead)
@@ -1508,6 +1989,316 @@ mod tests {
             .bit_equal(reference.expect_image(out)));
         // Calibration happens once; later passes leave the policy alone.
         assert!(!rt.retune_now().calibrated);
+    }
+
+    /// Records completion order: each submitted job appends its label at
+    /// the instant the worker fills its slot. With `drain_for_test` (one
+    /// worker loop on the calling thread) completion order *is* dequeue
+    /// order, making queue-discipline tests deterministic.
+    type OrderLog = Arc<Mutex<Vec<String>>>;
+
+    fn order_probe() -> (OrderLog, impl Fn(&JobHandle, &str)) {
+        let order: OrderLog = Arc::new(Mutex::new(Vec::new()));
+        let probe = {
+            let order = Arc::clone(&order);
+            move |h: &JobHandle, label: &str| {
+                let order = Arc::clone(&order);
+                let label = label.to_string();
+                h.on_ready(move || order.lock().unwrap().push(label));
+            }
+        };
+        (order, probe)
+    }
+
+    /// Satellite regression for cross-tenant fairness: a tenant flooding
+    /// the queue no longer head-of-line blocks a light tenant. Under the
+    /// seed's FIFO the light tenant's jobs sat behind the entire flood
+    /// (positions 13–15); under weighted-fair queueing they interleave
+    /// one-for-one, so the light tenant's queue wait — and hence its p99
+    /// and deadline-miss rate — is bounded by rounds, not by the flood's
+    /// backlog.
+    #[test]
+    fn wfq_interleaves_flooded_and_light_tenants() {
+        let (p, input, _) = blur_pipeline(5, 5);
+        let rt = Runtime::without_workers(RuntimeConfig {
+            queue_capacity: 32,
+            ..RuntimeConfig::default()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        let (order, probe) = order_probe();
+        for i in 0..12 {
+            let h = rt
+                .submit("flood", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+            probe(&h, &format!("flood{i}"));
+        }
+        for i in 0..3 {
+            let h = rt
+                .submit("light", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+            probe(&h, &format!("light{i}"));
+        }
+        rt.drain_for_test();
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 15);
+        let pos = |label: &str| order.iter().position(|l| l == label).unwrap();
+        // Round-robin: flood0, light0, flood1, light1, ... — every light
+        // job completes within the first 2·(i+1) slots. FIFO would put
+        // them at positions 12, 13, 14.
+        for i in 0..3 {
+            let p = pos(&format!("light{i}"));
+            assert!(
+                p <= 2 * i + 1,
+                "light{i} served at position {p}, not interleaved"
+            );
+        }
+    }
+
+    /// Priority classes drain strictly in order regardless of arrival
+    /// order: every queued High job before any Normal, Normal before Low.
+    #[test]
+    fn priority_classes_drain_in_strict_order() {
+        let (p, input, _) = blur_pipeline(5, 5);
+        let rt = Runtime::without_workers(RuntimeConfig {
+            queue_capacity: 16,
+            ..RuntimeConfig::default()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        let (order, probe) = order_probe();
+        let submit = |prio: Priority, label: &str| {
+            let h = rt
+                .submit_with_ctx(
+                    "t",
+                    &p,
+                    vec![(input, img.clone())],
+                    Schedule::Baseline,
+                    prio,
+                    None,
+                    0,
+                    0,
+                )
+                .unwrap();
+            probe(&h, label);
+        };
+        submit(Priority::Low, "low0");
+        submit(Priority::Normal, "norm0");
+        submit(Priority::High, "high0");
+        submit(Priority::Low, "low1");
+        submit(Priority::High, "high1");
+        submit(Priority::Normal, "norm1");
+        rt.drain_for_test();
+        let order = order.lock().unwrap();
+        assert_eq!(
+            *order,
+            vec!["high0", "high1", "norm0", "norm1", "low0", "low1"]
+        );
+    }
+
+    /// A tenant with weight w drains up to w consecutive jobs per
+    /// round-robin turn; unlisted tenants get one.
+    #[test]
+    fn tenant_weights_grant_proportional_turns() {
+        let (p, input, _) = blur_pipeline(5, 5);
+        let rt = Runtime::without_workers(RuntimeConfig {
+            queue_capacity: 16,
+            tenant_weights: vec![("paying".to_string(), 2)],
+            ..RuntimeConfig::default()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        let (order, probe) = order_probe();
+        for i in 0..4 {
+            let h = rt
+                .submit("paying", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+            probe(&h, &format!("p{i}"));
+        }
+        for i in 0..4 {
+            let h = rt
+                .submit("free", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+            probe(&h, &format!("f{i}"));
+        }
+        rt.drain_for_test();
+        let order = order.lock().unwrap();
+        // Weight 2 vs 1: paying drains two per turn, free one.
+        assert_eq!(*order, vec!["p0", "p1", "f0", "p2", "p3", "f1", "f2", "f3"]);
+    }
+
+    /// The per-tenant share cap sheds a flooding tenant's overflow at
+    /// admission with `QueueFull`, leaving the rest of the queue for
+    /// everyone else; the sheds are counted separately from plain
+    /// full-queue rejections.
+    #[test]
+    fn tenant_share_cap_sheds_flood_overflow() {
+        let (p, input, _) = blur_pipeline(5, 5);
+        let rt = Runtime::without_workers(RuntimeConfig {
+            queue_capacity: 16,
+            max_tenant_share: 0.25, // 4 slots
+            admission: Admission::Block,
+            ..RuntimeConfig::default()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        for _ in 0..4 {
+            rt.submit("flood", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap();
+        }
+        for _ in 0..3 {
+            let err = rt
+                .submit("flood", &p, vec![(input, img.clone())], Schedule::Baseline)
+                .unwrap_err();
+            assert!(matches!(err, RuntimeError::QueueFull));
+        }
+        // Another tenant still has the whole remaining queue.
+        rt.submit("light", &p, vec![(input, img)], Schedule::Baseline)
+            .unwrap();
+        let snap = rt.metrics();
+        let flood = snap.pipeline("flood").unwrap();
+        assert_eq!(flood.requests, 7);
+        assert_eq!(flood.shed, 3);
+        assert_eq!(flood.rejected, 0, "sheds are not plain rejections");
+        assert_eq!(snap.pipeline("light").unwrap().shed, 0);
+        assert_eq!(snap.runtime.queue_depth, 5);
+    }
+
+    /// Queue-pressure thresholds shed Low before Normal and never High:
+    /// with capacity 8, low sheds at depth ≥ 2, normal at ≥ 4, and High
+    /// is only refused by the full queue (here: admission `Reject`).
+    #[test]
+    fn queue_pressure_sheds_low_classes_first() {
+        let (p, input, _) = blur_pipeline(5, 5);
+        let rt = Runtime::without_workers(RuntimeConfig {
+            queue_capacity: 8,
+            shed_low_fraction: 0.25,
+            shed_normal_fraction: 0.5,
+            admission: Admission::Reject,
+            ..RuntimeConfig::default()
+        });
+        let img = synthetic_image(p.image(input).clone(), 1);
+        let submit = |prio: Priority| {
+            rt.submit_with_ctx(
+                "t",
+                &p,
+                vec![(input, img.clone())],
+                Schedule::Baseline,
+                prio,
+                None,
+                0,
+                0,
+            )
+        };
+        // Depth 0, 1: everyone is admitted.
+        submit(Priority::Low).unwrap();
+        submit(Priority::Normal).unwrap();
+        // Depth 2: Low sheds, Normal still admitted.
+        assert!(matches!(
+            submit(Priority::Low).unwrap_err(),
+            RuntimeError::QueueFull
+        ));
+        submit(Priority::Normal).unwrap();
+        submit(Priority::Normal).unwrap();
+        // Depth 4: Normal sheds too; High is still admitted.
+        assert!(matches!(
+            submit(Priority::Normal).unwrap_err(),
+            RuntimeError::QueueFull
+        ));
+        for _ in 0..4 {
+            submit(Priority::High).unwrap();
+        }
+        // Depth 8 = capacity: even High is refused now (plain rejection,
+        // not a shed — the queue is genuinely full).
+        assert!(matches!(
+            submit(Priority::High).unwrap_err(),
+            RuntimeError::QueueFull
+        ));
+        let m = rt.metrics();
+        let t = m.pipeline("t").unwrap();
+        assert_eq!(t.shed, 2);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(m.runtime.queue_depth, 8);
+    }
+
+    /// Sharding routes by fingerprint: the same structure always lands on
+    /// the same shard, so warm traffic keeps exactly the unsharded hit
+    /// pattern (1 miss then hits, per fingerprint) while distinct
+    /// structures spread across shards. Results stay bit-identical to the
+    /// reference interpreter.
+    #[test]
+    fn sharded_runtime_keeps_fingerprint_affinity_and_bit_identity() {
+        let shapes: Vec<(usize, usize)> = vec![(9, 9), (11, 7), (13, 13), (15, 9), (17, 11)];
+        let rt = Runtime::new(RuntimeConfig {
+            shards: 4,
+            workers: 1,
+            ..RuntimeConfig::default()
+        });
+        assert_eq!(rt.shard_count(), 4);
+        for &(w, h) in &shapes {
+            let (p, input, out) = blur_pipeline(w, h);
+            let img = synthetic_image(p.image(input).clone(), 7);
+            let reference = kfuse_sim::execute_reference(&p, &[(input, img.clone())]).unwrap();
+            for _ in 0..3 {
+                let exec = rt
+                    .execute("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+                    .unwrap();
+                assert!(exec
+                    .expect_image(out)
+                    .bit_equal(reference.expect_image(out)));
+            }
+        }
+        let snap = rt.metrics();
+        assert_eq!(snap.runtime.shards, 4);
+        let m = snap.pipeline("t").unwrap();
+        // Affinity: per distinct structure, exactly one cold miss — the
+        // same as an unsharded runtime. Without fingerprint routing the
+        // repeats could land on shards that never compiled the plan.
+        assert_eq!(m.cache_misses, shapes.len() as u64);
+        assert_eq!(m.cache_hits, 2 * shapes.len() as u64);
+        // The merged per-fingerprint stats agree.
+        for s in &snap.fingerprints {
+            assert_eq!(s.misses, 1);
+            assert_eq!(s.hits, 2);
+        }
+        rt.shutdown();
+    }
+
+    /// `on_ready` fires exactly once — on the worker thread at completion
+    /// when registered before, immediately on the caller's thread when
+    /// registered after — and `wait` still returns the result.
+    #[test]
+    fn on_ready_fires_for_pending_and_completed_jobs() {
+        let (p, input, _) = blur_pipeline(9, 9);
+        let rt = Runtime::new(small_cfg());
+        let img = synthetic_image(p.image(input).clone(), 1);
+        let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        // The watcher runs on the worker thread, concurrently with the
+        // waiting caller — poll for it instead of racing `wait()`.
+        let settle = |want: u64| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while fired.load(Ordering::SeqCst) < want && Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            assert_eq!(fired.load(Ordering::SeqCst), want);
+        };
+        let h = rt
+            .submit("t", &p, vec![(input, img.clone())], Schedule::Optimized)
+            .unwrap();
+        let f = Arc::clone(&fired);
+        h.on_ready(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        h.wait().unwrap();
+        settle(1);
+        // A watcher registered after completion fires synchronously.
+        let h = rt
+            .submit("t", &p, vec![(input, img)], Schedule::Optimized)
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let f = Arc::clone(&fired);
+        h.on_ready(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        settle(2);
+        h.wait().unwrap();
+        rt.shutdown();
     }
 
     #[test]

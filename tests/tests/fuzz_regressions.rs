@@ -260,7 +260,7 @@ fn wire_trace_context_revision_seeds() {
     // (seed, type_byte, traced)
     let pinned: [(u64, u8, bool); 6] = [
         (0, 3, true),   // Submit with trace context (version 2)
-        (30, 3, false), // Submit without (version 1)
+        (43, 3, false), // Submit without (version 1)
         (24, 4, true),  // ResultOk with
         (7, 4, false),  // ResultOk without
         (3, 5, true),   // Error with
