@@ -19,6 +19,7 @@ pub mod extras;
 pub mod harris;
 pub mod night;
 pub mod sobel;
+pub mod temporal;
 pub mod unsharp;
 
 pub use enhance::{enhance, enhance_paper};
@@ -26,6 +27,9 @@ pub use extras::{difference_of_gaussians, laplacian_sharpen};
 pub use harris::{harris, harris_paper, shitomasi, shitomasi_paper};
 pub use night::{night, night_paper};
 pub use sobel::{sobel, sobel_paper};
+pub use temporal::{
+    background_subtract, frame_difference, temporal_apps, temporal_denoise, StreamApp,
+};
 pub use unsharp::{unsharp, unsharp_paper};
 
 use kfuse_ir::Pipeline;

@@ -127,29 +127,71 @@ fn measure(p: &Pipeline, w: usize, h: usize, schedule: &'static str) -> Measurem
 /// `apps[name].schedules.optimized.fast_mpix_s` from the previous
 /// `BENCH_exec.json`, if the file exists, parses, and was recorded at the
 /// same scale divisor (comparing across workload sizes would be noise).
+///
+/// The previous file comes from an older build, so its schema may have
+/// drifted — fields renamed, apps restructured. Every drift case degrades
+/// to "no side-by-side for that entry" with a printed note, never a panic:
+/// this run's numbers must land even when the old file is unreadable.
 fn previous_optimized(path: &str, scale: usize) -> Vec<(String, f64)> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(_) => return Vec::new(), // first run: nothing to compare against
     };
-    let Ok(doc) = kfuse_obs::parse_json(&text) else {
-        return Vec::new();
-    };
-    if doc.get("scale_divisor").and_then(|v| v.as_num()) != Some(scale as f64) {
-        return Vec::new();
+    let (prev, notes) = parse_previous(&text, scale);
+    for note in notes {
+        println!("previous BENCH_exec.json: {note}");
     }
+    prev
+}
+
+/// Schema-drift-tolerant parse of a previous results file: returns the
+/// apps that still carry `schedules.optimized.fast_mpix_s`, plus a note
+/// for everything that had to be skipped.
+fn parse_previous(text: &str, scale: usize) -> (Vec<(String, f64)>, Vec<String>) {
+    let mut notes = Vec::new();
+    let doc = match kfuse_obs::parse_json(text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            notes.push(format!("unparseable, skipping side-by-side: {e}"));
+            return (Vec::new(), notes);
+        }
+    };
+    match doc.get("scale_divisor").and_then(|v| v.as_num()) {
+        Some(prev_scale) if prev_scale == scale as f64 => {}
+        Some(prev_scale) => {
+            notes.push(format!(
+                "recorded at scale divisor {prev_scale}, this run uses {scale}; skipping side-by-side"
+            ));
+            return (Vec::new(), notes);
+        }
+        None => {
+            notes.push("no numeric `scale_divisor` field; skipping side-by-side".to_string());
+            return (Vec::new(), notes);
+        }
+    }
+    let Some(apps) = doc.get("apps").and_then(|v| v.as_arr()) else {
+        notes.push("no `apps` array; skipping side-by-side".to_string());
+        return (Vec::new(), notes);
+    };
     let mut prev = Vec::new();
-    for app in doc.get("apps").and_then(|v| v.as_arr()).unwrap_or(&[]) {
-        let name = app.get("name").and_then(|v| v.as_str());
+    for (i, app) in apps.iter().enumerate() {
+        let Some(name) = app.get("name").and_then(|v| v.as_str()) else {
+            notes.push(format!("apps[{i}] has no string `name`; skipping it"));
+            continue;
+        };
         let mpix = app
             .get("schedules")
             .and_then(|s| s.get("optimized"))
             .and_then(|o| o.get("fast_mpix_s"))
             .and_then(|v| v.as_num());
-        if let (Some(name), Some(mpix)) = (name, mpix) {
-            prev.push((name.to_string(), mpix));
+        match mpix {
+            Some(mpix) => prev.push((name.to_string(), mpix)),
+            None => notes.push(format!(
+                "app \"{name}\" has no numeric `schedules.optimized.fast_mpix_s`; skipping it"
+            )),
         }
     }
-    prev
+    (prev, notes)
 }
 
 fn main() {
@@ -264,4 +306,69 @@ fn main() {
     );
     std::fs::write(path, json).expect("write BENCH_exec.json");
     println!("\nwrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_previous;
+
+    #[test]
+    fn current_schema_round_trips() {
+        let text = r#"{"scale_divisor": 4, "apps": [
+            {"name": "Unsharp", "schedules": {"optimized": {"fast_mpix_s": 123.5}}},
+            {"name": "Night", "schedules": {"optimized": {"fast_mpix_s": 88.25}}}
+        ]}"#;
+        let (prev, notes) = parse_previous(text, 4);
+        assert!(notes.is_empty(), "unexpected notes: {notes:?}");
+        assert_eq!(
+            prev,
+            vec![("Unsharp".to_string(), 123.5), ("Night".to_string(), 88.25)]
+        );
+    }
+
+    #[test]
+    fn unparseable_text_is_noted_not_fatal() {
+        let (prev, notes) = parse_previous("{not json", 1);
+        assert!(prev.is_empty());
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].contains("unparseable"), "{notes:?}");
+    }
+
+    #[test]
+    fn scale_mismatch_and_missing_scale_skip_everything() {
+        let text = r#"{"scale_divisor": 8, "apps": [
+            {"name": "Unsharp", "schedules": {"optimized": {"fast_mpix_s": 1.0}}}
+        ]}"#;
+        let (prev, notes) = parse_previous(text, 4);
+        assert!(prev.is_empty());
+        assert!(notes[0].contains("scale divisor 8"), "{notes:?}");
+
+        let (prev, notes) = parse_previous(r#"{"apps": []}"#, 4);
+        assert!(prev.is_empty());
+        assert!(notes[0].contains("scale_divisor"), "{notes:?}");
+    }
+
+    #[test]
+    fn renamed_fields_skip_that_app_and_keep_the_rest() {
+        // One app lost its name, one had the throughput field renamed,
+        // one is intact — only the intact app carries forward, with one
+        // note apiece for the drifted ones.
+        let text = r#"{"scale_divisor": 1, "apps": [
+            {"app_name": "Lost", "schedules": {"optimized": {"fast_mpix_s": 2.0}}},
+            {"name": "Renamed", "schedules": {"optimized": {"mpix_per_s": 3.0}}},
+            {"name": "Intact", "schedules": {"optimized": {"fast_mpix_s": 4.0}}}
+        ]}"#;
+        let (prev, notes) = parse_previous(text, 1);
+        assert_eq!(prev, vec![("Intact".to_string(), 4.0)]);
+        assert_eq!(notes.len(), 2, "{notes:?}");
+        assert!(notes[0].contains("apps[0]"), "{notes:?}");
+        assert!(notes[1].contains("Renamed"), "{notes:?}");
+    }
+
+    #[test]
+    fn apps_array_replaced_by_object_is_noted() {
+        let (prev, notes) = parse_previous(r#"{"scale_divisor": 1, "apps": {}}"#, 1);
+        assert!(prev.is_empty());
+        assert!(notes[0].contains("`apps` array"), "{notes:?}");
+    }
 }

@@ -16,14 +16,18 @@
 //!
 //! `--wire N` additionally sweeps N seeds through the `kfuse-net` frame
 //! codec (random frames through encode → decode → re-encode for
-//! bit-identity, plus byte-flip corruption probes).
+//! bit-identity, plus byte-flip corruption probes). `--stream N` sweeps N
+//! seeds through the temporal harness: random streaming pipelines with
+//! bounded `prev_frame(k)` depth, stepped through a session under every
+//! fusion schedule (overlapped tiling included) and checked frame for
+//! frame against the streaming oracle.
 //!
 //! Run with `cargo run --release -p kfuse-bench --bin fuzz -- --seeds 1024`.
 
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz [--seeds N] [--start S] [--wire N] [--verbose]");
+    eprintln!("usage: fuzz [--seeds N] [--start S] [--wire N] [--stream N] [--verbose]");
     std::process::exit(2);
 }
 
@@ -31,6 +35,7 @@ fn main() -> ExitCode {
     let mut seeds = 256u64;
     let mut start = 0u64;
     let mut wire_seeds = 0u64;
+    let mut stream_seeds = 0u64;
     let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +54,12 @@ fn main() -> ExitCode {
             }
             "--wire" => {
                 wire_seeds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--stream" => {
+                stream_seeds = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -110,12 +121,41 @@ fn main() -> ExitCode {
     }
     failures += wire_failures;
 
+    let mut stream_failures = 0u64;
+    for seed in start..start.saturating_add(stream_seeds) {
+        match kfuse_fuzz::check_stream_seed(seed) {
+            Ok(report) => {
+                if verbose {
+                    println!(
+                        "stream seed {seed:#018x}: ok ({} kernels, {} states, depth {})",
+                        report.kernels, report.states, report.max_depth
+                    );
+                }
+            }
+            Err(failure) => {
+                stream_failures += 1;
+                println!("stream seed {seed:#018x}: FAILED: {failure}");
+                let s = kfuse_fuzz::generate_stream(seed);
+                println!(
+                    "  stream shape: {} kernels, {} states, max depth {}",
+                    s.frame().kernels().len(),
+                    s.states().len(),
+                    s.max_depth()
+                );
+            }
+        }
+    }
+    failures += stream_failures;
+
     println!(
         "fuzz: {} seeds checked starting at {start:#x}, {failures} failure(s)",
         seeds
     );
     if wire_seeds > 0 {
         println!("fuzz: {wire_seeds} wire seeds checked, {wire_failures} failure(s)");
+    }
+    if stream_seeds > 0 {
+        println!("fuzz: {stream_seeds} stream seeds checked, {stream_failures} failure(s)");
     }
     if failures > 0 {
         ExitCode::FAILURE

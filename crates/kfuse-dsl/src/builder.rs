@@ -138,6 +138,27 @@ impl PipelineBuilder {
             .add_image(ImageDesc::new(name, self.width, self.height, channels))
     }
 
+    /// Declares a **state tap**: an input with the same shape as `like`,
+    /// meant to carry a previous frame's value of `like` (the
+    /// `prev_frame(k)` of `kfuse-stream`). To the per-frame pipeline it is
+    /// an ordinary input; a `StreamPipeline` binds it to its source and
+    /// temporal depth, and a streaming session feeds it frame to frame.
+    pub fn prev_frame(&mut self, name: impl Into<String>, like: ImageId) -> ImageId {
+        let channels = self.pipeline.image(like).channels;
+        self.pipeline.add_input(ImageDesc::new(
+            name.into(),
+            self.width,
+            self.height,
+            channels,
+        ))
+    }
+
+    /// The pipeline as built so far (pre-validation) — `kfuse-stream`'s
+    /// builder uses this to check state-binding shapes.
+    pub fn current(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
     /// Adds a kernel with explicit borders and parameters; `body` holds one
     /// expression per output channel. Returns the produced image.
     pub fn kernel(

@@ -16,6 +16,10 @@
 //! * [`invariants`] — the planner audit: proper partition, block legality,
 //!   Eq. 12 clamping exactness, finite positive min-cut weights, Eq. 13
 //!   weight conservation, Eq. 1 objective consistency;
+//! * [`stream`] — the temporal harness: random streaming pipelines with
+//!   bounded `prev_frame(k)` depth, stepped through a session under every
+//!   fusion schedule (overlapped tiling included) and checked frame for
+//!   frame against the streaming oracle;
 //! * [`wire`] — the `kfuse-net` frame-codec harness: random frames
 //!   through encode → decode → re-encode for bit-identity, plus
 //!   single-byte corruption probes that must never panic.
@@ -29,12 +33,14 @@ pub mod diff;
 pub mod gen;
 pub mod invariants;
 pub mod rng;
+pub mod stream;
 pub mod wire;
 
 pub use diff::{differential, make_inputs, Failure};
 pub use gen::{generate, generate_with, GenConfig};
 pub use invariants::check_invariants;
 pub use rng::SplitMix64;
+pub use stream::{check_stream, check_stream_seed, generate_stream, StreamReport};
 pub use wire::{check_wire_seed, generate_frame};
 
 use kfuse_ir::Pipeline;

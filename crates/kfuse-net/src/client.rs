@@ -25,6 +25,7 @@ use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
 use kfuse_obs::Tracer;
 use kfuse_runtime::Priority;
+use kfuse_stream::StreamPipeline;
 
 use crate::wire::{read_frame, write_frame, ErrorCode, Frame, Limits, TraceContext, WireError};
 
@@ -335,6 +336,155 @@ impl Client {
         match self.recv_frame()? {
             Frame::DrainAck => Ok(()),
             _ => Err(ClientError::Unexpected("reply to Drain")),
+        }
+    }
+
+    /// Opens a streaming session over `stream`; returns the server's
+    /// session id. The session's plan is compiled once and pinned to
+    /// `schedule` for its lifetime. Synchronous: waits for the ack.
+    pub fn open_session(
+        &mut self,
+        tenant: &str,
+        stream: &StreamPipeline,
+        schedule: Schedule,
+    ) -> Result<u64, ClientError> {
+        self.next_id += 1;
+        let request_id = self.next_id;
+        self.send_raw(&Frame::OpenSession {
+            request_id,
+            tenant: tenant.to_string(),
+            schedule,
+            stream: stream.clone(),
+        })?;
+        match self.recv_frame()? {
+            Frame::SessionAck { session_id, .. } => Ok(session_id),
+            Frame::Error {
+                request_id,
+                code,
+                message,
+                ..
+            } => Err(ClientError::Server {
+                request_id,
+                code,
+                message,
+            }),
+            _ => Err(ClientError::Unexpected("reply to OpenSession")),
+        }
+    }
+
+    /// Submits the next frame of a session without waiting; returns the
+    /// request id. Pipelines like [`Client::submit`]: collect replies
+    /// with [`Client::recv_result`] (within one session they arrive in
+    /// submission order). With a tracer installed, a fresh trace context
+    /// is generated and propagated.
+    pub fn submit_frame(
+        &mut self,
+        session_id: u64,
+        inputs: Vec<(ImageId, Image)>,
+    ) -> Result<u64, ClientError> {
+        self.next_id += 1;
+        let request_id = self.next_id;
+        let trace = self.tracer.is_enabled().then(|| TraceContext {
+            trace_id: self.generate_trace_id(),
+            span_id: request_id,
+        });
+        self.last_trace = trace;
+        let start = self.tracer.now_us();
+        self.send_raw(&Frame::SubmitFrame {
+            request_id,
+            session_id,
+            inputs,
+            trace,
+        })?;
+        if let Some(t) = trace {
+            self.tracer.scoped(t.trace_id).complete(
+                "client_send",
+                "net",
+                start,
+                self.tracer.now_us(),
+                vec![
+                    ("session", session_id.into()),
+                    ("request_id", request_id.into()),
+                ],
+            );
+        }
+        Ok(request_id)
+    }
+
+    /// Submit-one-frame-and-wait.
+    pub fn step_session(
+        &mut self,
+        session_id: u64,
+        inputs: Vec<(ImageId, Image)>,
+    ) -> Result<Vec<(ImageId, Image)>, ClientError> {
+        let id = self.submit_frame(session_id, inputs)?;
+        let (request_id, outputs) = self.recv_result()?;
+        if request_id != id {
+            return Err(ClientError::Unexpected("out-of-order reply"));
+        }
+        Ok(outputs)
+    }
+
+    /// Fences a session: frames already in flight complete, later
+    /// submits are refused with [`ErrorCode::Draining`]. The session
+    /// stays open (its stats remain queryable via a later close).
+    pub fn drain_session(&mut self, session_id: u64) -> Result<(), ClientError> {
+        self.close_session_inner(session_id, true).map(|_| ())
+    }
+
+    /// Closes a session, freeing its state planes; returns
+    /// `(frames_completed, frames_errored)` over the session's lifetime.
+    /// Frames still pending at close are answered with
+    /// [`ErrorCode::SessionClosed`].
+    pub fn close_session(&mut self, session_id: u64) -> Result<(u64, u64), ClientError> {
+        self.close_session_inner(session_id, false)
+    }
+
+    /// Shared drain/close path. The ack may be preceded by replies to
+    /// frames still in flight — forward them is impossible here, so this
+    /// skips past `ResultOk`/frame-level errors until the ack arrives
+    /// (callers that care about every frame's result should collect them
+    /// with [`Client::recv_result`] before draining or closing).
+    fn close_session_inner(
+        &mut self,
+        session_id: u64,
+        drain: bool,
+    ) -> Result<(u64, u64), ClientError> {
+        self.next_id += 1;
+        let request_id = self.next_id;
+        self.send_raw(&Frame::CloseSession {
+            request_id,
+            session_id,
+            drain,
+        })?;
+        loop {
+            match self.recv_frame()? {
+                Frame::CloseSessionAck {
+                    request_id: rid,
+                    frames_completed,
+                    frames_errored,
+                    ..
+                } if rid == request_id => return Ok((frames_completed, frames_errored)),
+                // Replies to still-in-flight frames of this (or another)
+                // session overtaking the ack: drop them.
+                Frame::ResultOk { .. } => continue,
+                Frame::Error {
+                    request_id: rid,
+                    code,
+                    message,
+                    ..
+                } => {
+                    if rid == request_id {
+                        return Err(ClientError::Server {
+                            request_id: rid,
+                            code,
+                            message,
+                        });
+                    }
+                    continue;
+                }
+                _ => return Err(ClientError::Unexpected("reply to CloseSession")),
+            }
         }
     }
 }

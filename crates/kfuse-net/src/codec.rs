@@ -24,6 +24,7 @@ use kfuse_ir::{
     BinOp, BorderMode, Expr, Image, ImageDesc, ImageId, Kernel, MemSpace, Pipeline, Stage,
     StageRef, UnOp,
 };
+use kfuse_stream::{StateBinding, StateSource, StreamPipeline};
 
 use crate::wire::{
     put_f32, put_i32, put_str, put_u32, put_u8, put_usize, ByteReader, Limits, WireError,
@@ -546,6 +547,62 @@ fn decode_image(r: &mut ByteReader<'_>, limits: &Limits) -> Result<Image, WireEr
         ])));
     }
     Ok(Image::from_data(desc, data))
+}
+
+// ---------------------------------------------------------------------------
+// Stream pipelines (wire version 4).
+// ---------------------------------------------------------------------------
+
+/// Appends a [`StreamPipeline`]: the per-frame pipeline followed by its
+/// state bindings (`tap`, source kind + id, depth).
+pub(crate) fn encode_stream_pipeline(out: &mut Vec<u8>, s: &StreamPipeline) {
+    encode_pipeline(out, s.frame());
+    put_usize(out, s.states().len());
+    for b in s.states() {
+        put_u32(out, b.tap.0 as u32);
+        let (kind, id) = match b.source {
+            StateSource::Output(id) => (1u8, id),
+            StateSource::Input(id) => (2u8, id),
+        };
+        put_u8(out, kind);
+        put_u32(out, id.0 as u32);
+        put_u8(
+            out,
+            u8::try_from(b.depth).expect("depth bounded by MAX_PREV_DEPTH"),
+        );
+    }
+}
+
+/// Decodes a stream pipeline. The raw parts are handed to
+/// [`StreamPipeline::new`], which re-runs the full temporal validation
+/// (taps are inputs, sources exist, depths bounded), so the server never
+/// opens a session its own checker would reject.
+pub(crate) fn decode_stream_pipeline(
+    r: &mut ByteReader<'_>,
+    limits: &Limits,
+) -> Result<StreamPipeline, WireError> {
+    let frame = decode_pipeline(r, limits)?;
+    let n_images = frame.images().len();
+    let n_states = r.count(limits.max_count, "state binding")?;
+    let mut states = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        let tap = image_id(r, n_images, "state tap")?;
+        let kind = r.u8()?;
+        let id = image_id(r, n_images, "state source")?;
+        let source = match kind {
+            1 => StateSource::Output(id),
+            2 => StateSource::Input(id),
+            other => {
+                return Err(WireError::Malformed(format!(
+                    "unknown state source kind {other}"
+                )))
+            }
+        };
+        let depth = r.u8()? as usize;
+        states.push(StateBinding { tap, source, depth });
+    }
+    StreamPipeline::new(frame, states)
+        .map_err(|e| WireError::Malformed(format!("invalid stream pipeline: {e}")))
 }
 
 #[cfg(test)]

@@ -14,9 +14,9 @@ use kfuse_obs::PromWriter;
 use crate::wire::ErrorCode;
 
 /// Number of wire frame types (type bytes `1..=FRAME_TYPES`).
-pub const FRAME_TYPES: usize = 9;
+pub const FRAME_TYPES: usize = 14;
 /// Number of typed error codes (`ErrorCode::as_u16` in `1..=ERROR_CODES`).
-pub const ERROR_CODES: usize = 13;
+pub const ERROR_CODES: usize = 15;
 
 /// Stable label for a frame type byte (matches `Frame::type_name`).
 pub fn frame_type_label(byte: u8) -> &'static str {
@@ -30,6 +30,11 @@ pub fn frame_type_label(byte: u8) -> &'static str {
         7 => "pong",
         8 => "drain",
         9 => "drain_ack",
+        10 => "open_session",
+        11 => "session_ack",
+        12 => "submit_frame",
+        13 => "close_session",
+        14 => "close_session_ack",
         _ => "unknown",
     }
 }
@@ -50,6 +55,8 @@ pub fn error_code_label(code: u16) -> &'static str {
         Some(ErrorCode::Panicked) => "panicked",
         Some(ErrorCode::Unsupported) => "unsupported",
         Some(ErrorCode::ConnectionLimit) => "connection_limit",
+        Some(ErrorCode::UnknownSession) => "unknown_session",
+        Some(ErrorCode::SessionClosed) => "session_closed",
         None => "unknown",
     }
 }
@@ -379,7 +386,7 @@ mod tests {
             assert!(seen.insert(error_code_label(c)), "dup label for code {c}");
         }
         assert_eq!(frame_type_label(0), "unknown");
-        assert_eq!(error_code_label(14), "unknown");
+        assert_eq!(error_code_label(16), "unknown");
     }
 
     #[test]

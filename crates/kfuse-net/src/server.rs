@@ -16,7 +16,7 @@
 //! `request_id`. Workers never touch sockets: the watcher only enqueues,
 //! so a peer that stops reading cannot wedge a runtime worker.
 //!
-//! In-flight submits are bounded by a [`Gate`] of
+//! In-flight submits are bounded by a `Gate` of
 //! [`ServerConfig::max_in_flight`]: past it the reader stops reading and
 //! TCP backpressure does the rest. Control replies (acks, pongs, errors)
 //! enqueue in receipt order; only their interleaving with job replies is
@@ -43,8 +43,21 @@
 //! (or [`Server::begin_drain`]) flips a server-wide flag: new submissions
 //! are refused with [`ErrorCode::Draining`] while everything already
 //! admitted runs to completion and its replies are delivered.
+//!
+//! ## Streaming sessions
+//!
+//! `OpenSession` compiles a [`kfuse_stream::StreamPipeline`] once and
+//! pins its state planes in the runtime; `SubmitFrame` then rides the
+//! same outbox/gate machinery as `Submit`, with in-order completion per
+//! session guaranteed by the runtime's single-runner invariant. Sessions
+//! are **owned by the connection that opened them**: a `SubmitFrame` or
+//! `CloseSession` naming a session another connection opened is answered
+//! with [`ErrorCode::UnknownSession`] (ids are not guessable
+//! capabilities). `Frame::Drain` fences every owned session (in-flight
+//! frames finish, new ones are refused), and a disconnect closes them so
+//! state planes never outlive their only submitter.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,7 +67,9 @@ use std::time::{Duration, Instant};
 
 use kfuse_ir::{ImageId, Pipeline};
 use kfuse_obs::{FlightRecorder, Tracer};
-use kfuse_runtime::{Admission, JobHandle, MetricsSnapshot, Runtime, RuntimeConfig, RuntimeError};
+use kfuse_runtime::{
+    Admission, FrameHandle, JobHandle, MetricsSnapshot, Runtime, RuntimeConfig, RuntimeError,
+};
 
 use crate::http;
 use crate::metrics::{NetMetrics, NetSnapshot};
@@ -144,8 +159,24 @@ enum Reply {
         outputs: Vec<ImageId>,
         trace: Option<TraceContext>,
     },
+    /// A *completed* session frame: enqueued by its `on_ready` watcher.
+    /// Same contract as `Job`, but the handle resolves to a
+    /// [`kfuse_stream::FrameOutput`] whose outputs are already bound.
+    SessionFrame {
+        request_id: u64,
+        handle: FrameHandle,
+        trace: Option<TraceContext>,
+    },
     /// An immediately-known reply (acks, errors, pongs).
     Now(Frame),
+}
+
+impl Reply {
+    /// Whether this reply holds a slot in the connection's in-flight
+    /// gate (acquired at submit, released when written or discarded).
+    fn holds_gate_slot(&self) -> bool {
+        matches!(self, Reply::Job { .. } | Reply::SessionFrame { .. })
+    }
 }
 
 /// Counting gate bounding submitted-but-unanswered jobs per connection.
@@ -277,12 +308,19 @@ impl Outbox {
     /// Consumes a reply that will never be written, releasing its gate
     /// slot so the reader (or close path) stops waiting for it.
     fn discard(&self, reply: Reply) {
-        if let Reply::Job { handle, .. } = reply {
-            // The watcher fired, so this does not block; consuming the
+        match reply {
+            // The watcher fired, so these do not block; consuming the
             // result keeps "every admitted job is reaped" true even for
             // dead peers.
-            let _ = handle.wait();
-            self.gate.release();
+            Reply::Job { handle, .. } => {
+                let _ = handle.wait();
+                self.gate.release();
+            }
+            Reply::SessionFrame { handle, .. } => {
+                let _ = handle.wait();
+                self.gate.release();
+            }
+            Reply::Now(_) => {}
         }
     }
 
@@ -331,7 +369,7 @@ impl Outbox {
                     }
                 }
             };
-            let was_job = matches!(reply, Reply::Job { .. });
+            let was_job = reply.holds_gate_slot();
             let frame = build_reply_frame(reply);
             self.inner.net.frame_type_sent(frame.type_byte());
             if let Frame::Error { code, .. } = &frame {
@@ -418,6 +456,26 @@ fn build_reply_frame(reply: Reply) -> Frame {
                     },
                 }
             }
+            Err(e) => {
+                let (code, message) = map_runtime_error(&e);
+                Frame::Error {
+                    request_id,
+                    code,
+                    message,
+                    trace,
+                }
+            }
+        },
+        Reply::SessionFrame {
+            request_id,
+            handle,
+            trace,
+        } => match handle.wait() {
+            Ok(out) => Frame::ResultOk {
+                request_id,
+                outputs: out.outputs,
+                trace,
+            },
             Err(e) => {
                 let (code, message) = map_runtime_error(&e);
                 Frame::Error {
@@ -616,7 +674,14 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
 
     if let Ok(out) = stream.try_clone() {
         let outbox = Outbox::new(Arc::clone(&inner), out);
-        reader_loop(&inner, &mut stream, &outbox);
+        let mut conn = ConnState::default();
+        reader_loop(&inner, &mut stream, &outbox, &mut conn);
+        // The connection was this session's only submitter: close every
+        // owned session so its state planes are freed and any frames
+        // still pending resolve (their replies are then reaped below).
+        for id in conn.sessions.drain() {
+            let _ = inner.runtime.close_session(id);
+        }
         // Close barrier: everything already admitted is answered (or the
         // peer is dead and its replies were reaped) before the socket
         // goes away.
@@ -626,7 +691,20 @@ fn handle_connection(inner: Arc<Inner>, mut stream: TcpStream) {
     inner.net.connection_closed();
 }
 
-fn reader_loop(inner: &Arc<Inner>, stream: &mut TcpStream, outbox: &Arc<Outbox>) {
+/// Per-connection session ownership: the ids this connection opened and
+/// may submit to. Keeping the set connection-local is the access-control
+/// boundary — other connections cannot name these sessions.
+#[derive(Default)]
+struct ConnState {
+    sessions: HashSet<u64>,
+}
+
+fn reader_loop(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    outbox: &Arc<Outbox>,
+    conn: &mut ConnState,
+) {
     loop {
         if inner.shutdown.load(Ordering::SeqCst) || outbox.peer_dead() {
             return;
@@ -643,7 +721,7 @@ fn reader_loop(inner: &Arc<Inner>, stream: &mut TcpStream, outbox: &Arc<Outbox>)
                     None => inner.cfg.tracer.clone(),
                 };
                 let _span = span_tracer.span(frame.type_name(), "net");
-                if !handle_frame(inner, frame, outbox) {
+                if !handle_frame(inner, frame, outbox, conn) {
                     return;
                 }
             }
@@ -671,7 +749,12 @@ fn reader_loop(inner: &Arc<Inner>, stream: &mut TcpStream, outbox: &Arc<Outbox>)
 }
 
 /// Handles one decoded frame; returns `false` to close the connection.
-fn handle_frame(inner: &Arc<Inner>, frame: Frame, outbox: &Arc<Outbox>) -> bool {
+fn handle_frame(
+    inner: &Arc<Inner>,
+    frame: Frame,
+    outbox: &Arc<Outbox>,
+    conn: &mut ConnState,
+) -> bool {
     match frame {
         Frame::RegisterPipeline {
             name,
@@ -803,7 +886,139 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, outbox: &Arc<Outbox>) -> bool 
         Frame::Ping { token } => outbox.push(Reply::Now(Frame::Pong { token })),
         Frame::Drain => {
             inner.draining.store(true, Ordering::SeqCst);
+            // Fence every session this connection owns: in-flight frames
+            // finish and their replies are delivered; later SubmitFrames
+            // get a typed Draining error.
+            for id in &conn.sessions {
+                let _ = inner.runtime.drain_session(*id);
+            }
             outbox.push(Reply::Now(Frame::DrainAck))
+        }
+        Frame::OpenSession {
+            request_id,
+            tenant,
+            schedule,
+            stream,
+        } => {
+            if inner.draining.load(Ordering::SeqCst) {
+                inner.net.refused_draining();
+                return send_error(
+                    outbox,
+                    request_id,
+                    ErrorCode::Draining,
+                    "server is draining",
+                );
+            }
+            match inner.runtime.open_session(&tenant, &stream, schedule) {
+                Ok(session_id) => {
+                    conn.sessions.insert(session_id);
+                    outbox.push(Reply::Now(Frame::SessionAck {
+                        request_id,
+                        session_id,
+                    }))
+                }
+                Err(e) => {
+                    let (code, msg) = map_runtime_error(&e);
+                    send_error(outbox, request_id, code, &msg)
+                }
+            }
+        }
+        Frame::SubmitFrame {
+            request_id,
+            session_id,
+            inputs,
+            trace,
+        } => {
+            if inner.draining.load(Ordering::SeqCst) {
+                inner.net.refused_draining();
+                return send_error_traced(
+                    outbox,
+                    request_id,
+                    ErrorCode::Draining,
+                    "server is draining",
+                    trace,
+                );
+            }
+            if !conn.sessions.contains(&session_id) {
+                return send_error_traced(
+                    outbox,
+                    request_id,
+                    ErrorCode::UnknownSession,
+                    &format!("no session {session_id} on this connection"),
+                    trace,
+                );
+            }
+            // Session frames share the connection's in-flight gate with
+            // stateless submits — same backpressure, one budget.
+            let gate_inner = Arc::clone(inner);
+            let gate_ob = Arc::clone(outbox);
+            if !outbox
+                .gate
+                .acquire(inner.cfg.max_in_flight.max(1), move || {
+                    gate_inner.shutdown_requested() || gate_ob.peer_dead()
+                })
+            {
+                return false;
+            }
+            let (trace_id, span_id) = trace.map_or((0, 0), |t| (t.trace_id, t.span_id));
+            match inner
+                .runtime
+                .submit_frame_with_ctx(session_id, inputs, trace_id, span_id)
+            {
+                Ok(handle) => {
+                    let reaper = handle.duplicate();
+                    let ob = Arc::clone(outbox);
+                    handle.on_ready(move || {
+                        ob.push(Reply::SessionFrame {
+                            request_id,
+                            handle: reaper,
+                            trace,
+                        });
+                    });
+                    true
+                }
+                Err(e) => {
+                    outbox.gate.release();
+                    let (code, msg) = map_runtime_error(&e);
+                    send_error_traced(outbox, request_id, code, &msg, trace)
+                }
+            }
+        }
+        Frame::CloseSession {
+            request_id,
+            session_id,
+            drain,
+        } => {
+            if !conn.sessions.contains(&session_id) {
+                return send_error(
+                    outbox,
+                    request_id,
+                    ErrorCode::UnknownSession,
+                    &format!("no session {session_id} on this connection"),
+                );
+            }
+            let stats = if drain {
+                inner
+                    .runtime
+                    .drain_session(session_id)
+                    .and_then(|()| inner.runtime.session_stats(session_id))
+            } else {
+                let stats = inner.runtime.close_session(session_id);
+                conn.sessions.remove(&session_id);
+                stats
+            };
+            match stats {
+                Ok(s) => outbox.push(Reply::Now(Frame::CloseSessionAck {
+                    request_id,
+                    session_id,
+                    frames_completed: s.frames_completed,
+                    frames_errored: s.frames_errored,
+                })),
+                Err(e) => {
+                    let (code, msg) = map_runtime_error(&e);
+                    send_error(outbox, request_id, code, &msg)
+                }
+            }
         }
         // Server-to-client frame types arriving at the server are a
         // protocol violation by a confused peer; answer and keep going.
@@ -811,7 +1026,9 @@ fn handle_frame(inner: &Arc<Inner>, frame: Frame, outbox: &Arc<Outbox>) -> bool 
         | Frame::ResultOk { .. }
         | Frame::Error { .. }
         | Frame::Pong { .. }
-        | Frame::DrainAck => send_error(
+        | Frame::DrainAck
+        | Frame::SessionAck { .. }
+        | Frame::CloseSessionAck { .. } => send_error(
             outbox,
             0,
             ErrorCode::Unsupported,
@@ -855,6 +1072,10 @@ fn map_runtime_error(e: &RuntimeError) -> (ErrorCode, String) {
         RuntimeError::ShuttingDown => ErrorCode::Draining,
         RuntimeError::Panicked(_) => ErrorCode::Panicked,
         RuntimeError::Exec(_) => ErrorCode::ExecFailed,
+        RuntimeError::UnknownSession(_) => ErrorCode::UnknownSession,
+        RuntimeError::SessionDraining => ErrorCode::Draining,
+        RuntimeError::SessionClosed => ErrorCode::SessionClosed,
+        RuntimeError::Stream(_) => ErrorCode::ExecFailed,
     };
     (code, e.to_string())
 }

@@ -34,6 +34,17 @@
 //! type other than `Submit` is malformed. Replies carry no priority —
 //! the class shapes queueing, not the result.
 //!
+//! **Version 4 (streaming)** adds the session frames (types 10–14):
+//! `OpenSession` (tenant + schedule + a serialized
+//! [`kfuse_stream::StreamPipeline`]), `SessionAck`, `SubmitFrame` (the
+//! next frame of a session's input sequence; replies reuse
+//! `ResultOk`/`Error` keyed by `request_id`), `CloseSession`
+//! (`drain` = fence only or full close), and `CloseSessionAck` carrying
+//! the session's frame accounting. Gating is strict both ways: the
+//! session frame types are *only* valid at version 4, and version 4 is
+//! *only* valid for them — pre-revision frames keep their exact
+//! pre-revision bytes, and every frame still has exactly one encoding.
+//!
 //! All multi-byte integers are little-endian; `f32` values travel as their
 //! IEEE-754 bit patterns so results round-trip **bit-identically** (the
 //! same discipline `kfuse-fuzz` enforces between executors). The checksum
@@ -53,6 +64,7 @@ use std::io::{self, ErrorKind, Read, Write};
 use kfuse_dsl::Schedule;
 use kfuse_ir::{Image, ImageId, Pipeline};
 use kfuse_runtime::Priority;
+use kfuse_stream::StreamPipeline;
 
 use crate::codec;
 
@@ -67,6 +79,9 @@ pub const VERSION_TRACED: u8 = 2;
 /// byte and a trace-presence byte after the version-1 fields. Only
 /// non-normal priorities encode at this version.
 pub const VERSION_QOS: u8 = 3;
+/// Streaming-session protocol revision: the session frame types (10–14)
+/// exist only at this version, and this version is valid only for them.
+pub const VERSION_STREAM: u8 = 4;
 /// Fixed frame-header size in bytes.
 pub const HEADER_LEN: usize = 16;
 /// On-wire size of a [`TraceContext`] (two u64s).
@@ -243,6 +258,11 @@ pub enum ErrorCode {
     Unsupported,
     /// The server is at its connection limit and refuses this connection.
     ConnectionLimit,
+    /// No such streaming session (never opened, already closed, or owned
+    /// by a different connection).
+    UnknownSession,
+    /// The streaming session is closed and accepts no further frames.
+    SessionClosed,
 }
 
 impl ErrorCode {
@@ -262,6 +282,8 @@ impl ErrorCode {
             ErrorCode::Panicked => 11,
             ErrorCode::Unsupported => 12,
             ErrorCode::ConnectionLimit => 13,
+            ErrorCode::UnknownSession => 14,
+            ErrorCode::SessionClosed => 15,
         }
     }
 
@@ -281,14 +303,17 @@ impl ErrorCode {
             11 => ErrorCode::Panicked,
             12 => ErrorCode::Unsupported,
             13 => ErrorCode::ConnectionLimit,
+            14 => ErrorCode::UnknownSession,
+            15 => ErrorCode::SessionClosed,
             _ => return None,
         })
     }
 }
 
 /// One protocol message. Client→server: `RegisterPipeline`, `Submit`,
-/// `Ping`, `Drain`. Server→client: `RegisterAck`, `ResultOk`, `Error`,
-/// `Pong`, `DrainAck`.
+/// `Ping`, `Drain`, `OpenSession`, `SubmitFrame`, `CloseSession`.
+/// Server→client: `RegisterAck`, `ResultOk`, `Error`, `Pong`,
+/// `DrainAck`, `SessionAck`, `CloseSessionAck`.
 #[derive(Clone, Debug)]
 pub enum Frame {
     /// Ship a pipeline's IR to the server under a tenant name.
@@ -358,9 +383,68 @@ pub enum Frame {
         token: u64,
     },
     /// Ask the server to stop accepting work and finish what is queued.
+    /// Also fences every streaming session owned by this connection.
     Drain,
     /// Acknowledgement that draining has begun.
     DrainAck,
+    /// Open a temporal streaming session: the server compiles the stream's
+    /// frame pipeline once and keeps its state planes alive between
+    /// frames. Version-4 frames only.
+    OpenSession {
+        /// Client-chosen id echoed in the `SessionAck`/`Error` reply.
+        request_id: u64,
+        /// Tenant the session's frames are accounted to.
+        tenant: String,
+        /// Fusion schedule the session's plan is pinned to for its
+        /// whole lifetime.
+        schedule: Schedule,
+        /// The temporal pipeline: per-frame IR plus its state bindings.
+        stream: StreamPipeline,
+    },
+    /// Server acknowledgement of an `OpenSession`.
+    SessionAck {
+        /// Echo of the open's request id.
+        request_id: u64,
+        /// Server-assigned session handle for `SubmitFrame`/`CloseSession`.
+        session_id: u64,
+    },
+    /// Submit the next frame of a session's input sequence. Replies reuse
+    /// `ResultOk`/`Error` keyed by `request_id`; within one session they
+    /// arrive in submission order.
+    SubmitFrame {
+        /// Client-chosen id echoed in the reply.
+        request_id: u64,
+        /// Session handle from `SessionAck`.
+        session_id: u64,
+        /// This frame's fresh (non-state) inputs.
+        inputs: Vec<(ImageId, Image)>,
+        /// Request trace identity, if the client traces.
+        trace: Option<TraceContext>,
+    },
+    /// Fence (`drain`) or tear down a session. Draining keeps the session
+    /// open for in-flight frames but refuses new ones; closing frees its
+    /// state and answers anything still pending with a typed error.
+    CloseSession {
+        /// Client-chosen id echoed in the `CloseSessionAck`/`Error` reply.
+        request_id: u64,
+        /// Session handle from `SessionAck`.
+        session_id: u64,
+        /// `true` = fence only (session stays open); `false` = full close.
+        drain: bool,
+    },
+    /// Server acknowledgement of a `CloseSession` with the session's frame
+    /// accounting at ack time.
+    CloseSessionAck {
+        /// Echo of the close's request id.
+        request_id: u64,
+        /// Echo of the session handle.
+        session_id: u64,
+        /// Frames that completed successfully over the session's lifetime.
+        frames_completed: u64,
+        /// Frames that failed (including any pending frames a full close
+        /// answered with `SessionClosed`).
+        frames_errored: u64,
+    },
 }
 
 impl Frame {
@@ -376,6 +460,11 @@ impl Frame {
             Frame::Pong { .. } => 7,
             Frame::Drain => 8,
             Frame::DrainAck => 9,
+            Frame::OpenSession { .. } => 10,
+            Frame::SessionAck { .. } => 11,
+            Frame::SubmitFrame { .. } => 12,
+            Frame::CloseSession { .. } => 13,
+            Frame::CloseSessionAck { .. } => 14,
         }
     }
 
@@ -384,16 +473,21 @@ impl Frame {
         match self {
             Frame::Submit { trace, .. }
             | Frame::ResultOk { trace, .. }
-            | Frame::Error { trace, .. } => *trace,
+            | Frame::Error { trace, .. }
+            | Frame::SubmitFrame { trace, .. } => *trace,
             _ => None,
         }
     }
 
-    /// The wire version this frame canonically encodes as: version 3 iff
-    /// it is a non-normal-priority submit, else version 2 iff it carries
-    /// a trace context, version 1 otherwise. Exactly one encoding per
-    /// frame, at the oldest version that can express it.
+    /// The wire version this frame canonically encodes as: version 4 for
+    /// the session frames (which exist at no other version), version 3
+    /// iff it is a non-normal-priority submit, else version 2 iff it
+    /// carries a trace context, version 1 otherwise. Exactly one encoding
+    /// per frame, at the oldest version that can express it.
     pub fn wire_version(&self) -> u8 {
+        if self.type_byte() >= 10 {
+            return VERSION_STREAM;
+        }
         if let Frame::Submit { priority, .. } = self {
             if *priority != Priority::Normal {
                 return VERSION_QOS;
@@ -418,6 +512,11 @@ impl Frame {
             Frame::Pong { .. } => "pong",
             Frame::Drain => "drain",
             Frame::DrainAck => "drain_ack",
+            Frame::OpenSession { .. } => "open_session",
+            Frame::SessionAck { .. } => "session_ack",
+            Frame::SubmitFrame { .. } => "submit_frame",
+            Frame::CloseSession { .. } => "close_session",
+            Frame::CloseSessionAck { .. } => "close_session_ack",
         }
     }
 }
@@ -598,6 +697,58 @@ fn encode_payload(frame: &Frame, out: &mut Vec<u8>) {
         }
         Frame::Ping { token } | Frame::Pong { token } => put_u64(out, *token),
         Frame::Drain | Frame::DrainAck => {}
+        Frame::OpenSession {
+            request_id,
+            tenant,
+            schedule,
+            stream,
+        } => {
+            put_u64(out, *request_id);
+            put_str(out, tenant);
+            put_u8(out, schedule_byte(*schedule));
+            codec::encode_stream_pipeline(out, stream);
+        }
+        Frame::SessionAck {
+            request_id,
+            session_id,
+        } => {
+            put_u64(out, *request_id);
+            put_u64(out, *session_id);
+        }
+        Frame::SubmitFrame {
+            request_id,
+            session_id,
+            inputs,
+            trace,
+        } => {
+            put_u64(out, *request_id);
+            put_u64(out, *session_id);
+            codec::encode_bound_images(out, inputs);
+            // Every type-12 frame is version 4, so the trace-presence
+            // byte is always encoded — one canonical encoding either way.
+            put_u8(out, u8::from(trace.is_some()));
+            put_trace(out, trace);
+        }
+        Frame::CloseSession {
+            request_id,
+            session_id,
+            drain,
+        } => {
+            put_u64(out, *request_id);
+            put_u64(out, *session_id);
+            put_u8(out, u8::from(*drain));
+        }
+        Frame::CloseSessionAck {
+            request_id,
+            session_id,
+            frames_completed,
+            frames_errored,
+        } => {
+            put_u64(out, *request_id);
+            put_u64(out, *session_id);
+            put_u64(out, *frames_completed);
+            put_u64(out, *frames_errored);
+        }
     }
 }
 
@@ -654,6 +805,7 @@ fn schedule_byte(s: Schedule) -> u8 {
         Schedule::Baseline => 0,
         Schedule::Basic => 1,
         Schedule::Optimized => 2,
+        Schedule::Overlapped => 3,
     }
 }
 
@@ -662,6 +814,7 @@ fn schedule_from_byte(b: u8) -> Result<Schedule, WireError> {
         0 => Schedule::Baseline,
         1 => Schedule::Basic,
         2 => Schedule::Optimized,
+        3 => Schedule::Overlapped,
         other => {
             return Err(WireError::Malformed(format!(
                 "unknown schedule byte {other}"
@@ -704,11 +857,11 @@ pub fn parse_header(
         return Err(WireError::BadMagic(magic));
     }
     let version = header[4];
-    if !(VERSION..=VERSION_QOS).contains(&version) {
+    if !(VERSION..=VERSION_STREAM).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let ftype = header[5];
-    if !(1..=9).contains(&ftype) {
+    if !(1..=14).contains(&ftype) {
         return Err(WireError::BadType(ftype));
     }
     let reserved = u16::from_le_bytes([header[6], header[7]]);
@@ -728,9 +881,10 @@ pub fn parse_header(
 
 /// Decodes one payload whose header already validated as `(version,
 /// ftype)`. Version 2 is only meaningful for `Submit`/`ResultOk`/`Error`
-/// (the traced frames) and version 3 only for `Submit` (the prioritized
-/// frame); elsewhere they are rejected so every frame has exactly one
-/// valid encoding.
+/// (the traced frames), version 3 only for `Submit` (the prioritized
+/// frame), and version 4 only — and mandatorily — for the session frames
+/// (types 10–14); elsewhere they are rejected so every frame has exactly
+/// one valid encoding.
 pub fn decode_payload(
     version: u8,
     ftype: u8,
@@ -745,6 +899,16 @@ pub fn decode_payload(
     if version == VERSION_QOS && ftype != 3 {
         return Err(WireError::Malformed(format!(
             "frame type {ftype} carries no priority; version 3 is invalid for it"
+        )));
+    }
+    if version == VERSION_STREAM && !matches!(ftype, 10..=14) {
+        return Err(WireError::Malformed(format!(
+            "frame type {ftype} is not a session frame; version 4 is invalid for it"
+        )));
+    }
+    if matches!(ftype, 10..=14) && version != VERSION_STREAM {
+        return Err(WireError::Malformed(format!(
+            "session frame type {ftype} requires version 4, got {version}"
         )));
     }
     let mut r = ByteReader::new(payload);
@@ -824,6 +988,65 @@ pub fn decode_payload(
         7 => Frame::Pong { token: r.u64()? },
         8 => Frame::Drain,
         9 => Frame::DrainAck,
+        10 => {
+            let request_id = r.u64()?;
+            let tenant = r.string(limits, "tenant name")?;
+            let schedule = schedule_from_byte(r.u8()?)?;
+            let stream = codec::decode_stream_pipeline(&mut r, limits)?;
+            Frame::OpenSession {
+                request_id,
+                tenant,
+                schedule,
+                stream,
+            }
+        }
+        11 => Frame::SessionAck {
+            request_id: r.u64()?,
+            session_id: r.u64()?,
+        },
+        12 => {
+            let request_id = r.u64()?;
+            let session_id = r.u64()?;
+            let inputs = codec::decode_bound_images(&mut r, limits)?;
+            let trace = match r.u8()? {
+                0 => None,
+                1 => Some(TraceContext {
+                    trace_id: r.u64()?,
+                    span_id: r.u64()?,
+                }),
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "bad trace-presence byte {other}"
+                    )))
+                }
+            };
+            Frame::SubmitFrame {
+                request_id,
+                session_id,
+                inputs,
+                trace,
+            }
+        }
+        13 => {
+            let request_id = r.u64()?;
+            let session_id = r.u64()?;
+            let drain = match r.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(WireError::Malformed(format!("bad drain byte {other}"))),
+            };
+            Frame::CloseSession {
+                request_id,
+                session_id,
+                drain,
+            }
+        }
+        14 => Frame::CloseSessionAck {
+            request_id: r.u64()?,
+            session_id: r.u64()?,
+            frames_completed: r.u64()?,
+            frames_errored: r.u64()?,
+        },
         other => return Err(WireError::BadType(other)),
     };
     if r.remaining() != 0 {
@@ -1096,7 +1319,8 @@ mod tests {
         }
         assert_eq!(ErrorCode::from_u16(0), None);
         assert_eq!(ErrorCode::from_u16(13), Some(ErrorCode::ConnectionLimit));
-        assert_eq!(ErrorCode::from_u16(14), None);
+        assert_eq!(ErrorCode::from_u16(15), Some(ErrorCode::SessionClosed));
+        assert_eq!(ErrorCode::from_u16(16), None);
     }
 
     fn ctx() -> TraceContext {
@@ -1396,5 +1620,182 @@ mod tests {
         assert_eq!(checksum(b""), 0x811c_9dc5);
         assert_eq!(checksum(b"a"), 0xe40c_292c);
         assert_eq!(checksum(b"foobar"), 0xbf9c_f968);
+    }
+
+    /// Minimal temporal pipeline for the session-frame tests: blend the
+    /// fresh frame with the previous output.
+    fn test_stream() -> kfuse_stream::StreamPipeline {
+        use kfuse_ir::{BinOp, BorderMode, Expr, Kernel};
+        use kfuse_stream::{StateBinding, StateSource, StreamPipeline};
+        let mut p = Pipeline::new("flow");
+        let frame = p.add_input(ImageDesc::new("frame", 8, 6, 1));
+        let prev = p.add_input(ImageDesc::new("prev", 8, 6, 1));
+        let out = p.add_image(ImageDesc::new("out", 8, 6, 1));
+        p.add_kernel(Kernel::simple(
+            "blend",
+            vec![frame, prev],
+            out,
+            vec![BorderMode::Clamp, BorderMode::Clamp],
+            vec![Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::load(0)),
+                    Box::new(Expr::load(1)),
+                )),
+                Box::new(Expr::Const(0.5)),
+            )],
+            vec![],
+        ));
+        p.mark_output(out);
+        StreamPipeline::new(
+            p,
+            vec![StateBinding {
+                tap: prev,
+                source: StateSource::Output(out),
+                depth: 1,
+            }],
+        )
+        .expect("valid stream")
+    }
+
+    #[test]
+    fn session_frames_round_trip_at_version_4() {
+        let stream = test_stream();
+        let open = roundtrip(&Frame::OpenSession {
+            request_id: 3,
+            tenant: "flow".into(),
+            schedule: Schedule::Overlapped,
+            stream: stream.clone(),
+        });
+        assert_eq!(encode_frame(&open)[4], VERSION_STREAM);
+        match open {
+            Frame::OpenSession {
+                request_id,
+                tenant,
+                schedule,
+                stream: s,
+            } => {
+                assert_eq!(request_id, 3);
+                assert_eq!(tenant, "flow");
+                assert_eq!(schedule, Schedule::Overlapped);
+                // Fingerprint identity ⇒ the temporal structure survived.
+                assert_eq!(s.fingerprint(), stream.fingerprint());
+                assert_eq!(s.states(), stream.states());
+            }
+            other => panic!("decoded wrong frame: {other:?}"),
+        }
+
+        roundtrip(&Frame::SessionAck {
+            request_id: 3,
+            session_id: 17,
+        });
+        roundtrip(&Frame::CloseSession {
+            request_id: 9,
+            session_id: 17,
+            drain: true,
+        });
+        roundtrip(&Frame::CloseSession {
+            request_id: 10,
+            session_id: 17,
+            drain: false,
+        });
+        roundtrip(&Frame::CloseSessionAck {
+            request_id: 10,
+            session_id: 17,
+            frames_completed: 640,
+            frames_errored: 2,
+        });
+
+        let desc = ImageDesc::new("frame", 8, 6, 1);
+        let img = Image::from_data(desc, vec![1.0; 48]);
+        // SubmitFrame with and without a trace — both are version 4 (the
+        // presence byte, not the version, signals the context).
+        for trace in [None, Some(ctx())] {
+            let frame = Frame::SubmitFrame {
+                request_id: 5,
+                session_id: 17,
+                inputs: vec![(ImageId(0), img.clone())],
+                trace,
+            };
+            assert_eq!(frame.wire_version(), VERSION_STREAM);
+            match roundtrip(&frame) {
+                Frame::SubmitFrame {
+                    session_id,
+                    inputs,
+                    trace: t,
+                    ..
+                } => {
+                    assert_eq!(session_id, 17);
+                    assert_eq!(inputs.len(), 1);
+                    assert_eq!(t, trace);
+                }
+                other => panic!("decoded wrong frame: {other:?}"),
+            }
+        }
+    }
+
+    /// Version 4 is valid only for the session frames, and the session
+    /// frames are valid only at version 4 — no silent reinterpretation
+    /// in either direction.
+    #[test]
+    fn version_4_gating_is_strict_both_ways() {
+        // A pre-revision frame relabeled as v4 is malformed.
+        let mut bytes = encode_frame(&Frame::Ping { token: 1 });
+        bytes[4] = VERSION_STREAM;
+        assert!(matches!(
+            decode_frame(&bytes, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+
+        // A session frame downgraded to any earlier version is malformed.
+        let ack = encode_frame(&Frame::SessionAck {
+            request_id: 1,
+            session_id: 2,
+        });
+        for v in [VERSION, VERSION_TRACED, VERSION_QOS] {
+            let mut bytes = ack.clone();
+            bytes[4] = v;
+            assert!(matches!(
+                decode_frame(&bytes, &limits()),
+                Err(WireError::Malformed(_))
+            ));
+        }
+
+        // A hostile source kind in the state table is rejected.
+        let mut bytes = encode_frame(&Frame::OpenSession {
+            request_id: 1,
+            tenant: "t".into(),
+            schedule: Schedule::Optimized,
+            stream: test_stream(),
+        });
+        // State table tail layout: ... tap u32 | kind u8 | id u32 | depth u8.
+        let kind_pos = bytes.len() - 6;
+        assert_eq!(bytes[kind_pos], 1, "kind byte located");
+        bytes[kind_pos] = 9;
+        let payload_start = HEADER_LEN;
+        let cksum = checksum(&bytes[payload_start..]);
+        bytes[12..16].copy_from_slice(&cksum.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, &limits()),
+            Err(WireError::Malformed(_))
+        ));
+
+        // A bad trace-presence byte on SubmitFrame is rejected.
+        let mut bytes = encode_frame(&Frame::SubmitFrame {
+            request_id: 1,
+            session_id: 2,
+            inputs: vec![],
+            trace: None,
+        });
+        let presence = bytes.len() - 1;
+        assert_eq!(bytes[presence], 0);
+        bytes[presence] = 7;
+        let cksum = checksum(&bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&cksum.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&bytes, &limits()),
+            Err(WireError::Malformed(_))
+        ));
     }
 }

@@ -67,6 +67,7 @@
 pub mod cache;
 pub mod metrics;
 pub mod runtime;
+pub mod session;
 pub mod tune;
 
 pub use cache::{CachedPlan, FingerprintStats, PlanCache, PlanKey};
@@ -75,4 +76,5 @@ pub use metrics::{
     PipelineMetrics, PipelineSnapshot, RuntimeGauges,
 };
 pub use runtime::{Admission, JobHandle, Priority, Runtime, RuntimeConfig, RuntimeError};
+pub use session::{FrameHandle, SessionStats};
 pub use tune::{RetuneReport, TuneConfig};

@@ -455,6 +455,8 @@ pub struct RuntimeGauges {
     /// Runtime shards serving the process (1 = unsharded). Queue and
     /// cache gauges above are summed across shards; the HWM is the max.
     pub shards: u64,
+    /// Streaming sessions currently open (state planes pinned).
+    pub sessions_open: u64,
 }
 
 /// Frozen metrics for every pipeline a runtime has served.
@@ -532,7 +534,8 @@ impl MetricsSnapshot {
         let g = &self.runtime;
         out.push_str(&format!(
             "{{\"queue_depth\":{},\"queue_depth_hwm\":{},\"in_flight\":{},\"cache_size\":{},\
-             \"cache_capacity\":{},\"tuned_plans\":{},\"cache_evictions\":{},\"shards\":{}}}",
+             \"cache_capacity\":{},\"tuned_plans\":{},\"cache_evictions\":{},\"shards\":{},\
+             \"sessions_open\":{}}}",
             g.queue_depth,
             g.queue_depth_hwm,
             g.in_flight,
@@ -541,6 +544,7 @@ impl MetricsSnapshot {
             g.tuned_plans,
             g.cache_evictions,
             g.shards,
+            g.sessions_open,
         ));
         out.push_str(",\"fingerprints\":[");
         for (i, s) in self.fingerprints.iter().enumerate() {
@@ -716,7 +720,7 @@ impl MetricsSnapshot {
             }
         }
         let g = &self.runtime;
-        let gauges: [(&str, &str, u64); 7] = [
+        let gauges: [(&str, &str, u64); 8] = [
             (
                 "kfuse_queue_depth",
                 "Jobs queued for a worker.",
@@ -751,6 +755,11 @@ impl MetricsSnapshot {
                 "kfuse_runtime_shards",
                 "Runtime shards serving this process (1 = unsharded).",
                 g.shards,
+            ),
+            (
+                "kfuse_sessions_open",
+                "Streaming sessions currently open.",
+                g.sessions_open,
             ),
         ];
         for (name, help, v) in gauges {
@@ -946,12 +955,13 @@ mod tests {
             tuned_plans: 0,
             cache_evictions: 1,
             shards: 4,
+            sessions_open: 2,
         };
         let json = snap.to_json();
         assert!(
             json.contains("\"runtime\":{\"queue_depth\":3,\"queue_depth_hwm\":7,\"in_flight\":2")
         );
-        assert!(json.contains("\"cache_evictions\":1,\"shards\":4}"));
+        assert!(json.contains("\"cache_evictions\":1,\"shards\":4,\"sessions_open\":2}"));
     }
 
     #[test]
@@ -968,8 +978,8 @@ mod tests {
         let doc = snap.to_prometheus();
         // 9 counter families × 2 pipelines + 3 quantiles × 2 pipelines
         // + 1 mean × 2 pipelines + 2 SLO counters × 2 + 2 SLO gauges × 2
-        // + 8 runtime samples (no exemplars or fidelity rows recorded).
-        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 42);
+        // + 9 runtime samples (no exemplars or fidelity rows recorded).
+        assert_eq!(kfuse_obs::validate_prometheus(&doc).unwrap(), 43);
         assert!(doc.contains("# TYPE kfuse_requests_total counter"));
         assert!(doc.contains("kfuse_queue_depth_hwm 9"));
         assert!(doc.contains("kfuse_requests_total{pipeline=\"a\\\"b\\\\c\"} 1"));

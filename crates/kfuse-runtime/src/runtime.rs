@@ -213,6 +213,18 @@ pub enum RuntimeError {
     /// The job panicked inside a worker (a bug, but contained: the worker
     /// survives and the panic message is forwarded to the caller).
     Panicked(String),
+    /// No session with the given id exists on this runtime (never opened,
+    /// already closed, or opened on a different runtime).
+    UnknownSession(u64),
+    /// The session is draining: frames submitted before the drain still
+    /// complete in order, but new frames are refused.
+    SessionDraining,
+    /// The session was closed; its state planes are freed and no further
+    /// frames are accepted.
+    SessionClosed,
+    /// The temporal stream itself is invalid or failed to compile/step
+    /// (see [`kfuse_stream::StreamError`]).
+    Stream(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -228,6 +240,12 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "job deadline expired before a worker picked it up")
             }
             RuntimeError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            RuntimeError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            RuntimeError::SessionDraining => {
+                write!(f, "session is draining and no longer accepts frames")
+            }
+            RuntimeError::SessionClosed => write!(f, "session is closed"),
+            RuntimeError::Stream(msg) => write!(f, "stream error: {msg}"),
         }
     }
 }
@@ -240,16 +258,29 @@ impl From<ExecError> for RuntimeError {
     }
 }
 
-/// One-shot result slot a worker fills and a [`JobHandle`] waits on.
-#[derive(Default)]
-struct Slot {
-    state: Mutex<SlotState>,
+/// One-shot result slot a worker fills and a handle waits on. Generic
+/// over the payload: [`JobHandle`] waits on an [`Execution`],
+/// [`crate::session::FrameHandle`] on a [`kfuse_stream::FrameOutput`].
+pub(crate) struct Slot<T> {
+    state: Mutex<SlotState<T>>,
     done: Condvar,
 }
 
-#[derive(Default)]
-struct SlotState {
-    result: Option<Result<Execution, RuntimeError>>,
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Self {
+            state: Mutex::new(SlotState {
+                result: None,
+                taken: false,
+                watcher: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+struct SlotState<T> {
+    result: Option<Result<T, RuntimeError>>,
     /// Set when a waiter consumes `result`, so a second waiter on a
     /// [`JobHandle::duplicate`] errors instead of blocking forever.
     taken: bool,
@@ -260,10 +291,62 @@ struct SlotState {
     watcher: Option<Box<dyn FnOnce() + Send>>,
 }
 
+impl<T> Slot<T> {
+    /// Blocks until the result is stored, then consumes it.
+    pub(crate) fn wait(&self) -> Result<T, RuntimeError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = state.result.take() {
+                state.taken = true;
+                return result;
+            }
+            if state.taken {
+                return Err(RuntimeError::Panicked(
+                    "result already taken by a duplicate handle".into(),
+                ));
+            }
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Registers a readiness watcher — see [`JobHandle::on_ready`].
+    pub(crate) fn on_ready(&self, f: impl FnOnce() + Send + 'static) {
+        let run_now = {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if state.result.is_some() {
+                true
+            } else {
+                state.watcher = Some(Box::new(f));
+                return;
+            }
+        };
+        if run_now {
+            f();
+        }
+    }
+
+    /// Stores the result, wakes waiters, and runs the readiness watcher
+    /// (outside the slot lock — it may call back into `wait`).
+    pub(crate) fn fill(&self, result: Result<T, RuntimeError>) {
+        let watcher = {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.result = Some(result);
+            self.done.notify_all();
+            state.watcher.take()
+        };
+        if let Some(w) = watcher {
+            w();
+        }
+    }
+}
+
 /// Handle to a submitted job; [`JobHandle::wait`] blocks until a worker
 /// has produced the result.
 pub struct JobHandle {
-    slot: Arc<Slot>,
+    slot: Arc<Slot<Execution>>,
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -281,27 +364,7 @@ impl JobHandle {
     /// slot locks are ignored — the `Option` state is valid at every
     /// instant the lock is held.
     pub fn wait(self) -> Result<Execution, RuntimeError> {
-        let mut state = self
-            .slot
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        loop {
-            if let Some(result) = state.result.take() {
-                state.taken = true;
-                return result;
-            }
-            if state.taken {
-                return Err(RuntimeError::Panicked(
-                    "result already taken by a duplicate handle".into(),
-                ));
-            }
-            state = self
-                .slot
-                .done
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
+        self.slot.wait()
     }
 
     /// Registers a completion watcher: `f` runs exactly once, as soon as
@@ -313,22 +376,7 @@ impl JobHandle {
     /// jobs in flight and write replies in completion order instead of
     /// submission order (no head-of-line blocking on a slow request).
     pub fn on_ready(&self, f: impl FnOnce() + Send + 'static) {
-        let run_now = {
-            let mut state = self
-                .slot
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            if state.result.is_some() {
-                true
-            } else {
-                state.watcher = Some(Box::new(f));
-                return;
-            }
-        };
-        if run_now {
-            f();
-        }
+        self.slot.on_ready(f);
     }
 
     /// Returns a second handle to the same job's result slot.
@@ -354,12 +402,12 @@ impl JobHandle {
 /// drop impl answers the submitter with [`RuntimeError::Panicked`] instead
 /// of leaving it blocked in [`JobHandle::wait`] forever.
 struct CompletionGuard {
-    slot: Arc<Slot>,
+    slot: Arc<Slot<Execution>>,
     completed: bool,
 }
 
 impl CompletionGuard {
-    fn new(slot: Arc<Slot>) -> Self {
+    fn new(slot: Arc<Slot<Execution>>) -> Self {
         Self {
             slot,
             completed: false,
@@ -376,21 +424,7 @@ impl CompletionGuard {
             return;
         }
         self.completed = true;
-        let watcher = {
-            let mut state = self
-                .slot
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            state.result = Some(result);
-            self.slot.done.notify_all();
-            state.watcher.take()
-        };
-        // Run the readiness watcher outside the slot lock: it may call
-        // back into `wait` (which relocks) or do real work.
-        if let Some(w) = watcher {
-            w();
-        }
+        self.slot.fill(result);
     }
 }
 
@@ -402,16 +436,32 @@ impl Drop for CompletionGuard {
     }
 }
 
-/// A unit of queued work.
-struct Job {
+/// A unit of queued work: an ordinary pipeline execution, or one turn of
+/// a streaming session's frame runner.
+pub(crate) struct Job {
     tenant: String,
+    priority: Priority,
+    metrics: Arc<PipelineMetrics>,
+    submitted: Instant,
+    payload: Payload,
+}
+
+pub(crate) enum Payload {
+    /// A single stateless pipeline execution (the classic request path).
+    Pipeline(PipelineJob),
+    /// One scheduling turn of a session's frame runner: the worker drains
+    /// (a bounded slice of) the session's pending-frame FIFO in order.
+    /// At most one runner per session is ever queued, which is what
+    /// serializes a session's frames while letting different sessions run
+    /// on different workers.
+    Session(Arc<crate::session::SessionEntry>),
+}
+
+pub(crate) struct PipelineJob {
     pipeline: Pipeline,
     inputs: Vec<(ImageId, Image)>,
     schedule: Schedule,
-    priority: Priority,
-    metrics: Arc<PipelineMetrics>,
-    slot: Arc<Slot>,
-    submitted: Instant,
+    slot: Arc<Slot<Execution>>,
     /// Latest useful completion instant; expired jobs are dropped at
     /// dequeue without executing.
     deadline: Option<Instant>,
@@ -568,6 +618,8 @@ pub struct Runtime {
     metrics: Arc<MetricsRegistry>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     retuners: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Open streaming sessions (see [`crate::session`]).
+    pub(crate) sessions: crate::session::SessionTable,
 }
 
 /// SplitMix64 finalizer: decorrelates the shard index from raw
@@ -635,13 +687,14 @@ impl Runtime {
             metrics,
             workers: Mutex::new(handles),
             retuners: Mutex::new(retuners),
+            sessions: crate::session::SessionTable::default(),
         }
     }
 
     /// The shard a given pipeline fingerprint routes to. Pure function of
     /// the fingerprint and shard count: every submission of the same
     /// structure reuses the same shard-local plan cache.
-    fn shard_for(&self, fingerprint: u64) -> &Arc<Shared> {
+    pub(crate) fn shard_for(&self, fingerprint: u64) -> &Arc<Shared> {
         let idx = (mix64(fingerprint) % self.shards.len() as u64) as usize;
         &self.shards[idx]
     }
@@ -649,6 +702,12 @@ impl Runtime {
     /// Number of shards this runtime is running.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The cross-shard metrics registry (the session layer mints its
+    /// per-session metric handles here).
+    pub(crate) fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// A runtime whose queue is never drained — deterministic admission
@@ -742,16 +801,18 @@ impl Runtime {
         let slot = Arc::new(Slot::default());
         let job = Job {
             tenant: name.to_string(),
-            pipeline: pipeline.clone(),
-            inputs,
-            schedule,
             priority,
             metrics: Arc::clone(&metrics),
-            slot: Arc::clone(&slot),
             submitted: Instant::now(),
-            deadline,
-            trace_id,
-            span_id,
+            payload: Payload::Pipeline(PipelineJob {
+                pipeline: pipeline.clone(),
+                inputs,
+                schedule,
+                slot: Arc::clone(&slot),
+                deadline,
+                trace_id,
+                span_id,
+            }),
         };
         let cfg = &shared.cfg;
         let weight = cfg
@@ -891,6 +952,7 @@ impl Runtime {
             tuned_plans: self.tuned_plans() as u64,
             cache_evictions,
             shards: self.shards.len() as u64,
+            sessions_open: self.session_count() as u64,
         };
         snap.fingerprints = fingerprints;
         snap
@@ -997,6 +1059,47 @@ impl Drop for Runtime {
     }
 }
 
+/// Queues one turn of a session's frame runner on the session's shard.
+///
+/// Runners bypass queue capacity and the QoS shed thresholds on purpose:
+/// at most one runner per open session ever exists, the per-session
+/// pending FIFO is bounded separately (see [`crate::session`]), and a
+/// runner that cannot be queued would strand already-accepted frames.
+/// Only a shut-down runtime refuses.
+pub(crate) fn enqueue_session_runner(
+    shared: &Shared,
+    entry: &Arc<crate::session::SessionEntry>,
+    tenant: &str,
+    priority: Priority,
+    metrics: &Arc<PipelineMetrics>,
+) -> Result<(), RuntimeError> {
+    let weight = shared
+        .cfg
+        .tenant_weights
+        .iter()
+        .find(|(t, _)| t == tenant)
+        .map(|(_, w)| *w)
+        .unwrap_or(1);
+    let mut queue = shared.queue.lock().unwrap();
+    if !queue.accepting {
+        return Err(RuntimeError::ShuttingDown);
+    }
+    queue.push(
+        Job {
+            tenant: tenant.to_string(),
+            priority,
+            metrics: Arc::clone(metrics),
+            submitted: Instant::now(),
+            payload: Payload::Session(Arc::clone(entry)),
+        },
+        weight,
+    );
+    let depth = queue.len as u64;
+    shared.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    shared.job_available.notify_one();
+    Ok(())
+}
+
 fn worker_loop(shared: &Shared) {
     // One scratch pool per worker, reused for every job: after a few
     // requests the buffers reach their high-water mark and execution stops
@@ -1024,10 +1127,30 @@ fn worker_loop(shared: &Shared) {
             .cfg
             .tracer
             .counter("queue_depth", "serve", depth as f64);
+        // Session runners have their own per-frame completion discipline
+        // (every pending frame owns a result slot); hand the whole turn to
+        // the session module and move on to the next queued job.
+        let pj = match job.payload {
+            Payload::Session(ref entry) => {
+                let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                shared
+                    .cfg
+                    .tracer
+                    .counter("in_flight", "serve", in_flight as f64);
+                crate::session::run_session_turn(shared, entry);
+                let in_flight = shared.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+                shared
+                    .cfg
+                    .tracer
+                    .counter("in_flight", "serve", in_flight as f64);
+                continue;
+            }
+            Payload::Pipeline(ref pj) => pj,
+        };
         // From here on the submitter is owed an answer: the guard fills
         // the slot with `Panicked` if anything below unwinds before
         // `complete` runs.
-        let guard = CompletionGuard::new(Arc::clone(&job.slot));
+        let guard = CompletionGuard::new(Arc::clone(&pj.slot));
         // Request-scoped recording: the flight recorder hands out a
         // private tracer (uncontended; mirrored into the global tracer at
         // finish) under the job's propagated — or synthesized — trace id.
@@ -1035,17 +1158,17 @@ fn worker_loop(shared: &Shared) {
             .cfg
             .recorder
             .as_ref()
-            .map(|r| r.begin(job.trace_id, job.span_id, &job.tenant, &shared.cfg.tracer));
+            .map(|r| r.begin(pj.trace_id, pj.span_id, &job.tenant, &shared.cfg.tracer));
         let span_tracer = match &request {
             Some(active) => active.tracer().clone(),
-            None if job.trace_id != 0 => shared.cfg.tracer.scoped(job.trace_id),
+            None if pj.trace_id != 0 => shared.cfg.tracer.scoped(pj.trace_id),
             None => shared.cfg.tracer.clone(),
         };
         // Deadline check at dequeue, before any planning or execution: a
         // job that expired in the queue is answered immediately and costs
         // no worker time (the network layer translates this into a typed
         // wire error the client sees instead of a late result).
-        if let Some(deadline) = job.deadline {
+        if let Some(deadline) = pj.deadline {
             if Instant::now() >= deadline {
                 job.metrics.record_deadline_miss();
                 let us = u64::try_from(job.submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -1060,11 +1183,11 @@ fn worker_loop(shared: &Shared) {
                         vec![("pipeline", ArgValue::Str(job.tenant.clone()))],
                     );
                 }
-                record_slo(&job, us);
+                record_slo(pj, &job, us);
                 let trace_id = request
                     .as_ref()
                     .map(ActiveRequest::trace_id)
-                    .unwrap_or(job.trace_id);
+                    .unwrap_or(pj.trace_id);
                 job.metrics.record_latency_traced(us, trace_id);
                 if let (Some(r), Some(active)) = (shared.cfg.recorder.as_ref(), request.take()) {
                     r.finish(active, RequestOutcome::DeadlineMissed);
@@ -1083,7 +1206,7 @@ fn worker_loop(shared: &Shared) {
         // Contain panics: a malformed job must fail its own caller, not
         // take the worker (and every queued job behind it) down with it.
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run_job(shared, &job, &mut scratch, &span_tracer)
+            run_job(shared, &job, pj, &mut scratch, &span_tracer)
         }))
         .unwrap_or_else(|panic| {
             let msg = panic
@@ -1103,11 +1226,11 @@ fn worker_loop(shared: &Shared) {
             Err(_) => job.metrics.record_error(),
         }
         let us = u64::try_from(job.submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
-        record_slo(&job, us);
+        record_slo(pj, &job, us);
         let trace_id = request
             .as_ref()
             .map(ActiveRequest::trace_id)
-            .unwrap_or(job.trace_id);
+            .unwrap_or(pj.trace_id);
         job.metrics.record_latency_traced(us, trace_id);
         if let (Some(r), Some(active)) = (shared.cfg.recorder.as_ref(), request.take()) {
             let outcome = match &result {
@@ -1124,8 +1247,8 @@ fn worker_loop(shared: &Shared) {
 /// SLO accounting for deadlined jobs: how much of the request's deadline
 /// budget the runtime burned, and whether the SLO was met. Jobs without a
 /// deadline carry no SLO and record nothing.
-fn record_slo(job: &Job, spent_us: u64) {
-    let Some(deadline) = job.deadline else { return };
+fn record_slo(pj: &PipelineJob, job: &Job, spent_us: u64) {
+    let Some(deadline) = pj.deadline else { return };
     let budget_us = deadline
         .checked_duration_since(job.submitted)
         .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
@@ -1154,7 +1277,7 @@ fn fail_point_after_dequeue(tenant: &str) {
 /// scale is the model GPU's, not this host's — what the metrics track is
 /// the per-fingerprint observed/modeled *ratio*, whose drift flags
 /// pipelines where the planner's cost model stopped tracking reality.
-fn modeled_execute_us(p: &Pipeline, cfg: &FusionConfig) -> f64 {
+pub(crate) fn modeled_execute_us(p: &Pipeline, cfg: &FusionConfig) -> f64 {
     let model = &cfg.model;
     let c = model.constants();
     let mut cycles = 0.0;
@@ -1176,6 +1299,7 @@ fn modeled_execute_us(p: &Pipeline, cfg: &FusionConfig) -> f64 {
 fn run_job(
     shared: &Shared,
     job: &Job,
+    pj: &PipelineJob,
     scratch: &mut Scratch,
     tracer: &Tracer,
 ) -> Result<Execution, RuntimeError> {
@@ -1191,19 +1315,19 @@ fn run_job(
         );
     }
     let plan_start = tracer.now_us();
-    let fingerprint = job.pipeline.fingerprint();
+    let fingerprint = pj.pipeline.fingerprint();
     // A tuned choice, when installed for this (fingerprint, size-class),
     // overrides the schedule and execution shape — but only for jobs that
     // asked for `Optimized`. A tenant explicitly requesting
     // `Baseline`/`Basic` gets exactly what it asked for.
-    let mut schedule = job.schedule;
+    let mut schedule = pj.schedule;
     let mut exec = shared.cfg.exec;
     let mut tuned = false;
     if let Some(t) = &shared.tuner {
-        if job.schedule == Schedule::Optimized {
+        if pj.schedule == Schedule::Optimized {
             let tune_key = TuneKey {
                 fingerprint,
-                size_class: size_class_of(output_pixels(&job.pipeline)),
+                size_class: size_class_of(output_pixels(&pj.pipeline)),
             };
             if let Some(choice) = t.choice_for(&tune_key) {
                 schedule = choice.schedule;
@@ -1217,7 +1341,7 @@ fn run_job(
         schedule,
         exec,
     };
-    let layout = job.pipeline.binding_fingerprint();
+    let layout = pj.pipeline.binding_fingerprint();
     let cached = shared.cache.lock().unwrap().lookup(&key, layout);
     let hit = cached.is_some();
     let (plan, modeled_us) = match cached {
@@ -1230,16 +1354,25 @@ fn run_job(
             if let Some(t) = &shared.tuner {
                 // Keep a sample of the submitted pipeline so the retuner
                 // can probe this fingerprint off the request path.
-                t.record_sample(&job.pipeline);
+                t.record_sample(&pj.pipeline);
             }
             // Validate before handing the pipeline to the fusion planner;
             // planning assumes a well-formed DAG.
-            job.pipeline
+            pj.pipeline
                 .validate()
                 .map_err(|e| ExecError::Invalid(e.to_string()))?;
             let policy = Arc::clone(&*shared.policy.lock().unwrap());
-            let fused = kfuse_dsl::compile(&job.pipeline, schedule, policy.fusion_config());
-            let plan = Arc::new(CompiledPlan::compile(&fused)?);
+            let fused = kfuse_dsl::compile(&pj.pipeline, schedule, policy.fusion_config());
+            // The overlapped schedule changes the executor's halo
+            // discipline, not just the fusion pricing: stage planes keep
+            // their full halo rect and apron cells are border-resolved
+            // once instead of index-exchanged per load.
+            let tiling = if schedule == Schedule::Overlapped {
+                kfuse_sim::Tiling::Overlapped
+            } else {
+                kfuse_sim::Tiling::Exchange
+            };
+            let plan = Arc::new(CompiledPlan::compile_with(&fused, tiling)?);
             // Price the fused plan once at compile time; every execution
             // divides its observed time by this for the fidelity ratio.
             let modeled_us = modeled_execute_us(plan.pipeline(), policy.fusion_config());
@@ -1276,7 +1409,7 @@ fn run_job(
     let exec_start = tracer.now_us();
     let exec_t0 = Instant::now();
     let result = plan
-        .execute_traced(&job.inputs, &exec, scratch, tracer)
+        .execute_traced(&pj.inputs, &exec, scratch, tracer)
         .map_err(RuntimeError::Exec);
     if result.is_ok() {
         let observed_us = u64::try_from(exec_t0.elapsed().as_micros()).unwrap_or(u64::MAX);

@@ -1,0 +1,778 @@
+//! Streaming sessions: stateful frame-by-frame serving on the shared
+//! worker pools.
+//!
+//! A session pins a [`kfuse_stream::StreamSession`] — a compiled plan plus
+//! the temporal state rings it carries between frames — to the shard its
+//! stream fingerprint routes to, so every frame of the session reuses the
+//! plan the shard already compiled and the state planes never cross
+//! shards. Frames are *submitted* ([`Runtime::submit_frame`]) into a
+//! per-session pending FIFO and *executed* by a session runner — a
+//! `Payload::Session` job on the shard's ordinary work
+//! queue. The whole in-order guarantee rests on one invariant:
+//!
+//! > **At most one runner per session is ever queued or running**, and
+//! > `pending` is non-empty only while `runner_queued` holds.
+//!
+//! The single runner drains the FIFO front-to-back, so a session's frames
+//! execute in submission order on *some* worker (frame N−1's state is
+//! always in the rings before frame N steps), while distinct sessions run
+//! concurrently across workers and shards. A runner yields the queue after
+//! a bounded turn (`TURN_FRAMES`) and re-enqueues itself, so one
+//! firehose session cannot starve a shard's stateless traffic.
+//!
+//! Lifecycle: `Open → (drain) → Draining → (close) → Closed`. Draining is
+//! a fence — frames already accepted still complete in order, new submits
+//! are refused with [`RuntimeError::SessionDraining`]. Closing frees the
+//! state planes and fails any still-pending frames with
+//! [`RuntimeError::SessionClosed`]. A panic inside a frame step closes the
+//! session (its state rings can no longer be trusted) but never kills the
+//! worker.
+//!
+//! Lock order is `state → session → shard queue`; no path takes them in
+//! any other order. Submitters only ever touch `state` (the pending FIFO),
+//! never `session` (the rings), so admission stays fast while a frame
+//! executes.
+
+use crate::cache::{CachedPlan, PlanKey};
+use crate::metrics::PipelineMetrics;
+use crate::runtime::{
+    enqueue_session_runner, modeled_execute_us, Priority, Runtime, RuntimeError, Shared, Slot,
+};
+use kfuse_dsl::Schedule;
+use kfuse_ir::{Image, ImageId};
+use kfuse_obs::{ActiveRequest, ArgValue, RequestOutcome};
+use kfuse_sim::{CompiledPlan, Tiling};
+use kfuse_stream::{FrameOutput, StreamPipeline, StreamSession};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Frames a runner may execute before re-enqueueing itself, so a saturated
+/// session shares its shard's workers with everyone else at queue
+/// granularity.
+const TURN_FRAMES: usize = 16;
+
+/// The open-session registry: id → entry. Lives on the [`Runtime`] (not a
+/// shard) because ids are runtime-global; each entry remembers its own
+/// shard routing via the stream fingerprint.
+#[derive(Default)]
+pub(crate) struct SessionTable {
+    entries: Mutex<HashMap<u64, Arc<SessionEntry>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionTable {
+    fn get(&self, id: u64) -> Option<Arc<SessionEntry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&id)
+            .cloned()
+    }
+}
+
+/// Where a session is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Open,
+    Draining,
+    Closed,
+}
+
+/// A frame accepted into a session's FIFO but not yet executed.
+struct PendingFrame {
+    inputs: Vec<(ImageId, Image)>,
+    slot: Arc<Slot<FrameOutput>>,
+    submitted: Instant,
+    trace_id: u64,
+    span_id: u64,
+}
+
+/// The submit-side half of a session: pending FIFO, lifecycle phase, and
+/// the runner invariant bit. Deliberately separate from the `session`
+/// mutex so submitting never waits behind an executing frame.
+struct SessionState {
+    pending: VecDeque<PendingFrame>,
+    runner_queued: bool,
+    phase: Phase,
+}
+
+/// Monotonic per-session counters (relaxed atomics; read by
+/// [`Runtime::session_stats`] without any lock).
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    errored: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// A point-in-time snapshot of one session's frame accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Frames accepted into the pending FIFO.
+    pub frames_submitted: u64,
+    /// Frames executed to a successful [`FrameOutput`].
+    pub frames_completed: u64,
+    /// Frames that failed in execution (including those failed by a
+    /// close or shutdown after acceptance).
+    pub frames_errored: u64,
+    /// Submits refused at admission (draining/closed/backlog full).
+    pub frames_rejected: u64,
+}
+
+/// One open session. Shared between the submit path, the runner job on
+/// the shard queue, and the registry; the `Arc` keeps an entry alive for
+/// a runner even after `close_session` removes it from the table.
+pub(crate) struct SessionEntry {
+    id: u64,
+    tenant: String,
+    priority: Priority,
+    /// Shard routing key: the stream fingerprint this session was opened
+    /// under (frames must follow the plan to its shard).
+    fingerprint: u64,
+    metrics: Arc<PipelineMetrics>,
+    stats: Counters,
+    state: Mutex<SessionState>,
+    /// The temporal state itself. Only a runner locks this, and only one
+    /// runner exists per session, so it is in practice uncontended.
+    session: Mutex<StreamSession>,
+}
+
+impl SessionEntry {
+    fn stats_snapshot(&self) -> SessionStats {
+        SessionStats {
+            frames_submitted: self.stats.submitted.load(Ordering::Relaxed),
+            frames_completed: self.stats.completed.load(Ordering::Relaxed),
+            frames_errored: self.stats.errored.load(Ordering::Relaxed),
+            frames_rejected: self.stats.rejected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Handle to one submitted frame; resolves to the frame's
+/// [`FrameOutput`] (or the error that stopped it).
+pub struct FrameHandle {
+    slot: Arc<Slot<FrameOutput>>,
+}
+
+impl std::fmt::Debug for FrameHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameHandle").finish_non_exhaustive()
+    }
+}
+
+impl FrameHandle {
+    /// Blocks until the frame completes.
+    pub fn wait(self) -> Result<FrameOutput, RuntimeError> {
+        self.slot.wait()
+    }
+
+    /// Registers a completion watcher — the streaming analogue of
+    /// [`crate::JobHandle::on_ready`], used by the network front end to
+    /// multiplex many in-flight frames onto one reply path.
+    pub fn on_ready(&self, f: impl FnOnce() + Send + 'static) {
+        self.slot.on_ready(f);
+    }
+
+    /// A second handle on the same result slot (for on_ready + wait
+    /// pairs; only one of them may consume the result).
+    pub fn duplicate(&self) -> FrameHandle {
+        FrameHandle {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+impl Runtime {
+    /// Opens a streaming session for `tenant` over `stream` at
+    /// [`Priority::Normal`], returning its id.
+    pub fn open_session(
+        &self,
+        tenant: &str,
+        stream: &StreamPipeline,
+        schedule: Schedule,
+    ) -> Result<u64, RuntimeError> {
+        self.open_session_with(tenant, stream, schedule, Priority::Normal)
+    }
+
+    /// Opens a streaming session with an explicit [`Priority`] for its
+    /// frame runner.
+    ///
+    /// The per-frame plan is obtained through the owning shard's plan
+    /// cache under the same `(fingerprint, schedule, exec)` key the
+    /// stateless path uses, so a session and ordinary submissions of the
+    /// same pipeline share one compiled plan. (Tuned overrides are *not*
+    /// consulted: a session pins its plan for its lifetime, and retuning
+    /// mid-stream would silently change the halo discipline under live
+    /// state.)
+    pub fn open_session_with(
+        &self,
+        tenant: &str,
+        stream: &StreamPipeline,
+        schedule: Schedule,
+        priority: Priority,
+    ) -> Result<u64, RuntimeError> {
+        let fingerprint = stream.fingerprint();
+        let shared = self.shard_for(fingerprint);
+        let frame = stream.frame();
+        let key = PlanKey {
+            fingerprint: frame.fingerprint(),
+            schedule,
+            exec: shared.cfg.exec,
+        };
+        let layout = frame.binding_fingerprint();
+        let cached = shared.cache.lock().unwrap().lookup(&key, layout);
+        let plan = match cached {
+            Some(entry) => entry.plan,
+            None => {
+                frame
+                    .validate()
+                    .map_err(|e| RuntimeError::Stream(e.to_string()))?;
+                let policy = Arc::clone(&*shared.policy.lock().unwrap());
+                let fused = kfuse_dsl::compile(frame, schedule, policy.fusion_config());
+                let tiling = if schedule == Schedule::Overlapped {
+                    Tiling::Overlapped
+                } else {
+                    Tiling::Exchange
+                };
+                let plan = Arc::new(CompiledPlan::compile_with(&fused, tiling)?);
+                let modeled_us = modeled_execute_us(plan.pipeline(), policy.fusion_config());
+                shared.cache.lock().unwrap().insert(
+                    key,
+                    CachedPlan {
+                        layout,
+                        plan: Arc::clone(&plan),
+                        modeled_us,
+                    },
+                );
+                plan
+            }
+        };
+        let session = StreamSession::with_plan(stream.clone(), plan, shared.cfg.exec)
+            .map_err(|e| RuntimeError::Stream(e.to_string()))?;
+        let metrics = self.registry().handle(tenant);
+        let id = self.sessions.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(SessionEntry {
+            id,
+            tenant: tenant.to_string(),
+            priority,
+            fingerprint,
+            metrics,
+            stats: Counters::default(),
+            state: Mutex::new(SessionState {
+                pending: VecDeque::new(),
+                runner_queued: false,
+                phase: Phase::Open,
+            }),
+            session: Mutex::new(session),
+        });
+        self.sessions
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(id, entry);
+        Ok(id)
+    }
+
+    /// Submits the next frame of session `id`. `fresh` binds exactly the
+    /// stream's fresh inputs; state taps are bound by the session from
+    /// its rings. Frames of one session complete strictly in submission
+    /// order.
+    pub fn submit_frame(
+        &self,
+        id: u64,
+        fresh: Vec<(ImageId, Image)>,
+    ) -> Result<FrameHandle, RuntimeError> {
+        self.submit_frame_with_ctx(id, fresh, 0, 0)
+    }
+
+    /// [`Runtime::submit_frame`] with a propagated trace context, so each
+    /// frame's serving spans and flight-recorder record land under the
+    /// client's trace id (zero = none).
+    pub fn submit_frame_with_ctx(
+        &self,
+        id: u64,
+        fresh: Vec<(ImageId, Image)>,
+        trace_id: u64,
+        span_id: u64,
+    ) -> Result<FrameHandle, RuntimeError> {
+        let entry = self
+            .sessions
+            .get(id)
+            .ok_or(RuntimeError::UnknownSession(id))?;
+        entry.metrics.record_request();
+        let shared = self.shard_for(entry.fingerprint);
+        let slot = Arc::new(Slot::default());
+        let mut state = entry.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match state.phase {
+            Phase::Open => {}
+            Phase::Draining => {
+                entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                entry.metrics.record_rejected();
+                return Err(RuntimeError::SessionDraining);
+            }
+            Phase::Closed => {
+                entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                entry.metrics.record_rejected();
+                return Err(RuntimeError::SessionClosed);
+            }
+        }
+        // The per-session backlog is bounded like a shard queue: a client
+        // outrunning its session's throughput is shed, not buffered
+        // without limit.
+        if state.pending.len() >= shared.cfg.queue_capacity {
+            entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            entry.metrics.record_shed();
+            return Err(RuntimeError::QueueFull);
+        }
+        state.pending.push_back(PendingFrame {
+            inputs: fresh,
+            slot: Arc::clone(&slot),
+            submitted: Instant::now(),
+            trace_id,
+            span_id,
+        });
+        if !state.runner_queued {
+            if let Err(e) = enqueue_session_runner(
+                shared,
+                &entry,
+                &entry.tenant,
+                entry.priority,
+                &entry.metrics,
+            ) {
+                state.pending.pop_back();
+                entry.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                entry.metrics.record_rejected();
+                return Err(e);
+            }
+            state.runner_queued = true;
+        }
+        entry.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(FrameHandle { slot })
+    }
+
+    /// Drain fence: frames already accepted still complete in order;
+    /// every later [`Runtime::submit_frame`] is refused with
+    /// [`RuntimeError::SessionDraining`]. Idempotent; refused on a closed
+    /// session.
+    pub fn drain_session(&self, id: u64) -> Result<(), RuntimeError> {
+        let entry = self
+            .sessions
+            .get(id)
+            .ok_or(RuntimeError::UnknownSession(id))?;
+        let mut state = entry.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match state.phase {
+            Phase::Closed => Err(RuntimeError::SessionClosed),
+            _ => {
+                state.phase = Phase::Draining;
+                Ok(())
+            }
+        }
+    }
+
+    /// Closes session `id`: frees its state planes, fails any
+    /// still-pending frames with [`RuntimeError::SessionClosed`], and
+    /// returns the final frame accounting. A frame already executing
+    /// finishes normally (its submitter holds a live handle).
+    pub fn close_session(&self, id: u64) -> Result<SessionStats, RuntimeError> {
+        let entry = self
+            .sessions
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&id)
+            .ok_or(RuntimeError::UnknownSession(id))?;
+        let pending: Vec<PendingFrame> = {
+            let mut state = entry.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.phase = Phase::Closed;
+            state.pending.drain(..).collect()
+        };
+        for frame in pending {
+            entry.stats.errored.fetch_add(1, Ordering::Relaxed);
+            entry.metrics.record_error();
+            frame.slot.fill(Err(RuntimeError::SessionClosed));
+        }
+        Ok(entry.stats_snapshot())
+    }
+
+    /// The frame accounting of an open session.
+    pub fn session_stats(&self, id: u64) -> Result<SessionStats, RuntimeError> {
+        self.sessions
+            .get(id)
+            .map(|e| e.stats_snapshot())
+            .ok_or(RuntimeError::UnknownSession(id))
+    }
+
+    /// Number of sessions currently registered (open or draining).
+    pub fn session_count(&self) -> usize {
+        self.sessions
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// One scheduling turn of a session's frame runner, called from the
+/// worker loop. Drains up to [`TURN_FRAMES`] pending frames in FIFO
+/// order, then either re-enqueues itself (more work waiting) or clears
+/// the runner invariant bit (FIFO empty).
+pub(crate) fn run_session_turn(shared: &Shared, entry: &Arc<SessionEntry>) {
+    for _ in 0..TURN_FRAMES {
+        let frame = {
+            let mut state = entry.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if state.phase == Phase::Closed {
+                // Closed mid-turn (or by a panic): the session's rings
+                // are gone or untrustworthy; answer everything pending.
+                let pending: Vec<PendingFrame> = state.pending.drain(..).collect();
+                state.runner_queued = false;
+                drop(state);
+                for f in pending {
+                    entry.stats.errored.fetch_add(1, Ordering::Relaxed);
+                    entry.metrics.record_error();
+                    f.slot.fill(Err(RuntimeError::SessionClosed));
+                }
+                return;
+            }
+            match state.pending.pop_front() {
+                Some(f) => f,
+                None => {
+                    state.runner_queued = false;
+                    return;
+                }
+            }
+        };
+        step_one(shared, entry, frame);
+    }
+    // Turn budget spent: yield the worker and get back in line, keeping
+    // the one-runner invariant (`runner_queued` stays true across the
+    // re-enqueue, so no submitter races a second runner in).
+    let mut state = entry.state.lock().unwrap_or_else(PoisonError::into_inner);
+    if state.pending.is_empty() {
+        state.runner_queued = false;
+        return;
+    }
+    if let Err(e) =
+        enqueue_session_runner(shared, entry, &entry.tenant, entry.priority, &entry.metrics)
+    {
+        // Shutting down: the accepted backlog can no longer run, but
+        // every submitter still gets an answer.
+        let pending: Vec<PendingFrame> = state.pending.drain(..).collect();
+        state.runner_queued = false;
+        drop(state);
+        let msg = e.to_string();
+        for f in pending {
+            entry.stats.errored.fetch_add(1, Ordering::Relaxed);
+            entry.metrics.record_error();
+            f.slot.fill(Err(RuntimeError::Stream(msg.clone())));
+        }
+    }
+}
+
+/// Executes one pending frame: flight-recorder root, the session step
+/// itself (panic-contained), per-frame metrics, and the slot fill.
+fn step_one(shared: &Shared, entry: &SessionEntry, frame: PendingFrame) {
+    let PendingFrame {
+        inputs,
+        slot,
+        submitted,
+        trace_id,
+        span_id,
+    } = frame;
+    let mut request = shared
+        .cfg
+        .recorder
+        .as_ref()
+        .map(|r| r.begin(trace_id, span_id, &entry.tenant, &shared.cfg.tracer));
+    let span_tracer = match &request {
+        Some(active) => active.tracer().clone(),
+        None if trace_id != 0 => shared.cfg.tracer.scoped(trace_id),
+        None => shared.cfg.tracer.clone(),
+    };
+    if span_tracer.is_enabled() {
+        // Time from submit to execution start: queue wait plus any wait
+        // behind earlier frames of the same session.
+        span_tracer.complete(
+            "frame_wait",
+            "stream",
+            span_tracer.ts_of(submitted),
+            span_tracer.now_us(),
+            vec![
+                ("session", ArgValue::Str(entry.tenant.clone())),
+                ("session_id", ArgValue::Str(entry.id.to_string())),
+            ],
+        );
+    }
+    let exec_start = span_tracer.now_us();
+    let stepped = {
+        let mut session = entry.session.lock().unwrap_or_else(PoisonError::into_inner);
+        catch_unwind(AssertUnwindSafe(|| session.step(inputs)))
+    };
+    if span_tracer.is_enabled() {
+        span_tracer.complete(
+            "frame_execute",
+            "stream",
+            exec_start,
+            span_tracer.now_us(),
+            vec![("session", ArgValue::Str(entry.tenant.clone()))],
+        );
+    }
+    let result = match stepped {
+        Ok(Ok(out)) => Ok(out),
+        // A step refused at validation (bad bindings) leaves the rings
+        // untouched: the session stays usable and only this frame fails.
+        Ok(Err(e)) => Err(RuntimeError::Stream(e.to_string())),
+        Err(panic) => {
+            // The step unwound mid-execution; the state rings may hold a
+            // half-updated frame. Close the session rather than serve
+            // frames whose temporal history is corrupt.
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "frame step panicked".to_string());
+            entry
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .phase = Phase::Closed;
+            Err(RuntimeError::Panicked(msg))
+        }
+    };
+    let us = u64::try_from(submitted.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let latency_trace = request
+        .as_ref()
+        .map(ActiveRequest::trace_id)
+        .unwrap_or(trace_id);
+    entry.metrics.record_latency_traced(us, latency_trace);
+    match &result {
+        Ok(_) => {
+            entry.stats.completed.fetch_add(1, Ordering::Relaxed);
+            entry.metrics.record_completed();
+        }
+        Err(_) => {
+            entry.stats.errored.fetch_add(1, Ordering::Relaxed);
+            entry.metrics.record_error();
+        }
+    }
+    if let (Some(r), Some(active)) = (shared.cfg.recorder.as_ref(), request.take()) {
+        let outcome = match &result {
+            Ok(_) => RequestOutcome::Ok,
+            Err(e) => RequestOutcome::Errored(e.to_string()),
+        };
+        r.finish(active, outcome);
+    }
+    slot.fill(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use kfuse_dsl::{c, v, Mask};
+    use kfuse_ir::BorderMode;
+    use kfuse_sim::synthetic_image;
+    use kfuse_stream::{run_reference, StreamBuilder};
+
+    /// Exponential-accumulator denoise: one fresh input, one depth-1
+    /// output-fed state tap.
+    fn denoise(w: usize, h: usize) -> StreamPipeline {
+        let mut b = StreamBuilder::new("TemporalDenoise", w, h);
+        let frame = b.gray_input("frame");
+        let acc_prev = b.prev_frame("acc_prev", frame, 1);
+        let blurred = b.convolve("blur", frame, &Mask::gaussian3(), BorderMode::Mirror);
+        let acc = b.point(
+            "acc",
+            &[blurred, acc_prev],
+            vec![v(0) * c(0.3) + v(1) * c(0.7)],
+        );
+        b.output(acc);
+        b.feedback(acc_prev, acc);
+        b.build()
+    }
+
+    fn frames(stream: &StreamPipeline, n: usize) -> Vec<Vec<(ImageId, Image)>> {
+        let fresh = stream.fresh_inputs();
+        (0..n)
+            .map(|f| {
+                fresh
+                    .iter()
+                    .map(|&id| {
+                        let desc = stream.frame().image(id).clone();
+                        (id, synthetic_image(desc, (f * 97 + id.0 + 5) as u64))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The core serving guarantee: frames of one session complete in
+    /// submission order and bit-match the naive streaming oracle, even
+    /// with several workers racing for the queue.
+    #[test]
+    fn frames_complete_in_order_and_match_reference() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 4,
+            ..RuntimeConfig::default()
+        });
+        let stream = denoise(19, 13);
+        let seq = frames(&stream, 8);
+        let want = run_reference(&stream, &seq).unwrap();
+        let id = rt
+            .open_session("vid", &stream, Schedule::Optimized)
+            .unwrap();
+        assert_eq!(rt.session_count(), 1);
+        let handles: Vec<FrameHandle> = seq
+            .iter()
+            .map(|fresh| rt.submit_frame(id, fresh.clone()).unwrap())
+            .collect();
+        for (f, h) in handles.into_iter().enumerate() {
+            let out = h.wait().unwrap();
+            assert_eq!(out.frame, f as u64, "frames must complete in order");
+            for ((gid, got), (wid, wanted)) in out.outputs.iter().zip(&want[f]) {
+                assert_eq!(gid, wid);
+                assert!(got.bit_equal(wanted), "frame {f} diverges from oracle");
+            }
+        }
+        let stats = rt.close_session(id).unwrap();
+        assert_eq!(stats.frames_submitted, 8);
+        assert_eq!(stats.frames_completed, 8);
+        assert_eq!(stats.frames_errored, 0);
+        assert_eq!(rt.session_count(), 0);
+        rt.shutdown();
+    }
+
+    /// A session's plan comes from (and lands in) the owning shard's
+    /// plan cache, shared with the stateless submit path.
+    #[test]
+    fn sessions_share_the_plan_cache() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let stream = denoise(16, 12);
+        rt.open_session("a", &stream, Schedule::Optimized).unwrap();
+        assert_eq!(rt.cached_plans(), 1);
+        // A second session over the same stream reuses the cached plan.
+        rt.open_session("b", &stream, Schedule::Optimized).unwrap();
+        assert_eq!(rt.cached_plans(), 1);
+        rt.shutdown();
+    }
+
+    /// Draining is a fence: accepted frames complete, later submits get
+    /// the typed [`RuntimeError::SessionDraining`].
+    #[test]
+    fn drain_fences_new_frames() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let stream = denoise(17, 11);
+        let seq = frames(&stream, 4);
+        let id = rt
+            .open_session("vid", &stream, Schedule::Optimized)
+            .unwrap();
+        let handles: Vec<FrameHandle> = seq
+            .iter()
+            .take(3)
+            .map(|fresh| rt.submit_frame(id, fresh.clone()).unwrap())
+            .collect();
+        rt.drain_session(id).unwrap();
+        match rt.submit_frame(id, seq[3].clone()) {
+            Err(RuntimeError::SessionDraining) => {}
+            other => panic!("expected SessionDraining, got {other:?}"),
+        }
+        // Everything accepted before the fence still completes, in order.
+        for (f, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait().unwrap().frame, f as u64);
+        }
+        // Draining again is idempotent; closing still works.
+        rt.drain_session(id).unwrap();
+        let stats = rt.close_session(id).unwrap();
+        assert_eq!(stats.frames_completed, 3);
+        assert_eq!(stats.frames_rejected, 1);
+        rt.shutdown();
+    }
+
+    /// Closing removes the session: pending frames are answered with
+    /// [`RuntimeError::SessionClosed`], later operations see
+    /// [`RuntimeError::UnknownSession`], and every accepted frame is
+    /// accounted as completed or errored — none dangle.
+    #[test]
+    fn close_answers_pending_and_frees_the_id() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        });
+        let stream = denoise(33, 29);
+        let seq = frames(&stream, 16);
+        let id = rt
+            .open_session("vid", &stream, Schedule::Optimized)
+            .unwrap();
+        let handles: Vec<FrameHandle> = seq
+            .iter()
+            .map(|fresh| rt.submit_frame(id, fresh.clone()).unwrap())
+            .collect();
+        let stats = rt.close_session(id).unwrap();
+        let mut completed = 0;
+        let mut closed = 0;
+        for h in handles {
+            match h.wait() {
+                Ok(_) => completed += 1,
+                Err(RuntimeError::SessionClosed) => closed += 1,
+                Err(e) => panic!("unexpected frame error: {e}"),
+            }
+        }
+        assert_eq!(completed + closed, 16, "every accepted frame is answered");
+        assert_eq!(stats.frames_submitted, 16);
+        match rt.submit_frame(id, seq[0].clone()) {
+            Err(RuntimeError::UnknownSession(got)) => assert_eq!(got, id),
+            other => panic!("expected UnknownSession, got {other:?}"),
+        }
+        match rt.session_stats(id) {
+            Err(RuntimeError::UnknownSession(_)) => {}
+            other => panic!("expected UnknownSession, got {other:?}"),
+        }
+        rt.shutdown();
+    }
+
+    /// A frame refused at validation fails alone: the rings are
+    /// untouched and the session keeps serving correct frames.
+    #[test]
+    fn bad_frame_fails_without_poisoning_the_session() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let stream = denoise(15, 10);
+        let seq = frames(&stream, 3);
+        let want = run_reference(&stream, &seq).unwrap();
+        let id = rt
+            .open_session("vid", &stream, Schedule::Optimized)
+            .unwrap();
+        let good0 = rt.submit_frame(id, seq[0].clone()).unwrap();
+        let bad = rt.submit_frame(id, Vec::new()).unwrap();
+        let good1 = rt.submit_frame(id, seq[1].clone()).unwrap();
+        assert!(good0.wait().unwrap().outputs[0].1.bit_equal(&want[0][0].1));
+        match bad.wait() {
+            Err(RuntimeError::Stream(_)) => {}
+            other => panic!("expected Stream error, got {other:?}"),
+        }
+        // The bad frame consumed no temporal state: the next good frame
+        // is still oracle-frame 1.
+        let out = good1.wait().unwrap();
+        assert!(out.outputs[0].1.bit_equal(&want[1][0].1));
+        let stats = rt.close_session(id).unwrap();
+        assert_eq!(stats.frames_completed, 2);
+        assert_eq!(stats.frames_errored, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unknown_session_is_typed() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        match rt.submit_frame(999, Vec::new()) {
+            Err(RuntimeError::UnknownSession(999)) => {}
+            other => panic!("expected UnknownSession(999), got {other:?}"),
+        }
+        match rt.drain_session(999) {
+            Err(RuntimeError::UnknownSession(999)) => {}
+            other => panic!("expected UnknownSession(999), got {other:?}"),
+        }
+        rt.shutdown();
+    }
+}

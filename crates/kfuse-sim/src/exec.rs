@@ -112,6 +112,13 @@ impl Execution {
     pub fn expect_image(&self, id: ImageId) -> &Image {
         self.image(id).expect("image was not materialized")
     }
+
+    /// Moves the image with id `id` out of the execution, if it was
+    /// materialized. Streaming sessions use this to recycle an output as
+    /// the next frame's state plane without copying.
+    pub fn take_image(&mut self, id: ImageId) -> Option<Image> {
+        self.images.get_mut(id.0).and_then(Option::take)
+    }
 }
 
 /// Tree-walking stage evaluator — the reference semantics.
@@ -320,6 +327,42 @@ pub(crate) fn bind_inputs(
             });
         }
         images[id.0] = Some(img.clone());
+    }
+    for &id in p.inputs() {
+        if images[id.0].is_none() {
+            return Err(ExecError::MissingInput {
+                image: p.image(id).name.clone(),
+            });
+        }
+    }
+    Ok(images)
+}
+
+/// [`bind_inputs`] taking the images by value: each input is moved into
+/// the table instead of cloned — the zero-copy path for streaming
+/// sessions, where state images are recycled frame to frame.
+pub(crate) fn bind_inputs_owned(
+    p: &Pipeline,
+    inputs: Vec<(ImageId, Image)>,
+) -> Result<Vec<Option<Image>>, ExecError> {
+    let mut images: Vec<Option<Image>> = vec![None; p.images().len()];
+    for (id, img) in inputs {
+        if id.0 >= images.len() {
+            return Err(ExecError::Invalid(format!(
+                "input image id {} out of range",
+                id.0
+            )));
+        }
+        let desc = p.image(id);
+        if img.width() != desc.width
+            || img.height() != desc.height
+            || img.channels() != desc.channels
+        {
+            return Err(ExecError::ShapeMismatch {
+                image: desc.name.clone(),
+            });
+        }
+        images[id.0] = Some(img);
     }
     for &id in p.inputs() {
         if images[id.0].is_none() {

@@ -18,8 +18,8 @@
 //! plan runs the same tiled engine as `execute_fast`, merely skipping the
 //! recompilation.
 
-use crate::exec::{bind_inputs, ExecError, Execution};
-use crate::tile::{execute_kernel_compiled_traced, CompiledKernel, Scratch, TileConfig};
+use crate::exec::{bind_inputs, bind_inputs_owned, ExecError, Execution};
+use crate::tile::{execute_kernel_compiled_traced, CompiledKernel, Scratch, TileConfig, Tiling};
 use kfuse_ir::{Image, ImageId, Pipeline};
 use kfuse_obs::Tracer;
 
@@ -34,6 +34,7 @@ pub struct CompiledPlan {
     kernels: Vec<CompiledKernel>,
     /// Kernel indices in execution (topological) order.
     order: Vec<usize>,
+    tiling: Tiling,
 }
 
 impl CompiledPlan {
@@ -41,6 +42,13 @@ impl CompiledPlan {
     /// pipeline can carry surface here, so [`CompiledPlan::execute`] on a
     /// cached plan can only fail on bad *inputs*, never on a bad pipeline.
     pub fn compile(p: &Pipeline) -> Result<Self, ExecError> {
+        Self::compile_with(p, Tiling::Exchange)
+    }
+
+    /// [`CompiledPlan::compile`] with an explicit intra-kernel tiling
+    /// discipline — [`Tiling::Overlapped`] trades halo recompute for
+    /// border-free interior loads on every eligible stage.
+    pub fn compile_with(p: &Pipeline, tiling: Tiling) -> Result<Self, ExecError> {
         p.validate()
             .map_err(|e| ExecError::Invalid(e.to_string()))?;
         let order: Vec<usize> = p
@@ -50,17 +58,27 @@ impl CompiledPlan {
             .into_iter()
             .map(|n| n.0)
             .collect();
-        let kernels = p.kernels().iter().map(CompiledKernel::new).collect();
+        let kernels = p
+            .kernels()
+            .iter()
+            .map(|k| CompiledKernel::new_with(k, tiling))
+            .collect();
         Ok(Self {
             pipeline: p.clone(),
             kernels,
             order,
+            tiling,
         })
     }
 
     /// The pipeline this plan was compiled from.
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// The tiling discipline the plan's kernels were lowered with.
+    pub fn tiling(&self) -> Tiling {
+        self.tiling
     }
 
     /// Executes the plan with fresh scratch buffers.
@@ -95,8 +113,32 @@ impl CompiledPlan {
         scratch: &mut Scratch,
         tracer: &Tracer,
     ) -> Result<Execution, ExecError> {
+        let images = bind_inputs(&self.pipeline, inputs)?;
+        self.run(images, cfg, scratch, tracer)
+    }
+
+    /// [`CompiledPlan::execute_with_scratch`] taking inputs by value: every
+    /// image is *moved* into the execution instead of cloned. This is the
+    /// streaming hot path — a session feeds frame N−1's output planes back
+    /// in as frame N's state inputs without copying a pixel.
+    pub fn execute_owned(
+        &self,
+        inputs: Vec<(ImageId, Image)>,
+        cfg: &TileConfig,
+        scratch: &mut Scratch,
+    ) -> Result<Execution, ExecError> {
+        let images = bind_inputs_owned(&self.pipeline, inputs)?;
+        self.run(images, cfg, scratch, &Tracer::disabled())
+    }
+
+    fn run(
+        &self,
+        mut images: Vec<Option<Image>>,
+        cfg: &TileConfig,
+        scratch: &mut Scratch,
+        tracer: &Tracer,
+    ) -> Result<Execution, ExecError> {
         let p = &self.pipeline;
-        let mut images = bind_inputs(p, inputs)?;
         for &ki in &self.order {
             let k = &p.kernels()[ki];
             let out = execute_kernel_compiled_traced(

@@ -1,0 +1,175 @@
+//! DSL front end for temporal pipelines.
+//!
+//! [`StreamBuilder`] wraps the ordinary [`PipelineBuilder`]: build the
+//! per-frame body with the usual combinators (it derefs to the inner
+//! builder), declare temporal taps with [`StreamBuilder::prev_frame`], and
+//! [`StreamBuilder::build`] classifies each tap's source and validates the
+//! whole temporal structure.
+
+use std::ops::{Deref, DerefMut};
+
+use kfuse_dsl::PipelineBuilder;
+use kfuse_ir::ImageId;
+
+use crate::pipeline::{StateBinding, StateSource, StreamError, StreamPipeline};
+
+/// Builder for [`StreamPipeline`]s.
+#[derive(Debug)]
+pub struct StreamBuilder {
+    inner: PipelineBuilder,
+    /// `(tap, source, depth)` triples; sources are classified as
+    /// output-valued or input-valued once the frame body is final.
+    pending: Vec<(ImageId, ImageId, usize)>,
+}
+
+impl StreamBuilder {
+    /// Starts a stream whose frames are all `width × height`.
+    pub fn new(name: impl Into<String>, width: usize, height: usize) -> Self {
+        Self {
+            inner: PipelineBuilder::new(name, width, height),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Declares a temporal tap carrying `source`'s value from `depth`
+    /// frames ago — the DSL's `prev_frame(k)`. Returns the tap image,
+    /// usable as a kernel input like any other. `source` may be a
+    /// per-frame input or any image later marked as an output; frames
+    /// before the stream warms up read zeros.
+    pub fn prev_frame(
+        &mut self,
+        name: impl Into<String>,
+        source: ImageId,
+        depth: usize,
+    ) -> ImageId {
+        let tap = self.inner.prev_frame(name, source);
+        self.pending.push((tap, source, depth));
+        tap
+    }
+
+    /// Re-points an already-declared tap at `source`. Needed to close
+    /// feedback loops: an accumulator's tap must exist *before* the kernel
+    /// whose output it carries, so declare the tap shaped like any
+    /// same-shape image, build the kernel, then feed its output back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tap` was not declared with [`StreamBuilder::prev_frame`].
+    pub fn feedback(&mut self, tap: ImageId, source: ImageId) {
+        let entry = self
+            .pending
+            .iter_mut()
+            .find(|(t, _, _)| *t == tap)
+            .expect("feedback target is not a declared prev_frame tap");
+        entry.1 = source;
+    }
+
+    /// Finishes the frame body and binds every declared tap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame pipeline or temporal structure is invalid —
+    /// builder misuse is a programming error. Use
+    /// [`StreamBuilder::try_build`] to surface errors instead.
+    pub fn build(self) -> StreamPipeline {
+        let name = self.inner.current().name.clone();
+        match self.try_build() {
+            Ok(s) => s,
+            Err(e) => panic!("stream {name} is invalid: {e}"),
+        }
+    }
+
+    /// Finishes without panicking, surfacing validation errors.
+    pub fn try_build(self) -> Result<StreamPipeline, StreamError> {
+        let Self { inner, pending } = self;
+        let frame = inner
+            .try_build()
+            .map_err(|e| StreamError::Invalid(format!("frame pipeline: {e}")))?;
+        let states = pending
+            .into_iter()
+            .map(|(tap, source, depth)| {
+                let source = if frame.outputs().contains(&source) {
+                    StateSource::Output(source)
+                } else {
+                    StateSource::Input(source)
+                };
+                StateBinding { tap, source, depth }
+            })
+            .collect();
+        StreamPipeline::new(frame, states)
+    }
+}
+
+impl Deref for StreamBuilder {
+    type Target = PipelineBuilder;
+
+    fn deref(&self) -> &PipelineBuilder {
+        &self.inner
+    }
+}
+
+impl DerefMut for StreamBuilder {
+    fn deref_mut(&mut self) -> &mut PipelineBuilder {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_dsl::builder::{c, v};
+
+    #[test]
+    fn builds_an_accumulator_stream() {
+        let mut b = StreamBuilder::new("acc", 12, 9);
+        let frame = b.gray_input("frame");
+        let acc_prev = b.prev_frame("acc_prev", frame, 1);
+        let acc = b.point(
+            "acc",
+            &[frame, acc_prev],
+            vec![v(0) * c(0.2) + v(1) * c(0.8)],
+        );
+        b.output(acc);
+        b.feedback(acc_prev, acc);
+        let s = b.build();
+        assert_eq!(s.states().len(), 1);
+        assert_eq!(s.states()[0].source, StateSource::Output(acc));
+        assert_eq!(s.max_depth(), 1);
+        assert_eq!(s.fresh_inputs(), vec![frame]);
+    }
+
+    #[test]
+    fn input_sources_classify_as_input() {
+        let mut b = StreamBuilder::new("diff", 12, 9);
+        let frame = b.gray_input("frame");
+        let prev = b.prev_frame("prev", frame, 2);
+        let d = b.point("d", &[frame, prev], vec![v(0) - v(1)]);
+        b.output(d);
+        let s = b.build();
+        assert_eq!(s.states()[0].source, StateSource::Input(frame));
+        assert_eq!(s.states()[0].depth, 2);
+    }
+
+    #[test]
+    fn tapping_an_unmaterialized_intermediate_fails() {
+        let mut b = StreamBuilder::new("bad", 12, 9);
+        let frame = b.gray_input("frame");
+        let mid = b.point("mid", &[frame], vec![v(0) * c(2.0)]);
+        // `mid` is never marked as an output, so its previous-frame value
+        // is not observable.
+        let prev = b.prev_frame("prev", mid, 1);
+        let out = b.point("out", &[mid, prev], vec![v(0) + v(1)]);
+        b.output(out);
+        assert!(b.try_build().is_err());
+    }
+
+    #[test]
+    fn bad_depth_fails() {
+        let mut b = StreamBuilder::new("bad", 12, 9);
+        let frame = b.gray_input("frame");
+        let prev = b.prev_frame("prev", frame, 0);
+        let out = b.point("out", &[frame, prev], vec![v(0) + v(1)]);
+        b.output(out);
+        assert!(b.try_build().is_err());
+    }
+}

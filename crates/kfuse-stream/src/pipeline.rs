@@ -1,0 +1,313 @@
+//! The temporal pipeline wrapper: a per-frame [`Pipeline`] plus state
+//! bindings declaring which inputs carry previous-frame values.
+
+use kfuse_ir::{ImageId, Pipeline};
+
+/// Upper bound on [`StateBinding::depth`]: a session keeps one state
+/// plane per (binding, depth slot), so unbounded depth would let a hostile
+/// stream pin arbitrary memory.
+pub const MAX_PREV_DEPTH: usize = 8;
+
+/// Where a state tap's value comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StateSource {
+    /// A previous frame's value of a **marked pipeline output**. Marked
+    /// outputs survive every fusion schedule materialized, so the tap is
+    /// well-defined no matter how the planner fuses the frame body.
+    Output(ImageId),
+    /// A previous frame's value of a per-frame **input** (e.g. the raw
+    /// frame itself, for frame differencing).
+    Input(ImageId),
+}
+
+impl StateSource {
+    /// The image the source refers to.
+    pub fn id(self) -> ImageId {
+        match self {
+            StateSource::Output(id) | StateSource::Input(id) => id,
+        }
+    }
+}
+
+/// One `prev_frame(k)` state tap: when executing frame N, the declared
+/// input `tap` is fed with the value `source` had at frame N−`depth`.
+/// Frames with N < `depth` read a zero image (the stream's initial
+/// state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StateBinding {
+    /// The declared pipeline input the session feeds.
+    pub tap: ImageId,
+    /// Which image's previous value the tap carries.
+    pub source: StateSource,
+    /// Temporal depth `k ≥ 1`.
+    pub depth: usize,
+}
+
+/// Errors raised when constructing or stepping a stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamError {
+    /// The stream's structure is invalid (bad tap, source, or depth).
+    Invalid(String),
+    /// The per-frame execution failed.
+    Exec(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Invalid(m) => write!(f, "invalid stream: {m}"),
+            StreamError::Exec(m) => write!(f, "frame execution failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<kfuse_sim::ExecError> for StreamError {
+    fn from(e: kfuse_sim::ExecError) -> Self {
+        StreamError::Exec(e.to_string())
+    }
+}
+
+/// A per-frame pipeline plus the temporal state bindings that turn it
+/// into a stream. Construction validates the whole temporal structure, so
+/// a `StreamPipeline` in hand is always steppable.
+#[derive(Clone, Debug)]
+pub struct StreamPipeline {
+    frame: Pipeline,
+    states: Vec<StateBinding>,
+}
+
+impl StreamPipeline {
+    /// Validates and wraps. Rules, on top of `frame.validate()`:
+    ///
+    /// * every `tap` is a declared input, and no input is tapped twice;
+    /// * `Output` sources are **marked outputs** (so fusion keeps them
+    ///   materialized under every schedule), `Input` sources are declared
+    ///   inputs that are not themselves taps;
+    /// * tap and source shapes agree exactly;
+    /// * `1 ≤ depth ≤ `[`MAX_PREV_DEPTH`].
+    pub fn new(frame: Pipeline, states: Vec<StateBinding>) -> Result<Self, StreamError> {
+        frame
+            .validate()
+            .map_err(|e| StreamError::Invalid(format!("frame pipeline: {e}")))?;
+        let is_input = |id: ImageId| frame.inputs().contains(&id);
+        let is_output = |id: ImageId| frame.outputs().contains(&id);
+        let is_tap = |id: ImageId| states.iter().any(|s| s.tap == id);
+        for (i, s) in states.iter().enumerate() {
+            if !is_input(s.tap) {
+                return Err(StreamError::Invalid(format!(
+                    "state {i}: tap image {} is not a declared input",
+                    s.tap.0
+                )));
+            }
+            if states[..i].iter().any(|prev| prev.tap == s.tap) {
+                return Err(StreamError::Invalid(format!(
+                    "state {i}: tap image {} bound twice",
+                    s.tap.0
+                )));
+            }
+            match s.source {
+                StateSource::Output(id) if !is_output(id) => {
+                    return Err(StreamError::Invalid(format!(
+                        "state {i}: source image {} is not a marked output",
+                        id.0
+                    )));
+                }
+                StateSource::Input(id) if !is_input(id) => {
+                    return Err(StreamError::Invalid(format!(
+                        "state {i}: source image {} is not a declared input",
+                        id.0
+                    )));
+                }
+                StateSource::Input(id) if is_tap(id) => {
+                    return Err(StreamError::Invalid(format!(
+                        "state {i}: source image {} is itself a state tap",
+                        id.0
+                    )));
+                }
+                _ => {}
+            }
+            let tap = frame.image(s.tap);
+            let src = frame.image(s.source.id());
+            if (tap.width, tap.height, tap.channels) != (src.width, src.height, src.channels) {
+                return Err(StreamError::Invalid(format!(
+                    "state {i}: tap {}x{}x{} does not match source {}x{}x{}",
+                    tap.width, tap.height, tap.channels, src.width, src.height, src.channels
+                )));
+            }
+            if s.depth == 0 || s.depth > MAX_PREV_DEPTH {
+                return Err(StreamError::Invalid(format!(
+                    "state {i}: depth {} outside 1..={MAX_PREV_DEPTH}",
+                    s.depth
+                )));
+            }
+        }
+        Ok(Self { frame, states })
+    }
+
+    /// The per-frame pipeline.
+    pub fn frame(&self) -> &Pipeline {
+        &self.frame
+    }
+
+    /// The state bindings, in declaration order.
+    pub fn states(&self) -> &[StateBinding] {
+        &self.states
+    }
+
+    /// The deepest `prev_frame(k)` of the stream (0 for a stateless
+    /// stream): frames before this index still read initial zero state.
+    pub fn max_depth(&self) -> usize {
+        self.states.iter().map(|s| s.depth).max().unwrap_or(0)
+    }
+
+    /// The inputs a client must supply for **every** frame: declared
+    /// inputs minus state taps.
+    pub fn fresh_inputs(&self) -> Vec<ImageId> {
+        self.frame
+            .inputs()
+            .iter()
+            .copied()
+            .filter(|id| !self.states.iter().any(|s| s.tap == *id))
+            .collect()
+    }
+
+    /// Structural fingerprint covering the per-frame body **and** the
+    /// temporal structure: tap/source identities and depths all enter, so
+    /// streams differing only in temporal depth never share a cache slot.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv_mix(0xcbf2_9ce4_8422_2325, self.frame.fingerprint());
+        h = fnv_mix(h, self.states.len() as u64);
+        for s in &self.states {
+            h = fnv_mix(h, s.tap.0 as u64);
+            let (tag, id) = match s.source {
+                StateSource::Output(i) => (1u64, i.0 as u64),
+                StateSource::Input(i) => (2u64, i.0 as u64),
+            };
+            h = fnv_mix(h, tag);
+            h = fnv_mix(h, id);
+            h = fnv_mix(h, s.depth as u64);
+        }
+        h
+    }
+}
+
+/// One FNV-1a-64 absorb step over a `u64` word (byte-wise, matching the
+/// reference algorithm's byte stream definition).
+fn fnv_mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfuse_dsl::builder::{c, v, PipelineBuilder};
+
+    fn accum_stream(depth: usize) -> StreamPipeline {
+        let mut b = PipelineBuilder::new("acc", 8, 6);
+        let frame = b.gray_input("frame");
+        let prev = b.prev_frame("prev_acc", frame);
+        let acc = b.point("acc", &[frame, prev], vec![v(0) * c(0.25) + v(1) * c(0.75)]);
+        b.output(acc);
+        StreamPipeline::new(
+            b.build(),
+            vec![StateBinding {
+                tap: prev,
+                source: StateSource::Output(acc),
+                depth,
+            }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_stream_reports_structure() {
+        let s = accum_stream(1);
+        assert_eq!(s.states().len(), 1);
+        assert_eq!(s.max_depth(), 1);
+        assert_eq!(s.fresh_inputs(), vec![ImageId(0)]);
+    }
+
+    #[test]
+    fn fingerprint_covers_temporal_depth() {
+        let a = accum_stream(1);
+        let b = accum_stream(2);
+        assert_eq!(a.frame().fingerprint(), b.frame().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_source_kind() {
+        let mut b = PipelineBuilder::new("d", 8, 6);
+        let frame = b.gray_input("frame");
+        let prev = b.prev_frame("prev", frame);
+        let out = b.point("diff", &[frame, prev], vec![v(0) - v(1)]);
+        b.output(out);
+        let p = b.build();
+        let from_input = StreamPipeline::new(
+            p.clone(),
+            vec![StateBinding {
+                tap: prev,
+                source: StateSource::Input(frame),
+                depth: 1,
+            }],
+        )
+        .unwrap();
+        let from_output = StreamPipeline::new(
+            p,
+            vec![StateBinding {
+                tap: prev,
+                source: StateSource::Output(out),
+                depth: 1,
+            }],
+        )
+        .unwrap();
+        assert_ne!(from_input.fingerprint(), from_output.fingerprint());
+    }
+
+    #[test]
+    fn rejects_bad_structures() {
+        let mut b = PipelineBuilder::new("bad", 8, 6);
+        let frame = b.gray_input("frame");
+        let prev = b.prev_frame("prev", frame);
+        let out = b.point("o", &[frame, prev], vec![v(0) + v(1)]);
+        b.output(out);
+        let p = b.build();
+        let mk = |tap, source, depth| {
+            StreamPipeline::new(p.clone(), vec![StateBinding { tap, source, depth }])
+        };
+        // Tap must be an input.
+        assert!(mk(out, StateSource::Output(out), 1).is_err());
+        // Output source must be marked.
+        assert!(mk(prev, StateSource::Output(frame), 1).is_err());
+        // Depth bounds.
+        assert!(mk(prev, StateSource::Output(out), 0).is_err());
+        assert!(mk(prev, StateSource::Output(out), MAX_PREV_DEPTH + 1).is_err());
+        // A tap cannot source another tap.
+        assert!(mk(prev, StateSource::Input(prev), 1).is_err());
+        // Duplicate taps.
+        assert!(StreamPipeline::new(
+            p.clone(),
+            vec![
+                StateBinding {
+                    tap: prev,
+                    source: StateSource::Output(out),
+                    depth: 1
+                },
+                StateBinding {
+                    tap: prev,
+                    source: StateSource::Input(frame),
+                    depth: 2
+                },
+            ],
+        )
+        .is_err());
+        // Control: the well-formed binding passes.
+        assert!(mk(prev, StateSource::Output(out), 1).is_ok());
+    }
+}

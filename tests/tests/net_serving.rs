@@ -386,3 +386,185 @@ fn traced_request_appears_in_flight_recorder_dump() {
     );
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Streaming sessions over the wire (protocol rev 4).
+// ---------------------------------------------------------------------------
+
+use kfuse_apps::temporal_apps;
+use kfuse_net::wire::Frame;
+use kfuse_stream::{run_reference, StreamPipeline};
+
+/// Synthetic fresh inputs for frame `f` of a stream.
+fn stream_frame_inputs(stream: &StreamPipeline, f: u64) -> Vec<(ImageId, Image)> {
+    stream
+        .fresh_inputs()
+        .iter()
+        .map(|&id| {
+            let desc = stream.frame().image(id).clone();
+            (id, synthetic_image(desc, f * 97 + id.0 as u64 + 5))
+        })
+        .collect()
+}
+
+/// Every temporal app served as a session over TCP produces frame
+/// sequences bit-identical to the naive local reference — under both the
+/// exchange and the overlapped tiling discipline.
+#[test]
+fn streaming_sessions_serve_temporal_apps_bit_identically() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    const FRAMES: u64 = 6;
+
+    for app in temporal_apps() {
+        let stream = (app.build_sized)(24, 20);
+        let seq: Vec<_> = (0..FRAMES)
+            .map(|f| stream_frame_inputs(&stream, f))
+            .collect();
+        let want = run_reference(&stream, &seq).expect("reference");
+
+        for schedule in [Schedule::Optimized, Schedule::Overlapped] {
+            let sid = client
+                .open_session(app.name, &stream, schedule)
+                .expect("open session");
+            for (f, fresh) in seq.iter().enumerate() {
+                let outputs = client
+                    .step_session(sid, fresh.clone())
+                    .expect("session step");
+                assert_eq!(outputs.len(), want[f].len());
+                for ((got_id, got), (want_id, want_img)) in outputs.iter().zip(&want[f]) {
+                    assert_eq!(got_id, want_id);
+                    assert!(
+                        got.bit_equal(want_img),
+                        "{} frame {f} output {} differs from run_reference under {schedule:?}",
+                        app.name,
+                        got_id.0
+                    );
+                }
+            }
+            let (completed, errored) = client.close_session(sid).expect("close");
+            assert_eq!((completed, errored), (FRAMES, 0), "{}", app.name);
+        }
+    }
+    server.shutdown();
+}
+
+/// Satellite: `Drain` fences sessions — frames already in flight complete
+/// and deliver bit-identical results, a post-drain `SubmitFrame` is
+/// answered with a typed error, and a close still reports the stats.
+#[test]
+fn drain_fences_sessions_in_flight_frames_complete() {
+    let cfg = ServerConfig {
+        runtime: RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let stream = (temporal_apps()[0].build_sized)(96, 80);
+    const FRAMES: u64 = 3;
+    let seq: Vec<_> = (0..FRAMES)
+        .map(|f| stream_frame_inputs(&stream, f))
+        .collect();
+    let want = run_reference(&stream, &seq).expect("reference");
+
+    let sid = client
+        .open_session("fence", &stream, Schedule::Optimized)
+        .expect("open session");
+    let ids: Vec<u64> = seq
+        .iter()
+        .map(|fresh| client.submit_frame(sid, fresh.clone()).expect("submit"))
+        .collect();
+
+    // Drain mid-stream. Frame replies and the DrainAck race on the
+    // completion-ordered outbox, so collect them manually.
+    client.send_raw(&Frame::Drain).expect("send drain");
+    let mut results: Vec<(u64, Vec<(ImageId, Image)>)> = Vec::new();
+    let mut drained = false;
+    while results.len() < FRAMES as usize || !drained {
+        match client.recv_frame().expect("recv") {
+            Frame::ResultOk {
+                request_id,
+                outputs,
+                ..
+            } => results.push((request_id, outputs)),
+            Frame::DrainAck => drained = true,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(server.is_draining());
+
+    // In-flight frames all completed, in order, bit-identical.
+    for (i, (rid, outputs)) in results.iter().enumerate() {
+        assert_eq!(*rid, ids[i], "session frames reply in submission order");
+        for ((got_id, got), (want_id, want_img)) in outputs.iter().zip(&want[i]) {
+            assert_eq!(got_id, want_id);
+            assert!(
+                got.bit_equal(want_img),
+                "frame {i} output {} differs after drain",
+                got_id.0
+            );
+        }
+    }
+
+    // Post-drain frames get a typed refusal, not silence.
+    let late = client
+        .submit_frame(sid, seq[0].clone())
+        .expect("write still succeeds");
+    match client.recv_result() {
+        Err(ClientError::Server {
+            request_id, code, ..
+        }) => {
+            assert_eq!(request_id, late);
+            assert_eq!(code, ErrorCode::Draining);
+        }
+        other => panic!("expected Draining, got {other:?}"),
+    }
+
+    // Close still works while draining and reports the accounting.
+    let (completed, errored) = client.close_session(sid).expect("close");
+    assert_eq!((completed, errored), (FRAMES, 0));
+    server.shutdown();
+}
+
+/// Sessions are connection-scoped capabilities: another connection naming
+/// the id is answered with `UnknownSession`, and a disconnect closes the
+/// session server-side (its slot is freed for reuse).
+#[test]
+fn sessions_are_owned_by_their_connection() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let stream = (temporal_apps()[2].build_sized)(16, 12);
+
+    let mut owner = Client::connect(server.local_addr()).expect("connect owner");
+    let sid = owner
+        .open_session("owned", &stream, Schedule::Optimized)
+        .expect("open");
+    owner
+        .step_session(sid, stream_frame_inputs(&stream, 0))
+        .expect("owner can step");
+
+    let mut thief = Client::connect(server.local_addr()).expect("connect thief");
+    match thief.step_session(sid, stream_frame_inputs(&stream, 0)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+    match thief.close_session(sid) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::UnknownSession),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+
+    // Owner disconnects without closing: the server reaps the session.
+    drop(owner);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.runtime_metrics().runtime.sessions_open > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnect never freed the session"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+}
